@@ -1,0 +1,28 @@
+//! Profile one benchmark under every exception scheme: cycles, IPC and the
+//! issue-stall breakdown (RAW/WAR/operand-log/fetch) that explains *why* a
+//! scheme loses performance.
+//!
+//! ```text
+//! cargo run --release -p gex-bench --example scheme_profile -- lbm
+//! ```
+
+use gex::workloads::{suite, Preset};
+use gex::{Gpu, GpuConfig, PagingMode, Scheme};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lbm".into());
+    let w = suite::by_name(&name, Preset::Bench).unwrap();
+    println!("{}: {} blocks x {} warps, {} dyn instrs, {} loads {} stores",
+        w.name, w.trace.blocks.len(), w.trace.warps_per_block, w.trace.dyn_instrs(),
+        w.func.global_loads, w.func.global_stores);
+    for s in [Scheme::Baseline, Scheme::WdCommit, Scheme::WdLastCheck, Scheme::ReplayQueue,
+              Scheme::operand_log_kib(8), Scheme::operand_log_kib(16), Scheme::operand_log_kib(32)] {
+        let r = Gpu::new(GpuConfig::kepler_k20(), s, PagingMode::AllResident)
+            .run(&w.trace, &w.demand_residency());
+        println!("{:<16} cycles={:<9} ipc={:.2} stall_war={} stall_raw={} stall_log={} fetch_blocked={} l1_hit%={:.0} walks={}",
+            s.to_string(), r.cycles, r.ipc(), r.sm.stall_war, r.sm.stall_raw, r.sm.stall_log,
+            r.sm.fetch_blocked,
+            100.0 * r.mem.l1_hits as f64 / (r.mem.l1_hits + r.mem.l1_misses).max(1) as f64,
+            r.mem.walks);
+    }
+}

@@ -1,0 +1,64 @@
+//! Profile one benchmark's block-switching behaviour (Figure 12): plain
+//! demand paging vs the local scheduler at several queue-position
+//! thresholds vs ideal 1-cycle switching.
+//!
+//! ```text
+//! cargo run --release -p gex-bench --example switching_profile -- sgemm pcie
+//! ```
+use gex::workloads::{suite, Preset};
+use gex::{BlockSwitchConfig, Gpu, GpuConfig, Interconnect, PagingMode, Scheme};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "sgemm".into());
+    let ic = match std::env::args().nth(2).as_deref() {
+        Some("pcie") => Interconnect::pcie(),
+        _ => Interconnect::nvlink(),
+    };
+    let w = suite::by_name(&name, Preset::Bench).unwrap();
+    let res = w.demand_residency();
+    let cfg = GpuConfig::kepler_k20();
+    println!(
+        "{}: {} blocks ({} warps each), input {} KB = {} regions",
+        w.name,
+        w.trace.blocks.len(),
+        w.trace.warps_per_block,
+        w.input_bytes() / 1024,
+        w.input_bytes() / 65536 + 1
+    );
+    let plain =
+        Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(ic)).run(&w.trace, &res);
+    println!(
+        "plain:  {:>9} cycles  {} migrations {} allocs  mean fault {:.1} us  faults(sm) {} squashed {}",
+        plain.cycles,
+        plain.cpu.migrations,
+        plain.cpu.allocations,
+        plain.cpu.mean_latency() / 1000.0,
+        plain.sm.faults,
+        plain.sm.squashed
+    );
+    let sweep: Vec<(String, BlockSwitchConfig)> = [0u32, 1, 2, 4]
+        .iter()
+        .map(|&t| {
+            (
+                format!("thr={t} "),
+                BlockSwitchConfig { queue_pos_threshold: t, ..Default::default() },
+            )
+        })
+        .chain(std::iter::once(("ideal ".to_string(), BlockSwitchConfig::ideal())))
+        .collect();
+    for (label, bs) in sweep {
+        let r = Gpu::new(
+            cfg.clone(),
+            Scheme::ReplayQueue,
+            PagingMode::Demand { interconnect: ic, block_switch: Some(bs), local_handling: None },
+        )
+        .run(&w.trace, &res);
+        println!(
+            "{label}: {:>9} cycles  speedup {:.3}  ({} switches, {} restores)",
+            r.cycles,
+            plain.cycles as f64 / r.cycles as f64,
+            r.switches,
+            r.sm.blocks_restored
+        );
+    }
+}

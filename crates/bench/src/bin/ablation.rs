@@ -1,0 +1,112 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. the local scheduler's fault-queue-position threshold and extra-block
+//!    budget (Section 4.1's "set threshold" and "4 additional blocks");
+//! 2. operand-log capacity beyond the paper's four studied sizes;
+//! 3. the GPU-local handler latency (the paper measured ~20 us on a
+//!    prototype; how sensitive is use case 2 to it?);
+//! 4. the issue-stage warp scheduler (loose round-robin vs
+//!    greedy-then-oldest) under each exception scheme.
+
+use gex::sm::config::SchedulerPolicy;
+use gex::workloads::{halloc, suite};
+use gex::{
+    BlockSwitchConfig, Gpu, GpuConfig, Interconnect, LocalFaultConfig, PagingMode, Scheme,
+};
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let sms = gex_bench::sms_from_env();
+    let cfg = GpuConfig::kepler_k20().with_sms(sms);
+
+    // ---- 1. block-switching policy sweep on sgemm (NVLink) ----
+    let w = suite::by_name("sgemm", preset).expect("sgemm");
+    let res = w.demand_residency();
+    let ic = Interconnect::nvlink();
+    let plain = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(ic))
+        .run(&w.trace, &res);
+    println!("Ablation 1: block-switching policy on sgemm ({ic}, plain = {} cycles)", plain.cycles);
+    println!("{:<12} {:<12} {:>9} {:>9}", "threshold", "max-extra", "speedup", "switches");
+    for threshold in [0u32, 1, 2, 4, 8] {
+        for max_extra in [2u32, 4, 8] {
+            let bs = BlockSwitchConfig { queue_pos_threshold: threshold, max_extra_blocks: max_extra, ideal: false };
+            let r = Gpu::new(
+                cfg.clone(),
+                Scheme::ReplayQueue,
+                PagingMode::Demand { interconnect: ic, block_switch: Some(bs), local_handling: None },
+            )
+            .run(&w.trace, &res);
+            println!(
+                "{:<12} {:<12} {:>9.3} {:>9}",
+                threshold,
+                max_extra,
+                plain.cycles as f64 / r.cycles as f64,
+                r.switches
+            );
+        }
+    }
+
+    // ---- 2. operand-log capacity sweep on lbm ----
+    let w = suite::by_name("lbm", preset).expect("lbm");
+    let res = w.demand_residency();
+    let base = Gpu::new(cfg.clone(), Scheme::Baseline, PagingMode::AllResident)
+        .run(&w.trace, &res);
+    println!("\nAblation 2: operand log capacity on lbm (baseline = {} cycles)", base.cycles);
+    println!("{:<10} {:>12} {:>12}", "log KiB", "normalized", "gpu area %");
+    for kib in [4u32, 8, 12, 16, 20, 24, 32, 48, 64] {
+        let r = Gpu::new(
+            cfg.clone(),
+            Scheme::OperandLog { bytes: kib * 1024 },
+            PagingMode::AllResident,
+        )
+        .run(&w.trace, &res);
+        let o = gex::power::operand_log_overheads(kib * 1024);
+        println!(
+            "{:<10} {:>12.3} {:>12.2}",
+            kib,
+            base.cycles as f64 / r.cycles as f64,
+            o.gpu_area_pct
+        );
+    }
+
+    // ---- 3. GPU-local handler latency sweep on halloc-fixed (PCIe) ----
+    let w = halloc::fixed(preset);
+    let res = w.heap_lazy_residency();
+    let ic = Interconnect::pcie();
+    let cpu_handled =
+        Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(ic)).run(&w.trace, &res);
+    println!(
+        "\nAblation 3: local-handler latency on halloc-fixed ({ic}, CPU-handled = {} cycles)",
+        cpu_handled.cycles
+    );
+    println!("{:<14} {:>9}", "handler us", "speedup");
+    for us in [5u64, 10, 20, 40, 80] {
+        let r = Gpu::new(
+            cfg.clone(),
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: ic,
+                block_switch: None,
+                local_handling: Some(LocalFaultConfig { handler_cycles: us * 1000 }),
+            },
+        )
+        .run(&w.trace, &res);
+        println!("{:<14} {:>9.3}", us, cpu_handled.cycles as f64 / r.cycles as f64);
+    }
+
+    // ---- 4. warp scheduler policy per scheme on lbm (scheme-sensitive) ----
+    let w = suite::by_name("lbm", preset).expect("lbm");
+    let res = w.demand_residency();
+    println!("\nAblation 4: warp scheduler policy on lbm (cycles)");
+    println!("{:<16} {:>12} {:>12}", "scheme", "loose-rr", "greedy");
+    for scheme in [Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue] {
+        let mut row = Vec::new();
+        for policy in [SchedulerPolicy::LooseRoundRobin, SchedulerPolicy::GreedyThenOldest] {
+            let mut c = cfg.clone();
+            c.sm.scheduler = policy;
+            let r = Gpu::new(c, scheme, PagingMode::AllResident).run(&w.trace, &res);
+            row.push(r.cycles);
+        }
+        println!("{:<16} {:>12} {:>12}", scheme.to_string(), row[0], row[1]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 10: warp-disable and replay-queue performance
+//! normalized to the stall-on-fault baseline.
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let sms = gex_bench::sms_from_env();
+    println!("{}", gex::experiments::table1());
+    println!("{}", gex::experiments::fig10(preset, sms));
+}

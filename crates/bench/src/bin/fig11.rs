@@ -1,0 +1,7 @@
+//! Regenerate Figure 11: operand-log performance across log sizes.
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let sms = gex_bench::sms_from_env();
+    println!("{}", gex::experiments::fig11(preset, sms));
+}

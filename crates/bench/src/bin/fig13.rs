@@ -1,0 +1,10 @@
+//! Regenerate Figure 13: GPU-local handling of dynamic-allocation faults.
+
+use gex::Interconnect;
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let sms = gex_bench::sms_from_env();
+    println!("{}", gex::experiments::fig13(preset, sms, Interconnect::nvlink()));
+    println!("{}", gex::experiments::fig13(preset, sms, Interconnect::pcie()));
+}

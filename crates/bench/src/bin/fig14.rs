@@ -1,0 +1,10 @@
+//! Regenerate Figure 14: GPU-local handling of output-page faults.
+
+use gex::Interconnect;
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let sms = gex_bench::sms_from_env();
+    println!("{}", gex::experiments::fig14(preset, sms, Interconnect::nvlink()));
+    println!("{}", gex::experiments::fig14(preset, sms, Interconnect::pcie()));
+}

@@ -1,0 +1,11 @@
+//! Section 5.5 scalability sweep over the SM count.
+
+fn main() {
+    let preset = gex_bench::preset_from_args();
+    let rows = gex::experiments::scalability(preset, &[4, 8, 16, 32]);
+    println!("Section 5.5: scalability with SM count");
+    println!("{:<6} {:>14} {:>16}", "SMs", "replay-queue", "local-handling");
+    for r in &rows {
+        println!("{:<6} {:>14.3} {:>16.3}", r.sms, r.replay_queue, r.local_handling);
+    }
+}

@@ -1,0 +1,5 @@
+//! Print Table 1 (simulation parameters) from the live configuration.
+
+fn main() {
+    println!("{}", gex::experiments::table1());
+}

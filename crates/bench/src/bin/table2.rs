@@ -1,0 +1,5 @@
+//! Print Table 2 (operand log area/power overheads).
+
+fn main() {
+    println!("{}", gex::experiments::table2());
+}

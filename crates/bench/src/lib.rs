@@ -1,0 +1,25 @@
+//! # gex-bench — harness regenerating every table and figure
+//!
+//! * Binaries (`cargo run -p gex-bench --release --bin figN`): print the
+//!   paper's tables/series at the `Paper` preset.
+//! * Criterion benches (`cargo bench`): time the same experiments at the
+//!   `Bench` preset, one bench group per figure.
+//!
+//! Shared argument parsing for the binaries lives here.
+
+use gex::workloads::Preset;
+
+/// Parse a preset name from the CLI (`test` / `bench` / `paper`);
+/// defaults to `paper` for the harness binaries.
+pub fn preset_from_args() -> Preset {
+    match std::env::args().nth(1).as_deref() {
+        Some("test") => Preset::Test,
+        Some("bench") => Preset::Bench,
+        _ => Preset::Paper,
+    }
+}
+
+/// SM count for harness runs: the paper's 16, unless `GEX_SMS` overrides.
+pub fn sms_from_env() -> u32 {
+    std::env::var("GEX_SMS").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}

@@ -1,0 +1,499 @@
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (Section 5). Each driver returns plain data and renders a
+//! text table via `Display`, so the harness binaries, Criterion benches and
+//! tests all share one implementation.
+
+use crate::{geomean, Gpu, GpuConfig, GpuRunReport, Interconnect, PagingMode, Scheme};
+use gex_sim::{BlockSwitchConfig, LocalFaultConfig};
+use gex_workloads::{suite, Preset, Workload};
+use std::fmt;
+
+/// A small ASCII bar for terminal figures: `width` columns represent
+/// `full` (values above `full` saturate).
+fn bar(value: f64, full: f64, width: usize) -> String {
+    let filled = ((value / full) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Run one workload fault-free (Figures 10/11's configuration).
+fn run_resident(w: &Workload, scheme: Scheme, sms: u32) -> GpuRunReport {
+    Gpu::new(GpuConfig::kepler_k20().with_sms(sms), scheme, PagingMode::AllResident)
+        .run(&w.trace, &w.demand_residency())
+}
+
+// ---------------------------------------------------------------- Fig 10
+
+/// One benchmark's bars in Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// WD-commit performance normalized to the baseline SM.
+    pub wd_commit: f64,
+    /// WD-lastcheck normalized performance.
+    pub wd_lastcheck: f64,
+    /// Replay-queue normalized performance.
+    pub replay_queue: f64,
+}
+
+/// Figure 10: performance of warp-disable and replay-queue pipelines,
+/// normalized to the stall-on-fault baseline (higher is better).
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10 {
+    /// Geometric means across benchmarks: `(wd_commit, wd_lastcheck,
+    /// replay_queue)` — the paper reports 0.84 / 0.90 / 0.94.
+    pub fn geomeans(&self) -> (f64, f64, f64) {
+        (
+            geomean(&self.rows.iter().map(|r| r.wd_commit).collect::<Vec<_>>()),
+            geomean(&self.rows.iter().map(|r| r.wd_lastcheck).collect::<Vec<_>>()),
+            geomean(&self.rows.iter().map(|r| r.replay_queue).collect::<Vec<_>>()),
+        )
+    }
+}
+
+/// Run the Figure 10 sweep.
+pub fn fig10(preset: Preset, sms: u32) -> Fig10 {
+    let rows = suite::parboil(preset)
+        .iter()
+        .map(|w| {
+            let base = run_resident(w, Scheme::Baseline, sms).cycles as f64;
+            let norm = |s: Scheme| base / run_resident(w, s, sms).cycles as f64;
+            Fig10Row {
+                benchmark: w.name.clone(),
+                wd_commit: norm(Scheme::WdCommit),
+                wd_lastcheck: norm(Scheme::WdLastCheck),
+                replay_queue: norm(Scheme::ReplayQueue),
+            }
+        })
+        .collect();
+    Fig10 { rows }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 10: normalized performance vs stall-on-fault baseline")?;
+        writeln!(f, "{:<14} {:>10} {:>12} {:>13}", "benchmark", "wd-commit", "wd-lastcheck", "replay-queue")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10.3} {:>12.3} {:>13.3}  |{}|",
+                r.benchmark,
+                r.wd_commit,
+                r.wd_lastcheck,
+                r.replay_queue,
+                bar(r.replay_queue, 1.0, 20)
+            )?;
+        }
+        let (a, b, c) = self.geomeans();
+        writeln!(f, "{:<14} {:>10.3} {:>12.3} {:>13.3}", "geomean", a, b, c)?;
+        writeln!(f, "paper:         geomean 0.84 / 0.90 / 0.94; lbm at 0.60 under replay-queue")
+    }
+}
+
+// ---------------------------------------------------------------- Fig 11
+
+/// One benchmark's bars in Figure 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Normalized performance per studied log size, in the order of
+    /// [`Fig11::sizes`].
+    pub by_size: Vec<f64>,
+}
+
+/// Figure 11: operand-log performance across log sizes, normalized to the
+/// baseline SM.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// Studied log sizes in bytes.
+    pub sizes: Vec<u32>,
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig11Row>,
+}
+
+impl Fig11 {
+    /// Geometric mean per size (paper: 0.966 at 8 KB, 0.992 at 16 KB).
+    pub fn geomeans(&self) -> Vec<f64> {
+        (0..self.sizes.len())
+            .map(|i| geomean(&self.rows.iter().map(|r| r.by_size[i]).collect::<Vec<_>>()))
+            .collect()
+    }
+}
+
+/// Run the Figure 11 sweep over the paper's four log sizes.
+pub fn fig11(preset: Preset, sms: u32) -> Fig11 {
+    let sizes: Vec<u32> = gex_power::studied_sizes().to_vec();
+    let rows = suite::parboil(preset)
+        .iter()
+        .map(|w| {
+            let base = run_resident(w, Scheme::Baseline, sms).cycles as f64;
+            let by_size = sizes
+                .iter()
+                .map(|&bytes| {
+                    base / run_resident(w, Scheme::OperandLog { bytes }, sms).cycles as f64
+                })
+                .collect();
+            Fig11Row { benchmark: w.name.clone(), by_size }
+        })
+        .collect();
+    Fig11 { sizes, rows }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 11: operand log performance by log size (normalized)")?;
+        write!(f, "{:<14}", "benchmark")?;
+        for s in &self.sizes {
+            write!(f, " {:>9}", format!("{}KB", s / 1024))?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:<14}", r.benchmark)?;
+            for v in &r.by_size {
+                write!(f, " {v:>9.3}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:<14}", "geomean")?;
+        for g in self.geomeans() {
+            write!(f, " {g:>9.3}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "paper:         geomean 0.966 @8KB, 0.992 @16KB; lbm 0.60 -> 0.97 @16KB")
+    }
+}
+
+// ---------------------------------------------------------------- Fig 12
+
+/// One benchmark's bars in Figure 12, for one interconnect.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Speedup of block switching over no-switching demand paging.
+    pub switching: f64,
+    /// Speedup with ideal (1-cycle) context switches.
+    pub ideal: f64,
+}
+
+/// Figure 12: thread-block switching on fault, per interconnect.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Interconnect of this panel.
+    pub interconnect: Interconnect,
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig12Row>,
+}
+
+/// Run one Figure 12 panel. The baseline supports preemptible faults with
+/// the replay queue but performs no switching, exactly as in Section 5.1.
+pub fn fig12(preset: Preset, sms: u32, interconnect: Interconnect) -> Fig12 {
+    let cfg = GpuConfig::kepler_k20().with_sms(sms);
+    let rows = suite::parboil(preset)
+        .iter()
+        .map(|w| {
+            let res = w.demand_residency();
+            let plain = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(interconnect))
+                .run(&w.trace, &res);
+            let run_sw = |bs: BlockSwitchConfig| {
+                Gpu::new(
+                    cfg.clone(),
+                    Scheme::ReplayQueue,
+                    PagingMode::Demand {
+                        interconnect,
+                        block_switch: Some(bs),
+                        local_handling: None,
+                    },
+                )
+                .run(&w.trace, &res)
+            };
+            let sw = run_sw(BlockSwitchConfig::default());
+            let ideal = run_sw(BlockSwitchConfig::ideal());
+            Fig12Row {
+                benchmark: w.name.clone(),
+                switching: plain.cycles as f64 / sw.cycles as f64,
+                ideal: plain.cycles as f64 / ideal.cycles as f64,
+            }
+        })
+        .collect();
+    Fig12 { interconnect, rows }
+}
+
+impl fmt::Display for Fig12 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 12 ({}): speedup of block switching over no-switching demand paging",
+            self.interconnect
+        )?;
+        writeln!(f, "{:<14} {:>10} {:>10}", "benchmark", "switching", "ideal-cs")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10.3} {:>10.3}  |{}|",
+                r.benchmark,
+                r.switching,
+                r.ideal,
+                bar(r.switching, 1.5, 20)
+            )?;
+        }
+        let g = geomean(&self.rows.iter().map(|r| r.switching).collect::<Vec<_>>());
+        writeln!(f, "{:<14} {:>10.3}", "geomean", g)?;
+        writeln!(
+            f,
+            "paper (NVLink): sgemm +13%, stencil +7%, histo +11%; mri-gridding 0.85x; flat mean"
+        )
+    }
+}
+
+// ------------------------------------------------------------ Fig 13/14
+
+/// One benchmark's bars in Figures 13/14, for one interconnect.
+#[derive(Debug, Clone)]
+pub struct LocalHandlingRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Speedup of GPU-local fault handling over CPU handling.
+    pub speedup: f64,
+}
+
+/// Figure 13 or 14: GPU-local handling of first-touch faults.
+#[derive(Debug, Clone)]
+pub struct LocalHandlingFig {
+    /// Which figure this is ("13" or "14").
+    pub figure: &'static str,
+    /// Interconnect of this panel.
+    pub interconnect: Interconnect,
+    /// Per-benchmark rows.
+    pub rows: Vec<LocalHandlingRow>,
+}
+
+impl LocalHandlingFig {
+    /// Geometric-mean speedup (paper: Fig 13 1.56x NVLink / 1.75x PCIe;
+    /// Fig 14 1.05x NVLink / 1.08x PCIe).
+    pub fn geomean(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.speedup).collect::<Vec<_>>())
+    }
+}
+
+fn local_handling_fig(
+    figure: &'static str,
+    workloads: &[Workload],
+    residency_of: impl Fn(&Workload) -> crate::Residency,
+    sms: u32,
+    interconnect: Interconnect,
+) -> LocalHandlingFig {
+    let cfg = GpuConfig::kepler_k20().with_sms(sms);
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let res = residency_of(w);
+            let cpu = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(interconnect))
+                .run(&w.trace, &res);
+            let local = Gpu::new(
+                cfg.clone(),
+                Scheme::ReplayQueue,
+                PagingMode::Demand {
+                    interconnect,
+                    block_switch: None,
+                    local_handling: Some(LocalFaultConfig::default()),
+                },
+            )
+            .run(&w.trace, &res);
+            LocalHandlingRow {
+                benchmark: w.name.clone(),
+                speedup: cpu.cycles as f64 / local.cycles as f64,
+            }
+        })
+        .collect();
+    LocalHandlingFig { figure, interconnect, rows }
+}
+
+/// Figure 13: local handling of faults backing dynamically allocated
+/// memory (Halloc benchmarks + quad-tree, heap lazily backed).
+pub fn fig13(preset: Preset, sms: u32, interconnect: Interconnect) -> LocalHandlingFig {
+    local_handling_fig("13", &suite::halloc(preset), |w| w.heap_lazy_residency(), sms, interconnect)
+}
+
+/// Figure 14: local handling of faults on kernel output pages (Parboil,
+/// outputs lazily backed).
+pub fn fig14(preset: Preset, sms: u32, interconnect: Interconnect) -> LocalHandlingFig {
+    local_handling_fig(
+        "14",
+        &suite::parboil(preset),
+        |w| w.outputs_lazy_residency(),
+        sms,
+        interconnect,
+    )
+}
+
+impl fmt::Display for LocalHandlingFig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure {} ({}): speedup of GPU-local fault handling over CPU handling",
+            self.figure, self.interconnect
+        )?;
+        writeln!(f, "{:<14} {:>10}", "benchmark", "speedup")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10.3}  |{}|",
+                r.benchmark,
+                r.speedup,
+                bar(r.speedup, 3.0, 20)
+            )?;
+        }
+        writeln!(f, "{:<14} {:>10.3}", "geomean", self.geomean())?;
+        match self.figure {
+            "13" => writeln!(f, "paper: geomean 1.56x NVLink, 1.75x PCIe"),
+            _ => writeln!(f, "paper: geomean 1.05x NVLink, 1.08x PCIe"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- Tables
+
+/// Render Table 1 (the simulation parameters) from the live configuration.
+pub fn table1() -> String {
+    let c = GpuConfig::kepler_k20();
+    let mut s = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(s, "Table 1: simulation parameters");
+    let _ = writeln!(s, "SM:");
+    let _ = writeln!(s, "  Frequency            1GHz");
+    let _ = writeln!(s, "  Max TBs              {}", c.sm.max_blocks);
+    let _ = writeln!(s, "  Max Warps            {}", c.sm.max_warps);
+    let _ = writeln!(s, "  Register File        {}KB", c.sm.rf_bytes / 1024);
+    let _ = writeln!(s, "  Shared memory        {}KB", c.sm.shared_bytes / 1024);
+    let _ = writeln!(s, "  Issue ways           {} instructions from 1 or 2 warps", c.sm.issue_width);
+    let _ = writeln!(
+        s,
+        "  Backend units        {} math, {} special func, {} ld/st, {} branch",
+        c.sm.math_units, c.sm.sfu_units, c.sm.ldst_units, c.sm.branch_units
+    );
+    let _ = writeln!(
+        s,
+        "  L1 cache             {}KB / {}-way LRU / {}B line / {} MSHRs / {} clk / virtual",
+        c.mem.l1.bytes / 1024,
+        c.mem.l1.ways,
+        c.mem.l1.line,
+        c.mem.l1.mshrs,
+        c.mem.l1.latency
+    );
+    let _ = writeln!(s, "  L1 TLB               {} entries / {}-way LRU", c.mem.l1_tlb.entries, c.mem.l1_tlb.ways);
+    let _ = writeln!(s, "System:");
+    let _ = writeln!(s, "  Number of SMs        {}", c.mem.num_sms);
+    let _ = writeln!(
+        s,
+        "  L2 cache             {}MB / {}-way LRU / {}B line / {} clk / {} MSHRs",
+        c.mem.l2.bytes / (1024 * 1024),
+        c.mem.l2.ways,
+        c.mem.l2.line,
+        c.mem.l2.latency,
+        c.mem.l2.mshrs
+    );
+    let _ = writeln!(
+        s,
+        "  L2 TLB               {} entries / {}-way LRU / {} MSHRs / {} clk",
+        c.mem.l2_tlb.entries, c.mem.l2_tlb.ways, c.mem.l2_tlb.mshrs, c.mem.l2_tlb.latency
+    );
+    let _ = writeln!(s, "  Number of PT walkers {}", c.mem.num_walkers);
+    let _ = writeln!(s, "  Walking latency      {} clk", c.mem.walk_latency);
+    let _ = writeln!(s, "  DRAM bandwidth       {} GB/s", c.mem.dram_bytes_per_cycle);
+    let _ = writeln!(s, "  DRAM latency         {} clk", c.mem.dram_latency);
+    s
+}
+
+/// Render Table 2 (operand log overheads) from the power model.
+pub fn table2() -> String {
+    let mut s = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(s, "Table 2: operand logging overheads");
+    let _ = writeln!(
+        s,
+        "{:<9} {:>8} {:>9} {:>9} {:>10}",
+        "Log Size", "SM Area", "GPU Area", "SM Power", "GPU Power"
+    );
+    for bytes in gex_power::studied_sizes() {
+        let o = gex_power::operand_log_overheads(bytes);
+        let _ = writeln!(
+            s,
+            "{:<9} {:>7.2}% {:>8.2}% {:>8.2}% {:>9.2}%",
+            format!("{} KB", bytes / 1024),
+            o.sm_area_pct,
+            o.gpu_area_pct,
+            o.sm_power_pct,
+            o.gpu_power_pct
+        );
+    }
+    s
+}
+
+// ------------------------------------------------------------ Scalability
+
+/// One row of the Section 5.5 scalability sweep.
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// SM count.
+    pub sms: u32,
+    /// Geomean normalized performance of the replay queue (Fig 10 metric).
+    pub replay_queue: f64,
+    /// Geomean Figure 13 speedup of local handling (NVLink).
+    pub local_handling: f64,
+}
+
+/// Section 5.5: sweep the SM count and observe that local handling gains
+/// grow with it while the pipeline-scheme ordering is preserved.
+pub fn scalability(preset: Preset, sm_counts: &[u32]) -> Vec<ScalabilityRow> {
+    sm_counts
+        .iter()
+        .map(|&sms| {
+            let f10 = fig10(preset, sms);
+            let (_, _, rq) = f10.geomeans();
+            let f13 = fig13(preset, sms, Interconnect::nvlink());
+            ScalabilityRow { sms, replay_queue: rq, local_handling: f13.geomean() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_render_and_clamp() {
+        assert_eq!(bar(0.5, 1.0, 10), "#####.....");
+        assert_eq!(bar(2.0, 1.0, 10), "##########");
+        assert_eq!(bar(-1.0, 1.0, 4), "....");
+    }
+
+    #[test]
+    fn table_renderers_mention_key_parameters() {
+        let t1 = table1();
+        assert!(t1.contains("Max Warps            64"));
+        assert!(t1.contains("Number of PT walkers 64"));
+        let t2 = table2();
+        assert!(t2.contains("1.04%"));
+        assert!(t2.contains("2.37%"));
+    }
+
+    #[test]
+    fn fig10_rows_are_in_unit_range() {
+        // Tiny single-benchmark sanity: full sweeps run in the harness.
+        let w = suite::by_name("histo", Preset::Test).unwrap();
+        let base = run_resident(&w, Scheme::Baseline, 2).cycles as f64;
+        let wd = run_resident(&w, Scheme::WdCommit, 2).cycles as f64;
+        assert!(base / wd <= 1.001 && base / wd > 0.3);
+    }
+}

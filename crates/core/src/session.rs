@@ -1,0 +1,114 @@
+//! Multi-launch sessions: persistent data residency across kernels.
+//!
+//! Real applications launch many kernels against the same buffers; under
+//! demand paging only the *first* kernel pays the migrations — later
+//! launches find their data resident (Section 2.3's motivation: on-demand
+//! migration replaces up-front transfers). A [`Session`] carries the
+//! regions each launch left resident into the next launch's residency.
+//!
+//! ```
+//! use gex::{Session, Gpu, GpuConfig, Interconnect, PagingMode, Scheme};
+//! use gex::workloads::{suite, Preset};
+//!
+//! let w = suite::by_name("stencil", Preset::Test).expect("stencil");
+//! let gpu = Gpu::new(
+//!     GpuConfig::kepler_k20().with_sms(2),
+//!     Scheme::ReplayQueue,
+//!     PagingMode::demand(Interconnect::nvlink()),
+//! );
+//! let mut session = Session::new(gpu);
+//! let first = session.launch(&w.trace, &w.demand_residency());
+//! let second = session.launch(&w.trace, &w.demand_residency());
+//! assert!(first.cpu.migrations > 0);
+//! assert_eq!(second.cpu.migrations, 0, "data is already resident");
+//! assert!(second.cycles < first.cycles);
+//! ```
+
+use crate::{Gpu, GpuRunReport, Residency};
+use gex_isa::trace::KernelTrace;
+use gex_mem::REGION_BYTES;
+use std::collections::BTreeSet;
+
+/// A sequence of kernel launches sharing GPU memory state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    gpu: Gpu,
+    resident: BTreeSet<u64>,
+    launches: u32,
+}
+
+impl Session {
+    /// Start a session on `gpu` with nothing resident.
+    pub fn new(gpu: Gpu) -> Self {
+        Session { gpu, resident: BTreeSet::new(), launches: 0 }
+    }
+
+    /// Regions currently resident in GPU memory.
+    pub fn resident_regions(&self) -> impl Iterator<Item = u64> + '_ {
+        self.resident.iter().copied()
+    }
+
+    /// Launches performed so far.
+    pub fn launches(&self) -> u32 {
+        self.launches
+    }
+
+    /// Run one kernel. `residency` describes where the launch's buffers
+    /// would live on a cold start; regions earlier launches made resident
+    /// override it.
+    pub fn launch(&mut self, trace: &KernelTrace, residency: &Residency) -> GpuRunReport {
+        let mut overlay = residency.clone();
+        for &region in &self.resident {
+            overlay = overlay.resident(region, REGION_BYTES);
+        }
+        let report = self.gpu.run(trace, &overlay);
+        self.resident.extend(report.resident_regions.iter().copied());
+        self.launches += 1;
+        report
+    }
+
+    /// Forget residency (e.g. the application freed its buffers).
+    pub fn evict_all(&mut self) {
+        self.resident.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GpuConfig, Interconnect, PagingMode, Scheme};
+    use gex_workloads::{suite, Preset};
+
+    #[test]
+    fn second_launch_runs_fault_free() {
+        let w = suite::by_name("histo", Preset::Test).unwrap();
+        let gpu = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2),
+            Scheme::ReplayQueue,
+            PagingMode::demand(Interconnect::pcie()),
+        );
+        let mut s = Session::new(gpu);
+        let r1 = s.launch(&w.trace, &w.demand_residency());
+        assert!(r1.cpu.resolved() > 0, "cold start must fault");
+        let r2 = s.launch(&w.trace, &w.demand_residency());
+        assert_eq!(r2.cpu.resolved(), 0, "warm start must not fault");
+        assert!(r2.cycles < r1.cycles);
+        assert_eq!(s.launches(), 2);
+        assert!(s.resident_regions().count() > 0);
+    }
+
+    #[test]
+    fn evict_all_makes_the_next_launch_cold_again() {
+        let w = suite::by_name("histo", Preset::Test).unwrap();
+        let gpu = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2),
+            Scheme::ReplayQueue,
+            PagingMode::demand(Interconnect::nvlink()),
+        );
+        let mut s = Session::new(gpu);
+        let r1 = s.launch(&w.trace, &w.demand_residency());
+        s.evict_all();
+        let r3 = s.launch(&w.trace, &w.demand_residency());
+        assert_eq!(r3.cpu.resolved(), r1.cpu.resolved());
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for assembly and functional execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling or functionally executing a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// Structured-assembly blocks (`if_`/`endif`, `loop`) were not nested
+    /// correctly.
+    UnbalancedBlock(&'static str),
+    /// The kernel declares invalid geometry (zero-sized grid or block, or a
+    /// block larger than the SM supports).
+    BadGeometry(String),
+    /// A thread executed more dynamic instructions than the configured
+    /// limit — almost certainly an unintended infinite loop.
+    RunawayThread {
+        /// Flattened block id of the runaway thread.
+        block: u32,
+        /// Thread id within the block.
+        thread: u32,
+        /// The dynamic instruction limit that was exceeded.
+        limit: u64,
+    },
+    /// Program counter left the program (missing `exit`).
+    PcOutOfRange {
+        /// The offending PC.
+        pc: u32,
+        /// Program length.
+        len: u32,
+    },
+    /// Threads of a block disagreed on barrier arrival (some exited while
+    /// others wait), which would deadlock real hardware.
+    BarrierMismatch {
+        /// Flattened block id.
+        block: u32,
+    },
+    /// A shared-memory access fell outside the block's declared partition.
+    SharedOutOfBounds {
+        /// Accessed byte offset.
+        offset: u64,
+        /// Declared shared-memory size per block.
+        size: u32,
+    },
+    /// An instruction was malformed (e.g. a load without an address operand).
+    Malformed {
+        /// PC of the malformed instruction.
+        pc: u32,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The device-side heap was exhausted.
+    HeapExhausted,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::UnbalancedBlock(k) => write!(f, "unbalanced structured block `{k}`"),
+            IsaError::BadGeometry(why) => write!(f, "bad kernel geometry: {why}"),
+            IsaError::RunawayThread { block, thread, limit } => write!(
+                f,
+                "thread {thread} of block {block} exceeded {limit} dynamic instructions"
+            ),
+            IsaError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} out of range for program of {len} instructions")
+            }
+            IsaError::BarrierMismatch { block } => {
+                write!(f, "barrier arrival mismatch in block {block}")
+            }
+            IsaError::SharedOutOfBounds { offset, size } => {
+                write!(f, "shared memory access at {offset} outside {size}-byte partition")
+            }
+            IsaError::Malformed { pc, what } => write!(f, "malformed instruction at {pc}: {what}"),
+            IsaError::HeapExhausted => write!(f, "device heap exhausted"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let e = IsaError::UndefinedLabel("loop".into());
+        let s = e.to_string();
+        assert!(s.starts_with("undefined"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

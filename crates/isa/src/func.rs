@@ -1,0 +1,979 @@
+//! Execution-driven functional simulator.
+//!
+//! [`FuncSim`] executes a [`Kernel`] against a [`MemImage`], thread by
+//! thread in SIMT fashion (32-lane warps with a PDOM divergence stack), and
+//! emits the per-warp [`KernelTrace`] that the timing model consumes —
+//! mirroring the paper's split between the execution-driven functional
+//! simulator and the cycle-level timing simulator (Section 5.1).
+//!
+//! Warps of a block are interleaved at barrier boundaries, and blocks
+//! execute in block-id order, so results are fully deterministic.
+
+use crate::error::IsaError;
+use crate::instr::Instruction;
+use crate::kernel::Kernel;
+use crate::mem_image::MemImage;
+use crate::op::{AtomKind, CmpKind, CmpType, Opcode, Space};
+use crate::operand::Operand;
+use crate::reg::{Reg, SpecialReg, NUM_PRED};
+use crate::trace::{BlockTrace, DynInstr, DynKind, KernelTrace, MemRef, WarpTrace};
+use crate::{FULL_MASK, WARP_SIZE};
+
+/// Sentinel "no reconvergence" PC for the base stack entry.
+const NO_RECONV: u32 = u32::MAX;
+
+/// Aggregate counters from one functional run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncStats {
+    /// Dynamic warp instructions executed.
+    pub dyn_instrs: u64,
+    /// Dynamic global loads.
+    pub global_loads: u64,
+    /// Dynamic global stores.
+    pub global_stores: u64,
+    /// Dynamic global atomics.
+    pub atomics: u64,
+    /// Dynamic shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Barriers executed (warp-level).
+    pub barriers: u64,
+    /// `malloc` intrinsic executions (warp-level).
+    pub mallocs: u64,
+    /// Bytes allocated on the device heap.
+    pub heap_bytes: u64,
+    /// Warp instructions that raised an arithmetic exception
+    /// (division by zero).
+    pub arithmetic_exceptions: u64,
+}
+
+/// Result of a functional run: the dynamic trace plus counters.
+#[derive(Debug, Clone)]
+pub struct FuncRun {
+    /// The dynamic trace, ready for the timing model.
+    pub trace: KernelTrace,
+    /// Aggregate counters.
+    pub stats: FuncStats,
+}
+
+/// The functional simulator. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FuncSim {
+    max_dyn_per_warp: u64,
+    max_stack_depth: usize,
+}
+
+impl Default for FuncSim {
+    fn default() -> Self {
+        FuncSim { max_dyn_per_warp: 4_000_000, max_stack_depth: 64 * 1024 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StackEntry {
+    pc: u32,
+    rpc: u32,
+    mask: u32,
+}
+
+struct ThreadState {
+    regs: Vec<u64>,
+    preds: [bool; NUM_PRED],
+}
+
+/// Per-warp execution state.
+struct WarpExec {
+    stack: Vec<StackEntry>,
+    exited: u32,
+    /// Flattened tid of lane 0.
+    base_tid: u32,
+    trace: Vec<DynInstr>,
+    dyn_count: u64,
+    /// Set while executing an instruction that raises an arithmetic
+    /// exception (division by zero on an active lane).
+    trapped: bool,
+}
+
+enum WarpEvent {
+    Barrier,
+    Done,
+}
+
+struct BlockCtx<'a> {
+    kernel: &'a Kernel,
+    block_id: u32,
+    threads: Vec<ThreadState>,
+    shared: Vec<u8>,
+}
+
+impl FuncSim {
+    /// A simulator with default limits (4 M dynamic instructions per warp,
+    /// 64 K divergence-stack entries).
+    pub fn new() -> Self {
+        FuncSim::default()
+    }
+
+    /// Override the per-warp dynamic instruction limit (runaway-loop guard).
+    pub fn max_dyn_per_warp(mut self, limit: u64) -> Self {
+        self.max_dyn_per_warp = limit;
+        self
+    }
+
+    /// Run `kernel` to completion against `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`IsaError`] raised during execution: malformed
+    /// instructions, out-of-range PCs, runaway loops, shared-memory
+    /// overflows or heap exhaustion.
+    pub fn run(&self, kernel: &Kernel, mem: &mut MemImage) -> Result<FuncRun, IsaError> {
+        let mut stats = FuncStats::default();
+        let mut blocks = Vec::with_capacity(kernel.total_blocks() as usize);
+        for block_id in 0..kernel.total_blocks() {
+            blocks.push(self.run_block(kernel, block_id, mem, &mut stats)?);
+        }
+        Ok(FuncRun {
+            trace: KernelTrace {
+                name: kernel.name.clone(),
+                blocks,
+                threads_per_block: kernel.threads_per_block(),
+                warps_per_block: kernel.warps_per_block(),
+                regs_per_thread: kernel.regs_per_thread,
+                shared_bytes: kernel.shared_bytes,
+            },
+            stats,
+        })
+    }
+
+    fn run_block(
+        &self,
+        kernel: &Kernel,
+        block_id: u32,
+        mem: &mut MemImage,
+        stats: &mut FuncStats,
+    ) -> Result<BlockTrace, IsaError> {
+        let tpb = kernel.threads_per_block();
+        let mut ctx = BlockCtx {
+            kernel,
+            block_id,
+            threads: (0..tpb)
+                .map(|_| ThreadState { regs: vec![0u64; 256], preds: [false; NUM_PRED] })
+                .collect(),
+            shared: vec![0u8; kernel.shared_bytes as usize],
+        };
+        let nwarps = kernel.warps_per_block();
+        let mut warps: Vec<WarpExec> = (0..nwarps)
+            .map(|w| {
+                let base_tid = w * WARP_SIZE as u32;
+                let lanes = (tpb - base_tid).min(WARP_SIZE as u32);
+                let valid = if lanes == 32 { FULL_MASK } else { (1u32 << lanes) - 1 };
+                WarpExec {
+                    stack: vec![StackEntry { pc: 0, rpc: NO_RECONV, mask: valid }],
+                    exited: 0,
+                    base_tid,
+                    trace: Vec::new(),
+                    dyn_count: 0,
+                    trapped: false,
+                }
+            })
+            .collect();
+
+        let mut live: Vec<bool> = vec![true; nwarps as usize];
+        while live.iter().any(|&l| l) {
+            for w in 0..nwarps as usize {
+                if !live[w] {
+                    continue;
+                }
+                match self.run_warp_until(&mut warps[w], &mut ctx, mem, stats)? {
+                    WarpEvent::Barrier => {}
+                    WarpEvent::Done => live[w] = false,
+                }
+            }
+            // Permissive barrier semantics: exited warps are discounted, so
+            // a round either releases a barrier or retires warps.
+        }
+
+        Ok(BlockTrace {
+            block_id,
+            warps: warps.into_iter().map(|w| WarpTrace { instrs: w.trace }).collect(),
+        })
+    }
+
+    /// Run one warp until it executes a barrier or finishes.
+    fn run_warp_until(
+        &self,
+        warp: &mut WarpExec,
+        ctx: &mut BlockCtx<'_>,
+        mem: &mut MemImage,
+        stats: &mut FuncStats,
+    ) -> Result<WarpEvent, IsaError> {
+        loop {
+            let Some(top) = warp.stack.last().copied() else {
+                return Ok(WarpEvent::Done);
+            };
+            let effective = top.mask & !warp.exited;
+            if effective == 0 || top.pc == top.rpc {
+                warp.stack.pop();
+                continue;
+            }
+            warp.dyn_count += 1;
+            if warp.dyn_count > self.max_dyn_per_warp {
+                return Err(IsaError::RunawayThread {
+                    block: ctx.block_id,
+                    thread: warp.base_tid,
+                    limit: self.max_dyn_per_warp,
+                });
+            }
+            let pc = top.pc;
+            let program_len = ctx.kernel.program.len();
+            let ins = ctx
+                .kernel
+                .program
+                .get(pc)
+                .ok_or(IsaError::PcOutOfRange { pc, len: program_len })?
+                .clone();
+
+            // Lanes whose guard predicate passes.
+            let exec = self.guard_mask(&ins, warp, ctx, effective);
+
+            match ins.op {
+                Opcode::Bra => {
+                    self.exec_branch(&ins, warp, effective, exec, pc)?;
+                    self.push_trace(warp, &ins, pc, effective, None, DynKind::Branch, stats);
+                }
+                Opcode::Exit => {
+                    warp.exited |= exec;
+                    self.push_trace(warp, &ins, pc, effective, None, DynKind::Exit, stats);
+                    self.advance(warp, pc);
+                }
+                Opcode::Bar => {
+                    if ins.guard.is_some() {
+                        return Err(IsaError::Malformed { pc, what: "guarded barrier" });
+                    }
+                    stats.barriers += 1;
+                    self.push_trace(warp, &ins, pc, effective, None, DynKind::Barrier, stats);
+                    self.advance(warp, pc);
+                    return Ok(WarpEvent::Barrier);
+                }
+                _ => {
+                    let mem_ref = self.exec_data(&ins, warp, ctx, mem, exec, pc, stats)?;
+                    self.push_trace(warp, &ins, pc, effective, mem_ref, DynKind::Normal, stats);
+                    self.advance(warp, pc);
+                }
+            }
+        }
+    }
+
+    fn advance(&self, warp: &mut WarpExec, pc: u32) {
+        if let Some(top) = warp.stack.last_mut() {
+            debug_assert_eq!(top.pc, pc);
+            top.pc = pc + 1;
+        }
+    }
+
+    fn guard_mask(
+        &self,
+        ins: &Instruction,
+        warp: &WarpExec,
+        ctx: &BlockCtx<'_>,
+        effective: u32,
+    ) -> u32 {
+        let Some((p, sense)) = ins.guard else {
+            return effective;
+        };
+        let mut m = 0u32;
+        for lane in 0..WARP_SIZE {
+            if effective & (1 << lane) == 0 {
+                continue;
+            }
+            let t = (warp.base_tid + lane as u32) as usize;
+            if ctx.threads[t].preds[p.0 as usize] == sense {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    fn exec_branch(
+        &self,
+        ins: &Instruction,
+        warp: &mut WarpExec,
+        effective: u32,
+        taken: u32,
+        pc: u32,
+    ) -> Result<(), IsaError> {
+        let target = ins.target.ok_or(IsaError::Malformed { pc, what: "branch without target" })?;
+        let not_taken = effective & !taken;
+        let top = warp.stack.last_mut().expect("non-empty stack in exec_branch");
+        if taken == 0 {
+            top.pc = pc + 1;
+        } else if not_taken == 0 {
+            top.pc = target;
+        } else {
+            let reconv = ins
+                .reconv
+                .ok_or(IsaError::Malformed { pc, what: "divergent branch without reconv" })?;
+            let parent = *top;
+            warp.stack.pop();
+            warp.stack.push(StackEntry { pc: reconv, rpc: parent.rpc, mask: parent.mask });
+            warp.stack.push(StackEntry { pc: pc + 1, rpc: reconv, mask: not_taken });
+            warp.stack.push(StackEntry { pc: target, rpc: reconv, mask: taken });
+            if warp.stack.len() > self.max_stack_depth {
+                return Err(IsaError::Malformed { pc, what: "divergence stack overflow" });
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a data (non-control) instruction on the guard-passing lanes
+    /// and return its memory behaviour.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_data(
+        &self,
+        ins: &Instruction,
+        warp: &mut WarpExec,
+        ctx: &mut BlockCtx<'_>,
+        mem: &mut MemImage,
+        exec: u32,
+        pc: u32,
+        stats: &mut FuncStats,
+    ) -> Result<Option<MemRef>, IsaError> {
+        match ins.op {
+            Opcode::Ld(space, w) => {
+                let mut lines = LineSet::new();
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let addr = self
+                        .read_op(ins, 0, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "load without address" })?
+                        .wrapping_add(ins.offset as u64);
+                    let v = match space {
+                        Space::Global => {
+                            lines.insert(crate::line_of(addr));
+                            mem.read(addr, w.bytes())
+                        }
+                        Space::Shared => self.shared_read(ctx, addr, w.bytes(), pc)?,
+                    };
+                    if let Some(d) = ins.dst {
+                        ctx.threads[t].regs[d.0 as usize] = v;
+                    }
+                }
+                match space {
+                    Space::Global => stats.global_loads += 1,
+                    Space::Shared => stats.shared_accesses += 1,
+                }
+                Ok(Some(MemRef { space, is_store: false, lines: lines.into_vec() }))
+            }
+            Opcode::St(space, w) => {
+                let mut lines = LineSet::new();
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let addr = self
+                        .read_op(ins, 0, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "store without address" })?
+                        .wrapping_add(ins.offset as u64);
+                    let v = self
+                        .read_op(ins, 1, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "store without value" })?;
+                    match space {
+                        Space::Global => {
+                            lines.insert(crate::line_of(addr));
+                            mem.write(addr, w.bytes(), v);
+                        }
+                        Space::Shared => self.shared_write(ctx, addr, w.bytes(), v, pc)?,
+                    }
+                }
+                match space {
+                    Space::Global => stats.global_stores += 1,
+                    Space::Shared => stats.shared_accesses += 1,
+                }
+                Ok(Some(MemRef { space, is_store: true, lines: lines.into_vec() }))
+            }
+            Opcode::Atom(kind, w) => {
+                let mut lines = LineSet::new();
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let addr = self
+                        .read_op(ins, 0, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "atomic without address" })?
+                        .wrapping_add(ins.offset as u64);
+                    let v = self
+                        .read_op(ins, 1, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "atomic without value" })?;
+                    lines.insert(crate::line_of(addr));
+                    let old = mem.read(addr, w.bytes());
+                    let new = match kind {
+                        AtomKind::Add => old.wrapping_add(v),
+                        AtomKind::Max => old.max(v),
+                        AtomKind::Min => old.min(v),
+                        AtomKind::Exch => v,
+                        AtomKind::Cas => {
+                            let cmp = self.read_op(ins, 2, t, warp, ctx).unwrap_or(0);
+                            if old == cmp {
+                                v
+                            } else {
+                                old
+                            }
+                        }
+                    };
+                    mem.write(addr, w.bytes(), new);
+                    if let Some(d) = ins.dst {
+                        ctx.threads[t].regs[d.0 as usize] = old;
+                    }
+                }
+                stats.atomics += 1;
+                Ok(Some(MemRef { space: Space::Global, is_store: true, lines: lines.into_vec() }))
+            }
+            Opcode::Malloc => {
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let size = self
+                        .read_op(ins, 0, t, warp, ctx)
+                        .ok_or(IsaError::Malformed { pc, what: "malloc without size" })?;
+                    let base = mem.heap_alloc(size).ok_or(IsaError::HeapExhausted)?;
+                    stats.heap_bytes += size;
+                    if let Some(d) = ins.dst {
+                        ctx.threads[t].regs[d.0 as usize] = base;
+                    }
+                }
+                stats.mallocs += 1;
+                Ok(None)
+            }
+            Opcode::Setp(kind, ty) => {
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let a = self.read_op(ins, 0, t, warp, ctx).unwrap_or(0);
+                    let b = self.read_op(ins, 1, t, warp, ctx).unwrap_or(0);
+                    let r = compare(kind, ty, a, b);
+                    let p = ins.pdst.ok_or(IsaError::Malformed { pc, what: "setp without pdst" })?;
+                    ctx.threads[t].preds[p.0 as usize] = r;
+                }
+                Ok(None)
+            }
+            Opcode::Sel => {
+                let p = ins.psrc.ok_or(IsaError::Malformed { pc, what: "sel without psrc" })?;
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let a = self.read_op(ins, 0, t, warp, ctx).unwrap_or(0);
+                    let b = self.read_op(ins, 1, t, warp, ctx).unwrap_or(0);
+                    let v = if ctx.threads[t].preds[p.0 as usize] { a } else { b };
+                    if let Some(d) = ins.dst {
+                        ctx.threads[t].regs[d.0 as usize] = v;
+                    }
+                }
+                Ok(None)
+            }
+            Opcode::Nop => Ok(None),
+            // Remaining opcodes are pure ALU.
+            op => {
+                for lane in lanes(exec) {
+                    let t = warp.base_tid as usize + lane;
+                    let a = self.read_op(ins, 0, t, warp, ctx).unwrap_or(0);
+                    let b = self.read_op(ins, 1, t, warp, ctx).unwrap_or(0);
+                    let c = self.read_op(ins, 2, t, warp, ctx).unwrap_or(0);
+                    if matches!(op, Opcode::Div | Opcode::Rem) && b == 0 {
+                        warp.trapped = true;
+                    }
+                    let v = alu(op, a, b, c);
+                    if let Some(d) = ins.dst {
+                        ctx.threads[t].regs[d.0 as usize] = v;
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn shared_read(&self, ctx: &BlockCtx<'_>, addr: u64, n: u64, _pc: u32) -> Result<u64, IsaError> {
+        let size = ctx.kernel.shared_bytes;
+        if addr + n > size as u64 {
+            return Err(IsaError::SharedOutOfBounds { offset: addr, size });
+        }
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (ctx.shared[(addr + i) as usize] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn shared_write(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        addr: u64,
+        n: u64,
+        val: u64,
+        _pc: u32,
+    ) -> Result<(), IsaError> {
+        let size = ctx.kernel.shared_bytes;
+        if addr + n > size as u64 {
+            return Err(IsaError::SharedOutOfBounds { offset: addr, size });
+        }
+        for i in 0..n {
+            ctx.shared[(addr + i) as usize] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn read_op(
+        &self,
+        ins: &Instruction,
+        idx: usize,
+        tid: usize,
+        warp: &WarpExec,
+        ctx: &BlockCtx<'_>,
+    ) -> Option<u64> {
+        let op = ins.srcs[idx]?;
+        Some(match op {
+            Operand::Reg(Reg(r)) => ctx.threads[tid].regs[r as usize],
+            Operand::Imm(v) => v,
+            Operand::Param(i) => ctx.kernel.params.get(i as usize).copied().unwrap_or(0),
+            Operand::Special(s) => self.special_value(s, tid as u32, warp, ctx),
+        })
+    }
+
+    fn special_value(&self, s: SpecialReg, tid: u32, _warp: &WarpExec, ctx: &BlockCtx<'_>) -> u64 {
+        let k = ctx.kernel;
+        let (bx, by) = (k.block.x, k.block.y);
+        let (gx, gy) = (k.grid.x, k.grid.y);
+        let tx = tid % bx;
+        let ty = (tid / bx) % by;
+        let tz = tid / (bx * by);
+        let cid = ctx.block_id;
+        let cx = cid % gx;
+        let cy = (cid / gx) % gy;
+        let cz = cid / (gx * gy);
+        match s {
+            SpecialReg::TidX => tx as u64,
+            SpecialReg::TidY => ty as u64,
+            SpecialReg::TidZ => tz as u64,
+            SpecialReg::CtaIdX => cx as u64,
+            SpecialReg::CtaIdY => cy as u64,
+            SpecialReg::CtaIdZ => cz as u64,
+            SpecialReg::NTidX => k.block.x as u64,
+            SpecialReg::NTidY => k.block.y as u64,
+            SpecialReg::NTidZ => k.block.z as u64,
+            SpecialReg::NCtaIdX => k.grid.x as u64,
+            SpecialReg::NCtaIdY => k.grid.y as u64,
+            SpecialReg::NCtaIdZ => k.grid.z as u64,
+            SpecialReg::LaneId => (tid as usize % WARP_SIZE) as u64,
+            SpecialReg::FlatTid => tid as u64,
+            SpecialReg::FlatCtaId => cid as u64,
+            SpecialReg::GlobalTid => cid as u64 * k.threads_per_block() as u64 + tid as u64,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_trace(
+        &self,
+        warp: &mut WarpExec,
+        ins: &Instruction,
+        pc: u32,
+        active: u32,
+        mem_ref: Option<MemRef>,
+        kind: DynKind,
+        stats: &mut FuncStats,
+    ) {
+        stats.dyn_instrs += 1;
+        let mut srcs = [None; 4];
+        for (i, id) in ins.src_ids().into_iter().take(4).enumerate() {
+            srcs[i] = Some(id);
+        }
+        let traps = std::mem::take(&mut warp.trapped);
+        if traps {
+            stats.arithmetic_exceptions += 1;
+        }
+        warp.trace.push(DynInstr {
+            pc,
+            op: ins.op,
+            unit: ins.op.unit(),
+            dst: ins.dst_ids().first().copied(),
+            srcs,
+            active,
+            mem: mem_ref,
+            kind,
+            traps,
+        });
+    }
+}
+
+/// Iterate over the set lane indices of a mask.
+fn lanes(mask: u32) -> impl Iterator<Item = usize> {
+    (0..WARP_SIZE).filter(move |l| mask & (1 << l) != 0)
+}
+
+/// Small sorted-unique collector for coalesced line addresses.
+struct LineSet(Vec<u64>);
+
+impl LineSet {
+    fn new() -> Self {
+        LineSet(Vec::new())
+    }
+
+    fn insert(&mut self, line: u64) {
+        if let Err(i) = self.0.binary_search(&line) {
+            self.0.insert(i, line);
+        }
+    }
+
+    fn into_vec(self) -> Vec<u64> {
+        self.0
+    }
+}
+
+fn f(a: u64) -> f32 {
+    f32::from_bits(a as u32)
+}
+
+fn fb(v: f32) -> u64 {
+    v.to_bits() as u64
+}
+
+fn compare(kind: CmpKind, ty: CmpType, a: u64, b: u64) -> bool {
+    use std::cmp::Ordering;
+    let ord = match ty {
+        CmpType::U64 => a.cmp(&b),
+        CmpType::S64 => (a as i64).cmp(&(b as i64)),
+        CmpType::F32 => return fcompare(kind, f(a), f(b)),
+    };
+    match kind {
+        CmpKind::Eq => ord == Ordering::Equal,
+        CmpKind::Ne => ord != Ordering::Equal,
+        CmpKind::Lt => ord == Ordering::Less,
+        CmpKind::Le => ord != Ordering::Greater,
+        CmpKind::Gt => ord == Ordering::Greater,
+        CmpKind::Ge => ord != Ordering::Less,
+    }
+}
+
+fn fcompare(kind: CmpKind, a: f32, b: f32) -> bool {
+    match kind {
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+        CmpKind::Lt => a < b,
+        CmpKind::Le => a <= b,
+        CmpKind::Gt => a > b,
+        CmpKind::Ge => a >= b,
+    }
+}
+
+fn alu(op: Opcode, a: u64, b: u64, c: u64) -> u64 {
+    match op {
+        Opcode::Mov => a,
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Mad => a.wrapping_mul(b).wrapping_add(c),
+        Opcode::Min => a.min(b),
+        Opcode::Max => a.max(b),
+        Opcode::Shl => a.wrapping_shl((b & 63) as u32),
+        Opcode::Shr => a.wrapping_shr((b & 63) as u32),
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Not => !a,
+        Opcode::Rem => a.checked_rem(b).unwrap_or(0),
+        Opcode::Div => a.checked_div(b).unwrap_or(u64::MAX),
+        Opcode::FAdd => fb(f(a) + f(b)),
+        Opcode::FSub => fb(f(a) - f(b)),
+        Opcode::FMul => fb(f(a) * f(b)),
+        Opcode::FFma => fb(f(a).mul_add(f(b), f(c))),
+        Opcode::FMin => fb(f(a).min(f(b))),
+        Opcode::FMax => fb(f(a).max(f(b))),
+        Opcode::I2F => fb(a as i64 as f32),
+        Opcode::F2I => f(a) as i64 as u64,
+        Opcode::FRcp => fb(1.0 / f(a)),
+        Opcode::FSqrt => fb(f(a).sqrt()),
+        Opcode::FRsqrt => fb(1.0 / f(a).sqrt()),
+        Opcode::FSin => fb(f(a).sin()),
+        Opcode::FCos => fb(f(a).cos()),
+        Opcode::FExp2 => fb(f(a).exp2()),
+        Opcode::FLog2 => fb(f(a).log2()),
+        _ => unreachable!("non-ALU opcode {op:?} routed to alu()"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Pred;
+    use crate::kernel::{Dim3, KernelBuilder};
+    use crate::op::Unit;
+
+    fn launch(a: Asm, grid: u32, block: u32, params: Vec<u64>) -> (Kernel, MemImage) {
+        let k = KernelBuilder::new("t", a.assemble().unwrap())
+            .grid(Dim3::x(grid))
+            .block(Dim3::x(block))
+            .params(params)
+            .build()
+            .unwrap();
+        (k, MemImage::new())
+    }
+
+    #[test]
+    fn straight_line_alu() {
+        let mut a = Asm::new();
+        a.mov(Reg(0), 5u64);
+        a.add(Reg(1), Reg(0), 7u64);
+        a.mul(Reg(2), Reg(1), Reg(1));
+        a.shl_imm(Reg(3), Reg(2), 2);
+        // store result so we can observe it
+        a.mov(Reg(4), 0x1000u64);
+        a.st_global_u64(Reg(4), Reg(3), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 1, vec![]);
+        FuncSim::new().run(&k, &mut mem).unwrap();
+        assert_eq!(mem.read_u64(0x1000), (5 + 7) * (5 + 7) * 4);
+    }
+
+    #[test]
+    fn per_lane_addresses_coalesce() {
+        // each thread stores to base + 4*gtid: 32 lanes cover one 128B line
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.shl_imm(Reg(1), Reg(0), 2);
+        a.add_param(Reg(1), Reg(1), 0);
+        a.st_global_u32(Reg(1), Reg(0), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x2000]);
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        let w = &run.trace.blocks[0].warps[0];
+        let st = w.instrs.iter().find(|i| i.mem.as_ref().is_some_and(|m| m.is_store)).unwrap();
+        assert_eq!(st.mem.as_ref().unwrap().lines, vec![0x2000]);
+        assert_eq!(mem.read_u32(0x2000 + 4 * 31), 31);
+    }
+
+    #[test]
+    fn strided_access_generates_many_requests() {
+        // stride of 128B: every lane hits its own line
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.shl_imm(Reg(1), Reg(0), 7);
+        a.add_param(Reg(1), Reg(1), 0);
+        a.ld_global_u32(Reg(2), Reg(1), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x4000]);
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        let ld = run.trace.blocks[0].warps[0]
+            .instrs
+            .iter()
+            .find(|i| i.mem.as_ref().is_some_and(|m| !m.is_store))
+            .unwrap();
+        assert_eq!(ld.mem.as_ref().unwrap().lines.len(), 32);
+    }
+
+    #[test]
+    fn divergent_if_else_covers_both_paths() {
+        // even lanes write 1, odd lanes write 2
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.and(Reg(1), Reg(0), 1u64);
+        a.setp(Pred(0), CmpKind::Eq, CmpType::U64, Reg(1), 0u64);
+        a.if_begin(Pred(0), true);
+        a.mov(Reg(2), 1u64);
+        a.else_begin();
+        a.mov(Reg(2), 2u64);
+        a.if_end();
+        a.shl_imm(Reg(3), Reg(0), 2);
+        a.add_param(Reg(3), Reg(3), 0);
+        a.st_global_u32(Reg(3), Reg(2), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x3000]);
+        FuncSim::new().run(&k, &mut mem).unwrap();
+        for i in 0..32u64 {
+            assert_eq!(mem.read_u32(0x3000 + 4 * i), if i % 2 == 0 { 1 } else { 2 }, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn divergent_loop_trip_counts() {
+        // each thread loops (gtid % 4 + 1) times, accumulating
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.and(Reg(1), Reg(0), 3u64);
+        a.add(Reg(1), Reg(1), 1u64); // trips
+        a.mov(Reg(2), 0u64); // counter
+        a.label("top");
+        a.add(Reg(2), Reg(2), 1u64);
+        a.setp(Pred(0), CmpKind::Lt, CmpType::U64, Reg(2), Reg(1));
+        a.bra_if("top", Pred(0), true);
+        a.shl_imm(Reg(3), Reg(0), 2);
+        a.add_param(Reg(3), Reg(3), 0);
+        a.st_global_u32(Reg(3), Reg(2), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x5000]);
+        FuncSim::new().run(&k, &mut mem).unwrap();
+        for i in 0..32u64 {
+            assert_eq!(mem.read_u32(0x5000 + 4 * i), (i % 4 + 1) as u32, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn barrier_orders_shared_memory_phases() {
+        // warp 1 reads what warp 0 wrote, separated by a barrier
+        let mut a = Asm::new();
+        a.flat_tid(Reg(0));
+        a.shl_imm(Reg(1), Reg(0), 2);
+        a.st_shared_u32(Reg(1), Reg(0), 0); // shared[tid] = tid
+        a.bar();
+        // read neighbour from the other warp: (tid + 32) % 64
+        a.add(Reg(2), Reg(0), 32u64);
+        a.and(Reg(2), Reg(2), 63u64);
+        a.shl_imm(Reg(3), Reg(2), 2);
+        a.ld_shared_u32(Reg(4), Reg(3), 0);
+        a.gtid(Reg(5));
+        a.shl_imm(Reg(5), Reg(5), 2);
+        a.add_param(Reg(5), Reg(5), 0);
+        a.st_global_u32(Reg(5), Reg(4), 0);
+        a.exit();
+        let k = KernelBuilder::new("t", a.assemble().unwrap())
+            .grid(Dim3::x(1))
+            .block(Dim3::x(64))
+            .shared_bytes(256)
+            .param(0x6000)
+            .build()
+            .unwrap();
+        let mut mem = MemImage::new();
+        FuncSim::new().run(&k, &mut mem).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(mem.read_u32(0x6000 + 4 * i), ((i + 32) % 64) as u32, "tid {i}");
+        }
+    }
+
+    #[test]
+    fn atomics_accumulate_across_blocks() {
+        let mut a = Asm::new();
+        a.mov_param(Reg(0), 0);
+        a.mov(Reg(1), 1u64);
+        a.atom_add_u32(Reg(2), Reg(0), Reg(1));
+        a.exit();
+        let (k, mut mem) = launch(a, 4, 64, vec![0x7000]);
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        assert_eq!(mem.read_u32(0x7000), 256);
+        assert_eq!(run.stats.atomics, 4 * 2); // 4 blocks x 2 warps
+    }
+
+    #[test]
+    fn malloc_returns_distinct_chunks() {
+        let mut a = Asm::new();
+        a.malloc(Reg(0), 64u64);
+        a.gtid(Reg(1));
+        a.st_global_u32(Reg(0), Reg(1), 0); // touch the allocation
+        a.shl_imm(Reg(2), Reg(1), 3);
+        a.add_param(Reg(2), Reg(2), 0);
+        a.st_global_u64(Reg(2), Reg(0), 0); // record the pointer
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x8000]);
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        let mut ptrs: Vec<u64> = (0..32).map(|i| mem.read_u64(0x8000 + 8 * i)).collect();
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        assert_eq!(ptrs.len(), 32, "each lane gets its own allocation");
+        assert!(ptrs[0] >= crate::mem_image::HEAP_BASE);
+        assert_eq!(run.stats.mallocs, 1);
+        assert_eq!(run.stats.heap_bytes, 64 * 32);
+    }
+
+    #[test]
+    fn guard_disables_lanes_not_instruction() {
+        // odd lanes skip the store via a sticky guard
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.and(Reg(1), Reg(0), 1u64);
+        a.setp(Pred(0), CmpKind::Eq, CmpType::U64, Reg(1), 0u64);
+        a.shl_imm(Reg(2), Reg(0), 2);
+        a.add_param(Reg(2), Reg(2), 0);
+        a.mov(Reg(3), 9u64);
+        a.guard(Pred(0), true);
+        a.st_global_u32(Reg(2), Reg(3), 0);
+        a.unguard();
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 32, vec![0x9000]);
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        for i in 0..32u64 {
+            let expect = if i % 2 == 0 { 9 } else { 0 };
+            assert_eq!(mem.read_u32(0x9000 + 4 * i), expect, "lane {i}");
+        }
+        // the store still appears once in the trace with the full mask active
+        let st = run.trace.blocks[0].warps[0]
+            .instrs
+            .iter()
+            .find(|i| i.mem.as_ref().is_some_and(|m| m.is_store))
+            .unwrap();
+        assert_eq!(st.active, FULL_MASK);
+        // only even lanes generated addresses: 16 lanes x 4B within one line
+        assert_eq!(st.mem.as_ref().unwrap().lines.len(), 1);
+    }
+
+    #[test]
+    fn runaway_loop_detected() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.bra("x");
+        let (k, mut mem) = launch(a, 1, 32, vec![]);
+        let err = FuncSim::new().max_dyn_per_warp(1000).run(&k, &mut mem).unwrap_err();
+        assert!(matches!(err, IsaError::RunawayThread { .. }));
+    }
+
+    #[test]
+    fn shared_oob_detected() {
+        let mut a = Asm::new();
+        a.mov(Reg(0), 1024u64);
+        a.ld_shared_u32(Reg(1), Reg(0), 0);
+        a.exit();
+        let k = KernelBuilder::new("t", a.assemble().unwrap())
+            .block(Dim3::x(32))
+            .shared_bytes(64)
+            .build()
+            .unwrap();
+        let mut mem = MemImage::new();
+        let err = FuncSim::new().run(&k, &mut mem).unwrap_err();
+        assert!(matches!(err, IsaError::SharedOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn partial_warp_masks_invalid_lanes() {
+        let mut a = Asm::new();
+        a.gtid(Reg(0));
+        a.shl_imm(Reg(1), Reg(0), 2);
+        a.add_param(Reg(1), Reg(1), 0);
+        a.st_global_u32(Reg(1), Reg(0), 0);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 40, vec![0xa000]); // 1 full + 1 partial warp
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        let w1 = &run.trace.blocks[0].warps[1];
+        assert_eq!(w1.instrs[0].active.count_ones(), 8);
+        assert_eq!(mem.read_u32(0xa000 + 4 * 39), 39);
+        assert_eq!(mem.read_u32(0xa000 + 4 * 40), 0);
+    }
+
+    #[test]
+    fn trace_units_and_kinds() {
+        let mut a = Asm::new();
+        a.frsqrt(Reg(0), Reg(0));
+        a.bar();
+        a.exit();
+        let k = KernelBuilder::new("t", a.assemble().unwrap()).block(Dim3::x(32)).build().unwrap();
+        let mut mem = MemImage::new();
+        let run = FuncSim::new().run(&k, &mut mem).unwrap();
+        let instrs = &run.trace.blocks[0].warps[0].instrs;
+        assert_eq!(instrs[0].unit, Unit::Sfu);
+        assert_eq!(instrs[1].kind, DynKind::Barrier);
+        assert_eq!(instrs[2].kind, DynKind::Exit);
+    }
+
+    #[test]
+    fn sfu_math_values() {
+        let mut a = Asm::new();
+        a.mov_f32(Reg(0), 4.0);
+        a.fsqrt(Reg(1), Reg(0));
+        a.frcp(Reg(2), Reg(1));
+        a.mov(Reg(3), 0x100u64);
+        a.st_global_u32(Reg(3), Reg(1), 0);
+        a.st_global_u32(Reg(3), Reg(2), 4);
+        a.exit();
+        let (k, mut mem) = launch(a, 1, 1, vec![]);
+        FuncSim::new().run(&k, &mut mem).unwrap();
+        assert_eq!(mem.read_f32(0x100), 2.0);
+        assert_eq!(mem.read_f32(0x104), 0.5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Static instruction encoding.
+
+use crate::op::Opcode;
+use crate::operand::Operand;
+use crate::reg::{Pred, Reg, RegId};
+use std::fmt;
+
+/// A static (pre-execution) instruction.
+///
+/// Instructions are fully predicated: a `guard` of `(P, sense)` disables the
+/// instruction on lanes where `P != sense`. Control flow carries an explicit
+/// reconvergence PC (`reconv`), mirroring the explicit divergence-stack
+/// management of real GPU ISAs that the paper's Section 5.1 mentions; the
+/// [`Asm`](crate::asm::Asm) structured helpers compute it for you.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination GPR (most ALU/memory ops).
+    pub dst: Option<Reg>,
+    /// Destination predicate (`setp`).
+    pub pdst: Option<Pred>,
+    /// Source operands (up to 3 used, depending on the opcode).
+    pub srcs: [Option<Operand>; 3],
+    /// Predicate read as a data input (`sel`).
+    pub psrc: Option<Pred>,
+    /// Guard predicate: execute only lanes where the predicate equals the
+    /// boolean sense.
+    pub guard: Option<(Pred, bool)>,
+    /// Immediate address offset for loads/stores (`[src0 + imm]`).
+    pub offset: i64,
+    /// Branch target PC (`bra`).
+    pub target: Option<u32>,
+    /// Reconvergence PC for potentially divergent branches.
+    pub reconv: Option<u32>,
+}
+
+impl Instruction {
+    /// A new instruction of the given opcode with no operands.
+    pub fn new(op: Opcode) -> Self {
+        Instruction {
+            op,
+            dst: None,
+            pdst: None,
+            srcs: [None; 3],
+            psrc: None,
+            guard: None,
+            offset: 0,
+            target: None,
+            reconv: None,
+        }
+    }
+
+    /// Scoreboard ids of every register this instruction *reads*:
+    /// GPR sources, the data-input predicate and the guard predicate.
+    pub fn src_ids(&self) -> Vec<RegId> {
+        let mut v = Vec::with_capacity(4);
+        for s in self.srcs.iter().flatten() {
+            if let Some(r) = s.reg() {
+                v.push(RegId::gpr(r));
+            }
+        }
+        if let Some(p) = self.psrc {
+            v.push(RegId::pred(p));
+        }
+        if let Some((p, _)) = self.guard {
+            v.push(RegId::pred(p));
+        }
+        v.dedup();
+        v
+    }
+
+    /// Scoreboard ids of every register this instruction *writes*.
+    pub fn dst_ids(&self) -> Vec<RegId> {
+        let mut v = Vec::with_capacity(2);
+        if let Some(d) = self.dst {
+            v.push(RegId::gpr(d));
+        }
+        if let Some(p) = self.pdst {
+            v.push(RegId::pred(p));
+        }
+        v
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, s)) = self.guard {
+            write!(f, "@{}{} ", if s { "" } else { "!" }, p)?;
+        }
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(p) = self.pdst {
+            write!(f, " {p}")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, ", {s}")?;
+        }
+        if self.offset != 0 {
+            write!(f, " +{}", self.offset)?;
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Space, Width};
+
+    #[test]
+    fn src_ids_cover_guard_and_psrc() {
+        let mut i = Instruction::new(Opcode::Sel);
+        i.dst = Some(Reg(1));
+        i.srcs[0] = Some(Operand::Reg(Reg(2)));
+        i.srcs[1] = Some(Operand::Imm(0));
+        i.psrc = Some(Pred(3));
+        i.guard = Some((Pred(1), false));
+        let srcs = i.src_ids();
+        assert!(srcs.contains(&RegId::gpr(Reg(2))));
+        assert!(srcs.contains(&RegId::pred(Pred(3))));
+        assert!(srcs.contains(&RegId::pred(Pred(1))));
+        assert_eq!(i.dst_ids(), vec![RegId::gpr(Reg(1))]);
+    }
+
+    #[test]
+    fn load_reads_address_reg_writes_dst() {
+        let mut ld = Instruction::new(Opcode::Ld(Space::Global, Width::B4));
+        ld.dst = Some(Reg(3));
+        ld.srcs[0] = Some(Operand::Reg(Reg(2)));
+        assert_eq!(ld.src_ids(), vec![RegId::gpr(Reg(2))]);
+        assert_eq!(ld.dst_ids(), vec![RegId::gpr(Reg(3))]);
+    }
+
+    #[test]
+    fn display_shows_guard() {
+        let mut i = Instruction::new(Opcode::Add);
+        i.dst = Some(Reg(0));
+        i.srcs[0] = Some(Operand::Reg(Reg(1)));
+        i.srcs[1] = Some(Operand::Imm(4));
+        i.guard = Some((Pred(0), true));
+        assert_eq!(i.to_string(), "@P0 add R0, R1, #0x4");
+    }
+}

@@ -1,0 +1,234 @@
+//! Kernel launch descriptors.
+
+use crate::error::IsaError;
+use crate::program::Program;
+use crate::WARP_SIZE;
+
+/// Maximum threads per block supported by the baseline SM
+/// (64 warps x 32 lanes would exceed one block's share; CUDA caps blocks at
+/// 1024 threads and so do we).
+pub const MAX_BLOCK_THREADS: u32 = 1024;
+
+/// A 3-component dimension (grid or block shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// X extent.
+    pub x: u32,
+    /// Y extent.
+    pub y: u32,
+    /// Z extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A new 3-D dimension.
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// A 1-D dimension `(x, 1, 1)`.
+    pub fn x(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D dimension `(x, y, 1)`.
+    pub fn xy(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total element count `x * y * z`.
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::x(1)
+    }
+}
+
+/// A launchable kernel: program, geometry, resource usage and parameters.
+///
+/// The resource declarations (`regs_per_thread`, `shared_bytes`) drive SM
+/// occupancy in the timing model exactly like a CUDA kernel's register and
+/// shared-memory footprint: e.g. 256 registers per thread limits the
+/// baseline SM (256 KB register file) to 8 warps — the `lbm` situation the
+/// paper analyzes in Section 5.2.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name, for reporting.
+    pub name: String,
+    /// The program executed by every thread.
+    pub program: Program,
+    /// Grid shape in blocks.
+    pub grid: Dim3,
+    /// Block shape in threads.
+    pub block: Dim3,
+    /// Registers used by each thread.
+    pub regs_per_thread: u32,
+    /// Shared memory bytes used by each block.
+    pub shared_bytes: u32,
+    /// Launch parameters, readable via `Operand::Param(i)`.
+    pub params: Vec<u64>,
+}
+
+impl Kernel {
+    /// Threads per block (flattened).
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per block (rounded up; partial warps have inactive lanes).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block().div_ceil(WARP_SIZE as u32)
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> u32 {
+        self.grid.count() as u32
+    }
+}
+
+/// Builder for [`Kernel`]. Construct with [`KernelBuilder::new`].
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    program: Program,
+    grid: Dim3,
+    block: Dim3,
+    regs_per_thread: u32,
+    shared_bytes: u32,
+    params: Vec<u64>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel running `program`.
+    pub fn new(name: impl Into<String>, program: Program) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            program,
+            grid: Dim3::x(1),
+            block: Dim3::x(32),
+            regs_per_thread: 32,
+            shared_bytes: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Set the grid shape (blocks).
+    pub fn grid(mut self, grid: Dim3) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Set the block shape (threads).
+    pub fn block(mut self, block: Dim3) -> Self {
+        self.block = block;
+        self
+    }
+
+    /// Declare registers used per thread (default 32).
+    pub fn regs_per_thread(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Declare shared memory bytes used per block (default 0).
+    pub fn shared_bytes(mut self, bytes: u32) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Append one launch parameter.
+    pub fn param(mut self, v: u64) -> Self {
+        self.params.push(v);
+        self
+    }
+
+    /// Append several launch parameters.
+    pub fn params(mut self, vs: impl IntoIterator<Item = u64>) -> Self {
+        self.params.extend(vs);
+        self
+    }
+
+    /// Validate and produce the [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadGeometry`] for empty grids/blocks, blocks over
+    /// [`MAX_BLOCK_THREADS`] threads, zero or >256 registers per thread, or
+    /// an empty program.
+    pub fn build(self) -> Result<Kernel, IsaError> {
+        let bt = self.block.count();
+        if self.grid.count() == 0 || bt == 0 {
+            return Err(IsaError::BadGeometry("empty grid or block".into()));
+        }
+        if bt > MAX_BLOCK_THREADS as u64 {
+            return Err(IsaError::BadGeometry(format!(
+                "block of {bt} threads exceeds {MAX_BLOCK_THREADS}"
+            )));
+        }
+        if self.regs_per_thread == 0 || self.regs_per_thread > 256 {
+            return Err(IsaError::BadGeometry(format!(
+                "regs_per_thread {} outside 1..=256",
+                self.regs_per_thread
+            )));
+        }
+        if self.program.is_empty() {
+            return Err(IsaError::BadGeometry("empty program".into()));
+        }
+        Ok(Kernel {
+            name: self.name,
+            program: self.program,
+            grid: self.grid,
+            block: self.block,
+            regs_per_thread: self.regs_per_thread,
+            shared_bytes: self.shared_bytes,
+            params: self.params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn trivial_program() -> Program {
+        let mut a = Asm::new();
+        a.exit();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_and_derived_counts() {
+        let k = KernelBuilder::new("k", trivial_program())
+            .grid(Dim3::xy(4, 2))
+            .block(Dim3::x(100))
+            .build()
+            .unwrap();
+        assert_eq!(k.total_blocks(), 8);
+        assert_eq!(k.threads_per_block(), 100);
+        assert_eq!(k.warps_per_block(), 4); // 100/32 rounded up
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(KernelBuilder::new("k", trivial_program()).block(Dim3::x(0)).build().is_err());
+        assert!(KernelBuilder::new("k", trivial_program()).block(Dim3::x(2048)).build().is_err());
+        assert!(KernelBuilder::new("k", trivial_program()).regs_per_thread(0).build().is_err());
+        assert!(KernelBuilder::new("k", trivial_program()).regs_per_thread(300).build().is_err());
+        assert!(KernelBuilder::new("k", Program::default()).build().is_err());
+    }
+
+    #[test]
+    fn params_accumulate() {
+        let k = KernelBuilder::new("k", trivial_program())
+            .param(1)
+            .params([2, 3])
+            .build()
+            .unwrap();
+        assert_eq!(k.params, vec![1, 2, 3]);
+    }
+}

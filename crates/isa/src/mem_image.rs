@@ -1,0 +1,176 @@
+//! Sparse byte-addressable memory image used by the functional simulator.
+
+use crate::PAGE_BYTES;
+use std::collections::HashMap;
+
+/// Default base of the device-side heap VA region (`malloc` intrinsic).
+pub const HEAP_BASE: u64 = 0x8000_0000;
+
+/// Default size of the device-side heap VA region.
+pub const HEAP_SIZE: u64 = 0x4000_0000; // 1 GiB of VA
+
+/// A sparse memory image: 4 KB pages materialized on first touch.
+///
+/// Reads of untouched memory return zero, matching freshly allocated GPU
+/// memory in the functional model. The image also tracks the device-heap
+/// break pointer used by the `malloc` intrinsic.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    pages: HashMap<u64, Box<[u8]>>,
+    heap_brk: u64,
+    heap_base: u64,
+    heap_limit: u64,
+}
+
+impl MemImage {
+    /// An empty image with the default heap region.
+    pub fn new() -> Self {
+        MemImage {
+            pages: HashMap::new(),
+            heap_brk: HEAP_BASE,
+            heap_base: HEAP_BASE,
+            heap_limit: HEAP_BASE + HEAP_SIZE,
+        }
+    }
+
+    /// An empty image with a custom heap VA region.
+    pub fn with_heap(base: u64, size: u64) -> Self {
+        MemImage { pages: HashMap::new(), heap_brk: base, heap_base: base, heap_limit: base + size }
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Read `n` bytes (`n <= 8`) at `addr`, little-endian, zero-extended.
+    pub fn read(&self, addr: u64, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut out = 0u64;
+        for i in 0..n {
+            let a = addr + i;
+            let byte = self
+                .pages
+                .get(&crate::page_of(a))
+                .map_or(0, |p| p[(a & (PAGE_BYTES - 1)) as usize]);
+            out |= (byte as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Write the low `n` bytes (`n <= 8`) of `val` at `addr`, little-endian.
+    pub fn write(&mut self, addr: u64, n: u64, val: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            let a = addr + i;
+            let page = self.page_mut(crate::page_of(a));
+            page[(a & (PAGE_BYTES - 1)) as usize] = (val >> (8 * i)) as u8;
+        }
+    }
+
+    /// Read a `u32` at `addr`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read(addr, 4) as u32
+    }
+
+    /// Write a `u32` at `addr`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write(addr, 4, v as u64);
+    }
+
+    /// Read a `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Write a `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, 8, v);
+    }
+
+    /// Read an `f32` at `addr`.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Write an `f32` at `addr`.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Bump-allocate `size` bytes on the device heap (16-byte aligned).
+    /// Returns the allocation base, or `None` if the heap is exhausted.
+    pub fn heap_alloc(&mut self, size: u64) -> Option<u64> {
+        let aligned = size.max(1).div_ceil(16) * 16;
+        if self.heap_brk + aligned > self.heap_limit {
+            return None;
+        }
+        let base = self.heap_brk;
+        self.heap_brk += aligned;
+        Some(base)
+    }
+
+    /// Current heap break (first unallocated heap byte).
+    pub fn heap_brk(&self) -> u64 {
+        self.heap_brk
+    }
+
+    /// Base of the heap VA region.
+    pub fn heap_base(&self) -> u64 {
+        self.heap_base
+    }
+
+    /// Pages materialized so far (sorted).
+    pub fn touched_pages(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total bytes backed by materialized pages.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_round_trip() {
+        let mut m = MemImage::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        m.write_u32(0x1000, 0xdead_beef);
+        assert_eq!(m.read_u32(0x1000), 0xdead_beef);
+        assert_eq!(m.read(0x1000, 2), 0xbeef);
+        m.write_f32(0x2000, 1.5);
+        assert_eq!(m.read_f32(0x2000), 1.5);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MemImage::new();
+        let addr = PAGE_BYTES - 2; // straddles pages 0 and 1
+        m.write_u32(addr, 0xa1b2_c3d4);
+        assert_eq!(m.read_u32(addr), 0xa1b2_c3d4);
+        assert_eq!(m.touched_pages(), vec![0, PAGE_BYTES]);
+    }
+
+    #[test]
+    fn heap_alloc_bumps_aligned() {
+        let mut m = MemImage::new();
+        let a = m.heap_alloc(10).unwrap();
+        let b = m.heap_alloc(1).unwrap();
+        assert_eq!(a, HEAP_BASE);
+        assert_eq!(b, HEAP_BASE + 16);
+        assert_eq!(m.heap_brk(), HEAP_BASE + 32);
+    }
+
+    #[test]
+    fn heap_exhaustion() {
+        let mut m = MemImage::with_heap(0x1000, 32);
+        assert!(m.heap_alloc(16).is_some());
+        assert!(m.heap_alloc(16).is_some());
+        assert!(m.heap_alloc(1).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Instruction source operands.
+
+use crate::reg::{Reg, SpecialReg};
+use std::fmt;
+
+/// A source operand of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A 64-bit immediate (sign pattern preserved; float immediates store
+    /// the f32 bit pattern in the low 32 bits).
+    Imm(u64),
+    /// A read-only special register (thread/block coordinates).
+    Special(SpecialReg),
+    /// Kernel parameter `i` (a launch argument, e.g. a buffer base address).
+    ///
+    /// Real GPUs read parameters from constant memory; modelling them as
+    /// zero-latency operands removes a constant factor common to every
+    /// scheme without affecting any relative result.
+    Param(u8),
+}
+
+impl Operand {
+    /// Construct a float immediate from an `f32` value.
+    pub fn imm_f32(v: f32) -> Self {
+        Operand::Imm(v.to_bits() as u64)
+    }
+
+    /// The register read by this operand, if any. Only `Reg` operands
+    /// participate in scoreboarding; specials, params and immediates are
+    /// hazard-free.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<SpecialReg> for Operand {
+    fn from(s: SpecialReg) -> Self {
+        Operand::Special(s)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v:#x}"),
+            Operand::Special(s) => write!(f, "{s}"),
+            Operand::Param(i) => write!(f, "param[{i}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Operand::from(Reg(4)), Operand::Reg(Reg(4)));
+        assert_eq!(Operand::from(16u64), Operand::Imm(16));
+        assert_eq!(Operand::from(-1i64), Operand::Imm(u64::MAX));
+        assert_eq!(Operand::imm_f32(1.0), Operand::Imm(0x3f80_0000));
+    }
+
+    #[test]
+    fn only_regs_scoreboard() {
+        assert_eq!(Operand::Reg(Reg(7)).reg(), Some(Reg(7)));
+        assert_eq!(Operand::Imm(0).reg(), None);
+        assert_eq!(Operand::Special(SpecialReg::TidX).reg(), None);
+        assert_eq!(Operand::Param(0).reg(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Assembled programs.
+
+use crate::instr::Instruction;
+use crate::op::Opcode;
+use std::fmt;
+
+/// An assembled, immutable program: a flat vector of instructions addressed
+/// by PC (instruction index).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wrap a vector of instructions. Use [`Asm`](crate::asm::Asm) to build
+    /// one with labels and structured control flow instead of constructing
+    /// instructions by hand.
+    pub fn from_instructions(instrs: Vec<Instruction>) -> Self {
+        Program { instrs }
+    }
+
+    /// The instruction at `pc`, if in range.
+    pub fn get(&self, pc: u32) -> Option<&Instruction> {
+        self.instrs.get(pc as usize)
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterate over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Instruction)> {
+        self.instrs.iter().enumerate().map(|(i, ins)| (i as u32, ins))
+    }
+
+    /// Count of static instructions whose opcode satisfies `pred` —
+    /// convenient for asserting instruction-mix properties in tests.
+    pub fn count_ops(&self, pred: impl Fn(Opcode) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(i.op)).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, ins) in self.iter() {
+            writeln!(f, "{pc:4}: {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+
+    #[test]
+    fn indexing_and_len() {
+        let p = Program::from_instructions(vec![
+            Instruction::new(Opcode::Nop),
+            Instruction::new(Opcode::Exit),
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(1).unwrap().op, Opcode::Exit);
+        assert!(p.get(2).is_none());
+    }
+
+    #[test]
+    fn count_ops_filters() {
+        let p = Program::from_instructions(vec![
+            Instruction::new(Opcode::Nop),
+            Instruction::new(Opcode::Nop),
+            Instruction::new(Opcode::Exit),
+        ]);
+        assert_eq!(p.count_ops(|o| o == Opcode::Nop), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Architectural register names.
+//!
+//! The baseline SM has a large unified register file (256 KB per SM,
+//! Table 1), addressed as up to 256 general-purpose registers per thread
+//! plus a small set of predicate registers. Scoreboarding in the timing
+//! model operates on [`RegId`]s, a flat space that folds general-purpose and
+//! predicate registers together.
+
+use std::fmt;
+
+/// Number of addressable general-purpose registers per thread.
+pub const NUM_GPR: usize = 256;
+
+/// Number of predicate registers per thread.
+pub const NUM_PRED: usize = 8;
+
+/// Total scoreboard slots per warp: GPRs followed by predicates.
+pub const NUM_SCOREBOARD: usize = NUM_GPR + NUM_PRED;
+
+/// A general-purpose register, `R0`..`R255`.
+///
+/// Registers hold 64-bit values in the functional model; 32-bit float
+/// operations use the low 32 bits. A thread's *register budget* (how many
+/// registers the kernel declares, see
+/// [`KernelBuilder::regs_per_thread`](crate::kernel::KernelBuilder::regs_per_thread))
+/// determines SM occupancy exactly as on real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A predicate register, `P0`..`P7`, holding a per-thread boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(pub u8);
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A flat scoreboard identifier covering both GPRs and predicates.
+///
+/// Values `0..256` name GPRs, `256..264` name predicates. The timing model
+/// tracks pending writes and source holds per `RegId` per warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u16);
+
+impl RegId {
+    /// Scoreboard id of a general-purpose register.
+    pub fn gpr(r: Reg) -> Self {
+        RegId(r.0 as u16)
+    }
+
+    /// Scoreboard id of a predicate register.
+    pub fn pred(p: Pred) -> Self {
+        RegId(NUM_GPR as u16 + p.0 as u16)
+    }
+
+    /// True if this id names a predicate register.
+    pub fn is_pred(self) -> bool {
+        (self.0 as usize) >= NUM_GPR
+    }
+
+    /// Index into a per-warp scoreboard array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (cannot happen for ids built with
+    /// [`RegId::gpr`] / [`RegId::pred`]).
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_SCOREBOARD, "RegId {i} out of range");
+        i
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pred() {
+            write!(f, "P{}", self.0 as usize - NUM_GPR)
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+/// Read-only special registers exposing the thread's position in the grid.
+///
+/// These mirror the CUDA built-ins (`threadIdx`, `blockIdx`, `blockDim`,
+/// `gridDim`) plus the lane id within the warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// `threadIdx.x`
+    TidX,
+    /// `threadIdx.y`
+    TidY,
+    /// `threadIdx.z`
+    TidZ,
+    /// `blockIdx.x`
+    CtaIdX,
+    /// `blockIdx.y`
+    CtaIdY,
+    /// `blockIdx.z`
+    CtaIdZ,
+    /// `blockDim.x`
+    NTidX,
+    /// `blockDim.y`
+    NTidY,
+    /// `blockDim.z`
+    NTidZ,
+    /// `gridDim.x`
+    NCtaIdX,
+    /// `gridDim.y`
+    NCtaIdY,
+    /// `gridDim.z`
+    NCtaIdZ,
+    /// Lane index within the warp, `0..32`.
+    LaneId,
+    /// Flattened block-local thread id:
+    /// `tid.z * ntid.y * ntid.x + tid.y * ntid.x + tid.x`.
+    FlatTid,
+    /// Flattened block id within the grid.
+    FlatCtaId,
+    /// Flattened global thread id: `flat_cta_id * block_threads + flat_tid`.
+    GlobalTid,
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::TidY => "%tid.y",
+            SpecialReg::TidZ => "%tid.z",
+            SpecialReg::CtaIdX => "%ctaid.x",
+            SpecialReg::CtaIdY => "%ctaid.y",
+            SpecialReg::CtaIdZ => "%ctaid.z",
+            SpecialReg::NTidX => "%ntid.x",
+            SpecialReg::NTidY => "%ntid.y",
+            SpecialReg::NTidZ => "%ntid.z",
+            SpecialReg::NCtaIdX => "%nctaid.x",
+            SpecialReg::NCtaIdY => "%nctaid.y",
+            SpecialReg::NCtaIdZ => "%nctaid.z",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::FlatTid => "%flat_tid",
+            SpecialReg::FlatCtaId => "%flat_ctaid",
+            SpecialReg::GlobalTid => "%gtid",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regid_mapping_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..=255u8 {
+            assert!(seen.insert(RegId::gpr(Reg(r)).index()));
+        }
+        for p in 0..NUM_PRED as u8 {
+            assert!(seen.insert(RegId::pred(Pred(p)).index()));
+        }
+        assert_eq!(seen.len(), NUM_SCOREBOARD);
+    }
+
+    #[test]
+    fn pred_ids_flagged() {
+        assert!(!RegId::gpr(Reg(255)).is_pred());
+        assert!(RegId::pred(Pred(0)).is_pred());
+        assert_eq!(RegId::pred(Pred(7)).index(), NUM_SCOREBOARD - 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "R3");
+        assert_eq!(Pred(1).to_string(), "P1");
+        assert_eq!(RegId::gpr(Reg(9)).to_string(), "R9");
+        assert_eq!(RegId::pred(Pred(2)).to_string(), "P2");
+        assert_eq!(SpecialReg::GlobalTid.to_string(), "%gtid");
+    }
+}

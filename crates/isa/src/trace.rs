@@ -1,0 +1,228 @@
+//! Dynamic (post-execution) instruction traces.
+//!
+//! The functional simulator resolves all control flow and memory addresses,
+//! so each warp's trace is a *linear* sequence of [`DynInstr`]s. The timing
+//! model replays this sequence through the SM pipeline; squashing a faulted
+//! instruction and replaying it later simply re-visits the same trace entry,
+//! exactly like the paper's replay of the architectural instruction.
+
+use crate::op::{Opcode, Space, Unit};
+use crate::reg::RegId;
+
+/// How the timing model must treat a dynamic instruction beyond its unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynKind {
+    /// Ordinary instruction.
+    Normal,
+    /// Control-flow instruction (fetch is disabled from fetch to commit).
+    Branch,
+    /// Thread-block barrier: the warp stalls at issue until all warps of
+    /// the block arrive.
+    Barrier,
+    /// Warp termination (all remaining lanes exited).
+    Exit,
+}
+
+/// Memory behaviour of one dynamic warp instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRef {
+    /// Address space accessed.
+    pub space: Space,
+    /// True for stores and atomics.
+    pub is_store: bool,
+    /// Unique 128-byte line addresses touched by the active lanes, i.e. the
+    /// coalesced requests the access generates (paper Figure 5: "one memory
+    /// request for each unique cache line accessed by the warp").
+    /// Empty for shared-memory accesses and fully-predicated-off accesses.
+    pub lines: Vec<u64>,
+}
+
+impl MemRef {
+    /// Unique 4 KB pages covered by the coalesced requests.
+    pub fn pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self.lines.iter().map(|l| crate::page_of(*l)).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+}
+
+/// One dynamic warp instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynInstr {
+    /// Static PC this instance came from.
+    pub pc: u32,
+    /// Opcode (used for latency classes and operand-log sizing).
+    pub op: Opcode,
+    /// Backend unit servicing the instruction.
+    pub unit: Unit,
+    /// Destination scoreboard id, if the instruction writes a register.
+    pub dst: Option<RegId>,
+    /// Source scoreboard ids (deduplicated; includes guard/input predicates).
+    pub srcs: [Option<RegId>; 4],
+    /// Active lane mask at execution.
+    pub active: u32,
+    /// Memory behaviour, for loads/stores/atomics.
+    pub mem: Option<MemRef>,
+    /// Special handling class.
+    pub kind: DynKind,
+    /// True if executing this instruction raises an arithmetic exception
+    /// (a division by zero on some active lane). The preemptible schemes
+    /// extend to such exceptions exactly like page faults (Sections
+    /// 3.1/3.2): squash, run the handler, replay.
+    pub traps: bool,
+}
+
+impl DynInstr {
+    /// Iterate over the present source ids.
+    pub fn src_iter(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// True if this is a global-memory access that can page fault.
+    pub fn can_fault(&self) -> bool {
+        matches!(&self.mem, Some(m) if m.space == Space::Global && !m.lines.is_empty())
+    }
+
+    /// Operand-log slots this instruction needs while in flight
+    /// (Section 3.3: loads take one entry — the source address — while
+    /// stores take two — source data and destination address).
+    pub fn log_slots(&self) -> u32 {
+        if !self.can_fault() {
+            0
+        } else if self.mem.as_ref().is_some_and(|m| m.is_store) {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// Trace of one warp: the dynamic instructions in issue (program) order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WarpTrace {
+    /// Dynamic instructions in program order.
+    pub instrs: Vec<DynInstr>,
+}
+
+/// Trace of one thread block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockTrace {
+    /// Flattened block id within the grid.
+    pub block_id: u32,
+    /// Per-warp traces (warp 0 holds threads 0..32, etc.).
+    pub warps: Vec<WarpTrace>,
+}
+
+impl BlockTrace {
+    /// Total dynamic instructions across the block's warps.
+    pub fn dyn_instrs(&self) -> u64 {
+        self.warps.iter().map(|w| w.instrs.len() as u64).sum()
+    }
+}
+
+/// Trace of a whole kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelTrace {
+    /// Kernel name, for reporting.
+    pub name: String,
+    /// Per-block traces in block-id order.
+    pub blocks: Vec<BlockTrace>,
+    /// Threads per block (flattened).
+    pub threads_per_block: u32,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Registers per thread declared by the kernel (drives occupancy).
+    pub regs_per_thread: u32,
+    /// Shared memory bytes per block (drives occupancy).
+    pub shared_bytes: u32,
+}
+
+impl KernelTrace {
+    /// Total dynamic instructions in the launch.
+    pub fn dyn_instrs(&self) -> u64 {
+        self.blocks.iter().map(|b| b.dyn_instrs()).sum()
+    }
+
+    /// Unique global-memory pages touched anywhere in the launch.
+    pub fn touched_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .flat_map(|w| &w.instrs)
+            .filter_map(|i| i.mem.as_ref())
+            .filter(|m| m.space == Space::Global)
+            .flat_map(|m| m.lines.iter().map(|l| crate::page_of(*l)))
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Width;
+    use crate::reg::{Reg, RegId};
+
+    fn mk_mem(op: Opcode, lines: Vec<u64>, is_store: bool, space: Space) -> DynInstr {
+        DynInstr {
+            pc: 0,
+            op,
+            unit: Unit::LdSt,
+            dst: Some(RegId::gpr(Reg(1))),
+            srcs: [Some(RegId::gpr(Reg(2))), None, None, None],
+            active: crate::FULL_MASK,
+            mem: Some(MemRef { space, is_store, lines }),
+            kind: DynKind::Normal,
+            traps: false,
+        }
+    }
+
+    #[test]
+    fn pages_dedup_lines() {
+        let d = mk_mem(
+            Opcode::Ld(Space::Global, Width::B4),
+            vec![0, 128, 4096, 4096 + 128],
+            false,
+            Space::Global,
+        );
+        assert_eq!(d.mem.as_ref().unwrap().pages(), vec![0, 4096]);
+    }
+
+    #[test]
+    fn fault_and_log_slot_classification() {
+        let ld = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![0], false, Space::Global);
+        assert!(ld.can_fault());
+        assert_eq!(ld.log_slots(), 1);
+
+        let st = mk_mem(Opcode::St(Space::Global, Width::B4), vec![0], true, Space::Global);
+        assert_eq!(st.log_slots(), 2);
+
+        let sh = mk_mem(Opcode::Ld(Space::Shared, Width::B4), vec![], false, Space::Shared);
+        assert!(!sh.can_fault());
+        assert_eq!(sh.log_slots(), 0);
+
+        // A global access whose lanes are all predicated off generates no
+        // requests and cannot fault.
+        let off = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![], false, Space::Global);
+        assert!(!off.can_fault());
+    }
+
+    #[test]
+    fn kernel_trace_aggregates() {
+        let d = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![8192], false, Space::Global);
+        let kt = KernelTrace {
+            name: "t".into(),
+            blocks: vec![BlockTrace { block_id: 0, warps: vec![WarpTrace { instrs: vec![d] }] }],
+            threads_per_block: 32,
+            warps_per_block: 1,
+            regs_per_thread: 16,
+            shared_bytes: 0,
+        };
+        assert_eq!(kt.dyn_instrs(), 1);
+        assert_eq!(kt.touched_pages(), vec![8192]);
+    }
+}

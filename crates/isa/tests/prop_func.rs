@@ -1,0 +1,170 @@
+//! Property tests for the functional simulator: random programs must
+//! execute deterministically, stay inside their buffers, and produce
+//! well-formed traces.
+
+use gex_isa::asm::Asm;
+use gex_isa::func::FuncSim;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use gex_isa::trace::DynKind;
+use proptest::prelude::*;
+
+const BUF: u64 = 0x10_0000;
+const BUF_LEN: u64 = 1 << 16; // 64 KB
+
+/// One random instruction of a straight-line body. Registers are confined
+/// to R1..R7 with R0 holding the thread id and R8 a buffer-safe address.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(u8, u8, u8, u8), // kind, dst, a, b
+    Sfu(u8, u8),
+    Load(u8, u32),
+    Store(u8, u32),
+    GuardedAlu(u8, u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, 1u8..8, 1u8..8, 1u8..8).prop_map(|(k, d, a, b)| Op::Alu(k, d, a, b)),
+        (0u8..3, 1u8..8).prop_map(|(k, d)| Op::Sfu(k, d)),
+        (1u8..8, 0u32..(BUF_LEN as u32 / 2)).prop_map(|(d, o)| Op::Load(d, o & !3)),
+        (1u8..8, 0u32..(BUF_LEN as u32 / 2)).prop_map(|(v, o)| Op::Store(v, o & !3)),
+        (1u8..8, 1u8..8, 1u8..8).prop_map(|(d, a, b)| Op::GuardedAlu(d, a, b)),
+    ]
+}
+
+fn emit(a: &mut Asm, op: &Op) {
+    let r = |n: u8| Reg(n);
+    match *op {
+        Op::Alu(k, d, x, y) => {
+            match k {
+                0 => a.add(r(d), r(x), r(y)),
+                1 => a.sub(r(d), r(x), r(y)),
+                2 => a.mul(r(d), r(x), r(y)),
+                3 => a.and(r(d), r(x), r(y)),
+                4 => a.or(r(d), r(x), r(y)),
+                5 => a.xor(r(d), r(x), r(y)),
+                6 => a.min(r(d), r(x), r(y)),
+                _ => a.max(r(d), r(x), r(y)),
+            };
+        }
+        Op::Sfu(k, d) => {
+            match k {
+                0 => a.fsqrt(r(d), r(d)),
+                1 => a.frsqrt(r(d), r(d)),
+                _ => a.fexp2(r(d), r(d)),
+            };
+        }
+        Op::Load(d, off) => {
+            // address = BUF + (tid*4 + off) clamped inside the buffer
+            a.shl_imm(Reg(8), Reg(0), 2);
+            a.add(Reg(8), Reg(8), off as u64);
+            a.and(Reg(8), Reg(8), BUF_LEN - 4);
+            a.add(Reg(8), Reg(8), BUF);
+            a.ld_global_u32(r(d), Reg(8), 0);
+        }
+        Op::Store(v, off) => {
+            a.shl_imm(Reg(8), Reg(0), 2);
+            a.add(Reg(8), Reg(8), off as u64);
+            a.and(Reg(8), Reg(8), BUF_LEN - 4);
+            a.add(Reg(8), Reg(8), BUF);
+            a.st_global_u32(Reg(8), r(v), 0);
+        }
+        Op::GuardedAlu(d, x, y) => {
+            a.setp(Pred(0), CmpKind::Lt, CmpType::U64, r(x), r(y));
+            a.guard(Pred(0), true);
+            a.add(r(d), r(x), r(y));
+            a.unguard();
+        }
+    }
+}
+
+fn build_and_run(ops: &[Op], loop_trips: u64, threads: u32) -> (gex_isa::func::FuncRun, MemImage) {
+    let mut a = Asm::new();
+    let (i, p) = (Reg(9), Pred(1));
+    a.gtid(Reg(0));
+    a.mov(i, 0u64);
+    a.label("body");
+    for op in ops {
+        emit(&mut a, op);
+    }
+    a.add(i, i, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, i, loop_trips);
+    a.bra_if("body", p, true);
+    a.exit();
+    let k = KernelBuilder::new("prop", a.assemble().expect("assembles"))
+        .grid(Dim3::x(2))
+        .block(Dim3::x(threads))
+        .regs_per_thread(16)
+        .build()
+        .expect("kernel");
+    let mut mem = MemImage::new();
+    for j in 0..BUF_LEN / 4 {
+        mem.write_u32(BUF + j * 4, (j * 2654435761) as u32);
+    }
+    let run = FuncSim::new().run(&k, &mut mem).expect("runs");
+    (run, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_are_deterministic(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        trips in 1u64..4,
+        threads in prop_oneof![Just(32u32), Just(64), Just(96)],
+    ) {
+        let (r1, m1) = build_and_run(&ops, trips, threads);
+        let (r2, m2) = build_and_run(&ops, trips, threads);
+        prop_assert_eq!(r1.stats, r2.stats);
+        prop_assert_eq!(r1.trace.dyn_instrs(), r2.trace.dyn_instrs());
+        prop_assert_eq!(m1.touched_pages(), m2.touched_pages());
+    }
+
+    #[test]
+    fn traces_stay_inside_the_buffer(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        trips in 1u64..4,
+    ) {
+        let (run, _) = build_and_run(&ops, trips, 64);
+        for page in run.trace.touched_pages() {
+            prop_assert!((BUF..BUF + BUF_LEN).contains(&page),
+                "page {page:#x} escaped the buffer");
+        }
+    }
+
+    #[test]
+    fn every_warp_trace_ends_with_exit(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let (run, _) = build_and_run(&ops, 2, 64);
+        for b in &run.trace.blocks {
+            for w in &b.warps {
+                prop_assert!(!w.instrs.is_empty());
+                prop_assert_eq!(w.instrs.last().unwrap().kind, DynKind::Exit);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_lines_are_sorted_unique(
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        let (run, _) = build_and_run(&ops, 2, 64);
+        for d in run.trace.blocks.iter().flat_map(|b| &b.warps).flat_map(|w| &w.instrs) {
+            if let Some(m) = &d.mem {
+                let mut sorted = m.lines.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &m.lines, "lines must be sorted and unique");
+                prop_assert!(m.lines.len() <= 32, "a warp generates at most 32 requests");
+                for l in &m.lines {
+                    prop_assert_eq!(l % 128, 0, "line addresses are 128B-aligned");
+                }
+            }
+        }
+    }
+}

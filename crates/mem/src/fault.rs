@@ -1,0 +1,250 @@
+//! The fill unit's global pending-fault queue.
+//!
+//! The baseline fill unit maintains a queue of pending page faults
+//! (Section 4.1); the SM's local scheduler uses a fault's *position* in
+//! this queue to estimate how long the fault will take to resolve and
+//! decide whether context switching pays off. Entries are deduplicated at
+//! the 64 KB fault-handling granularity, since concurrent faults from many
+//! warps usually target the same region ("it is very likely that other
+//! warps are stalled on the same fault", Section 2.4).
+
+use crate::config::Cycle;
+use crate::page_table::region_of;
+use std::collections::VecDeque;
+
+/// Why a region faulted — determines who can handle it and at what cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// CPU-dirty data: allocation + data transfer over the interconnect.
+    Migration,
+    /// CPU-owned but clean: allocation and page-table update only.
+    AllocOnly,
+    /// First touch of unbacked memory: eligible for GPU-local handling.
+    FirstTouch,
+}
+
+/// One pending fault region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// 64 KB-aligned region address.
+    pub region: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// SM that faulted first on this region.
+    pub first_sm: u32,
+    /// Cycle the region was enqueued.
+    pub enqueued_at: Cycle,
+    /// How many distinct fault reports merged into this entry.
+    pub merged: u32,
+}
+
+/// FIFO of pending fault regions with merge-on-duplicate.
+///
+/// Regions currently being serviced by a handler are tracked separately so
+/// that late fault reports on them merge (position 0) instead of enqueuing
+/// a redundant service request.
+#[derive(Debug, Clone, Default)]
+pub struct FaultQueue {
+    queue: VecDeque<FaultEntry>,
+    in_service: Vec<u64>,
+    total_enqueued: u64,
+    total_merged: u64,
+}
+
+impl FaultQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FaultQueue::default()
+    }
+
+    /// Report a fault on the region containing `addr`.
+    ///
+    /// Returns the entry's position in the queue (0 = head, i.e. next to be
+    /// serviced). Duplicate reports merge into the existing entry.
+    pub fn report(&mut self, addr: u64, kind: FaultKind, sm: u32, now: Cycle) -> u32 {
+        let region = region_of(addr);
+        if self.in_service.contains(&region) {
+            self.total_merged += 1;
+            return 0;
+        }
+        if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
+            self.queue[pos].merged += 1;
+            self.total_merged += 1;
+            return pos as u32;
+        }
+        self.queue.push_back(FaultEntry {
+            region,
+            kind,
+            first_sm: sm,
+            enqueued_at: now,
+            merged: 0,
+        });
+        self.total_enqueued += 1;
+        (self.queue.len() - 1) as u32
+    }
+
+    /// Take the fault at the head of the queue for servicing. The region is
+    /// marked in-service until [`FaultQueue::finish_service`] is called, so
+    /// late reports on it merge instead of re-enqueuing.
+    pub fn pop(&mut self) -> Option<FaultEntry> {
+        let e = self.queue.pop_front()?;
+        self.in_service.push(e.region);
+        Some(e)
+    }
+
+    /// Return an entry to the head of the queue (e.g. the handler admitted
+    /// it but must defer it until memory can be freed). Clears its
+    /// in-service mark.
+    pub fn push_front(&mut self, e: FaultEntry) {
+        self.in_service.retain(|&r| r != e.region);
+        self.queue.push_front(e);
+    }
+
+    /// Take the first pending fault matching `pred`, marking it in-service.
+    /// Used by the CPU handler to skip fault classes another handler owns.
+    pub fn pop_where(&mut self, pred: impl Fn(&FaultEntry) -> bool) -> Option<FaultEntry> {
+        let pos = self.queue.iter().position(pred)?;
+        let e = self.queue.remove(pos).expect("position just found");
+        self.in_service.push(e.region);
+        Some(e)
+    }
+
+    /// Mark a region's service complete (after resolution), allowing future
+    /// faults on it to enqueue again (e.g. if it is ever unmapped).
+    pub fn finish_service(&mut self, region: u64) {
+        self.in_service.retain(|&r| r != region);
+    }
+
+    /// Regions currently being serviced by a handler.
+    pub fn in_service_count(&self) -> usize {
+        self.in_service.len()
+    }
+
+    /// Look at the head without removing it.
+    pub fn peek(&self) -> Option<&FaultEntry> {
+        self.queue.front()
+    }
+
+    /// Remove a specific region (serviced out of band, e.g. by a GPU-local
+    /// handler). Returns the entry if it was pending.
+    pub fn remove(&mut self, region: u64) -> Option<FaultEntry> {
+        let pos = self.queue.iter().position(|e| e.region == region)?;
+        self.queue.remove(pos)
+    }
+
+    /// Remove a specific region *and* mark it in-service — the GPU-local
+    /// handler path (use case 2), where the faulting SM claims the region.
+    pub fn take(&mut self, region: u64) -> Option<FaultEntry> {
+        let e = self.remove(region)?;
+        self.in_service.push(e.region);
+        Some(e)
+    }
+
+    /// Current position of `region` in the queue, if pending.
+    pub fn position(&self, region: u64) -> Option<u32> {
+        self.queue.iter().position(|e| e.region == region).map(|p| p as u32)
+    }
+
+    /// The pending entry for `region`, if any.
+    pub fn get(&self, region: u64) -> Option<&FaultEntry> {
+        self.queue.iter().find(|e| e.region == region)
+    }
+
+    /// Pending entries.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no faults are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Distinct regions ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// Reports absorbed by merging.
+    pub fn total_merged(&self) -> u64 {
+        self.total_merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page_table::REGION_BYTES;
+
+    #[test]
+    fn report_returns_fifo_position() {
+        let mut q = FaultQueue::new();
+        assert_eq!(q.report(0, FaultKind::Migration, 0, 10), 0);
+        assert_eq!(q.report(REGION_BYTES, FaultKind::Migration, 1, 11), 1);
+        assert_eq!(q.report(5 * REGION_BYTES, FaultKind::AllocOnly, 2, 12), 2);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn same_region_merges() {
+        let mut q = FaultQueue::new();
+        q.report(0x100, FaultKind::Migration, 0, 1);
+        // Another page of the same 64 KB region merges.
+        assert_eq!(q.report(0x9000, FaultKind::Migration, 3, 2), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek().unwrap().merged, 1);
+        assert_eq!(q.total_enqueued(), 1);
+        assert_eq!(q.total_merged(), 1);
+    }
+
+    #[test]
+    fn pop_is_fifo_and_positions_shift() {
+        let mut q = FaultQueue::new();
+        q.report(0, FaultKind::Migration, 0, 1);
+        q.report(REGION_BYTES, FaultKind::FirstTouch, 0, 2);
+        assert_eq!(q.position(REGION_BYTES), Some(1));
+        let head = q.pop().unwrap();
+        assert_eq!(head.region, 0);
+        assert_eq!(q.position(REGION_BYTES), Some(0));
+    }
+
+    #[test]
+    fn in_service_regions_absorb_reports() {
+        let mut q = FaultQueue::new();
+        q.report(0, FaultKind::Migration, 0, 1);
+        let e = q.pop().unwrap();
+        assert_eq!(q.in_service_count(), 1);
+        // A late report on the in-service region merges at position 0.
+        assert_eq!(q.report(0x2000, FaultKind::Migration, 1, 5), 0);
+        assert!(q.is_empty());
+        q.finish_service(e.region);
+        assert_eq!(q.in_service_count(), 0);
+        // After service completes, new faults enqueue again.
+        assert_eq!(q.report(0, FaultKind::Migration, 0, 9), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn take_marks_in_service() {
+        let mut q = FaultQueue::new();
+        q.report(0, FaultKind::FirstTouch, 0, 1);
+        q.report(REGION_BYTES, FaultKind::FirstTouch, 0, 2);
+        let e = q.take(REGION_BYTES).unwrap();
+        assert_eq!(e.region, REGION_BYTES);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.in_service_count(), 1);
+        assert_eq!(q.report(REGION_BYTES, FaultKind::FirstTouch, 1, 3), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_out_of_band() {
+        let mut q = FaultQueue::new();
+        q.report(0, FaultKind::Migration, 0, 1);
+        q.report(REGION_BYTES, FaultKind::FirstTouch, 0, 2);
+        let e = q.remove(REGION_BYTES).unwrap();
+        assert_eq!(e.kind, FaultKind::FirstTouch);
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(REGION_BYTES).is_none());
+    }
+}

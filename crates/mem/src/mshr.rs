@@ -1,0 +1,108 @@
+//! Miss-status holding registers.
+//!
+//! An [`MshrTable`] tracks outstanding misses keyed by line address (or
+//! virtual page number, for the L2 TLB), merging secondary misses into the
+//! primary entry. Capacity exhaustion is reported to the caller, which must
+//! retry the request later — the structural stall that Table 1's "32 MSHRs"
+//! / "512 MSHRs" limits create.
+
+use std::collections::HashMap;
+
+/// Outcome of [`MshrTable::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// First miss on this key: the caller must send the fill request down
+    /// the hierarchy.
+    Primary,
+    /// Merged into an existing entry: a fill is already in flight.
+    Secondary,
+    /// No free entry: retry later.
+    Full,
+}
+
+/// A table of outstanding misses, each holding the opaque ids of the
+/// requests waiting on it.
+#[derive(Debug, Clone, Default)]
+pub struct MshrTable {
+    capacity: usize,
+    entries: HashMap<u64, Vec<u64>>,
+}
+
+impl MshrTable {
+    /// A table with room for `capacity` distinct outstanding keys.
+    pub fn new(capacity: u32) -> Self {
+        MshrTable { capacity: capacity as usize, entries: HashMap::new() }
+    }
+
+    /// Try to record a miss on `key` for `waiter`.
+    pub fn allocate(&mut self, key: u64, waiter: u64) -> MshrAlloc {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.push(waiter);
+            return MshrAlloc::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.insert(key, vec![waiter]);
+        MshrAlloc::Primary
+    }
+
+    /// Complete the miss on `key`, returning every waiter that merged into
+    /// it. Returns an empty vector if the key is unknown.
+    pub fn complete(&mut self, key: u64) -> Vec<u64> {
+        self.entries.remove(&key).unwrap_or_default()
+    }
+
+    /// True if a miss on `key` is outstanding.
+    pub fn pending(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Outstanding distinct keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if every entry is in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary_then_complete() {
+        let mut m = MshrTable::new(2);
+        assert_eq!(m.allocate(100, 1), MshrAlloc::Primary);
+        assert_eq!(m.allocate(100, 2), MshrAlloc::Secondary);
+        assert!(m.pending(100));
+        assert_eq!(m.complete(100), vec![1, 2]);
+        assert!(!m.pending(100));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_distinct_keys_not_merges() {
+        let mut m = MshrTable::new(1);
+        assert_eq!(m.allocate(1, 10), MshrAlloc::Primary);
+        assert_eq!(m.allocate(1, 11), MshrAlloc::Secondary); // merge ok
+        assert_eq!(m.allocate(2, 12), MshrAlloc::Full); // new key rejected
+        assert!(m.is_full());
+        m.complete(1);
+        assert_eq!(m.allocate(2, 12), MshrAlloc::Primary);
+    }
+
+    #[test]
+    fn complete_unknown_is_empty() {
+        let mut m = MshrTable::new(4);
+        assert!(m.complete(7).is_empty());
+    }
+}

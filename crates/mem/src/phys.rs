@@ -1,0 +1,139 @@
+//! GPU physical memory allocator.
+//!
+//! Both fault handlers — the CPU driver path and the GPU-local handler of
+//! use case 2 — allocate physical pages from this pool before updating the
+//! page table. The real system of Section 4.2 partitions the physical
+//! address space and uses lock-free structures to avoid contention; our
+//! simulator is single-threaded, so the allocator models *capacity* and
+//! provides the partitioning/accounting, while the handlers' latency models
+//! capture the cost of the synchronization.
+
+use gex_isa::PAGE_BYTES;
+
+/// Who performed an allocation (for the paper's use-case-2 accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocOwner {
+    /// The CPU driver fault handler.
+    Cpu,
+    /// The GPU-local fault handler running on an SM.
+    Gpu,
+}
+
+/// An allocator over GPU physical page frames with per-owner stats.
+///
+/// Frames are fungible for timing purposes: allocation tracks occupancy and
+/// hands out monotonically increasing frame numbers; [`PhysAllocator::free`]
+/// returns capacity to the pool (memory oversubscription support — evicted
+/// regions free their frames).
+#[derive(Debug, Clone)]
+pub struct PhysAllocator {
+    total_frames: u64,
+    next_frame: u64,
+    in_use: u64,
+    cpu_frames: u64,
+    gpu_frames: u64,
+    freed: u64,
+}
+
+impl PhysAllocator {
+    /// An allocator over `bytes` of GPU physical memory.
+    pub fn new(bytes: u64) -> Self {
+        PhysAllocator {
+            total_frames: bytes / PAGE_BYTES,
+            next_frame: 0,
+            in_use: 0,
+            cpu_frames: 0,
+            gpu_frames: 0,
+            freed: 0,
+        }
+    }
+
+    /// Allocate `frames` physical frames. Returns the first frame number,
+    /// or `None` if the pool is exhausted.
+    pub fn alloc(&mut self, frames: u64, owner: AllocOwner) -> Option<u64> {
+        if self.in_use + frames > self.total_frames {
+            return None;
+        }
+        let first = self.next_frame;
+        self.next_frame += frames;
+        self.in_use += frames;
+        match owner {
+            AllocOwner::Cpu => self.cpu_frames += frames,
+            AllocOwner::Gpu => self.gpu_frames += frames,
+        }
+        Some(first)
+    }
+
+    /// Return `frames` to the pool (an evicted region's backing store).
+    pub fn free(&mut self, frames: u64) {
+        debug_assert!(self.in_use >= frames, "freeing more frames than in use");
+        self.in_use -= frames;
+        self.freed += frames;
+    }
+
+    /// Frames still available.
+    pub fn free_frames(&self) -> u64 {
+        self.total_frames - self.in_use
+    }
+
+    /// Frames freed by evictions so far.
+    pub fn freed_frames(&self) -> u64 {
+        self.freed
+    }
+
+    /// Frames allocated by the CPU handler.
+    pub fn cpu_frames(&self) -> u64 {
+        self.cpu_frames
+    }
+
+    /// Frames allocated by the GPU-local handler.
+    pub fn gpu_frames(&self) -> u64 {
+        self.gpu_frames
+    }
+
+    /// Total frames in the pool.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhaustion() {
+        let mut a = PhysAllocator::new(4 * PAGE_BYTES);
+        assert_eq!(a.alloc(2, AllocOwner::Cpu), Some(0));
+        assert_eq!(a.alloc(1, AllocOwner::Gpu), Some(2));
+        assert_eq!(a.free_frames(), 1);
+        assert_eq!(a.alloc(2, AllocOwner::Gpu), None);
+        assert_eq!(a.alloc(1, AllocOwner::Gpu), Some(3));
+        assert_eq!(a.cpu_frames(), 2);
+        assert_eq!(a.gpu_frames(), 2);
+    }
+
+    #[test]
+    fn freeing_returns_capacity() {
+        let mut a = PhysAllocator::new(2 * PAGE_BYTES);
+        assert!(a.alloc(2, AllocOwner::Cpu).is_some());
+        assert_eq!(a.alloc(1, AllocOwner::Cpu), None);
+        a.free(1);
+        assert_eq!(a.free_frames(), 1);
+        assert!(a.alloc(1, AllocOwner::Gpu).is_some());
+        assert_eq!(a.freed_frames(), 1);
+    }
+
+    #[test]
+    fn frame_numbers_never_overlap() {
+        let mut a = PhysAllocator::new(1024 * PAGE_BYTES);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let owner = if i % 2 == 0 { AllocOwner::Cpu } else { AllocOwner::Gpu };
+            let first = a.alloc(16, owner).unwrap();
+            for f in first..first + 16 {
+                assert!(seen.insert(f), "frame {f} double-allocated");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! Shared by the data caches (tags are line addresses) and the TLBs (tags
+//! are virtual page numbers).
+
+/// A set-associative array of tags with per-set true LRU.
+#[derive(Debug, Clone)]
+pub struct SetAssoc {
+    sets: u64,
+    ways: usize,
+    /// `tags[set * ways + way]`; `None` = invalid.
+    tags: Vec<Option<u64>>,
+    /// Higher = more recently used.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl SetAssoc {
+    /// A new array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero, or `sets` is not a power of two.
+    pub fn new(sets: u64, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "empty set-associative array");
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        let n = (sets * ways as u64) as usize;
+        SetAssoc { sets, ways: ways as usize, tags: vec![None; n], stamps: vec![0; n], tick: 0 }
+    }
+
+    fn set_of(&self, tag: u64) -> usize {
+        (tag & (self.sets - 1)) as usize
+    }
+
+    fn slot_range(&self, tag: u64) -> std::ops::Range<usize> {
+        let s = self.set_of(tag) * self.ways;
+        s..s + self.ways
+    }
+
+    /// Look up `tag`, updating LRU on hit. Returns true on hit.
+    pub fn access(&mut self, tag: u64) -> bool {
+        self.tick += 1;
+        let range = self.slot_range(tag);
+        for i in range {
+            if self.tags[i] == Some(tag) {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Look up `tag` without touching LRU state.
+    pub fn probe(&self, tag: u64) -> bool {
+        self.slot_range(tag).any(|i| self.tags[i] == Some(tag))
+    }
+
+    /// Insert `tag`, evicting the LRU way if the set is full.
+    /// Returns the evicted tag, if any.
+    pub fn fill(&mut self, tag: u64) -> Option<u64> {
+        self.tick += 1;
+        let range = self.slot_range(tag);
+        // Already present: refresh.
+        for i in range.clone() {
+            if self.tags[i] == Some(tag) {
+                self.stamps[i] = self.tick;
+                return None;
+            }
+        }
+        // Free way?
+        for i in range.clone() {
+            if self.tags[i].is_none() {
+                self.tags[i] = Some(tag);
+                self.stamps[i] = self.tick;
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim = range.min_by_key(|&i| self.stamps[i]).expect("non-empty set");
+        let evicted = self.tags[victim];
+        self.tags[victim] = Some(tag);
+        self.stamps[victim] = self.tick;
+        evicted
+    }
+
+    /// Invalidate `tag` if present. Returns true if it was present.
+    pub fn invalidate(&mut self, tag: u64) -> bool {
+        for i in self.slot_range(tag) {
+            if self.tags[i] == Some(tag) {
+                self.tags[i] = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid entries (for tests / stats).
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssoc::new(4, 2);
+        assert!(!c.access(12));
+        c.fill(12);
+        assert!(c.access(12));
+        assert!(c.probe(12));
+        assert!(!c.probe(13));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: tags 0, 4, 8 all map to set 0 with 4 sets? Use sets=1.
+        let mut c = SetAssoc::new(1, 2);
+        c.fill(1);
+        c.fill(2);
+        c.access(1); // 2 is now LRU
+        let evicted = c.fill(3);
+        assert_eq!(evicted, Some(2));
+        assert!(c.probe(1));
+        assert!(c.probe(3));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn fill_existing_refreshes_without_evicting() {
+        let mut c = SetAssoc::new(1, 2);
+        c.fill(1);
+        c.fill(2);
+        assert_eq!(c.fill(1), None); // refresh, not insert
+        assert_eq!(c.fill(3), Some(2)); // 2 was LRU after refresh of 1
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssoc::new(2, 2);
+        c.fill(5);
+        assert!(c.invalidate(5));
+        assert!(!c.probe(5));
+        assert!(!c.invalidate(5));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = SetAssoc::new(2, 1);
+        c.fill(0); // set 0
+        c.fill(1); // set 1
+        assert!(c.probe(0));
+        assert!(c.probe(1));
+        c.fill(2); // set 0, evicts 0
+        assert!(!c.probe(0));
+        assert!(c.probe(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        SetAssoc::new(3, 2);
+    }
+}

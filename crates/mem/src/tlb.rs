@@ -1,0 +1,93 @@
+//! TLB: a set-associative array of virtual page numbers with hit/miss
+//! accounting.
+//!
+//! TLBs only cache *present* translations; a page that is resident on the
+//! CPU or unbacked never enters a TLB, so fault detection always happens at
+//! the page-table walker.
+
+use crate::config::TlbConfig;
+use crate::setassoc::SetAssoc;
+
+/// One TLB level.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    tags: SetAssoc,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Build a TLB from its configuration.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        Tlb { tags: SetAssoc::new(cfg.sets() as u64, cfg.ways), hits: 0, misses: 0 }
+    }
+
+    /// Look up `vpn`, updating LRU and counters.
+    pub fn lookup(&mut self, vpn: u64) -> bool {
+        if self.tags.access(vpn) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Install a translation for `vpn`.
+    pub fn fill(&mut self, vpn: u64) {
+        self.tags.fill(vpn);
+    }
+
+    /// Drop the translation for `vpn`, if cached.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        self.tags.invalidate(vpn)
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemConfig;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let cfg = MemConfig::kepler_k20();
+        let mut t = Tlb::new(&cfg.l1_tlb);
+        assert!(!t.lookup(5));
+        t.fill(5);
+        assert!(t.lookup(5));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn l1_tlb_capacity_is_32() {
+        let cfg = MemConfig::kepler_k20();
+        let mut t = Tlb::new(&cfg.l1_tlb);
+        // Fill 33 pages that all map across the 4 sets; 32 fit, 1 evicts.
+        for vpn in 0..33u64 {
+            t.fill(vpn);
+        }
+        let resident = (0..33u64).filter(|&v| t.lookup(v)).count();
+        assert_eq!(resident, 32);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let cfg = MemConfig::kepler_k20();
+        let mut t = Tlb::new(&cfg.l2_tlb);
+        t.fill(9);
+        assert!(t.invalidate(9));
+        assert!(!t.lookup(9));
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the memory hierarchy: every access terminates with
+//! exactly one terminal event, ordering invariants hold, and the basic
+//! structures never lose state.
+
+use gex_mem::system::{AccessEvent, AccessKind, FaultMode, MemSystem};
+use gex_mem::{FaultKind, MemConfig, PageState};
+use gex_mem::dram::Dram;
+use gex_mem::mshr::{MshrAlloc, MshrTable};
+use gex_mem::setassoc::SetAssoc;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct AccessSpec {
+    sm: u32,
+    kind: AccessKind,
+    lines: Vec<u64>,
+    start: u64,
+}
+
+fn access_strategy(sms: u32) -> impl Strategy<Value = AccessSpec> {
+    (
+        0..sms,
+        prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store), Just(AccessKind::Atomic)],
+        proptest::collection::btree_set(0u64..512, 1..16),
+        0u64..200,
+    )
+        .prop_map(|(sm, kind, line_ids, start)| AccessSpec {
+            sm,
+            kind,
+            lines: line_ids.into_iter().map(|l| l * 128).collect(),
+            start,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every access gets exactly one Data terminal, preceded by exactly one
+    /// LastTlbCheck, when all pages are mapped.
+    #[test]
+    fn accesses_terminate_exactly_once(
+        specs in proptest::collection::vec(access_strategy(4), 1..24),
+    ) {
+        let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(4),
+                                     FaultMode::SquashNotify);
+        mem.page_table.set_range(0, 1 << 20, PageState::Present);
+        let mut tokens = HashMap::new();
+        for s in &specs {
+            let tok = mem.start_access(s.start, s.sm, s.kind, &s.lines);
+            prop_assert!(tokens.insert(tok, (s.sm, 0u32, 0u32)).is_none(),
+                "token reuse while live");
+        }
+        for t in 0..3_000_000u64 {
+            mem.tick(t);
+            let mut any = false;
+            for sm in 0..4 {
+                for ev in mem.drain_events(sm) {
+                    any = true;
+                    let entry = tokens.get_mut(&ev.token()).expect("known token");
+                    match ev {
+                        AccessEvent::LastTlbCheck { .. } => entry.1 += 1,
+                        AccessEvent::Data { .. } => entry.2 += 1,
+                        AccessEvent::Fault { .. } => prop_assert!(false, "no faults expected"),
+                    }
+                }
+            }
+            if !any && mem.quiescent() {
+                break;
+            }
+        }
+        for (tok, (_, checks, datas)) in tokens {
+            prop_assert_eq!(checks, 1, "token {:?} last-check count", tok);
+            prop_assert_eq!(datas, 1, "token {:?} data count", tok);
+        }
+    }
+
+    /// With unmapped pages in squash mode, each access terminates with
+    /// either Fault or Data (never both), and faulted pages are really
+    /// unmapped.
+    #[test]
+    fn faults_and_data_are_exclusive(
+        specs in proptest::collection::vec(access_strategy(2), 1..16),
+        mapped_regions in proptest::collection::btree_set(0u64..8, 0..8),
+    ) {
+        let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(2),
+                                     FaultMode::SquashNotify);
+        // Map a subset of 64 KB regions; leave the rest lazily backed.
+        mem.page_table.add_lazy_range(0, 1 << 20);
+        for r in &mapped_regions {
+            mem.page_table.set_range(r * 65536, 65536, PageState::Present);
+        }
+        let mut outcome: HashMap<_, (u32, u32)> = HashMap::new();
+        for s in &specs {
+            let tok = mem.start_access(s.start, s.sm % 2, s.kind, &s.lines);
+            outcome.insert(tok, (0, 0));
+        }
+        for t in 0..3_000_000u64 {
+            mem.tick(t);
+            for sm in 0..2 {
+                for ev in mem.drain_events(sm) {
+                    let e = outcome.get_mut(&ev.token()).expect("known token");
+                    match ev {
+                        AccessEvent::Fault { pages, .. } => {
+                            e.0 += 1;
+                            for p in pages {
+                                prop_assert_ne!(mem.page_table.state(p), PageState::Present,
+                                    "faulted page was mapped");
+                            }
+                        }
+                        AccessEvent::Data { .. } => e.1 += 1,
+                        AccessEvent::LastTlbCheck { .. } => {}
+                    }
+                }
+            }
+        }
+        for (tok, (faults, datas)) in outcome {
+            prop_assert_eq!(
+                faults + datas,
+                1,
+                "token {:?}: exactly one terminal, got {} faults / {} datas",
+                tok,
+                faults,
+                datas
+            );
+        }
+    }
+
+    /// The LRU array never exceeds capacity and always hits right after a
+    /// fill.
+    #[test]
+    fn setassoc_invariants(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let mut sa = SetAssoc::new(4, 4);
+        for (tag, is_fill) in ops {
+            if is_fill {
+                sa.fill(tag);
+                prop_assert!(sa.probe(tag), "fill must make the tag resident");
+            } else {
+                sa.access(tag);
+            }
+            prop_assert!(sa.occupancy() <= 16);
+        }
+    }
+
+    /// MSHR: merge counts add up and capacity is never exceeded.
+    #[test]
+    fn mshr_conservation(keys in proptest::collection::vec(0u64..8, 1..64)) {
+        let mut m = MshrTable::new(4);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            match m.allocate(*k, i as u64) {
+                MshrAlloc::Primary | MshrAlloc::Secondary => {
+                    *expected.entry(*k).or_default() += 1;
+                }
+                MshrAlloc::Full => {
+                    prop_assert!(m.is_full());
+                    prop_assert!(!m.pending(*k));
+                }
+            }
+            prop_assert!(m.len() <= 4);
+        }
+        for (k, n) in expected {
+            prop_assert_eq!(m.complete(k).len() as u64, n);
+        }
+        prop_assert!(m.is_empty());
+    }
+
+    /// DRAM completion times are monotone for same-cycle requests and
+    /// never earlier than latency.
+    #[test]
+    fn dram_monotonic(sizes in proptest::collection::vec(1u64..4096, 1..32)) {
+        let mut d = Dram::new(200, 256);
+        let mut last = 0;
+        for s in sizes {
+            let done = d.transfer(0, s);
+            prop_assert!(done > 200);
+            prop_assert!(done >= last, "completions must not reorder");
+            last = done;
+        }
+    }
+
+    /// Fault queue: positions are dense, merges never grow the queue.
+    #[test]
+    fn fault_queue_positions(regions in proptest::collection::vec(0u64..6, 1..40)) {
+        let mut q = gex_mem::FaultQueue::new();
+        for (i, r) in regions.iter().enumerate() {
+            let pos = q.report(r * 65536, FaultKind::Migration, 0, i as u64);
+            prop_assert!((pos as usize) < q.len().max(1));
+        }
+        prop_assert!(q.len() <= 6);
+        let mut last_len = q.len();
+        while q.pop().is_some() {
+            prop_assert_eq!(q.len(), last_len - 1);
+            last_len = q.len();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Whole-GPU configuration and paging modes.
+
+use crate::block_switch::BlockSwitchConfig;
+use crate::interconnect::Interconnect;
+use crate::local_fault::LocalFaultConfig;
+use gex_mem::MemConfig;
+use gex_sm::SmConfig;
+
+/// Full GPU configuration: Table 1's SM and system sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Per-SM configuration.
+    pub sm: SmConfig,
+    /// Memory system configuration (includes the SM count).
+    pub mem: MemConfig,
+}
+
+impl GpuConfig {
+    /// The paper's 16-SM Kepler-K20-like baseline.
+    pub fn kepler_k20() -> Self {
+        GpuConfig { sm: SmConfig::kepler_k20(), mem: MemConfig::kepler_k20() }
+    }
+
+    /// Same per-SM configuration with `n` SMs (Section 5.5 scalability).
+    pub fn with_sms(mut self, n: u32) -> Self {
+        self.mem.num_sms = n;
+        self
+    }
+
+    /// Number of SMs.
+    pub fn num_sms(&self) -> u32 {
+        self.mem.num_sms
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::kepler_k20()
+    }
+}
+
+/// How memory is paged for a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingMode {
+    /// Everything the kernel touches is pre-mapped: the fault-free
+    /// configuration of Figures 10/11 ("expert written program that uses
+    /// explicit data management").
+    AllResident,
+    /// On-demand paging per the launch's [`Residency`], with faults
+    /// serviced per the options below.
+    ///
+    /// [`Residency`]: crate::residency::Residency
+    Demand {
+        /// CPU-GPU interconnect cost model.
+        interconnect: Interconnect,
+        /// Switch faulted blocks for pending ones (use case 1).
+        block_switch: Option<BlockSwitchConfig>,
+        /// Handle first-touch faults on the GPU itself (use case 2).
+        local_handling: Option<LocalFaultConfig>,
+    },
+}
+
+impl PagingMode {
+    /// Plain demand paging over `ic` with neither use case enabled.
+    pub fn demand(ic: Interconnect) -> Self {
+        PagingMode::Demand { interconnect: ic, block_switch: None, local_handling: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_16_sms() {
+        let c = GpuConfig::kepler_k20();
+        assert_eq!(c.num_sms(), 16);
+        assert_eq!(c.with_sms(4).num_sms(), 4);
+    }
+
+    #[test]
+    fn demand_helper_disables_use_cases() {
+        let PagingMode::Demand { block_switch, local_handling, .. } =
+            PagingMode::demand(Interconnect::nvlink())
+        else {
+            panic!("expected demand mode");
+        };
+        assert!(block_switch.is_none());
+        assert!(local_handling.is_none());
+    }
+}

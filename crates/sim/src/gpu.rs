@@ -1,0 +1,394 @@
+//! The whole-GPU simulator: SMs + memory system + global thread-block
+//! scheduler + demand-paging machinery.
+//!
+//! [`Gpu::run`] executes one kernel launch end to end: the thread-block
+//! scheduler fills every SM to its occupancy, pending blocks dispatch as
+//! resident ones finish (Section 2.1), faults flow through the fill unit's
+//! pending queue to the CPU handler (and optionally the GPU-local handler),
+//! and the per-SM local schedulers optionally context-switch faulted blocks
+//! (Section 4.1). The run ends when the last block commits its last
+//! instruction — the paper's execution-time metric.
+
+use crate::block_switch::{BlockSwitchConfig, LocalScheduler};
+use crate::config::{GpuConfig, PagingMode};
+use crate::local_fault::LocalFaultState;
+use crate::paging::CpuHandler;
+use crate::report::GpuRunReport;
+use crate::residency::Residency;
+use gex_isa::trace::{BlockTrace, KernelTrace};
+use gex_mem::phys::PhysAllocator;
+use gex_mem::system::{FaultMode, MemSystem};
+use gex_mem::{Cycle, PageState};
+use gex_sm::{KernelSetup, Scheme, Sm, SmStats};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The GPU simulator front end. Construct once, [`Gpu::run`] per launch.
+#[derive(Debug, Clone)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    scheme: Scheme,
+    paging: PagingMode,
+    max_cycles: Cycle,
+}
+
+impl Gpu {
+    /// A GPU with the given configuration, SM exception scheme and paging
+    /// mode.
+    pub fn new(cfg: GpuConfig, scheme: Scheme, paging: PagingMode) -> Self {
+        Gpu { cfg, scheme, paging, max_cycles: 2_000_000_000 }
+    }
+
+    /// Override the runaway guard (panics if a run exceeds it).
+    pub fn max_cycles(mut self, c: Cycle) -> Self {
+        self.max_cycles = c;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Execute `trace` with the given initial data placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit on an SM, a workload touches
+    /// unregistered memory, or the run exceeds the cycle guard.
+    pub fn run(&self, trace: &KernelTrace, residency: &Residency) -> GpuRunReport {
+        Engine::new(self, trace, residency).run(trace)
+    }
+}
+
+struct Engine {
+    scheme_fault_mode: FaultMode,
+    mem: MemSystem,
+    sms: Vec<Sm>,
+    scheds: Vec<LocalScheduler>,
+    cpu: Option<CpuHandler>,
+    local: Option<LocalFaultState>,
+    block_cfg: Option<BlockSwitchConfig>,
+    phys: PhysAllocator,
+    queue: VecDeque<Arc<BlockTrace>>,
+    occupancy: u32,
+    total_blocks: u64,
+    completed: u64,
+    switches: u64,
+    dispatch_rr: usize,
+    max_cycles: Cycle,
+}
+
+impl Engine {
+    fn new(gpu: &Gpu, trace: &KernelTrace, residency: &Residency) -> Self {
+        let num_sms = gpu.cfg.num_sms();
+        let (fault_mode, cpu, local, block_cfg) = match gpu.paging {
+            PagingMode::AllResident => {
+                let mode = if gpu.scheme.preemptible() {
+                    FaultMode::SquashNotify
+                } else {
+                    FaultMode::StallReplay
+                };
+                (mode, None, None, None)
+            }
+            PagingMode::Demand { interconnect, block_switch, local_handling } => {
+                let mode = if gpu.scheme.preemptible() {
+                    FaultMode::SquashNotify
+                } else {
+                    FaultMode::StallReplay
+                };
+                let mut cpu = CpuHandler::new(interconnect);
+                if local_handling.is_some() {
+                    assert!(
+                        gpu.scheme.preemptible(),
+                        "GPU-local fault handling needs a preemptible scheme"
+                    );
+                    cpu = cpu.without_first_touch();
+                }
+                (mode, Some(cpu), local_handling.map(LocalFaultState::new), block_switch)
+            }
+        };
+        let mut mem = MemSystem::new(gpu.cfg.mem.clone(), fault_mode);
+        match gpu.paging {
+            PagingMode::AllResident => {
+                for page in trace.touched_pages() {
+                    mem.page_table.set_range(page, 1, PageState::Present);
+                }
+            }
+            PagingMode::Demand { .. } => residency.apply(&mut mem, 0),
+        }
+        let occupancy = gpu.cfg.sm.blocks_per_sm(
+            trace.warps_per_block,
+            trace.regs_per_thread,
+            trace.shared_bytes,
+        );
+        assert!(occupancy > 0, "kernel does not fit on the SM");
+        let setup = KernelSetup {
+            warps_per_block: trace.warps_per_block,
+            regs_per_thread: trace.regs_per_thread,
+            shared_bytes: trace.shared_bytes,
+            occupancy_blocks: occupancy,
+        };
+        let sms: Vec<Sm> = (0..num_sms)
+            .map(|i| {
+                let mut sm = Sm::new(i, gpu.cfg.sm.clone(), gpu.scheme);
+                sm.configure_kernel(setup);
+                sm
+            })
+            .collect();
+        let queue: VecDeque<Arc<BlockTrace>> =
+            trace.blocks.iter().cloned().map(Arc::new).collect();
+        Engine {
+            scheme_fault_mode: fault_mode,
+            mem,
+            sms,
+            scheds: (0..num_sms).map(|_| LocalScheduler::new()).collect(),
+            cpu,
+            local,
+            block_cfg,
+            phys: PhysAllocator::new(gpu.cfg.mem.gpu_mem_bytes),
+            total_blocks: queue.len() as u64,
+            queue,
+            occupancy,
+            completed: 0,
+            switches: 0,
+            dispatch_rr: 0,
+            max_cycles: gpu.max_cycles,
+        }
+    }
+
+    fn broadcast_resolved(&mut self, region: u64) {
+        for sm in &mut self.sms {
+            sm.on_region_resolved(region);
+        }
+        for sched in &mut self.scheds {
+            sched.resolve_region(region);
+        }
+    }
+
+    fn run(mut self, trace: &KernelTrace) -> GpuRunReport {
+        let mut now: Cycle = 0;
+        loop {
+            self.mem.tick(now);
+            if let Some(cpu) = &mut self.cpu {
+                for region in cpu.tick(now, &mut self.mem, &mut self.phys) {
+                    self.broadcast_resolved(region);
+                }
+            }
+            let local_done = self
+                .local
+                .as_mut()
+                .map(|l| l.tick(now, &mut self.mem, &mut self.phys))
+                .unwrap_or_default();
+            for region in local_done {
+                self.broadcast_resolved(region);
+            }
+
+            for i in 0..self.sms.len() {
+                self.sms[i].tick(now, &mut self.mem);
+            }
+
+            self.handle_notices(now);
+            self.pump_switching(now);
+            self.dispatch_blocks();
+            for sm in &mut self.sms {
+                self.completed += sm.take_completed().len() as u64;
+            }
+
+            if self.finished() {
+                break;
+            }
+
+            // Idle skip: when every SM waits on external events, jump to
+            // the next one (fault resolutions are tens of microseconds).
+            let all_stalled = self.sms.iter().all(|s| s.is_stalled());
+            if all_stalled {
+                let next = self.next_event_cycle();
+                if let Some(next) = next {
+                    if next > now + 1 {
+                        now = next;
+                        continue;
+                    }
+                } else if self.scheme_fault_mode == FaultMode::StallReplay
+                    && self.cpu.is_none()
+                    && !self.mem.quiescent()
+                {
+                    // Stall-mode faults with no handler would hang forever;
+                    // surface it instead.
+                    panic!("faults pending but no handler configured");
+                }
+            }
+            now += 1;
+            assert!(
+                now < self.max_cycles,
+                "GPU run exceeded {} cycles (likely a deadlock)",
+                self.max_cycles
+            );
+        }
+
+        let mut sm_stats = SmStats::default();
+        for sm in &self.sms {
+            sm_stats.merge(&sm.stats());
+        }
+        GpuRunReport {
+            kernel: trace.name.clone(),
+            cycles: now,
+            sm: sm_stats,
+            mem: self.mem.stats(),
+            cpu: self.cpu.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            local: self.local.as_ref().map(|l| l.stats()).unwrap_or_default(),
+            blocks: self.total_blocks,
+            switches: self.switches,
+            resident_regions: self.mem.page_table.resident_regions().to_vec(),
+        }
+    }
+
+    fn handle_notices(&mut self, now: Cycle) {
+        for i in 0..self.sms.len() {
+            let notices = self.sms[i].take_fault_notices();
+            for n in notices {
+                // Use case 2: claim first-touch faults for GPU-local
+                // handling.
+                if let Some(local) = &mut self.local {
+                    for &region in &n.regions {
+                        local.try_claim(now, region, &mut self.mem);
+                    }
+                }
+                // Use case 1: switch the faulted block out if the wait
+                // looks long and there is something else to run.
+                if let Some(cfg) = self.block_cfg {
+                    let sched = &self.scheds[i];
+                    let replacement_available = (!self.queue.is_empty()
+                        && sched.extra_brought < cfg.max_extra_blocks)
+                        || sched.has_restorable();
+                    if n.queue_pos >= cfg.queue_pos_threshold
+                        && replacement_available
+                        && !sched.draining.contains(&n.slot)
+                        && self.sms[i].block_has_pending_fault(n.slot)
+                    {
+                        self.sms[i].begin_drain(n.slot);
+                        self.scheds[i].draining.push(n.slot);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pump_switching(&mut self, now: Cycle) {
+        let Some(cfg) = self.block_cfg else { return };
+        for i in 0..self.sms.len() {
+            // Drained blocks start their save transfer.
+            let drained: Vec<u32> = self.scheds[i]
+                .draining
+                .iter()
+                .copied()
+                .filter(|&slot| self.sms[i].drained(slot))
+                .collect();
+            for slot in drained {
+                self.scheds[i].draining.retain(|&s| s != slot);
+                let saved = self.sms[i].take_block(slot);
+                let done = if cfg.ideal {
+                    now + 1
+                } else {
+                    self.mem.dram_mut().bulk_transfer(now, saved.context_bytes())
+                };
+                self.switches += 1;
+                self.scheds[i].saving.push((done, saved));
+            }
+            // Finished saves park off-chip.
+            let (parked, still_saving): (Vec<_>, Vec<_>) =
+                self.scheds[i].saving.drain(..).partition(|(when, _)| *when <= now);
+            self.scheds[i].saving = still_saving;
+            self.scheds[i].off_chip.extend(parked.into_iter().map(|(_, b)| b));
+            // Finished restores re-enter the SM.
+            let (ready, still_restoring): (Vec<_>, Vec<_>) =
+                self.scheds[i].restoring.drain(..).partition(|(when, _)| *when <= now);
+            self.scheds[i].restoring = still_restoring;
+            for (_, saved) in ready {
+                self.sms[i].restore_block(saved);
+            }
+            // Start restores for resolved off-chip blocks while capacity
+            // lasts.
+            loop {
+                let used = self.sms[i].resident_blocks() + self.scheds[i].slots_in_transit();
+                if used >= self.occupancy {
+                    break;
+                }
+                let Some(saved) = self.scheds[i].pop_restorable() else { break };
+                let done = if cfg.ideal {
+                    now + 1
+                } else {
+                    self.mem.dram_mut().bulk_transfer(now, saved.context_bytes())
+                };
+                self.scheds[i].restoring.push((done, saved));
+            }
+        }
+    }
+
+    fn dispatch_blocks(&mut self) {
+        // Round-robin over SMs, one block per SM per pass, so no SM hoards
+        // the pending queue when slots churn (the global scheduler hands
+        // out blocks fairly).
+        let n = self.sms.len();
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            let mut assigned_any = false;
+            for k in 0..n {
+                if self.queue.is_empty() {
+                    return;
+                }
+                let i = (self.dispatch_rr + k) % n;
+                let used = self.sms[i].resident_blocks() + self.scheds[i].slots_in_transit();
+                if used >= self.occupancy {
+                    continue;
+                }
+                // Bringing a block while this SM holds switched-out context
+                // counts against the extra-block budget (Section 4.1).
+                let is_extra = !self.scheds[i].quiescent();
+                if is_extra {
+                    let cfg = self.block_cfg.expect("switching state implies config");
+                    if self.scheds[i].extra_brought >= cfg.max_extra_blocks {
+                        continue;
+                    }
+                    self.scheds[i].extra_brought += 1;
+                }
+                let b = self.queue.pop_front().expect("checked non-empty");
+                self.sms[i].assign_block(b);
+                assigned_any = true;
+            }
+            self.dispatch_rr = self.dispatch_rr.wrapping_add(1);
+            if !assigned_any {
+                return;
+            }
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.completed == self.total_blocks
+    }
+
+    fn next_event_cycle(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Option<Cycle>| {
+            if let Some(c) = c {
+                next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            }
+        };
+        consider(self.mem.next_event_cycle());
+        for sm in &self.sms {
+            consider(sm.next_event_cycle());
+        }
+        if let Some(cpu) = &self.cpu {
+            consider(cpu.next_event_cycle());
+        }
+        if let Some(local) = &self.local {
+            consider(local.next_event_cycle());
+        }
+        for sched in &self.scheds {
+            consider(sched.next_event_cycle());
+        }
+        next
+    }
+}

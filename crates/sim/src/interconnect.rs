@@ -1,0 +1,105 @@
+//! CPU-GPU interconnect fault-cost model.
+//!
+//! The paper measures the principal components of a page fault's round trip
+//! (page pinning, physical allocation, the data transfer) and combines them
+//! with the interconnect latencies into a per-fault cost (Section 5.3):
+//!
+//! | interconnect | migration (dirty data) | allocation only |
+//! |---|---|---|
+//! | NVLink | 12 us | 10 us |
+//! | PCIe 3.0 | 25 us | 12 us |
+//!
+//! At the baseline 1 GHz SM clock, one microsecond is 1000 cycles.
+
+use gex_mem::{Cycle, FaultKind};
+use std::fmt;
+
+/// Cycles per microsecond at the 1 GHz baseline clock.
+pub const CYCLES_PER_US: Cycle = 1000;
+
+/// A CPU-GPU interconnect with its measured per-fault round-trip costs and
+/// data bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interconnect {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Round-trip latency of a fault requiring a 64 KB data migration.
+    pub migration_cycles: Cycle,
+    /// Round-trip latency of a fault requiring only allocation +
+    /// page-table updates.
+    pub alloc_cycles: Cycle,
+    /// Link data bandwidth in bytes per cycle (bytes per ns at 1 GHz):
+    /// migrated data serializes on the link.
+    pub bytes_per_cycle: u64,
+    /// Per-fault signaling occupancy of the link (fault notification +
+    /// completion messages): the paper's Section 2.4 notes the interconnect
+    /// is "used for both signaling and data transfers" and is overwhelmed
+    /// by concurrent faults.
+    pub signal_cycles: Cycle,
+}
+
+impl Interconnect {
+    /// NVLink: 12 us migration, 10 us allocation-only.
+    pub fn nvlink() -> Self {
+        Interconnect {
+            name: "NVLink",
+            migration_cycles: 12 * CYCLES_PER_US,
+            alloc_cycles: 10 * CYCLES_PER_US,
+            bytes_per_cycle: 40, // ~40 GB/s per direction
+            signal_cycles: CYCLES_PER_US,
+        }
+    }
+
+    /// PCI Express 3.0: 25 us migration, 12 us allocation-only.
+    pub fn pcie() -> Self {
+        Interconnect {
+            name: "PCIe",
+            migration_cycles: 25 * CYCLES_PER_US,
+            alloc_cycles: 12 * CYCLES_PER_US,
+            bytes_per_cycle: 12, // ~12 GB/s effective
+            signal_cycles: 3 * CYCLES_PER_US / 2,
+        }
+    }
+
+    /// Round-trip latency of one fault region of the given kind when
+    /// handled by the CPU driver.
+    pub fn fault_cost(&self, kind: FaultKind) -> Cycle {
+        match kind {
+            FaultKind::Migration => self.migration_cycles,
+            FaultKind::AllocOnly | FaultKind::FirstTouch => self.alloc_cycles,
+        }
+    }
+
+    /// Link occupancy of one 64 KB region migration.
+    pub fn region_transfer_cycles(&self) -> Cycle {
+        gex_mem::REGION_BYTES / self.bytes_per_cycle.max(1)
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs() {
+        let nv = Interconnect::nvlink();
+        assert_eq!(nv.migration_cycles, 12_000);
+        assert_eq!(nv.alloc_cycles, 10_000);
+        let pcie = Interconnect::pcie();
+        assert_eq!(pcie.migration_cycles, 25_000);
+        assert_eq!(pcie.alloc_cycles, 12_000);
+    }
+
+    #[test]
+    fn first_touch_costs_like_alloc_only() {
+        let nv = Interconnect::nvlink();
+        assert_eq!(nv.fault_cost(FaultKind::FirstTouch), nv.fault_cost(FaultKind::AllocOnly));
+        assert!(nv.fault_cost(FaultKind::Migration) > nv.fault_cost(FaultKind::AllocOnly));
+    }
+}

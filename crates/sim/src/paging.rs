@@ -1,0 +1,331 @@
+//! The CPU-driver fault handler (Figure 2's steps 2-7).
+//!
+//! Each fault region costs its interconnect-dependent **round-trip
+//! latency** (Section 5.3: 12/10 us over NVLink, 25/12 us over PCIe for
+//! migration / allocation-only faults). Faults pipeline, but two shared
+//! resources serialize them:
+//!
+//! * the **CPU handler stage** — the paper estimates ~2 us of CPU work per
+//!   fault (Section 5.4), so handler throughput tops out at one fault per
+//!   2 us no matter how many are pending ("the large amount of concurrent
+//!   faults can overwhelm the CPU", Section 2.4);
+//! * the **interconnect data bandwidth** — each migrated 64 KB region
+//!   occupies the link for `64 KB / link bandwidth`.
+//!
+//! Under a fault storm the pipeline degenerates to one resolution per
+//! bottleneck-stage interval, which is exactly the contention that makes
+//! GPU-local handling (20 us latency but massively concurrent) a
+//! throughput win in use case 2.
+
+use crate::interconnect::{Interconnect, CYCLES_PER_US};
+use gex_mem::phys::{AllocOwner, PhysAllocator};
+use gex_mem::system::MemSystem;
+use gex_mem::{Cycle, FaultKind, REGION_BYTES, REGION_PAGES};
+
+/// CPU work per fault (page pinning, allocation, page-table updates):
+/// the paper's ~2 us estimate (Section 5.4).
+pub const CPU_STAGE_CYCLES: Cycle = 2 * CYCLES_PER_US;
+
+/// Counters kept by the CPU fault handler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuHandlerStats {
+    /// Regions resolved with a data migration.
+    pub migrations: u64,
+    /// Regions resolved with allocation only (clean or first touch).
+    pub allocations: u64,
+    /// Total cycles the CPU stage was occupied.
+    pub busy_cycles: u64,
+    /// Sum over resolved regions of (resolution - enqueue) time, for mean
+    /// fault latency.
+    pub latency_sum: u64,
+    /// Peak faults in flight in the handler pipeline.
+    pub peak_in_flight: u64,
+    /// Regions evicted to make room (memory oversubscription).
+    pub evictions: u64,
+}
+
+impl CpuHandlerStats {
+    /// Regions resolved in total.
+    pub fn resolved(&self) -> u64 {
+        self.migrations + self.allocations
+    }
+
+    /// Mean cycles from fault enqueue to resolution.
+    pub fn mean_latency(&self) -> f64 {
+        if self.resolved() == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.resolved() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    region: u64,
+    kind: FaultKind,
+    done_at: Cycle,
+    enqueued_at: Cycle,
+}
+
+/// Pipelined CPU-side servicing of the global pending-fault queue.
+#[derive(Debug, Clone)]
+pub struct CpuHandler {
+    interconnect: Interconnect,
+    handle_first_touch: bool,
+    /// Next cycle the serialized CPU stage is free.
+    cpu_free: Cycle,
+    /// Next cycle the link's data path is free.
+    link_free: Cycle,
+    in_flight: Vec<InFlight>,
+    stats: CpuHandlerStats,
+}
+
+impl CpuHandler {
+    /// A handler reached over `interconnect`.
+    pub fn new(interconnect: Interconnect) -> Self {
+        CpuHandler {
+            interconnect,
+            handle_first_touch: true,
+            cpu_free: 0,
+            link_free: 0,
+            in_flight: Vec::new(),
+            stats: CpuHandlerStats::default(),
+        }
+    }
+
+    /// Leave first-touch faults to the GPU-local handler (use case 2): the
+    /// CPU services only CPU-owned pages.
+    pub fn without_first_touch(mut self) -> Self {
+        self.handle_first_touch = false;
+        self
+    }
+
+    /// The interconnect in use.
+    pub fn interconnect(&self) -> Interconnect {
+        self.interconnect
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CpuHandlerStats {
+        self.stats
+    }
+
+    /// Advance to `now`: admit pending faults into the pipeline (as fast as
+    /// the CPU stage allows) and resolve the ones whose round trip
+    /// completed, returning the resolved regions for broadcast. `phys`
+    /// provides the frames; when the pool is exhausted the handler evicts
+    /// the oldest-mapped regions back to the CPU (memory oversubscription /
+    /// swapping), paying the write-back on the link.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemSystem, phys: &mut PhysAllocator) -> Vec<u64> {
+        // Resolve completed round trips.
+        let mut resolved = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].done_at <= now {
+                let f = self.in_flight.swap_remove(i);
+                if f.kind == FaultKind::Migration {
+                    // The migrated region lands in GPU memory through the
+                    // same DRAM channel the SMs use.
+                    mem.dram_mut().bulk_transfer(now, REGION_BYTES);
+                    self.stats.migrations += 1;
+                } else {
+                    self.stats.allocations += 1;
+                }
+                self.stats.latency_sum += now - f.enqueued_at;
+                mem.resolve_region(f.region, now);
+                resolved.push(f.region);
+            } else {
+                i += 1;
+            }
+        }
+        // Admit new faults while the CPU stage has capacity.
+        while self.cpu_free <= now {
+            let entry = if self.handle_first_touch {
+                mem.fault_queue.pop()
+            } else {
+                mem.fault_queue.pop_where(|e| e.kind != FaultKind::FirstTouch)
+            };
+            let Some(entry) = entry else { break };
+            let admit = self.cpu_free.max(now);
+            // Frames for the incoming region; evict to make room if the GPU
+            // memory is oversubscribed. If every resident region is still
+            // in flight (mapped only at resolution), defer this fault until
+            // one lands.
+            let mut deferred = false;
+            while phys.alloc(REGION_PAGES, AllocOwner::Cpu).is_none() {
+                match mem.page_table.evict_oldest_region(entry.region) {
+                    Some((victim, pages)) => {
+                        mem.shootdown_region(victim);
+                        phys.free(pages as u64);
+                        // The victim's data writes back over the link and
+                        // costs the CPU another pass over its page tables.
+                        let occ = self.interconnect.region_transfer_cycles();
+                        self.link_free = self.link_free.max(admit) + occ;
+                        self.cpu_free = self.cpu_free.max(admit) + CPU_STAGE_CYCLES;
+                        self.stats.evictions += 1;
+                    }
+                    None => {
+                        mem.fault_queue.push_front(entry.clone());
+                        deferred = true;
+                        break;
+                    }
+                }
+            }
+            if deferred {
+                break;
+            }
+            self.cpu_free = self.cpu_free.max(admit) + CPU_STAGE_CYCLES;
+            self.stats.busy_cycles += CPU_STAGE_CYCLES;
+            // Every fault's signaling occupies the link; migrations add the
+            // 64 KB of data on top.
+            let mut occ = self.interconnect.signal_cycles;
+            if entry.kind == FaultKind::Migration {
+                occ += self.interconnect.region_transfer_cycles();
+            }
+            let start = self.link_free.max(admit);
+            self.link_free = start + occ;
+            let done = (admit + self.interconnect.fault_cost(entry.kind)).max(start + occ);
+            self.in_flight.push(InFlight {
+                region: entry.region,
+                kind: entry.kind,
+                done_at: done,
+                enqueued_at: entry.enqueued_at,
+            });
+            self.stats.peak_in_flight =
+                self.stats.peak_in_flight.max(self.in_flight.len() as u64);
+        }
+        resolved
+    }
+
+    /// True if nothing is being serviced.
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Earliest in-flight completion, for skip-ahead.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.in_flight.iter().map(|f| f.done_at).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gex_mem::system::FaultMode;
+    use gex_mem::{MemConfig, PageState};
+
+    fn mem_with_cpu_data() -> MemSystem {
+        let mut m = MemSystem::new(MemConfig::kepler_k20(), FaultMode::SquashNotify);
+        m.page_table.set_range(0, 1 << 24, PageState::CpuDirty);
+        m.page_table.add_lazy_range(0x4000_0000, 1 << 24);
+        m
+    }
+
+    fn run(cpu: &mut CpuHandler, mem: &mut MemSystem, horizon: Cycle) -> Vec<(Cycle, u64)> {
+        let mut phys = PhysAllocator::new(1 << 30);
+        let mut out = Vec::new();
+        for t in 0..horizon {
+            for r in cpu.tick(t, mem, &mut phys) {
+                out.push((t, r));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn oversubscription_evicts_oldest_regions() {
+        let mut mem = mem_with_cpu_data();
+        // Room for only 2 regions; fault in 4.
+        let mut phys = PhysAllocator::new(2 * REGION_BYTES);
+        for i in 0..4u64 {
+            mem.fault_queue.report(i * REGION_BYTES, FaultKind::Migration, 0, 0);
+        }
+        let mut cpu = CpuHandler::new(Interconnect::nvlink());
+        let mut resolved = Vec::new();
+        for t in 0..200_000 {
+            resolved.extend(cpu.tick(t, &mut mem, &mut phys));
+        }
+        assert_eq!(resolved.len(), 4);
+        assert_eq!(cpu.stats().evictions, 2, "regions 0 and 1 must be evicted");
+        // Evicted regions are CPU-dirty again: touching them re-faults with
+        // a migration.
+        assert_eq!(mem.page_table.state(0), PageState::CpuDirty);
+        assert!(mem.page_table.present(3 * REGION_BYTES));
+        assert_eq!(phys.freed_frames(), 2 * 16);
+    }
+
+    #[test]
+    fn faults_pipeline_at_cpu_stage_rate() {
+        let mut mem = mem_with_cpu_data();
+        for i in 0..4u64 {
+            mem.fault_queue.report(i * 0x1_0000, FaultKind::Migration, 0, 0);
+        }
+        let mut cpu = CpuHandler::new(Interconnect::nvlink());
+        let resolved = run(&mut cpu, &mut mem, 40_000);
+        assert_eq!(resolved.len(), 4);
+        // Round trips overlap: admissions at 0/2k/4k/6k, each 12 us latency
+        // (the 1.6 us link occupancy hides inside it).
+        assert_eq!(resolved[0].0, 12_000);
+        assert_eq!(resolved[1].0, 14_000);
+        assert_eq!(resolved[2].0, 16_000);
+        assert_eq!(resolved[3].0, 18_000);
+        assert_eq!(cpu.stats().migrations, 4);
+        assert!(cpu.stats().peak_in_flight >= 4);
+    }
+
+    #[test]
+    fn pcie_storms_become_link_bound() {
+        // On PCIe a 64 KB migration occupies the link for ~5.4 us, longer
+        // than the 2 us CPU stage: big storms drain at link rate.
+        let mut mem = mem_with_cpu_data();
+        for i in 0..16u64 {
+            mem.fault_queue.report(i * 0x1_0000, FaultKind::Migration, 0, 0);
+        }
+        let mut cpu = CpuHandler::new(Interconnect::pcie());
+        let resolved = run(&mut cpu, &mut mem, 400_000);
+        assert_eq!(resolved.len(), 16);
+        let occ = Interconnect::pcie().region_transfer_cycles();
+        let last = resolved.last().unwrap().0;
+        assert!(
+            last >= 15 * occ && last <= 16 * occ + 25_000 + 4_000,
+            "expected ~link-rate drain, got {last} (occ {occ})"
+        );
+    }
+
+    #[test]
+    fn alloc_only_faults_do_not_use_the_link() {
+        let mut mem = mem_with_cpu_data();
+        for i in 0..8u64 {
+            mem.fault_queue.report(0x4000_0000 + i * 0x1_0000, FaultKind::FirstTouch, 0, 0);
+        }
+        let mut cpu = CpuHandler::new(Interconnect::pcie());
+        let resolved = run(&mut cpu, &mut mem, 100_000);
+        assert_eq!(resolved.len(), 8);
+        // Admissions every 2 us + 12 us latency: last at ~12 + 2*7 us.
+        assert_eq!(resolved.last().unwrap().0, 12_000 + 7 * 2_000);
+        assert_eq!(cpu.stats().allocations, 8);
+    }
+
+    #[test]
+    fn mean_latency_grows_under_contention() {
+        let mut mem = mem_with_cpu_data();
+        mem.fault_queue.report(0, FaultKind::Migration, 0, 0);
+        let mut cpu = CpuHandler::new(Interconnect::nvlink());
+        run(&mut cpu, &mut mem, 20_000);
+        let single = cpu.stats().mean_latency();
+        assert!((single - 12_000.0).abs() < 2.0, "unloaded latency {single}");
+
+        let mut mem2 = mem_with_cpu_data();
+        for i in 0..64u64 {
+            mem2.fault_queue.report(i * 0x1_0000, FaultKind::Migration, 0, 0);
+        }
+        let mut cpu2 = CpuHandler::new(Interconnect::nvlink());
+        run(&mut cpu2, &mut mem2, 400_000);
+        assert!(
+            cpu2.stats().mean_latency() > 1.5 * single,
+            "storm latency {} vs unloaded {single}",
+            cpu2.stats().mean_latency()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Results of a whole-GPU run.
+
+use crate::local_fault::LocalFaultStats;
+use crate::paging::CpuHandlerStats;
+use gex_mem::{Cycle, MemStats};
+use gex_sm::SmStats;
+
+/// Aggregated outcome of one kernel execution on the GPU.
+#[derive(Debug, Clone, Default)]
+pub struct GpuRunReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// End-to-end execution time in cycles (kernel launch to the last
+    /// block's completion, the paper's metric).
+    pub cycles: Cycle,
+    /// SM counters summed over all SMs (cycles/peaks take the max).
+    pub sm: SmStats,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+    /// CPU fault-handler counters.
+    pub cpu: CpuHandlerStats,
+    /// GPU-local fault-handler counters.
+    pub local: LocalFaultStats,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Block context switches performed (save side).
+    pub switches: u64,
+    /// 64 KB regions resident in GPU memory when the kernel finished
+    /// (mapping order). Feed these into the next launch's residency to
+    /// model multi-kernel applications (see `gex::Session`).
+    pub resident_regions: Vec<u64>,
+}
+
+impl GpuRunReport {
+    /// Committed warp instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sm.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// This run's speedup over a reference run of the same work
+    /// (reference cycles / this run's cycles; > 1 means faster).
+    pub fn speedup_over(&self, reference: &GpuRunReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            reference.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of ratios (the paper's summary statistic).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_ipc() {
+        let a = GpuRunReport { cycles: 1000, ..Default::default() };
+        let mut b = GpuRunReport { cycles: 500, ..Default::default() };
+        b.sm.committed = 1000;
+        assert!((b.speedup_over(&a) - 2.0).abs() < 1e-12);
+        assert!((b.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! SM configuration (the "SM:" section of Table 1 plus pipeline latencies).
+
+use gex_isa::WARP_SIZE;
+
+/// Architectural register width in bytes (the occupancy unit of the 256 KB
+/// register file).
+pub const REG_BYTES: u32 = 4;
+
+/// Warp-scheduling policy of the issue stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Loose round-robin: rotate the starting warp every cycle (fair,
+    /// spreads progress evenly).
+    #[default]
+    LooseRoundRobin,
+    /// Greedy-then-oldest: keep issuing from the warp that issued last;
+    /// when it stalls, fall back to the oldest ready warp (improves locality
+    /// and latency hiding for unbalanced warps).
+    GreedyThenOldest,
+}
+
+/// Static configuration of one streaming multiprocessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmConfig {
+    /// Maximum concurrent thread blocks (Table 1: 16).
+    pub max_blocks: u32,
+    /// Maximum concurrent warps (Table 1: 64).
+    pub max_warps: u32,
+    /// Register file bytes (Table 1: 256 KB).
+    pub rf_bytes: u32,
+    /// Shared memory bytes (Table 1: 32 KB).
+    pub shared_bytes: u32,
+    /// Instructions issued per cycle, from one or two warps (Table 1: 2).
+    pub issue_width: u32,
+    /// Per-warp instruction buffer entries.
+    pub ibuffer_entries: u32,
+    /// Instructions fetched per cycle for the selected warp.
+    pub fetch_width: u32,
+    /// Math (int/f32 ALU) units (Table 1: 2).
+    pub math_units: u32,
+    /// Special function units (Table 1: 1).
+    pub sfu_units: u32,
+    /// Load/store units (Table 1: 1).
+    pub ldst_units: u32,
+    /// Branch units (Table 1: 1).
+    pub branch_units: u32,
+    /// Math pipeline latency (issue of dependent instruction).
+    pub alu_latency: u64,
+    /// SFU latency.
+    pub sfu_latency: u64,
+    /// SFU initiation interval (32 lanes over a narrow unit).
+    pub sfu_interval: u64,
+    /// Branch/barrier/exit latency.
+    pub branch_latency: u64,
+    /// Shared-memory access latency.
+    pub shared_latency: u64,
+    /// Latency of the `malloc` intrinsic's SM-local bookkeeping.
+    pub malloc_latency: u64,
+    /// Per-warp control state saved on a context switch, in bytes
+    /// (divergence stack, barrier state, program counters).
+    pub warp_control_bytes: u32,
+    /// Bytes of one replay-queue entry (a decoded instruction, no data).
+    pub replay_entry_bytes: u32,
+    /// Cycles the warp spends in the arithmetic-exception trap handler
+    /// (the system-mode routine of Section 2.2).
+    pub trap_handler_cycles: u64,
+    /// Issue-stage warp scheduling policy.
+    pub scheduler: SchedulerPolicy,
+}
+
+impl SmConfig {
+    /// The Table 1 baseline SM.
+    pub fn kepler_k20() -> Self {
+        SmConfig {
+            max_blocks: 16,
+            max_warps: 64,
+            rf_bytes: 256 * 1024,
+            shared_bytes: 32 * 1024,
+            issue_width: 2,
+            ibuffer_entries: 2,
+            fetch_width: 2,
+            math_units: 2,
+            sfu_units: 1,
+            ldst_units: 1,
+            branch_units: 1,
+            alu_latency: 8,
+            sfu_latency: 20,
+            sfu_interval: 8,
+            branch_latency: 4,
+            shared_latency: 24,
+            malloc_latency: 24,
+            warp_control_bytes: 128,
+            replay_entry_bytes: 16,
+            trap_handler_cycles: 500,
+            scheduler: SchedulerPolicy::LooseRoundRobin,
+        }
+    }
+
+    /// Warps allowed by the register file for a kernel using
+    /// `regs_per_thread` registers.
+    pub fn warps_by_registers(&self, regs_per_thread: u32) -> u32 {
+        let bytes_per_warp = regs_per_thread * WARP_SIZE as u32 * REG_BYTES;
+        self.rf_bytes / bytes_per_warp.max(1)
+    }
+
+    /// Concurrent blocks of a kernel on this SM: the minimum over the block
+    /// slots, warp slots, register file and shared memory limits — the same
+    /// occupancy rule as CUDA hardware.
+    pub fn blocks_per_sm(&self, warps_per_block: u32, regs_per_thread: u32, shared: u32) -> u32 {
+        let by_slots = self.max_blocks;
+        let by_warps = self.max_warps / warps_per_block.max(1);
+        let by_regs = self.warps_by_registers(regs_per_thread) / warps_per_block.max(1);
+        let by_shared = self.shared_bytes.checked_div(shared).unwrap_or(self.max_blocks);
+        by_slots.min(by_warps).min(by_regs).min(by_shared)
+    }
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig::kepler_k20()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_sm_values() {
+        let c = SmConfig::kepler_k20();
+        assert_eq!(c.max_blocks, 16);
+        assert_eq!(c.max_warps, 64);
+        assert_eq!(c.rf_bytes, 256 * 1024);
+        assert_eq!(c.shared_bytes, 32 * 1024);
+        assert_eq!(c.issue_width, 2);
+        assert_eq!(c.math_units, 2);
+        assert_eq!(c.sfu_units, 1);
+        assert_eq!(c.ldst_units, 1);
+        assert_eq!(c.branch_units, 1);
+    }
+
+    #[test]
+    fn lbm_register_pressure_gives_8_warps() {
+        // Section 5.2: 256 registers per thread -> 8 warps of occupancy.
+        let c = SmConfig::kepler_k20();
+        assert_eq!(c.warps_by_registers(256), 8);
+        assert_eq!(c.warps_by_registers(32), 64);
+    }
+
+    #[test]
+    fn occupancy_is_min_over_limits() {
+        let c = SmConfig::kepler_k20();
+        // 4 warps/block, light registers, no shared: warp-slot bound.
+        assert_eq!(c.blocks_per_sm(4, 16, 0), 16);
+        // 2 warps/block: block-slot bound (16 blocks max).
+        assert_eq!(c.blocks_per_sm(2, 16, 0), 16);
+        // heavy shared memory: 32KB/8KB = 4 blocks.
+        assert_eq!(c.blocks_per_sm(4, 16, 8 * 1024), 4);
+        // lbm-like: 4 warps/block at 256 regs -> 8 warps -> 2 blocks.
+        assert_eq!(c.blocks_per_sm(4, 256, 0), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! A single-SM execution harness.
+//!
+//! Runs a kernel trace to completion on one SM (with a private copy of the
+//! whole memory hierarchy), dispatching pending blocks as slots free up —
+//! exactly the global-scheduler behaviour of Section 2.1 restricted to one
+//! SM. Used by unit tests, the pipeline-diagram example and quick
+//! scheme-vs-scheme comparisons; the full multi-SM GPU lives in `gex-sim`.
+
+use crate::config::SmConfig;
+use crate::scheme::Scheme;
+use crate::sm::{KernelSetup, ProbeEvent, Sm};
+use crate::stats::SmStats;
+use gex_isa::trace::KernelTrace;
+use gex_mem::system::{FaultMode, MemSystem};
+use gex_mem::{Cycle, MemConfig, MemStats, PageState};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Result of a single-SM run.
+#[derive(Debug, Clone)]
+pub struct SingleSmRun {
+    /// Cycle at which the last block finished.
+    pub cycles: Cycle,
+    /// SM pipeline counters.
+    pub sm_stats: SmStats,
+    /// Memory hierarchy counters.
+    pub mem_stats: MemStats,
+    /// Probe events, if probing was enabled.
+    pub probe: Vec<ProbeEvent>,
+}
+
+/// Builder-style harness around one [`Sm`] and one [`MemSystem`].
+#[derive(Debug)]
+pub struct SingleSmHarness {
+    sm_cfg: SmConfig,
+    mem_cfg: MemConfig,
+    scheme: Scheme,
+    probe: bool,
+    max_cycles: Cycle,
+}
+
+impl SingleSmHarness {
+    /// A harness for `scheme` with Table 1 configurations.
+    pub fn new(scheme: Scheme) -> Self {
+        SingleSmHarness {
+            sm_cfg: SmConfig::kepler_k20(),
+            mem_cfg: MemConfig::kepler_k20().with_sms(1),
+            scheme,
+            probe: false,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// Override the SM configuration.
+    pub fn sm_config(mut self, cfg: SmConfig) -> Self {
+        self.sm_cfg = cfg;
+        self
+    }
+
+    /// Record per-instruction pipeline stage transitions.
+    pub fn probe(mut self) -> Self {
+        self.probe = true;
+        self
+    }
+
+    /// Abort (panic) if the run exceeds this many cycles.
+    pub fn max_cycles(mut self, c: Cycle) -> Self {
+        self.max_cycles = c;
+        self
+    }
+
+    /// Run every block of `trace` on one SM with all touched pages mapped
+    /// (the fault-free configuration of Figures 10 and 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit on the SM or the run exceeds the
+    /// cycle limit.
+    pub fn run(&self, trace: &KernelTrace) -> SingleSmRun {
+        let mode = if self.scheme.preemptible() {
+            FaultMode::SquashNotify
+        } else {
+            FaultMode::StallReplay
+        };
+        let mut mem = MemSystem::new(self.mem_cfg.clone(), mode);
+        // Pre-map everything the kernel touches: no faults occur.
+        for page in trace.touched_pages() {
+            mem.page_table.set_range(page, 1, PageState::Present);
+        }
+        let mut sm = Sm::new(0, self.sm_cfg.clone(), self.scheme);
+        if self.probe {
+            sm.enable_probe();
+        }
+        let occupancy = self.sm_cfg.blocks_per_sm(
+            trace.warps_per_block,
+            trace.regs_per_thread,
+            trace.shared_bytes,
+        );
+        assert!(occupancy > 0, "kernel does not fit on the SM");
+        sm.configure_kernel(KernelSetup {
+            warps_per_block: trace.warps_per_block,
+            regs_per_thread: trace.regs_per_thread,
+            shared_bytes: trace.shared_bytes,
+            occupancy_blocks: occupancy,
+        });
+        let mut pending: VecDeque<Arc<_>> =
+            trace.blocks.iter().cloned().map(Arc::new).collect();
+
+        let mut now: Cycle = 0;
+        loop {
+            while sm.free_slot().is_some() && !pending.is_empty() {
+                let b = pending.pop_front().expect("non-empty pending");
+                sm.assign_block(b);
+            }
+            mem.tick(now);
+            sm.tick(now, &mut mem);
+            sm.take_completed();
+            if sm.is_empty() && pending.is_empty() {
+                break;
+            }
+            now += 1;
+            assert!(now < self.max_cycles, "single-SM run exceeded {} cycles", self.max_cycles);
+        }
+        SingleSmRun {
+            cycles: now,
+            sm_stats: sm.stats(),
+            mem_stats: mem.stats(),
+            probe: sm.take_probe(),
+        }
+    }
+}

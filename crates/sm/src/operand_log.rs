@@ -1,0 +1,134 @@
+//! The operand log (Section 3.3).
+//!
+//! A single-ported SRAM that holds the source operands of in-flight
+//! global-memory instructions. Slots are 256 B (one warp's worth of 8 B
+//! values): loads take one slot (the address vector), stores take two
+//! (address + data). The log is partitioned at kernel launch so each
+//! *running* thread block owns `total / occupancy` slots — kernels with
+//! lower occupancy get more slots per block, exactly as the paper notes.
+//!
+//! Entries allocate at issue and release after the instruction's last TLB
+//! check (or when the instruction is squashed by a fault; the replayed
+//! instruction re-allocates).
+
+/// Per-block-slot partitions of the operand log.
+#[derive(Debug, Clone)]
+pub struct OperandLog {
+    slots_per_partition: u32,
+    used: Vec<u32>,
+    /// Peak usage per partition (stats).
+    peak: Vec<u32>,
+    /// Issue stalls caused by a full partition (stats).
+    full_stalls: u64,
+}
+
+impl OperandLog {
+    /// Partition `total_slots` across `partitions` concurrent block slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn new(total_slots: u32, partitions: u32) -> Self {
+        assert!(partitions > 0, "operand log with no partitions");
+        // A store needs two slots (address + data), so every partition must
+        // hold at least two or the block could never issue a store — the
+        // paper's "smallest log" rule (512 B per resident block, Section
+        // 5.2) guarantees exactly this.
+        OperandLog {
+            slots_per_partition: (total_slots / partitions).max(2),
+            used: vec![0; partitions as usize],
+            peak: vec![0; partitions as usize],
+            full_stalls: 0,
+        }
+    }
+
+    /// Slots each partition owns.
+    pub fn slots_per_partition(&self) -> u32 {
+        self.slots_per_partition
+    }
+
+    /// True if `slots` are free in `partition`.
+    pub fn can_allocate(&self, partition: u32, slots: u32) -> bool {
+        self.used[partition as usize] + slots <= self.slots_per_partition
+    }
+
+    /// Allocate `slots` in `partition`; returns false and records a stall
+    /// if the partition is full.
+    pub fn allocate(&mut self, partition: u32, slots: u32) -> bool {
+        if !self.can_allocate(partition, slots) {
+            self.full_stalls += 1;
+            return false;
+        }
+        let p = partition as usize;
+        self.used[p] += slots;
+        self.peak[p] = self.peak[p].max(self.used[p]);
+        true
+    }
+
+    /// Release `slots` back to `partition`.
+    pub fn release(&mut self, partition: u32, slots: u32) {
+        let p = partition as usize;
+        debug_assert!(self.used[p] >= slots, "operand log underflow");
+        self.used[p] -= slots;
+    }
+
+    /// Clear a partition (its block finished or was switched out; the log
+    /// contents travel with the context).
+    pub fn reset_partition(&mut self, partition: u32) {
+        self.used[partition as usize] = 0;
+    }
+
+    /// Issue stalls caused by full partitions so far.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Peak slots used in `partition`.
+    pub fn peak(&self, partition: u32) -> u32 {
+        self.peak[partition as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_partitioning_8kb_16_blocks() {
+        // 8 KB / 256 B = 32 slots over 16 blocks = 2 slots each: one store
+        // or two loads in flight per block.
+        let log = OperandLog::new(32, 16);
+        assert_eq!(log.slots_per_partition(), 2);
+    }
+
+    #[test]
+    fn low_occupancy_gets_bigger_partitions() {
+        // lbm-like: 2 resident blocks share the whole log.
+        let log = OperandLog::new(64, 2);
+        assert_eq!(log.slots_per_partition(), 32);
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut log = OperandLog::new(32, 16); // 2 slots per partition
+        assert!(log.allocate(0, 1)); // load
+        assert!(log.allocate(0, 1)); // load
+        assert!(!log.allocate(0, 2), "store needs 2 slots, partition full");
+        assert_eq!(log.full_stalls(), 1);
+        log.release(0, 1);
+        assert!(!log.allocate(0, 2), "still only 1 free");
+        log.release(0, 1);
+        assert!(log.allocate(0, 2));
+        assert_eq!(log.peak(0), 2);
+        // other partitions unaffected
+        assert!(log.allocate(5, 2));
+    }
+
+    #[test]
+    fn reset_clears_partition() {
+        let mut log = OperandLog::new(32, 16);
+        assert!(log.allocate(3, 2));
+        log.reset_partition(3);
+        assert!(log.allocate(3, 2));
+    }
+}

@@ -1,0 +1,134 @@
+//! The five pipeline organizations compared in the paper.
+
+use std::fmt;
+
+/// Bytes of one operand-log slot: the source operands of one warp
+/// instruction are at most 32 lanes x 8 B = 256 B, so a load (address only)
+/// takes one slot and a store (address + data) takes two (Section 3.3).
+pub const LOG_SLOT_BYTES: u32 = 256;
+
+/// Exception-support scheme of the SM pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The baseline SM: stall-on-fault, no preemption possible
+    /// (Section 2.2). Maximum performance, used as the normalization
+    /// reference in Figures 10 and 11.
+    Baseline,
+    /// Warp disable until **commit**: a fetched global-memory instruction
+    /// disables the warp's fetch until it commits (Section 3.1).
+    WdCommit,
+    /// Warp disable until the **last TLB check**: fetch re-enables as soon
+    /// as the instruction is guaranteed not to fault (Section 3.1,
+    /// Figure 5).
+    WdLastCheck,
+    /// Replay queue: in-flight global-memory instructions are captured for
+    /// replay; their source operands release only after the last TLB check
+    /// (Section 3.2).
+    ReplayQueue,
+    /// Operand log of the given size: source operands of in-flight
+    /// global-memory instructions are logged so score-boarding behaves like
+    /// the baseline; the log is partitioned across running thread blocks
+    /// (Section 3.3).
+    OperandLog {
+        /// Log capacity in bytes (the paper studies 8-32 KB).
+        bytes: u32,
+    },
+}
+
+impl Scheme {
+    /// An operand log of `kib` KiB.
+    pub fn operand_log_kib(kib: u32) -> Self {
+        Scheme::OperandLog { bytes: kib * 1024 }
+    }
+
+    /// True if faults are preemptible under this scheme (everything except
+    /// the stall-on-fault baseline).
+    pub fn preemptible(self) -> bool {
+        !matches!(self, Scheme::Baseline)
+    }
+
+    /// True if the scheme disables warp fetch across global-memory
+    /// instructions.
+    pub fn warp_disable(self) -> bool {
+        matches!(self, Scheme::WdCommit | Scheme::WdLastCheck)
+    }
+
+    /// True if the scheme keeps a replay queue (replay queue itself and the
+    /// operand log, which still needs it for sparse replay — Section 3.3).
+    pub fn has_replay_queue(self) -> bool {
+        matches!(self, Scheme::ReplayQueue | Scheme::OperandLog { .. })
+    }
+
+    /// True if global-memory source operands release at the last TLB check
+    /// instead of the operand-read stage.
+    pub fn delayed_source_release(self) -> bool {
+        matches!(self, Scheme::ReplayQueue)
+    }
+
+    /// Operand-log slots available, or `None` for schemes without a log.
+    pub fn log_slots(self) -> Option<u32> {
+        match self {
+            Scheme::OperandLog { bytes } => Some(bytes / LOG_SLOT_BYTES),
+            _ => None,
+        }
+    }
+
+    /// All schemes at their paper-default configurations, in presentation
+    /// order.
+    pub fn all() -> Vec<Scheme> {
+        vec![
+            Scheme::Baseline,
+            Scheme::WdCommit,
+            Scheme::WdLastCheck,
+            Scheme::ReplayQueue,
+            Scheme::operand_log_kib(16),
+        ]
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Baseline => f.write_str("baseline"),
+            Scheme::WdCommit => f.write_str("wd-commit"),
+            Scheme::WdLastCheck => f.write_str("wd-lastcheck"),
+            Scheme::ReplayQueue => f.write_str("replay-queue"),
+            Scheme::OperandLog { bytes } => write!(f, "operand-log-{}KB", bytes / 1024),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert!(!Scheme::Baseline.preemptible());
+        assert!(Scheme::WdCommit.preemptible());
+        assert!(Scheme::WdCommit.warp_disable());
+        assert!(Scheme::WdLastCheck.warp_disable());
+        assert!(!Scheme::ReplayQueue.warp_disable());
+        assert!(Scheme::ReplayQueue.has_replay_queue());
+        assert!(Scheme::operand_log_kib(16).has_replay_queue());
+        assert!(Scheme::ReplayQueue.delayed_source_release());
+        assert!(!Scheme::operand_log_kib(16).delayed_source_release());
+    }
+
+    #[test]
+    fn log_sizing_matches_section_3_3() {
+        // 8 KB = 32 slots: with 16 resident blocks each gets 2 slots, i.e.
+        // at least one in-flight memory instruction per block ("the
+        // smallest log that guarantees all thread blocks can execute").
+        assert_eq!(Scheme::operand_log_kib(8).log_slots(), Some(32));
+        assert_eq!(Scheme::operand_log_kib(16).log_slots(), Some(64));
+        assert_eq!(Scheme::operand_log_kib(32).log_slots(), Some(128));
+        assert_eq!(Scheme::Baseline.log_slots(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scheme::WdLastCheck.to_string(), "wd-lastcheck");
+        assert_eq!(Scheme::operand_log_kib(8).to_string(), "operand-log-8KB");
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-warp scoreboard.
+//!
+//! The baseline SM (Section 2.1) enforces dependencies with score-boards
+//! rather than register renaming:
+//!
+//! * a **pending-write** bit per register blocks readers (RAW) and writers
+//!   (WAW) until the producing instruction commits;
+//! * a **source-hold** count per register blocks writers (WAR) until every
+//!   older in-flight reader has *released* the register. The baseline
+//!   releases sources in the operand-read stage; the replay-queue scheme
+//!   delays the release of global-memory sources to the last TLB check —
+//!   exactly the distinction that creates the paper's "RAW on replay"
+//!   problem and its fixes.
+
+use gex_isa::reg::{RegId, NUM_SCOREBOARD};
+
+/// Scoreboard state for one warp.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    pending_write: [bool; NUM_SCOREBOARD],
+    source_hold: [u8; NUM_SCOREBOARD],
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Scoreboard { pending_write: [false; NUM_SCOREBOARD], source_hold: [0; NUM_SCOREBOARD] }
+    }
+}
+
+impl Scoreboard {
+    /// A clean scoreboard.
+    pub fn new() -> Self {
+        Scoreboard::default()
+    }
+
+    /// Can an instruction reading `srcs` and writing `dst` issue now?
+    pub fn can_issue(&self, srcs: impl IntoIterator<Item = RegId>, dst: Option<RegId>) -> bool {
+        for s in srcs {
+            if self.pending_write[s.index()] {
+                return false; // RAW
+            }
+        }
+        if let Some(d) = dst {
+            if self.pending_write[d.index()] {
+                return false; // WAW
+            }
+            if self.source_hold[d.index()] > 0 {
+                return false; // WAR
+            }
+        }
+        true
+    }
+
+    /// Record an issue: holds every source and marks the destination
+    /// pending.
+    pub fn issue(&mut self, srcs: impl IntoIterator<Item = RegId>, dst: Option<RegId>) {
+        for s in srcs {
+            self.source_hold[s.index()] += 1;
+        }
+        if let Some(d) = dst {
+            self.pending_write[d.index()] = true;
+        }
+    }
+
+    /// Release the source holds of an instruction (operand-read stage, or
+    /// the last TLB check under the replay-queue scheme).
+    pub fn release_sources(&mut self, srcs: impl IntoIterator<Item = RegId>) {
+        for s in srcs {
+            debug_assert!(self.source_hold[s.index()] > 0, "double source release of {s}");
+            self.source_hold[s.index()] -= 1;
+        }
+    }
+
+    /// Release the destination (commit stage), or on a squash that never
+    /// wrote it.
+    pub fn release_dest(&mut self, dst: Option<RegId>) {
+        if let Some(d) = dst {
+            debug_assert!(self.pending_write[d.index()], "double dest release of {d}");
+            self.pending_write[d.index()] = false;
+        }
+    }
+
+    /// True if nothing is in flight (used when draining for a context
+    /// switch).
+    pub fn clean(&self) -> bool {
+        !self.pending_write.iter().any(|&b| b) && !self.source_hold.iter().any(|&h| h > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gex_isa::reg::Reg;
+
+    fn r(n: u8) -> RegId {
+        RegId::gpr(Reg(n))
+    }
+
+    #[test]
+    fn raw_blocks_reader_until_commit() {
+        let mut sb = Scoreboard::new();
+        sb.issue([r(2)], Some(r(3))); // R3 <- ld [R2]
+        assert!(!sb.can_issue([r(3)], Some(r(8))), "RAW on R3");
+        sb.release_sources([r(2)]);
+        assert!(!sb.can_issue([r(3)], Some(r(8))), "still pending until commit");
+        sb.release_dest(Some(r(3)));
+        assert!(sb.can_issue([r(3)], Some(r(8))));
+        assert!(sb.clean());
+    }
+
+    #[test]
+    fn war_blocks_writer_until_source_release() {
+        // The paper's Figure 3 example: C reads R4, D writes R4.
+        let mut sb = Scoreboard::new();
+        sb.issue([r(4)], Some(r(8))); // C: R8 <- ld [R4]
+        assert!(!sb.can_issue([r(7)], Some(r(4))), "WAR on R4");
+        sb.release_sources([r(4)]); // operand read releases the source
+        assert!(sb.can_issue([r(7)], Some(r(4))), "D may issue after release");
+    }
+
+    #[test]
+    fn waw_blocks_second_writer() {
+        let mut sb = Scoreboard::new();
+        sb.issue([], Some(r(5)));
+        assert!(!sb.can_issue([], Some(r(5))));
+        sb.release_dest(Some(r(5)));
+        assert!(sb.can_issue([], Some(r(5))));
+    }
+
+    #[test]
+    fn multiple_readers_hold_independently() {
+        let mut sb = Scoreboard::new();
+        sb.issue([r(1)], Some(r(2)));
+        sb.issue([r(1)], Some(r(3)));
+        sb.release_sources([r(1)]);
+        assert!(!sb.can_issue([], Some(r(1))), "second reader still holds R1");
+        sb.release_sources([r(1)]);
+        assert!(sb.can_issue([], Some(r(1))));
+    }
+}

@@ -1,0 +1,1032 @@
+//! The SM pipeline: fetch, dual issue, scoreboarding, backend units,
+//! out-of-order commit — and the five exception designs of the paper.
+//!
+//! The pipeline is trace-driven: each warp replays the linear dynamic
+//! instruction stream produced by the functional simulator. The stages map
+//! to the paper's Figure 1/3 timeline:
+//!
+//! * **Fetch** — one warp per cycle refills its instruction buffer; fetch
+//!   is disabled across control flow (baseline behaviour) and, under the
+//!   warp-disable schemes, across global-memory instructions.
+//! * **Issue** — up to two instructions per cycle from one or two warps, in
+//!   program order per warp, gated by the scoreboard, unit occupancy and
+//!   the active scheme (replay-queue source holds, operand-log capacity).
+//! * **Operand read** — one cycle after issue; source scoreboards release
+//!   here except for global-memory instructions under the replay queue,
+//!   which hold until the last TLB check.
+//! * **Execute/commit** — fixed-latency units complete internally;
+//!   global-memory instructions complete when the memory system delivers
+//!   `Data`, commit out of order, and may instead *fault*: the instruction
+//!   is squashed, recorded for replay, and the warp parks until the fill
+//!   unit broadcasts the region resolution.
+
+use crate::config::{SchedulerPolicy, SmConfig};
+use crate::exec::ExecUnits;
+use crate::operand_log::OperandLog;
+use crate::scheme::Scheme;
+use crate::scoreboard::Scoreboard;
+use crate::stats::SmStats;
+use gex_isa::op::{Opcode, Space, Unit};
+use gex_isa::reg::RegId;
+use gex_isa::trace::{BlockTrace, DynInstr, DynKind};
+use gex_mem::system::{AccessEvent, AccessKind, AccessToken, MemSystem};
+use gex_mem::{region_of, Cycle};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Scheduling state of one warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Fetching and issuing normally.
+    Active,
+    /// Arrived at a block barrier; waiting for siblings.
+    AtBarrier,
+    /// Squashed by a page fault; waiting for its regions to resolve.
+    Faulted,
+    /// Squashed by an arithmetic exception; running the trap handler.
+    Trapped,
+    /// All instructions committed.
+    Done,
+}
+
+/// Why fetch is disabled for a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchBlock {
+    None,
+    /// Baseline: a fetched control-flow instruction blocks until commit.
+    Branch(usize),
+    /// Warp-disable schemes: a fetched global-memory instruction blocks
+    /// until commit (WD-commit) or last TLB check (WD-lastcheck).
+    Wd(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    idx: usize,
+    dst: Option<RegId>,
+    srcs: [Option<RegId>; 4],
+    token: Option<AccessToken>,
+    srcs_released: bool,
+    log_slots: u32,
+}
+
+#[derive(Debug)]
+struct Warp {
+    state: WarpState,
+    next_issue: usize,
+    next_fetch: usize,
+    ibuffer: VecDeque<usize>,
+    inflight: Vec<Inflight>,
+    /// Squashed global-memory instructions pending replay, program order.
+    replay: VecDeque<usize>,
+    waiting_regions: Vec<u64>,
+    /// Trace indices whose arithmetic exception was already handled (their
+    /// replay must commit, not re-trap).
+    trap_handled: Vec<usize>,
+    sb: Scoreboard,
+    fetch_block: FetchBlock,
+}
+
+impl Warp {
+    fn fresh(next_issue: usize, replay: VecDeque<usize>, state: WarpState) -> Self {
+        Warp {
+            state,
+            next_issue,
+            next_fetch: next_issue,
+            ibuffer: VecDeque::new(),
+            inflight: Vec::new(),
+            replay,
+            waiting_regions: Vec::new(),
+            trap_handled: Vec::new(),
+            sb: Scoreboard::new(),
+            fetch_block: FetchBlock::None,
+        }
+    }
+}
+
+/// Run state of a resident block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Executing normally.
+    Running,
+    /// Preparing for a context switch: no fetch/issue, in-flight work
+    /// drains.
+    Draining,
+}
+
+#[derive(Debug)]
+struct BlockSlot {
+    block_id: u32,
+    trace: Arc<BlockTrace>,
+    warps: Vec<Warp>,
+    barrier_arrived: u32,
+    state: BlockState,
+}
+
+/// Kernel-wide parameters an SM needs before blocks arrive.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSetup {
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Registers per thread (context sizing).
+    pub regs_per_thread: u32,
+    /// Shared memory per block in bytes (context sizing).
+    pub shared_bytes: u32,
+    /// Concurrent blocks per SM (occupancy; also the operand-log partition
+    /// count).
+    pub occupancy_blocks: u32,
+}
+
+/// A preempted block's architectural state, held off-chip (use case 1).
+#[derive(Debug, Clone)]
+pub struct SavedBlock {
+    block_id: u32,
+    trace: Arc<BlockTrace>,
+    warps: Vec<SavedWarp>,
+    barrier_arrived: u32,
+    context_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SavedWarp {
+    state: WarpState,
+    next_issue: usize,
+    replay: VecDeque<usize>,
+    waiting_regions: Vec<u64>,
+    trap_handled: Vec<usize>,
+}
+
+impl SavedBlock {
+    /// The block this state belongs to.
+    pub fn block_id(&self) -> u32 {
+        self.block_id
+    }
+
+    /// Context size in bytes (registers + shared + control + replay/log
+    /// state) — determines the save/restore transfer time.
+    pub fn context_bytes(&self) -> u64 {
+        self.context_bytes
+    }
+
+    /// Note that a fault region was resolved while the block was off-chip.
+    pub fn resolve_region(&mut self, region: u64) {
+        for w in &mut self.warps {
+            w.waiting_regions.retain(|&r| r != region);
+            if w.state == WarpState::Faulted && w.waiting_regions.is_empty() {
+                w.state = WarpState::Active;
+            }
+        }
+    }
+
+    /// True if any warp still waits on an unresolved fault.
+    pub fn has_pending_fault(&self) -> bool {
+        self.warps.iter().any(|w| w.state == WarpState::Faulted)
+    }
+}
+
+/// A fault notification surfaced to the GPU-level scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultNotice {
+    /// Block slot that faulted.
+    pub slot: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Position in the global pending-fault queue (Section 4.1's
+    /// context-switch signal).
+    pub queue_pos: u32,
+    /// 64 KB regions the warp now waits on.
+    pub regions: Vec<u64>,
+}
+
+/// Pipeline stage transition recorded by the probe (for reproducing the
+/// paper's Figure 3/4/6/7 timing diagrams and for tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStage {
+    /// Instruction left the issue stage.
+    Issue,
+    /// Last TLB check passed (global memory only).
+    LastCheck,
+    /// Instruction committed.
+    Commit,
+    /// Instruction was squashed by a fault.
+    Fault,
+}
+
+/// One probe record: instruction `idx` of `warp` in block `slot` reached
+/// `stage` at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// Block slot.
+    pub slot: u32,
+    /// Warp within the block.
+    pub warp: u32,
+    /// Trace index of the instruction.
+    pub idx: usize,
+    /// Stage reached.
+    pub stage: ProbeStage,
+    /// Cycle of the transition.
+    pub cycle: Cycle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SmEv {
+    /// Fixed-latency instruction completes (commit).
+    Complete { slot: u32, warp: u32, idx: usize },
+    /// Operand-read stage releases source scoreboards.
+    SrcRelease { slot: u32, warp: u32, idx: usize },
+    /// The arithmetic-exception handler finishes; the warp resumes and
+    /// replays the trapped instruction.
+    TrapDone { slot: u32, warp: u32 },
+}
+
+/// One streaming multiprocessor. See the [module docs](self).
+#[derive(Debug)]
+pub struct Sm {
+    /// This SM's index (its L1/L1-TLB identity in the memory system).
+    pub sm_id: u32,
+    cfg: SmConfig,
+    scheme: Scheme,
+    setup: Option<KernelSetup>,
+    slots: Vec<Option<BlockSlot>>,
+    log: Option<OperandLog>,
+    exec: ExecUnits,
+    events: BinaryHeap<Reverse<(Cycle, u64, SmEv)>>,
+    seq: u64,
+    tokens: HashMap<AccessToken, (u32, u32, usize)>,
+    completed: Vec<u32>,
+    notices: Vec<FaultNotice>,
+    fetch_rr: usize,
+    issue_rr: usize,
+    /// Last warp that issued (greedy-then-oldest state).
+    greedy_warp: Option<(u32, u32)>,
+    stats: SmStats,
+    probe_on: bool,
+    probe: Vec<ProbeEvent>,
+    /// Reused per-cycle scheduling scratch (allocation-free ticks).
+    order_buf: Vec<(u32, u32)>,
+}
+
+impl Sm {
+    /// A new SM with the given id, configuration and exception scheme.
+    pub fn new(sm_id: u32, cfg: SmConfig, scheme: Scheme) -> Self {
+        let exec = ExecUnits::new(cfg.math_units, cfg.sfu_units, cfg.ldst_units, cfg.branch_units);
+        Sm {
+            sm_id,
+            cfg,
+            scheme,
+            setup: None,
+            slots: Vec::new(),
+            log: None,
+            exec,
+            events: BinaryHeap::new(),
+            seq: 0,
+            tokens: HashMap::new(),
+            completed: Vec::new(),
+            notices: Vec::new(),
+            fetch_rr: 0,
+            issue_rr: 0,
+            greedy_warp: None,
+            stats: SmStats::default(),
+            probe_on: false,
+            probe: Vec::new(),
+            order_buf: Vec::new(),
+        }
+    }
+
+    /// Record per-instruction stage transitions (issue, last TLB check,
+    /// commit, fault) for timing-diagram reproduction. Off by default.
+    pub fn enable_probe(&mut self) {
+        self.probe_on = true;
+    }
+
+    /// Drain the recorded probe events.
+    pub fn take_probe(&mut self) -> Vec<ProbeEvent> {
+        std::mem::take(&mut self.probe)
+    }
+
+    fn record(&mut self, slot: u32, warp: u32, idx: usize, stage: ProbeStage, cycle: Cycle) {
+        if self.probe_on {
+            self.probe.push(ProbeEvent { slot, warp, idx, stage, cycle });
+        }
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// Configure for a kernel: sizes the block slots and, for the
+    /// operand-log scheme, partitions the log across the occupancy.
+    pub fn configure_kernel(&mut self, setup: KernelSetup) {
+        assert!(setup.occupancy_blocks > 0, "kernel does not fit on the SM");
+        self.slots = (0..setup.occupancy_blocks).map(|_| None).collect();
+        self.log = self.scheme.log_slots().map(|s| OperandLog::new(s, setup.occupancy_blocks));
+        self.setup = Some(setup);
+    }
+
+    /// Index of a free block slot, if any.
+    pub fn free_slot(&self) -> Option<u32> {
+        self.slots.iter().position(|s| s.is_none()).map(|i| i as u32)
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> u32 {
+        self.slots.iter().filter(|s| s.is_some()).count() as u32
+    }
+
+    /// Place a fresh block into a free slot. Returns the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free or the kernel was not configured.
+    pub fn assign_block(&mut self, trace: Arc<BlockTrace>) -> u32 {
+        let slot = self.free_slot().expect("no free block slot");
+        let warps =
+            trace.warps.iter().map(|_| Warp::fresh(0, VecDeque::new(), WarpState::Active)).collect();
+        self.slots[slot as usize] = Some(BlockSlot {
+            block_id: trace.block_id,
+            trace,
+            warps,
+            barrier_arrived: 0,
+            state: BlockState::Running,
+        });
+        slot
+    }
+
+    /// Block ids that finished since the last call.
+    pub fn take_completed(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Fault notifications since the last call (drives the local scheduler
+    /// of use case 1 and the GPU-local handler of use case 2).
+    pub fn take_fault_notices(&mut self) -> Vec<FaultNotice> {
+        std::mem::take(&mut self.notices)
+    }
+
+    /// True if no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// True if the SM cannot make progress without an external event:
+    /// every resident warp is faulted, at a barrier that cannot release,
+    /// done, or draining, and no internal completions are pending.
+    pub fn is_stalled(&self) -> bool {
+        if !self.events.is_empty() {
+            return false;
+        }
+        self.slots.iter().flatten().all(|b| {
+            b.state == BlockState::Draining
+                || b.warps.iter().all(|w| {
+                    matches!(
+                        w.state,
+                        WarpState::Faulted
+                            | WarpState::Done
+                            | WarpState::AtBarrier
+                            | WarpState::Trapped
+                    )
+                })
+        })
+    }
+
+    /// Earliest pending internal completion, for idle skip-ahead.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.events.peek().map(|Reverse((c, _, _))| *c)
+    }
+
+    // ------------------------------------------------- context switching
+
+    /// Begin draining `slot` for a context switch: fetch and issue stop,
+    /// in-flight instructions complete.
+    pub fn begin_drain(&mut self, slot: u32) {
+        if let Some(b) = self.slots[slot as usize].as_mut() {
+            b.state = BlockState::Draining;
+        }
+    }
+
+    /// True if `slot` has no in-flight instructions left.
+    pub fn drained(&self, slot: u32) -> bool {
+        self.slots[slot as usize]
+            .as_ref()
+            .is_some_and(|b| b.warps.iter().all(|w| w.inflight.is_empty()))
+    }
+
+    /// Extract the architectural state of a drained block, freeing the
+    /// slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or not drained.
+    pub fn take_block(&mut self, slot: u32) -> SavedBlock {
+        assert!(self.drained(slot), "taking a block with in-flight instructions");
+        let b = self.slots[slot as usize].take().expect("empty slot");
+        if let Some(log) = &mut self.log {
+            log.reset_partition(slot);
+        }
+        let setup = self.setup.expect("kernel not configured");
+        let threads = b.trace.warps.len() as u64 * 32;
+        let mut context = threads * setup.regs_per_thread as u64 * 4
+            + setup.shared_bytes as u64
+            + b.trace.warps.len() as u64 * self.cfg.warp_control_bytes as u64;
+        for w in &b.warps {
+            context += w.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
+        }
+        if let Some(log) = &self.log {
+            context += log.slots_per_partition() as u64 * crate::scheme::LOG_SLOT_BYTES as u64;
+        }
+        self.stats.blocks_switched_out += 1;
+        SavedBlock {
+            block_id: b.block_id,
+            trace: b.trace,
+            warps: b
+                .warps
+                .into_iter()
+                .map(|w| SavedWarp {
+                    state: w.state,
+                    next_issue: w.next_issue,
+                    replay: w.replay,
+                    waiting_regions: w.waiting_regions,
+                    trap_handled: w.trap_handled,
+                })
+                .collect(),
+            barrier_arrived: b.barrier_arrived,
+            context_bytes: context,
+        }
+    }
+
+    /// Re-install a previously saved block into a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free.
+    pub fn restore_block(&mut self, saved: SavedBlock) -> u32 {
+        let slot = self.free_slot().expect("no free slot for restore");
+        let warps = saved
+            .warps
+            .into_iter()
+            .map(|s| {
+                let state = if s.state == WarpState::Trapped { WarpState::Active } else { s.state };
+                let mut w = Warp::fresh(s.next_issue, s.replay, state);
+                w.waiting_regions = s.waiting_regions;
+                w.trap_handled = s.trap_handled;
+                w
+            })
+            .collect();
+        self.slots[slot as usize] = Some(BlockSlot {
+            block_id: saved.block_id,
+            trace: saved.trace,
+            warps,
+            barrier_arrived: saved.barrier_arrived,
+            state: BlockState::Running,
+        });
+        self.stats.blocks_restored += 1;
+        slot
+    }
+
+    /// Context size of a *resident* block, for switch-cost decisions.
+    pub fn context_bytes(&self, slot: u32) -> u64 {
+        let setup = self.setup.expect("kernel not configured");
+        let b = self.slots[slot as usize].as_ref().expect("empty slot");
+        let threads = b.trace.warps.len() as u64 * 32;
+        let mut context = threads * setup.regs_per_thread as u64 * 4
+            + setup.shared_bytes as u64
+            + b.trace.warps.len() as u64 * self.cfg.warp_control_bytes as u64;
+        for w in &b.warps {
+            context += w.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
+        }
+        if let Some(log) = &self.log {
+            context += log.slots_per_partition() as u64 * crate::scheme::LOG_SLOT_BYTES as u64;
+        }
+        context
+    }
+
+    /// True if any warp of `slot` waits on an unresolved fault.
+    pub fn block_has_pending_fault(&self, slot: u32) -> bool {
+        self.slots[slot as usize]
+            .as_ref()
+            .is_some_and(|b| b.warps.iter().any(|w| w.state == WarpState::Faulted))
+    }
+
+    /// Fill-unit broadcast: the 64 KB region containing `region` resolved.
+    /// Faulted warps waiting only on it become runnable again and will
+    /// replay their squashed instructions.
+    pub fn on_region_resolved(&mut self, region: u64) {
+        for b in self.slots.iter_mut().flatten() {
+            for w in &mut b.warps {
+                w.waiting_regions.retain(|&r| r != region);
+                if w.state == WarpState::Faulted && w.waiting_regions.is_empty() {
+                    w.state = WarpState::Active;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- tick
+
+    /// Advance the SM by one cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut MemSystem) {
+        self.stats.cycles += 1;
+        self.drain_internal(now);
+        self.drain_memory(now, mem);
+        self.issue(now, mem);
+        self.fetch(now);
+    }
+
+    fn schedule(&mut self, cycle: Cycle, ev: SmEv) {
+        self.seq += 1;
+        self.events.push(Reverse((cycle, self.seq, ev)));
+    }
+
+    fn drain_internal(&mut self, now: Cycle) {
+        while let Some(Reverse((c, _, _))) = self.events.peek() {
+            if *c > now {
+                break;
+            }
+            let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
+            match ev {
+                SmEv::Complete { slot, warp, idx } => self.commit(now, slot, warp, idx),
+                SmEv::SrcRelease { slot, warp, idx } => self.release_sources(slot, warp, idx),
+                SmEv::TrapDone { slot, warp } => {
+                    if let Some(b) = self.slots[slot as usize].as_mut() {
+                        let w = &mut b.warps[warp as usize];
+                        if w.state == WarpState::Trapped {
+                            w.state = WarpState::Active;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_memory(&mut self, now: Cycle, mem: &mut MemSystem) {
+        for ev in mem.drain_events(self.sm_id) {
+            match ev {
+                AccessEvent::LastTlbCheck { token } => self.on_last_check(now, token),
+                AccessEvent::Data { token } => {
+                    if let Some((slot, warp, idx)) = self.tokens.remove(&token) {
+                        self.commit(now, slot, warp, idx);
+                    }
+                }
+                AccessEvent::Fault { token, pages, queue_pos } => {
+                    self.on_fault(now, token, &pages, queue_pos);
+                }
+            }
+        }
+    }
+
+    fn release_sources(&mut self, slot: u32, warp: u32, idx: usize) {
+        let Some(b) = self.slots[slot as usize].as_mut() else { return };
+        let w = &mut b.warps[warp as usize];
+        if let Some(e) = w.inflight.iter_mut().find(|e| e.idx == idx) {
+            if !e.srcs_released {
+                e.srcs_released = true;
+                w.sb.release_sources(e.srcs.iter().flatten().copied());
+            }
+        }
+    }
+
+    fn on_last_check(&mut self, now: Cycle, token: AccessToken) {
+        let Some(&(slot, warp, idx)) = self.tokens.get(&token) else { return };
+        self.record(slot, warp, idx, ProbeStage::LastCheck, now);
+        // Replay queue: delayed source release happens here.
+        self.release_sources(slot, warp, idx);
+        let Some(b) = self.slots[slot as usize].as_mut() else { return };
+        let w = &mut b.warps[warp as usize];
+        // Operand log entries release once the instruction cannot fault.
+        if let Some(e) = w.inflight.iter_mut().find(|e| e.idx == idx) {
+            if e.log_slots > 0 {
+                if let Some(log) = &mut self.log {
+                    log.release(slot, e.log_slots);
+                }
+                e.log_slots = 0;
+            }
+        }
+        // WD-lastcheck: fetch re-enables at the last TLB check.
+        if self.scheme == Scheme::WdLastCheck && w.fetch_block == FetchBlock::Wd(idx) {
+            w.fetch_block = FetchBlock::None;
+        }
+    }
+
+    fn on_fault(&mut self, now: Cycle, token: AccessToken, pages: &[u64], queue_pos: u32) {
+        let Some((slot, warp, idx)) = self.tokens.remove(&token) else { return };
+        self.record(slot, warp, idx, ProbeStage::Fault, now);
+        self.stats.faults += 1;
+        self.stats.squashed += 1;
+        let Some(b) = self.slots[slot as usize].as_mut() else { return };
+        let w = &mut b.warps[warp as usize];
+        // Squash: undo the instruction's scoreboard effects and remember it
+        // for replay.
+        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("faulted instr in flight");
+        let e = w.inflight.remove(pos);
+        if !e.srcs_released {
+            w.sb.release_sources(e.srcs.iter().flatten().copied());
+        }
+        w.sb.release_dest(e.dst);
+        if e.log_slots > 0 {
+            if let Some(log) = &mut self.log {
+                log.release(slot, e.log_slots);
+            }
+        }
+        // Insert in program order (multiple instructions can fault).
+        let at = w.replay.iter().position(|&r| r > idx).unwrap_or(w.replay.len());
+        w.replay.insert(at, idx);
+        self.stats.peak_replay_entries = self.stats.peak_replay_entries.max(w.replay.len() as u64);
+        // The warp parks; younger fetched-but-unissued instructions flush
+        // and will re-fetch after the replay drains.
+        w.state = WarpState::Faulted;
+        w.ibuffer.clear();
+        w.next_fetch = w.next_issue;
+        w.fetch_block = FetchBlock::None;
+        let mut regions: Vec<u64> = pages.iter().map(|&p| region_of(p)).collect();
+        regions.sort_unstable();
+        regions.dedup();
+        for &r in &regions {
+            if !w.waiting_regions.contains(&r) {
+                w.waiting_regions.push(r);
+            }
+        }
+        self.notices.push(FaultNotice { slot, warp, queue_pos, regions });
+    }
+
+    /// Commit `idx` of `warp` in `slot` (out-of-order commit stage).
+    ///
+    /// If the instruction raises an arithmetic exception (and the scheme is
+    /// preemptible), it is squashed instead: the warp runs the trap handler
+    /// and replays the instruction afterwards — the paper's extension of
+    /// the schemes to non-memory exceptions (Sections 3.1/3.2).
+    fn commit(&mut self, now: Cycle, slot: u32, warp: u32, idx: usize) {
+        if self.scheme.preemptible() && self.trap_if_needed(now, slot, warp, idx) {
+            return;
+        }
+        self.record(slot, warp, idx, ProbeStage::Commit, now);
+        let Some(b) = self.slots[slot as usize].as_mut() else { return };
+        let w = &mut b.warps[warp as usize];
+        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("committing unknown instr");
+        let e = w.inflight.remove(pos);
+        if !e.srcs_released {
+            w.sb.release_sources(e.srcs.iter().flatten().copied());
+        }
+        w.sb.release_dest(e.dst);
+        if e.log_slots > 0 {
+            if let Some(log) = &mut self.log {
+                log.release(slot, e.log_slots);
+            }
+        }
+        if let Some(t) = e.token {
+            self.tokens.remove(&t);
+        }
+        // Fetch re-enable points: branches at commit (baseline), WD at
+        // commit (WD-commit; WD-lastcheck normally re-enabled earlier, but
+        // commit also clears it as a safety net).
+        match w.fetch_block {
+            FetchBlock::Branch(i) if i == idx => w.fetch_block = FetchBlock::None,
+            FetchBlock::Wd(i) if i == idx => w.fetch_block = FetchBlock::None,
+            _ => {}
+        }
+        self.stats.committed += 1;
+        let instr = &b.trace.warps[warp as usize].instrs[idx];
+        if instr.kind == DynKind::Barrier {
+            b.barrier_arrived += 1;
+        }
+        self.after_progress(slot, warp);
+    }
+
+    /// Squash a trapping instruction at its would-be commit point and run
+    /// the handler. Returns true if a trap was taken (first execution only;
+    /// the replay commits normally).
+    fn trap_if_needed(&mut self, now: Cycle, slot: u32, warp: u32, idx: usize) -> bool {
+        let Some(b) = self.slots[slot as usize].as_mut() else { return false };
+        let instr = &b.trace.warps[warp as usize].instrs[idx];
+        if !instr.traps {
+            return false;
+        }
+        let w = &mut b.warps[warp as usize];
+        if w.trap_handled.contains(&idx) {
+            return false; // replay after the handler: commit normally
+        }
+        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("trapping instr in flight");
+        let e = w.inflight.remove(pos);
+        if !e.srcs_released {
+            w.sb.release_sources(e.srcs.iter().flatten().copied());
+        }
+        w.sb.release_dest(e.dst);
+        let at = w.replay.iter().position(|&r| r > idx).unwrap_or(w.replay.len());
+        w.replay.insert(at, idx);
+        w.trap_handled.push(idx);
+        w.state = WarpState::Trapped;
+        w.ibuffer.clear();
+        w.next_fetch = w.next_issue;
+        w.fetch_block = FetchBlock::None;
+        self.record(slot, warp, idx, ProbeStage::Fault, now);
+        self.stats.squashed += 1;
+        self.stats.traps += 1;
+        self.schedule(now + self.cfg.trap_handler_cycles, SmEv::TrapDone { slot, warp });
+        true
+    }
+
+    /// Check warp-done, barrier release and block completion for `slot`.
+    fn after_progress(&mut self, slot: u32, warp: u32) {
+        let Some(b) = self.slots[slot as usize].as_mut() else { return };
+        let trace_len = b.trace.warps[warp as usize].instrs.len();
+        {
+            let w = &mut b.warps[warp as usize];
+            if w.state != WarpState::Done
+                && w.next_issue >= trace_len
+                && w.replay.is_empty()
+                && w.inflight.is_empty()
+            {
+                w.state = WarpState::Done;
+            }
+        }
+        // Barrier release: every non-done warp has arrived.
+        let total = b.warps.len() as u32;
+        let done = b.warps.iter().filter(|w| w.state == WarpState::Done).count() as u32;
+        let at_bar = b.warps.iter().filter(|w| w.state == WarpState::AtBarrier).count() as u32;
+        if at_bar > 0 && b.barrier_arrived >= at_bar && at_bar + done == total {
+            b.barrier_arrived = 0;
+            for w in &mut b.warps {
+                if w.state == WarpState::AtBarrier {
+                    w.state = WarpState::Active;
+                }
+            }
+            self.stats.barriers += 1;
+        }
+        if done == total {
+            let id = b.block_id;
+            self.slots[slot as usize] = None;
+            if let Some(log) = &mut self.log {
+                log.reset_partition(slot);
+            }
+            self.completed.push(id);
+            self.stats.blocks_completed += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ issue
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemSystem) {
+        let width = self.cfg.issue_width;
+        let nslots = self.slots.len();
+        if nslots == 0 {
+            return;
+        }
+        let mut issued = 0u32;
+        let mut warps_used: [(u32, u32); 2] = [(u32::MAX, u32::MAX); 2];
+        let mut warps_used_n = 0usize;
+        // Enumerate (slot, warp) pairs in a loose round-robin.
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        for s in 0..nslots {
+            if let Some(b) = &self.slots[s] {
+                if b.state != BlockState::Running {
+                    continue;
+                }
+                for w in 0..b.warps.len() {
+                    order.push((s as u32, w as u32));
+                }
+            }
+        }
+        if order.is_empty() {
+            self.order_buf = order;
+            self.stats.idle_issue_cycles += 1;
+            return;
+        }
+        match self.cfg.scheduler {
+            SchedulerPolicy::LooseRoundRobin => {
+                let start = self.issue_rr % order.len();
+                order.rotate_left(start);
+                self.issue_rr = self.issue_rr.wrapping_add(1);
+            }
+            SchedulerPolicy::GreedyThenOldest => {
+                // The greedy warp goes first; the rest stay in age order
+                // (slot then warp index).
+                if let Some(g) = self.greedy_warp {
+                    if let Some(pos) = order.iter().position(|&w| w == g) {
+                        order.remove(pos);
+                        order.insert(0, g);
+                    }
+                }
+            }
+        }
+
+        for &(slot, warp) in &order {
+            if issued >= width {
+                break;
+            }
+            if warps_used_n >= 2 && !warps_used[..warps_used_n].contains(&(slot, warp)) {
+                continue;
+            }
+            // Issue as many as allowed from this warp, in program order.
+            while issued < width {
+                if !self.try_issue_one(now, mem, slot, warp) {
+                    break;
+                }
+                issued += 1;
+                self.greedy_warp = Some((slot, warp));
+                if !warps_used[..warps_used_n].contains(&(slot, warp)) {
+                    warps_used[warps_used_n] = (slot, warp);
+                    warps_used_n += 1;
+                }
+            }
+        }
+        self.order_buf = order;
+        if issued == 0 {
+            self.stats.idle_issue_cycles += 1;
+        }
+    }
+
+    /// Try to issue the next instruction of `warp`; returns true on issue.
+    fn try_issue_one(&mut self, now: Cycle, mem: &mut MemSystem, slot: u32, warp: u32) -> bool {
+        let Some(b) = self.slots[slot as usize].as_ref() else { return false };
+        let w = &b.warps[warp as usize];
+        if w.state != WarpState::Active {
+            return false;
+        }
+        // Next instruction: replay entries first, then the ibuffer.
+        let (idx, from_replay) = if let Some(&r) = w.replay.front() {
+            (r, true)
+        } else if let Some(&i) = w.ibuffer.front() {
+            (i, false)
+        } else {
+            return false;
+        };
+        let instr = &b.trace.warps[warp as usize].instrs[idx];
+        // Scoreboard.
+        if !w.sb.can_issue(instr.src_iter(), instr.dst) {
+            let raw = instr.src_iter().any(|s| !w.sb.can_issue([s], None));
+            if raw {
+                self.stats.stall_raw += 1;
+            } else {
+                self.stats.stall_war += 1;
+            }
+            return false;
+        }
+        // Execution unit.
+        let interval = self.initiation_interval(instr);
+        if !self.exec.available(instr.unit, now) {
+            self.stats.stall_unit += 1;
+            return false;
+        }
+        // Operand log capacity.
+        let log_slots = if self.log.is_some() { instr.log_slots() } else { 0 };
+        if log_slots > 0 && !self.log.as_ref().expect("log").can_allocate(slot, log_slots) {
+            self.stats.stall_log += 1;
+            return false;
+        }
+
+        // --- All gates passed: issue. ---
+        let reserved = self.exec.reserve(instr.unit, now, interval);
+        debug_assert!(reserved);
+        if log_slots > 0 {
+            let ok = self.log.as_mut().expect("log").allocate(slot, log_slots);
+            debug_assert!(ok);
+        }
+        let is_global = instr.can_fault();
+        let dst = instr.dst;
+        let srcs = instr.srcs;
+        let kind = instr.kind;
+        let op = instr.op;
+        let lines: Vec<u64> =
+            instr.mem.as_ref().map(|m| m.lines.clone()).unwrap_or_default();
+        let warp_disable = self.scheme.warp_disable();
+        let mut token = None;
+        if is_global {
+            let access_kind = match op {
+                Opcode::Atom(..) => AccessKind::Atomic,
+                Opcode::St(..) => AccessKind::Store,
+                _ => AccessKind::Load,
+            };
+            // The access starts after the operand-read stage.
+            let t = mem.start_access(now + 1, self.sm_id, access_kind, &lines);
+            self.tokens.insert(t, (slot, warp, idx));
+            token = Some(t);
+        }
+        {
+            let b = self.slots[slot as usize].as_mut().expect("slot checked above");
+            let w = &mut b.warps[warp as usize];
+            w.sb.issue(srcs.iter().flatten().copied(), dst);
+            if from_replay {
+                w.replay.pop_front();
+            } else {
+                w.ibuffer.pop_front();
+                w.next_issue = idx + 1;
+            }
+            // Warp-disable: the barrier semantics follow the instruction
+            // through replay too.
+            if is_global && warp_disable {
+                w.fetch_block = FetchBlock::Wd(idx);
+            }
+            w.inflight.push(Inflight { idx, dst, srcs, token, srcs_released: false, log_slots });
+            if kind == DynKind::Barrier {
+                w.state = WarpState::AtBarrier;
+            }
+        }
+        let srcs_deferred = is_global && self.scheme.delayed_source_release();
+        if !srcs_deferred {
+            self.schedule(now + 1, SmEv::SrcRelease { slot, warp, idx });
+        }
+        if !is_global {
+            let latency = self.fixed_latency(op, kind, &lines);
+            self.schedule(now + 1 + latency, SmEv::Complete { slot, warp, idx });
+        }
+        self.stats.issued += 1;
+        self.record(slot, warp, idx, ProbeStage::Issue, now);
+        true
+    }
+
+    fn initiation_interval(&self, instr: &DynInstr) -> Cycle {
+        match instr.unit {
+            Unit::Math | Unit::Branch => 1,
+            Unit::Sfu => self.cfg.sfu_interval,
+            Unit::LdSt => match &instr.mem {
+                Some(m) if m.space == Space::Global && !m.lines.is_empty() => {
+                    m.lines.len() as Cycle
+                }
+                _ => 2,
+            },
+        }
+    }
+
+    fn fixed_latency(&self, op: Opcode, kind: DynKind, lines: &[u64]) -> Cycle {
+        match op {
+            Opcode::Malloc => self.cfg.malloc_latency,
+            Opcode::Ld(Space::Shared, _) | Opcode::St(Space::Shared, _) => self.cfg.shared_latency,
+            // A fully predicated-off global access never leaves the SM.
+            Opcode::Ld(..) | Opcode::St(..) | Opcode::Atom(..) if lines.is_empty() => 1,
+            _ if kind != DynKind::Normal => self.cfg.branch_latency,
+            _ if op.unit() == Unit::Sfu => self.cfg.sfu_latency,
+            _ => self.cfg.alu_latency,
+        }
+    }
+
+    // ------------------------------------------------------------ fetch
+
+    fn fetch(&mut self, _now: Cycle) {
+        // One warp per cycle refills its ibuffer with up to fetch_width
+        // instructions.
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        for s in 0..self.slots.len() {
+            if let Some(b) = &self.slots[s] {
+                if b.state != BlockState::Running {
+                    continue;
+                }
+                for w in 0..b.warps.len() {
+                    order.push((s as u32, w as u32));
+                }
+            }
+        }
+        if order.is_empty() {
+            self.order_buf = order;
+            return;
+        }
+        let start = self.fetch_rr % order.len();
+        order.rotate_left(start);
+        self.fetch_rr = self.fetch_rr.wrapping_add(1);
+
+        for &(slot, warp) in &order {
+            let b = self.slots[slot as usize].as_mut().expect("enumerated above");
+            let trace = &b.trace.warps[warp as usize].instrs;
+            let w = &mut b.warps[warp as usize];
+            if w.state != WarpState::Active && w.state != WarpState::AtBarrier {
+                continue;
+            }
+            if w.fetch_block != FetchBlock::None {
+                self.stats.fetch_blocked += 1;
+                continue;
+            }
+            if w.ibuffer.len() as u32 >= self.cfg.ibuffer_entries || w.next_fetch >= trace.len() {
+                continue;
+            }
+            // This warp fetches this cycle.
+            for _ in 0..self.cfg.fetch_width {
+                if w.ibuffer.len() as u32 >= self.cfg.ibuffer_entries
+                    || w.next_fetch >= trace.len()
+                {
+                    break;
+                }
+                let idx = w.next_fetch;
+                w.ibuffer.push_back(idx);
+                w.next_fetch += 1;
+                let instr = &trace[idx];
+                if instr.op.is_control() {
+                    w.fetch_block = FetchBlock::Branch(idx);
+                    break;
+                }
+                if self.scheme.warp_disable() && instr.can_fault() {
+                    w.fetch_block = FetchBlock::Wd(idx);
+                    break;
+                }
+            }
+            break; // only one warp fetches per cycle
+        }
+        self.order_buf = order;
+    }
+}

@@ -1,0 +1,100 @@
+//! SM pipeline statistics.
+
+/// Counters accumulated by one SM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Cycles the SM was ticked.
+    pub cycles: u64,
+    /// Warp instructions issued (including replays).
+    pub issued: u64,
+    /// Warp instructions committed.
+    pub committed: u64,
+    /// Instructions squashed by faults (later replayed).
+    pub squashed: u64,
+    /// Fault notifications received.
+    pub faults: u64,
+    /// Arithmetic exceptions taken (squash + handler + replay).
+    pub traps: u64,
+    /// Cycles in which nothing issued.
+    pub idle_issue_cycles: u64,
+    /// Issue attempts blocked by RAW/WAW dependences.
+    pub stall_raw: u64,
+    /// Issue attempts blocked by WAR (source holds) — the replay-queue
+    /// scheme's delayed release shows up here.
+    pub stall_war: u64,
+    /// Issue attempts blocked by busy execution units.
+    pub stall_unit: u64,
+    /// Issue attempts blocked by a full operand-log partition.
+    pub stall_log: u64,
+    /// Warp-fetch opportunities lost to disabled fetch (branches and the
+    /// warp-disable schemes).
+    pub fetch_blocked: u64,
+    /// Barriers released.
+    pub barriers: u64,
+    /// Thread blocks completed.
+    pub blocks_completed: u64,
+    /// Blocks switched out (use case 1).
+    pub blocks_switched_out: u64,
+    /// Blocks restored from off-chip state.
+    pub blocks_restored: u64,
+    /// Peak replay-queue length observed across warps (hardware sizing).
+    pub peak_replay_entries: u64,
+}
+
+impl SmStats {
+    /// Merge another SM's counters into this one (peaks take the max).
+    pub fn merge(&mut self, o: &SmStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.issued += o.issued;
+        self.committed += o.committed;
+        self.squashed += o.squashed;
+        self.faults += o.faults;
+        self.traps += o.traps;
+        self.idle_issue_cycles += o.idle_issue_cycles;
+        self.stall_raw += o.stall_raw;
+        self.stall_war += o.stall_war;
+        self.stall_unit += o.stall_unit;
+        self.stall_log += o.stall_log;
+        self.fetch_blocked += o.fetch_blocked;
+        self.barriers += o.barriers;
+        self.blocks_completed += o.blocks_completed;
+        self.blocks_switched_out += o.blocks_switched_out;
+        self.blocks_restored += o.blocks_restored;
+        self.peak_replay_entries = self.peak_replay_entries.max(o.peak_replay_entries);
+    }
+
+    /// Committed instructions per ticked cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_merge() {
+        let mut a = SmStats { cycles: 100, committed: 150, ..Default::default() };
+        assert!((a.ipc() - 1.5).abs() < 1e-12);
+        let b = SmStats {
+            cycles: 200,
+            committed: 50,
+            peak_replay_entries: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 200); // max, not sum
+        assert_eq!(a.committed, 200);
+        assert_eq!(a.peak_replay_entries, 7);
+    }
+
+    #[test]
+    fn zero_cycles_ipc_is_zero() {
+        assert_eq!(SmStats::default().ipc(), 0.0);
+    }
+}

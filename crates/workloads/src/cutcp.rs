@@ -1,0 +1,145 @@
+//! `cutcp` — cutoff-limited Coulombic potential (Parboil).
+//!
+//! Each thread accumulates the potential of one lattice point over a tile
+//! of atoms staged in shared memory: distance computation (FMA chain),
+//! cutoff test (predication) and `rsqrt` (SFU) per atom. Compute-dense
+//! with barriers per tile and very high TLP.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Atoms staged per shared-memory tile (2 values each: coordinate+charge).
+const TILE_ATOMS: u64 = 128;
+
+fn config(preset: Preset) -> (u64, u64) {
+    // (lattice points, atoms)
+    match preset {
+        Preset::Test => (1024, 256),
+        Preset::Bench => (4096, 512),
+        Preset::Paper => (8192, 1024),
+    }
+}
+
+/// Build the `cutcp` workload.
+pub fn build(preset: Preset) -> Workload {
+    let (points, atoms) = config(preset);
+    let mut va = VaAlloc::new();
+    let atom_buf = va.alloc(atoms * 8); // (x, q) pairs
+    let lattice = va.alloc(points * 4);
+
+    let mut a = Asm::new();
+    let (tid, i, tile, addr) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (ax, q, px, d) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let (r2, pot, t, cut2) = (Reg(8), Reg(9), Reg(10), Reg(11));
+    let p = Pred(0);
+    let in_cut = Pred(1);
+
+    a.gtid(tid);
+    // px = point coordinate derived from the index
+    a.i2f(px, tid);
+    a.mov_f32(t, 1.0 / 64.0);
+    a.fmul(px, px, t);
+    a.mov_f32(pot, 0.0);
+    a.mov_f32(cut2, 2.25); // cutoff^2
+    a.mov(tile, 0u64);
+    a.label("tiles");
+    // cooperative stage: thread tid loads atom (tile*TILE + flat_tid)
+    a.flat_tid(t);
+    a.mad(addr, tile, TILE_ATOMS, t);
+    a.rem(addr, addr, atoms);
+    a.shl_imm(addr, addr, 3);
+    a.add(addr, addr, atom_buf);
+    a.ld_global_u32(ax, addr, 0);
+    a.ld_global_u32(q, addr, 4);
+    a.shl_imm(t, t, 3);
+    a.st_shared_u32(t, ax, 0);
+    a.st_shared_u32(t, q, 4);
+    a.bar();
+    // accumulate over the staged tile
+    a.mov(i, 0u64);
+    a.label("atoms");
+    a.shl_imm(t, i, 3);
+    a.ld_shared_u32(ax, t, 0);
+    a.ld_shared_u32(q, t, 4);
+    a.fsub(d, ax, px);
+    a.fmul(r2, d, d);
+    a.mov_f32(t, 0.01);
+    a.fadd(r2, r2, t); // softening
+    a.setp(in_cut, CmpKind::Lt, CmpType::F32, r2, cut2);
+    a.guard(in_cut, true);
+    a.frsqrt(d, r2);
+    a.ffma(pot, q, d, pot);
+    a.unguard();
+    a.add(i, i, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, i, TILE_ATOMS);
+    a.bra_if("atoms", p, true);
+    a.bar();
+    a.add(tile, tile, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, tile, atoms / TILE_ATOMS);
+    a.bra_if("tiles", p, true);
+    // lattice[tid] = pot
+    a.shl_imm(addr, tid, 2);
+    a.add(addr, addr, lattice);
+    a.st_global_u32(addr, pot, 0);
+    a.exit();
+
+    let kernel = KernelBuilder::new("cutcp", a.assemble().expect("cutcp assembles"))
+        .grid(Dim3::x((points / 128) as u32))
+        .block(Dim3::x(128))
+        .regs_per_thread(24)
+        .shared_bytes((TILE_ATOMS * 8) as u32)
+        .build()
+        .expect("cutcp kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0xc07c);
+    for i in 0..atoms {
+        image.write_f32(atom_buf + i * 8, rng.gen_range(0.0..64.0));
+        image.write_f32(atom_buf + i * 8 + 4, rng.gen_range(-1.0..1.0));
+    }
+
+    Workload::build(
+        "cutcp",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "atoms", addr: atom_buf, len: atoms * 8, kind: BufferKind::Input },
+            BufferSpec { name: "lattice", addr: lattice, len: points * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_dense_with_tiling_barriers() {
+        let w = build(Preset::Test);
+        assert!(w.func.barriers >= 2);
+        let mem = w.func.global_loads + w.func.global_stores;
+        assert!(
+            w.func.dyn_instrs > mem * 20,
+            "cutcp is compute-dense: {} vs {mem}",
+            w.func.dyn_instrs
+        );
+    }
+
+    #[test]
+    fn cutoff_guard_present() {
+        let w = build(Preset::Test);
+        // SFU rsqrt appears (inside the cutoff guard).
+        let sfu = w.trace.blocks[0].warps[0]
+            .instrs
+            .iter()
+            .filter(|d| d.unit == gex_isa::op::Unit::Sfu)
+            .count();
+        assert!(sfu > 0);
+    }
+}

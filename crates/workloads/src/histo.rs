@@ -1,0 +1,146 @@
+//! `histo` — histogramming (Parboil).
+//!
+//! Like the optimized Parboil kernel, each block accumulates a private
+//! histogram in shared memory while streaming the input with a grid-stride
+//! loop, then merges it into the global histogram with one atomic per bin.
+//! Irregular shared-memory updates dominate, with a burst of contended
+//! global atomics at the end (+11% from block switching on NVLink,
+//! Section 5.3). Same-bin updates within one warp may coalesce, mirroring
+//! the warp-aggregation trick real histogram kernels use.
+//!
+//! Like Parboil's `histo` (whose output is a rendered 996x1024 histogram
+//! image, not just the bins), each block finally writes its partial view
+//! into a block-private 64 KB slice of a large output image — the big,
+//! block-bursty output footprint that Figures 12/14 exercise.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Histogram bins (one byte of key space).
+pub const BINS: u64 = 256;
+
+fn config(preset: Preset) -> (u64, u32) {
+    // (elements, blocks)
+    match preset {
+        Preset::Test => (8 * 1024, 4),
+        Preset::Bench => (512 * 1024, 256),
+        Preset::Paper => (1024 * 1024, 512),
+    }
+}
+
+/// Build the `histo` workload over `n` random keys.
+pub fn build(preset: Preset) -> Workload {
+    let (n, blocks) = config(preset);
+    let threads_per_block = 256u64;
+    let total_threads = blocks as u64 * threads_per_block;
+    let in_bytes = n * 4;
+    // 16 KB image slice per block (the rendered histogram rows this block
+    // owns); four blocks share a 64 KB fault region.
+    let img_bytes = blocks as u64 * 16384;
+    let mut va = VaAlloc::new();
+    let input = va.alloc(in_bytes);
+    let bins = va.alloc(BINS * 4);
+    let img = va.alloc(img_bytes);
+
+    let mut a = Asm::new();
+    let (i, addr, v, bin, one, old) = (Reg(0), Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+    let cur = Reg(6);
+    let p = Pred(0);
+    a.gtid(i);
+    a.mov(one, 1u64);
+    a.label("loop");
+    // v = input[i]
+    a.shl_imm(addr, i, 2);
+    a.add(addr, addr, input);
+    a.ld_global_u32(v, addr, 0);
+    // a light hash so the bin is not trivially the low byte
+    a.mul(bin, v, 2654435761u64);
+    a.shr_imm(bin, bin, 8);
+    a.and(bin, bin, BINS - 1);
+    a.shl_imm(bin, bin, 2);
+    // private (per-block) histogram update in shared memory
+    a.ld_shared_u32(cur, bin, 0);
+    a.add(cur, cur, one);
+    a.st_shared_u32(bin, cur, 0);
+    a.add(i, i, total_threads);
+    a.setp(p, CmpKind::Lt, CmpType::U64, i, n);
+    a.bra_if("loop", p, true);
+    // merge: thread t owns bin t (256 threads, 256 bins)
+    a.bar();
+    a.flat_tid(v);
+    a.shl_imm(bin, v, 2);
+    a.ld_shared_u32(cur, bin, 0);
+    a.add(addr, bin, bins);
+    a.atom_add_u32(old, addr, cur);
+    // render: each block writes its 16 KB slice of the histogram image
+    // (64 B per thread), scaled from its private bin.
+    a.flat_ctaid(old);
+    a.shl_imm(old, old, 14); // block slice base
+    a.flat_tid(addr);
+    a.shl_imm(addr, addr, 6); // 64 B per thread
+    a.add(addr, addr, old);
+    a.add(addr, addr, img);
+    for k in 0..16i64 {
+        a.st_global_u32(addr, cur, k * 4);
+    }
+    a.exit();
+
+    let kernel = KernelBuilder::new("histo", a.assemble().expect("histo assembles"))
+        .grid(Dim3::x(blocks))
+        .block(Dim3::x(threads_per_block as u32))
+        .regs_per_thread(16)
+        .shared_bytes((BINS * 4) as u32)
+        .build()
+        .expect("histo kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x4157);
+    for i in 0..n {
+        image.write_u32(input + i * 4, rng.gen());
+    }
+
+    Workload::build(
+        "histo",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "input", addr: input, len: in_bytes, kind: BufferKind::Input },
+            BufferSpec { name: "bins", addr: bins, len: BINS * 4, kind: BufferKind::Output },
+            BufferSpec { name: "image", addr: img, len: img_bytes, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_every_element_and_merges_once() {
+        let w = build(Preset::Test);
+        let (n, blocks) = config(Preset::Test);
+        assert_eq!(w.name, "histo");
+        assert_eq!(w.func.global_loads * 32, n);
+        // One merge atomic per thread: 256 threads per block, 8 warp-level
+        // atomics per block.
+        assert_eq!(w.func.atomics, blocks as u64 * 8);
+        // The image render: 16 stores per warp per block.
+        assert_eq!(w.func.global_stores, blocks as u64 * 8 * 16);
+        // Two shared accesses per element plus the merge read.
+        assert!(w.func.shared_accesses * 32 >= 2 * n);
+    }
+
+    #[test]
+    fn private_histogram_updates_scatter_in_shared_memory() {
+        let w = build(Preset::Test);
+        // shared-memory traffic dominates global atomics (privatization)
+        assert!(w.func.shared_accesses > w.func.atomics * 10);
+        assert!(w.func.barriers > 0, "merge phase is barrier-separated");
+    }
+}

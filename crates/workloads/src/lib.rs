@@ -1,0 +1,33 @@
+//! # gex-workloads — the benchmark suite
+//!
+//! Characteristic reimplementations of the paper's evaluation workloads in
+//! the gex ISA: the eleven Parboil benchmarks (Section 5.1), four
+//! Halloc-style dynamic-allocation benchmarks and the quad-tree CUDA sample
+//! (Section 5.4). Each module documents which traits of the original it
+//! preserves (occupancy, instruction mix, access pattern, divergence, load
+//! imbalance) — the properties the paper's analysis leans on.
+//!
+//! Build one workload with its module's `build(preset)`, or whole suites
+//! with [`suite::parboil`] and [`suite::halloc`] (which includes the
+//! quad-tree sample).
+
+#![warn(missing_docs)]
+
+pub mod types;
+pub mod suite;
+
+pub mod bfs;
+pub mod cutcp;
+pub mod halloc;
+pub mod histo;
+pub mod lbm;
+pub mod mri_gridding;
+pub mod mri_q;
+pub mod quadtree;
+pub mod sad;
+pub mod sgemm;
+pub mod spmv;
+pub mod stencil;
+pub mod tpacf;
+
+pub use types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};

@@ -1,0 +1,145 @@
+//! `mri-gridding` — k-space gridding scatter (Parboil).
+//!
+//! Samples scatter onto a regular grid with atomics. The defining trait the
+//! paper analyzes (Section 5.3) is **massive load imbalance**: thread-block
+//! execution times differ by two orders of magnitude, which makes the
+//! benchmark *lose* performance under block switching (0.85x) because
+//! reordering the long blocks ruins the accidental balance of the original
+//! distribution. We reproduce the imbalance with a deterministic sample
+//! count per block: most blocks process a handful of samples, every 23rd
+//! block processes ~100x more.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn config(preset: Preset) -> (u32, u64, u64) {
+    // (blocks, light iterations, heavy iterations)
+    match preset {
+        Preset::Test => (24, 2, 128),
+        Preset::Bench => (384, 5, 250),
+        Preset::Paper => (768, 5, 350),
+    }
+}
+
+/// Grid cells in the output.
+const GRID_CELLS: u64 = 16 * 1024;
+
+/// Build the `mri-gridding` workload.
+pub fn build(preset: Preset) -> Workload {
+    let (blocks, light, heavy) = config(preset);
+    let samples = blocks as u64 * heavy; // generous sample pool
+    let mut va = VaAlloc::new();
+    let sample_buf = va.alloc(samples * 8); // (coordinate, weight)
+    let grid = va.alloc(GRID_CELLS * 4);
+
+    let mut a = Asm::new();
+    let (bid, tid, iters, i) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (addr, coord, wgt, cell) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let (t, old) = (Reg(8), Reg(9));
+    let p = Pred(0);
+    let q = Pred(1);
+
+    a.flat_ctaid(bid);
+    a.flat_tid(tid);
+    // iters = (bid % 23 == 0) ? heavy : light — two orders of magnitude of
+    // block-level imbalance (23 is coprime to the 16-SM round-robin, so
+    // the initial dispatch lands heavy blocks on distinct SMs, matching
+    // the paper's "the original thread block distribution ... happens to
+    // almost evenly spread the longest blocks across the SMs").
+    a.rem(t, bid, 23u64);
+    a.setp(q, CmpKind::Eq, CmpType::U64, t, 0u64);
+    a.sel(iters, q, heavy, light);
+    a.mov(i, 0u64);
+    a.label("sloop");
+    // sample index = (bid * heavy + i*warp-spread + tid) % samples
+    a.mul(addr, bid, heavy);
+    a.mad(addr, i, 128u64, addr);
+    a.add(addr, addr, tid);
+    a.rem(addr, addr, samples);
+    a.shl_imm(addr, addr, 3);
+    a.add(addr, addr, sample_buf);
+    a.ld_global_u32(coord, addr, 0);
+    a.ld_global_u32(wgt, addr, 4);
+    // weight shaping: w' = w * rsqrt(coord^2 + 1)
+    a.fmul(t, coord, coord);
+    a.mov_f32(old, 1.0);
+    a.fadd(t, t, old);
+    a.frsqrt(t, t);
+    a.fmul(wgt, wgt, t);
+    // The real pipeline bins and sorts samples first, so consecutive
+    // samples scatter to nearby grid cells: cell = sample/4 plus a small
+    // data-dependent jitter.
+    a.shr_imm(cell, addr, 5); // recover a monotone sample ordinal
+    a.mul(t, coord, 2654435761u64);
+    a.shr_imm(t, t, 29); // 0..7 jitter
+    a.add(cell, cell, t);
+    a.and(cell, cell, GRID_CELLS - 1);
+    a.shl_imm(cell, cell, 2);
+    a.add(cell, cell, grid);
+    a.atom_add_u32(old, cell, wgt);
+    a.add(i, i, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, i, iters);
+    a.bra_if("sloop", p, true);
+    a.exit();
+
+    let kernel = KernelBuilder::new("mri-gridding", a.assemble().expect("gridding assembles"))
+        .grid(Dim3::x(blocks))
+        .block(Dim3::x(128))
+        .regs_per_thread(24)
+        .build()
+        .expect("mri-gridding kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x321d);
+    for s in 0..samples {
+        image.write_f32(sample_buf + s * 8, rng.gen_range(-2.0..2.0));
+        image.write_f32(sample_buf + s * 8 + 4, rng.gen_range(0.0..1.0));
+    }
+
+    Workload::build(
+        "mri-gridding",
+        &kernel,
+        image,
+        vec![
+            BufferSpec {
+                name: "samples",
+                addr: sample_buf,
+                len: samples * 8,
+                kind: BufferKind::Input,
+            },
+            BufferSpec { name: "grid", addr: grid, len: GRID_CELLS * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_orders_of_magnitude_block_imbalance() {
+        let w = build(Preset::Test);
+        let lens: Vec<u64> = w.trace.blocks.iter().map(|b| b.dyn_instrs()).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(
+            max >= min * 30,
+            "paper reports two orders of magnitude of imbalance: {min} vs {max}"
+        );
+    }
+
+    #[test]
+    fn heavy_blocks_are_the_minority() {
+        let w = build(Preset::Test);
+        let lens: Vec<u64> = w.trace.blocks.iter().map(|b| b.dyn_instrs()).collect();
+        let max = *lens.iter().max().unwrap();
+        let heavy = lens.iter().filter(|&&l| l > max / 2).count();
+        assert!(heavy * 8 <= lens.len(), "{heavy} heavy of {}", lens.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! `mri-q` — MRI reconstruction Q-matrix (Parboil).
+//!
+//! Each thread computes one image-space point, looping over all k-space
+//! samples: a phase accumulation with `sin`/`cos` per sample. SFU-bound,
+//! compute-dense, tiny working set with massive TLP — a kernel the schemes
+//! barely touch (Section 5.2's "high level of TLP" group).
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn config(preset: Preset) -> (u64, u64) {
+    // (image points, k-space samples)
+    match preset {
+        Preset::Test => (1024, 16),
+        Preset::Bench => (16 * 1024, 48),
+        Preset::Paper => (32 * 1024, 96),
+    }
+}
+
+/// Build the `mri-q` workload.
+pub fn build(preset: Preset) -> Workload {
+    let (points, ksamples) = config(preset);
+    let mut va = VaAlloc::new();
+    // per point: x coordinate; per sample: (kx, phi_mag) pairs
+    let xs = va.alloc(points * 4);
+    let kdata = va.alloc(ksamples * 8);
+    let qr = va.alloc(points * 4);
+    let qi = va.alloc(points * 4);
+
+    let mut a = Asm::new();
+    let (i, x, k, addr) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (kx, mag, phi, accr) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let (acci, s, c, t) = (Reg(8), Reg(9), Reg(10), Reg(11));
+    let p = Pred(0);
+
+    a.gtid(i);
+    a.shl_imm(addr, i, 2);
+    a.add(addr, addr, xs);
+    a.ld_global_u32(x, addr, 0);
+    a.mov_f32(accr, 0.0);
+    a.mov_f32(acci, 0.0);
+    a.mov(k, 0u64);
+    a.label("kloop");
+    // load (kx, mag)
+    a.shl_imm(addr, k, 3);
+    a.add(addr, addr, kdata);
+    a.ld_global_u32(kx, addr, 0);
+    a.ld_global_u32(mag, addr, 4);
+    // phi = kx * x; accr += mag*cos(phi); acci += mag*sin(phi)
+    a.fmul(phi, kx, x);
+    a.fcos(c, phi);
+    a.fsin(s, phi);
+    a.ffma(accr, mag, c, accr);
+    a.ffma(acci, mag, s, acci);
+    a.add(k, k, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, k, ksamples);
+    a.bra_if("kloop", p, true);
+    // store Qr/Qi
+    a.shl_imm(addr, i, 2);
+    a.add(t, addr, qr);
+    a.st_global_u32(t, accr, 0);
+    a.add(t, addr, qi);
+    a.st_global_u32(t, acci, 0);
+    a.exit();
+
+    let kernel = KernelBuilder::new("mri-q", a.assemble().expect("mri-q assembles"))
+        .grid(Dim3::x((points / 256) as u32))
+        .block(Dim3::x(256))
+        .regs_per_thread(20)
+        .build()
+        .expect("mri-q kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x3219);
+    for i in 0..points {
+        image.write_f32(xs + i * 4, rng.gen_range(-1.0..1.0));
+    }
+    for s in 0..ksamples {
+        image.write_f32(kdata + s * 8, rng.gen_range(-3.0..3.0));
+        image.write_f32(kdata + s * 8 + 4, rng.gen_range(0.0..1.0));
+    }
+
+    Workload::build(
+        "mri-q",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "x", addr: xs, len: points * 4, kind: BufferKind::Input },
+            BufferSpec { name: "kdata", addr: kdata, len: ksamples * 8, kind: BufferKind::Input },
+            BufferSpec { name: "Qr", addr: qr, len: points * 4, kind: BufferKind::Output },
+            BufferSpec { name: "Qi", addr: qi, len: points * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gex_isa::op::{Opcode, Unit};
+
+    #[test]
+    fn sfu_heavy_mix() {
+        let w = build(Preset::Test);
+        let sfu = w.trace.blocks[0].warps[0]
+            .instrs
+            .iter()
+            .filter(|d| d.unit == Unit::Sfu)
+            .count();
+        let total = w.trace.blocks[0].warps[0].instrs.len();
+        assert!(sfu * 8 > total, "sin/cos per sample: {sfu} SFU of {total}");
+        assert!(w.trace.blocks[0].warps[0].instrs.iter().any(|d| d.op == Opcode::FSin));
+    }
+
+    #[test]
+    fn high_tlp() {
+        let w = build(Preset::Bench);
+        // 64 blocks x 8 warps: plenty of warps for 16 SMs.
+        assert!(w.trace.blocks.len() >= 64);
+        assert_eq!(w.trace.warps_per_block, 8);
+    }
+}

@@ -1,0 +1,127 @@
+//! `quad-tree` — the CUDA SDK sample ported to dynamic allocation
+//! (Section 5.4).
+//!
+//! The paper modified the sample so each node allocates its children
+//! dynamically instead of pre-allocating the whole tree, and removed the
+//! dynamic kernel launches (a simulator limitation we share). We model the
+//! same shape: an in-kernel loop over tree levels where each active node
+//! `malloc`s storage for its four children and initializes them; whether a
+//! node subdivides is a deterministic hash of its id, giving the irregular,
+//! divergent allocation pattern of real tree construction.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+
+fn config(preset: Preset) -> (u32, u64) {
+    // (blocks of candidate nodes, tree depth)
+    match preset {
+        Preset::Test => (4, 3),
+        Preset::Bench => (16, 4),
+        Preset::Paper => (32, 5),
+    }
+}
+
+/// Bytes per child node record.
+const NODE_BYTES: u64 = 64;
+
+/// Build the `quad-tree` workload.
+pub fn build(preset: Preset) -> Workload {
+    let (nblocks, depth) = config(preset);
+    let mut va = VaAlloc::new();
+    let out_len = nblocks as u64 * 128 * 8;
+    let roots = va.alloc(out_len);
+
+    let mut a = Asm::new();
+    let (i, level, node_id, ptr) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (t, addr, k, child) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let p = Pred(0);
+    let subdivide = Pred(1);
+
+    a.gtid(i);
+    a.mov(node_id, i);
+    a.mov(level, 0u64);
+    a.label("levels");
+    // subdivide if hash(node_id, level) has its low 2 bits clear on deeper
+    // levels (the tree thins out as it grows).
+    a.mad(t, node_id, 2654435761u64, level);
+    a.shr_imm(t, t, 7);
+    a.and(t, t, 3u64);
+    // threshold = 4 / (level + 1): level 0 always subdivides, deeper
+    // levels subdivide with shrinking probability.
+    a.add(k, level, 1u64);
+    a.div(child, 4u64, k);
+    a.setp(subdivide, CmpKind::Lt, CmpType::U64, t, child);
+    a.if_begin(subdivide, true);
+    // allocate the 4 children in one contiguous record
+    a.malloc(ptr, 4 * NODE_BYTES);
+    a.mov(k, 0u64);
+    a.label("children");
+    a.mul(addr, k, NODE_BYTES);
+    a.add(addr, addr, ptr);
+    // child header: (parent id, level)
+    a.st_global_u64(addr, node_id, 0);
+    a.st_global_u64(addr, level, 8);
+    // read a child field back (dependent use of fresh memory)
+    a.ld_global_u64(child, addr, 0);
+    a.add(k, k, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, k, 4u64);
+    a.bra_if("children", p, true);
+    // descend into child chosen by the hash
+    a.add(node_id, child, level);
+    a.if_end();
+    a.add(level, level, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, level, depth);
+    a.bra_if("levels", p, true);
+    // publish the last allocation (or zero) per thread
+    a.shl_imm(addr, i, 3);
+    a.add(addr, addr, roots);
+    a.st_global_u64(addr, ptr, 0);
+    a.exit();
+
+    let kernel = KernelBuilder::new("quad-tree", a.assemble().expect("quad-tree assembles"))
+        .grid(Dim3::x(nblocks))
+        .block(Dim3::x(128))
+        .regs_per_thread(16)
+        .build()
+        .expect("quad-tree kernel");
+
+    Workload::build(
+        "quad-tree",
+        &kernel,
+        MemImage::new(),
+        vec![BufferSpec { name: "roots", addr: roots, len: out_len, kind: BufferKind::Output }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_across_levels_with_divergence() {
+        let w = build(Preset::Test);
+        assert!(w.func.mallocs > 0);
+        assert!(w.heap_bytes > 0);
+        // Subdivision is data-dependent: divergent execution appears.
+        let partial = w
+            .trace
+            .blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .flat_map(|wp| &wp.instrs)
+            .filter(|d| d.active != gex_isa::FULL_MASK && d.active != 0)
+            .count();
+        assert!(partial > 0, "tree construction must diverge");
+    }
+
+    #[test]
+    fn deeper_presets_allocate_more() {
+        let small = build(Preset::Test);
+        let big = build(Preset::Bench);
+        assert!(big.heap_bytes > small.heap_bytes);
+    }
+}

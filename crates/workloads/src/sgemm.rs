@@ -1,0 +1,154 @@
+//! `sgemm` — dense single-precision matrix multiply (Parboil).
+//!
+//! The classic shared-memory tiled GEMM: each 16x16 thread block computes a
+//! C tile, streaming A and B tiles through shared memory with barriers
+//! between the load and compute phases. Compute-dense with regular,
+//! fully-coalesced global traffic — one of the two kernels the paper calls
+//! out as profiting from block switching (Section 5.3: +13% on NVLink).
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tile edge (threads per block side).
+const TILE: u64 = 16;
+
+fn dims(preset: Preset) -> (u64, u64, u64) {
+    // (m, n, k): C[m x n] = A[m x k] x B[k x n], with a deep K so each
+    // block computes long enough to overlap its neighbours' migrations —
+    // each band of block rows streams its own slice of A, and the grid
+    // oversubscribes the 16-SM GPU.
+    match preset {
+        Preset::Test => (64, 32, 64),
+        Preset::Bench => (320, 128, 512),
+        Preset::Paper => (640, 128, 512),
+    }
+}
+
+/// Build the `sgemm` workload: `C = A x B` with a tall `A`.
+pub fn build(preset: Preset) -> Workload {
+    let (m, n, k) = dims(preset);
+    let mut va = VaAlloc::new();
+    let a_base = va.alloc(m * k * 4);
+    let b_base = va.alloc(k * n * 4);
+    let c_base = va.alloc(m * n * 4);
+
+    let mut asm = Asm::new();
+    let (tx, ty, row, col) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (addr, v, acc, kt) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let (soff, t0, t1) = (Reg(8), Reg(9), Reg(10));
+    let p = Pred(0);
+
+    asm.special(tx, gex_isa::reg::SpecialReg::TidX);
+    asm.special(ty, gex_isa::reg::SpecialReg::TidY);
+    // row = ctaid.y * TILE + ty, col = ctaid.x * TILE + tx
+    asm.special(row, gex_isa::reg::SpecialReg::CtaIdY);
+    asm.mad(row, row, TILE, ty);
+    asm.special(col, gex_isa::reg::SpecialReg::CtaIdX);
+    asm.mad(col, col, TILE, tx);
+    asm.mov(acc, 0u64);
+    asm.mov(kt, 0u64);
+    // shared layout: tile A at 0, tile B at TILE*TILE*4
+    asm.label("ktile");
+    // shared[ty][tx] = A[row][kt*TILE + tx]
+    asm.mad(t0, kt, TILE, tx); // k index
+    asm.mad(addr, row, k, t0);
+    asm.shl_imm(addr, addr, 2);
+    asm.add(addr, addr, a_base);
+    asm.ld_global_u32(v, addr, 0);
+    asm.mad(soff, ty, TILE, tx);
+    asm.shl_imm(soff, soff, 2);
+    asm.st_shared_u32(soff, v, 0);
+    // sharedB[ty][tx] = B[kt*TILE + ty][col]
+    asm.mad(t0, kt, TILE, ty);
+    asm.mad(addr, t0, n, col);
+    asm.shl_imm(addr, addr, 2);
+    asm.add(addr, addr, b_base);
+    asm.ld_global_u32(v, addr, 0);
+    asm.st_shared_u32(soff, v, (TILE * TILE * 4) as i64);
+    asm.bar();
+    // acc += sum_i sharedA[ty][i] * sharedB[i][tx]
+    for i in 0..TILE {
+        asm.mad(t0, ty, TILE, i);
+        asm.shl_imm(t0, t0, 2);
+        asm.ld_shared_u32(t0, t0, 0);
+        asm.mad(t1, i, TILE, tx);
+        asm.shl_imm(t1, t1, 2);
+        asm.ld_shared_u32(t1, t1, (TILE * TILE * 4) as i64);
+        asm.ffma(acc, t0, t1, acc);
+    }
+    asm.bar();
+    asm.add(kt, kt, 1u64);
+    asm.setp(p, CmpKind::Lt, CmpType::U64, kt, k / TILE);
+    asm.bra_if("ktile", p, true);
+    // C[row][col] = acc
+    asm.mad(addr, row, n, col);
+    asm.shl_imm(addr, addr, 2);
+    asm.add(addr, addr, c_base);
+    asm.st_global_u32(addr, acc, 0);
+    asm.exit();
+
+    let kernel = KernelBuilder::new("sgemm", asm.assemble().expect("sgemm assembles"))
+        .grid(Dim3::xy((n / TILE) as u32, (m / TILE) as u32))
+        .block(Dim3::xy(TILE as u32, TILE as u32))
+        .regs_per_thread(28)
+        .shared_bytes((2 * TILE * TILE * 4) as u32)
+        .build()
+        .expect("sgemm kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x5135);
+    for i in 0..m * k {
+        image.write_f32(a_base + i * 4, rng.gen_range(-1.0..1.0));
+    }
+    for i in 0..k * n {
+        image.write_f32(b_base + i * 4, rng.gen_range(-1.0..1.0));
+    }
+
+    Workload::build(
+        "sgemm",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "A", addr: a_base, len: m * k * 4, kind: BufferKind::Input },
+            BufferSpec { name: "B", addr: b_base, len: k * n * 4, kind: BufferKind::Input },
+            BufferSpec { name: "C", addr: c_base, len: m * n * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_synchronizes() {
+        let w = build(Preset::Test);
+        assert_eq!(w.name, "sgemm");
+        assert!(w.func.barriers > 0, "tiled gemm must barrier");
+        assert!(w.func.shared_accesses > 0);
+        assert!(w.func.global_loads > 0 && w.func.global_stores > 0);
+        // (32/16) x (64/16) grid of blocks.
+        assert_eq!(w.trace.blocks.len(), 8);
+        assert_eq!(w.trace.warps_per_block, 8);
+    }
+
+    #[test]
+    fn compute_dense_mix() {
+        let w = build(Preset::Test);
+        // FFMAs dominate global accesses (TILE multiplies per element pair
+        // loaded).
+        let mem = w.func.global_loads + w.func.global_stores;
+        assert!(
+            w.func.dyn_instrs > mem * 10,
+            "sgemm should be compute-dense: {} instrs vs {} mem",
+            w.func.dyn_instrs,
+            mem
+        );
+    }
+}

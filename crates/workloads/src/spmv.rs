@@ -1,0 +1,157 @@
+//! `spmv` — sparse matrix-vector multiply (Parboil).
+//!
+//! One thread per row over CSR-like storage: row lengths vary (intra-warp
+//! divergence on the nonzero loop) and the column indices gather `x`
+//! randomly (scattered, poorly-coalesced loads) — the classic irregular
+//! memory benchmark.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn config(preset: Preset) -> (u64, u64) {
+    // (rows, average nonzeros per row)
+    match preset {
+        Preset::Test => (1024, 8),
+        Preset::Bench => (32 * 1024, 10),
+        Preset::Paper => (64 * 1024, 16),
+    }
+}
+
+/// Build the `spmv` workload.
+pub fn build(preset: Preset) -> Workload {
+    let (rows, avg_nnz) = config(preset);
+    let mut rng = StdRng::seed_from_u64(0x59c7);
+
+    // Build the CSR structure host-side.
+    let mut row_ptr: Vec<u32> = Vec::with_capacity(rows as usize + 1);
+    row_ptr.push(0);
+    let mut cols: Vec<u32> = Vec::new();
+    for _ in 0..rows {
+        let nnz = rng.gen_range(1..=(2 * avg_nnz - 1)) as u32;
+        for _ in 0..nnz {
+            cols.push(rng.gen_range(0..rows) as u32);
+        }
+        row_ptr.push(cols.len() as u32);
+    }
+    let nnz_total = cols.len() as u64;
+
+    let mut va = VaAlloc::new();
+    let vals = va.alloc(nnz_total * 4);
+    let col_idx = va.alloc(nnz_total * 4);
+    let rp = va.alloc((rows + 1) * 4);
+    let x = va.alloc(rows * 4);
+    let y = va.alloc(rows * 4);
+
+    let mut a = Asm::new();
+    let (row, addr, j, jend) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (v, cidx, xv, acc) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let t = Reg(8);
+    let p = Pred(0);
+
+    a.gtid(row);
+    // j = row_ptr[row]; jend = row_ptr[row+1]
+    a.shl_imm(addr, row, 2);
+    a.add(addr, addr, rp);
+    a.ld_global_u32(j, addr, 0);
+    a.ld_global_u32(jend, addr, 4);
+    a.mov_f32(acc, 0.0);
+    a.setp(p, CmpKind::Lt, CmpType::U64, j, jend);
+    a.label("nnz");
+    a.guard(p, true);
+    // v = vals[j]; cidx = cols[j]; xv = x[cidx]
+    a.shl_imm(addr, j, 2);
+    a.add(t, addr, vals);
+    a.ld_global_u32(v, t, 0);
+    a.add(t, addr, col_idx);
+    a.ld_global_u32(cidx, t, 0);
+    a.shl_imm(t, cidx, 2);
+    a.add(t, t, x);
+    a.ld_global_u32(xv, t, 0);
+    a.ffma(acc, v, xv, acc);
+    a.add(j, j, 1u64);
+    a.unguard();
+    a.setp(p, CmpKind::Lt, CmpType::U64, j, jend);
+    a.bra_if("nnz", p, true);
+    // y[row] = acc
+    a.shl_imm(addr, row, 2);
+    a.add(addr, addr, y);
+    a.st_global_u32(addr, acc, 0);
+    a.exit();
+
+    let kernel = KernelBuilder::new("spmv", a.assemble().expect("spmv assembles"))
+        .grid(Dim3::x((rows / 128) as u32))
+        .block(Dim3::x(128))
+        .regs_per_thread(20)
+        .build()
+        .expect("spmv kernel");
+
+    let mut image = MemImage::new();
+    for (i, &c) in cols.iter().enumerate() {
+        image.write_u32(col_idx + i as u64 * 4, c);
+        image.write_f32(vals + i as u64 * 4, rng.gen_range(-1.0..1.0));
+    }
+    for (i, &r) in row_ptr.iter().enumerate() {
+        image.write_u32(rp + i as u64 * 4, r);
+    }
+    for i in 0..rows {
+        image.write_f32(x + i * 4, rng.gen_range(-1.0..1.0));
+    }
+
+    Workload::build(
+        "spmv",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "vals", addr: vals, len: nnz_total * 4, kind: BufferKind::Input },
+            BufferSpec { name: "cols", addr: col_idx, len: nnz_total * 4, kind: BufferKind::Input },
+            BufferSpec { name: "row_ptr", addr: rp, len: (rows + 1) * 4, kind: BufferKind::Input },
+            BufferSpec { name: "x", addr: x, len: rows * 4, kind: BufferKind::Input },
+            BufferSpec { name: "y", addr: y, len: rows * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gex_isa::op::Space;
+
+    #[test]
+    fn gathers_scatter_across_lines() {
+        let w = build(Preset::Test);
+        // The x-gather should produce multi-line coalesced accesses.
+        let max_lines = w
+            .trace
+            .blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .flat_map(|wp| &wp.instrs)
+            .filter_map(|d| d.mem.as_ref())
+            .filter(|m| m.space == Space::Global && !m.is_store)
+            .map(|m| m.lines.len())
+            .max()
+            .unwrap();
+        assert!(max_lines >= 8, "x gather should be scattered: {max_lines} lines");
+    }
+
+    #[test]
+    fn divergent_row_lengths() {
+        let w = build(Preset::Test);
+        // Some loop iterations run with partial masks.
+        let partial = w
+            .trace
+            .blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .flat_map(|wp| &wp.instrs)
+            .filter(|d| d.active != gex_isa::FULL_MASK)
+            .count();
+        assert!(partial > 0, "row-length divergence expected");
+    }
+}

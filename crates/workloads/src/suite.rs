@@ -1,0 +1,79 @@
+//! Suite registries.
+
+use crate::types::{Preset, Workload};
+
+/// The eleven Parboil-like benchmarks, in the paper's figure order.
+pub fn parboil(preset: Preset) -> Vec<Workload> {
+    vec![
+        crate::bfs::build(preset),
+        crate::cutcp::build(preset),
+        crate::histo::build(preset),
+        crate::lbm::build(preset),
+        crate::mri_gridding::build(preset),
+        crate::mri_q::build(preset),
+        crate::sad::build(preset),
+        crate::sgemm::build(preset),
+        crate::spmv::build(preset),
+        crate::stencil::build(preset),
+        crate::tpacf::build(preset),
+    ]
+}
+
+/// The Halloc-style allocator benchmarks plus the quad-tree sample — the
+/// Figure 13 set.
+pub fn halloc(preset: Preset) -> Vec<Workload> {
+    let mut v = crate::halloc::all(preset);
+    v.push(crate::quadtree::build(preset));
+    v
+}
+
+/// Build one workload by its paper name, searching every suite.
+pub fn by_name(name: &str, preset: Preset) -> Option<Workload> {
+    parboil(preset)
+        .into_iter()
+        .chain(halloc(preset))
+        .find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_the_paper() {
+        let ws = parboil(Preset::Test);
+        assert_eq!(ws.len(), 11, "all Parboil benchmarks (Section 5.1)");
+        let names: Vec<&str> = ws.iter().map(|w| w.name.as_str()).collect();
+        for expected in [
+            "bfs", "cutcp", "histo", "lbm", "mri-gridding", "mri-q", "sad", "sgemm", "spmv",
+            "stencil", "tpacf",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert_eq!(halloc(Preset::Test).len(), 5, "4 halloc benchmarks + quad-tree");
+        assert!(by_name("quad-tree", Preset::Test).is_some());
+        assert!(by_name("nope", Preset::Test).is_none());
+    }
+
+    #[test]
+    fn every_workload_has_coverage_and_work() {
+        for w in parboil(Preset::Test).into_iter().chain(halloc(Preset::Test)) {
+            assert!(w.trace.dyn_instrs() > 200, "{} too small", w.name);
+            assert!(!w.trace.blocks.is_empty(), "{}", w.name);
+            // every touched page is covered by the demand residency
+            use gex_mem::system::{FaultMode, MemSystem};
+            use gex_mem::{MemConfig, PageState};
+            let mut mem =
+                MemSystem::new(MemConfig::kepler_k20().with_sms(1), FaultMode::SquashNotify);
+            w.demand_residency().apply(&mut mem, 0);
+            for page in w.trace.touched_pages() {
+                assert_ne!(
+                    mem.page_table.state(page),
+                    PageState::Invalid,
+                    "{}: page {page:#x} uncovered",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! `tpacf` — two-point angular correlation function (Parboil).
+//!
+//! Each thread owns one galaxy and correlates it against a window of
+//! others: a dot product, an angle-ish transform (`sqrt` in place of
+//! `acos`) and binning by magnitude into a block-private shared-memory
+//! histogram (as the real kernel does), merged into the global histogram
+//! with one atomic per bin at the end. The doubly-nested loop with
+//! per-pair binning is the suite's high-arithmetic + irregular-update
+//! combination.
+
+use crate::types::{BufferKind, BufferSpec, Preset, VaAlloc, Workload};
+use gex_isa::asm::Asm;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::op::{CmpKind, CmpType};
+use gex_isa::reg::{Pred, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Histogram bins.
+const BINS: u64 = 32;
+
+/// Points correlated against per thread (the staged tile).
+const TILE: u64 = 32;
+
+fn points(preset: Preset) -> u64 {
+    match preset {
+        Preset::Test => 1024,
+        Preset::Bench => 32 * 1024,
+        Preset::Paper => 64 * 1024,
+    }
+}
+
+/// Build the `tpacf` workload.
+pub fn build(preset: Preset) -> Workload {
+    let n = points(preset);
+    let mut va = VaAlloc::new();
+    let data = va.alloc(n * 8); // (x, y) angles per point
+    let hist = va.alloc(BINS * 4);
+
+    let mut a = Asm::new();
+    let (tid, addr, x0, y0) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (j, x1, y1, dot) = (Reg(4), Reg(5), Reg(6), Reg(7));
+    let (t, bin, one, old) = (Reg(8), Reg(9), Reg(10), Reg(11));
+    let p = Pred(0);
+
+    a.gtid(tid);
+    a.shl_imm(addr, tid, 3);
+    a.add(addr, addr, data);
+    a.ld_global_u32(x0, addr, 0);
+    a.ld_global_u32(y0, addr, 4);
+    a.mov(one, 1u64);
+    a.mov(j, 0u64);
+    a.label("pairs");
+    // partner index = (tid + j + 1) % n
+    a.add(t, tid, j);
+    a.add(t, t, 1u64);
+    a.rem(t, t, n);
+    a.shl_imm(addr, t, 3);
+    a.add(addr, addr, data);
+    a.ld_global_u32(x1, addr, 0);
+    a.ld_global_u32(y1, addr, 4);
+    // dot = x0*x1 + y0*y1 ; angle-ish = sqrt(1 - dot^2 + eps)
+    a.fmul(dot, x0, x1);
+    a.ffma(dot, y0, y1, dot);
+    a.fmul(t, dot, dot);
+    a.mov_f32(bin, 1.001);
+    a.fsub(t, bin, t);
+    a.fsqrt(t, t);
+    // bin = clamp(f2i(t * BINS))
+    a.mov_f32(bin, BINS as f32);
+    a.fmul(t, t, bin);
+    a.f2i(bin, t);
+    a.min(bin, bin, BINS - 1);
+    a.shl_imm(bin, bin, 2);
+    // block-private histogram in shared memory
+    a.ld_shared_u32(old, bin, 0);
+    a.add(old, old, one);
+    a.st_shared_u32(bin, old, 0);
+    a.add(j, j, 1u64);
+    a.setp(p, CmpKind::Lt, CmpType::U64, j, TILE);
+    a.bra_if("pairs", p, true);
+    // merge: the first BINS threads of the block each flush one bin
+    a.bar();
+    a.flat_tid(t);
+    a.setp(p, CmpKind::Lt, CmpType::U64, t, BINS);
+    a.if_begin(p, true);
+    a.shl_imm(bin, t, 2);
+    a.ld_shared_u32(old, bin, 0);
+    a.add(bin, bin, hist);
+    a.atom_add_u32(x1, bin, old);
+    a.if_end();
+    a.exit();
+
+    let kernel = KernelBuilder::new("tpacf", a.assemble().expect("tpacf assembles"))
+        .grid(Dim3::x((n / 128) as u32))
+        .block(Dim3::x(128))
+        .regs_per_thread(20)
+        .shared_bytes((BINS * 4) as u32)
+        .build()
+        .expect("tpacf kernel");
+
+    let mut image = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x79ac);
+    for i in 0..n {
+        let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        image.write_f32(data + i * 8, theta.cos());
+        image.write_f32(data + i * 8 + 4, theta.sin());
+    }
+
+    Workload::build(
+        "tpacf",
+        &kernel,
+        image,
+        vec![
+            BufferSpec { name: "points", addr: data, len: n * 8, kind: BufferKind::Input },
+            BufferSpec { name: "hist", addr: hist, len: BINS * 4, kind: BufferKind::Output },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_private_update_per_pair_and_one_merge_per_bin() {
+        let w = build(Preset::Test);
+        let n = points(Preset::Test);
+        // two shared accesses (read+write) per pair
+        assert_eq!(w.func.shared_accesses * 32, 2 * n * TILE + BINS * (n / 128));
+        // one warp-level merge atomic per block (32 bins = 1 warp)
+        assert_eq!(w.func.atomics, n / 128);
+    }
+
+    #[test]
+    fn pairs_loop_is_compute_heavy() {
+        let w = build(Preset::Test);
+        assert!(w.func.dyn_instrs > w.func.atomics * 100);
+    }
+}

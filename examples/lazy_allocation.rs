@@ -1,0 +1,54 @@
+//! Use case 2 (Section 4.2): handle first-touch page faults on the GPU
+//! itself instead of interrupting the CPU.
+//!
+//! Runs the dynamic-allocation benchmarks (device-side `malloc` backed by
+//! unmapped heap pages) with CPU fault handling vs GPU-local handling.
+//!
+//! ```text
+//! cargo run --release -p gex --example lazy_allocation
+//! ```
+
+use gex::workloads::{suite, Preset};
+use gex::{Gpu, GpuConfig, Interconnect, LocalFaultConfig, PagingMode, Scheme};
+
+fn main() {
+    let ic = Interconnect::pcie();
+    println!("GPU-local handling of malloc-backed first-touch faults ({ic}):\n");
+    println!(
+        "{:<14} {:>9} {:>11} {:>11} {:>9} {:>12}",
+        "benchmark", "heap KB", "cpu cycles", "local cyc", "speedup", "concurrency"
+    );
+    let mut speedups = Vec::new();
+    for w in suite::halloc(Preset::Bench) {
+        let res = w.heap_lazy_residency();
+        let cfg = GpuConfig::kepler_k20();
+        let cpu = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(ic))
+            .run(&w.trace, &res);
+        let local = Gpu::new(
+            cfg,
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: ic,
+                block_switch: None,
+                local_handling: Some(LocalFaultConfig::default()),
+            },
+        )
+        .run(&w.trace, &res);
+        let speedup = cpu.cycles as f64 / local.cycles as f64;
+        speedups.push(speedup);
+        println!(
+            "{:<14} {:>9} {:>11} {:>11} {:>9.2} {:>12}",
+            w.name,
+            w.heap_bytes / 1024,
+            cpu.cycles,
+            local.cycles,
+            speedup,
+            local.local.peak_concurrency
+        );
+    }
+    println!(
+        "\ngeomean speedup {:.2} — despite the GPU handler costing 20 us vs the CPU's\n\
+         per-fault cost, concurrent handling wins on throughput (paper: 1.75x on PCIe).",
+        gex::geomean(&speedups)
+    );
+}
