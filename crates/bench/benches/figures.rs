@@ -1,11 +1,13 @@
-//! Criterion benches: one group per table/figure of the paper.
+//! Self-timed benches: one group per table/figure of the paper.
 //!
 //! Each group times the experiment that regenerates the corresponding
 //! result at the `Test` preset (the harness binaries run the full `Paper`
 //! preset); traces are built once outside the measurement loop, so the
-//! benches time the cycle-level simulation itself.
+//! benches time the cycle-level simulation itself. Runs with the
+//! in-repo [`gex_bench::timing`] harness — the workspace builds offline
+//! and cannot link Criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gex_bench::timing::BenchRunner;
 use gex::workloads::{suite, Preset, Workload};
 use gex::{
     BlockSwitchConfig, Gpu, GpuConfig, GpuRunReport, Interconnect, LocalFaultConfig, PagingMode,
@@ -20,142 +22,132 @@ fn run(w: &Workload, scheme: Scheme, paging: PagingMode, sms: u32) -> GpuRunRepo
 }
 
 /// Figure 10: normalized performance of the preemptible pipelines.
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
+fn bench_fig10(r: &mut BenchRunner) {
     for name in ["sgemm", "lbm", "histo", "stencil"] {
         let w = suite::by_name(name, Preset::Test).expect("known workload");
-        g.bench_with_input(BenchmarkId::new("scheme_sweep", name), &w, |b, w| {
-            b.iter(|| {
-                let base = run(w, Scheme::Baseline, PagingMode::AllResident, 2).cycles;
-                let wd = run(w, Scheme::WdCommit, PagingMode::AllResident, 2).cycles;
-                let rq = run(w, Scheme::ReplayQueue, PagingMode::AllResident, 2).cycles;
-                assert!(base <= wd.max(rq) || base <= wd.min(rq) + base);
-                (base, wd, rq)
-            })
+        r.bench(&format!("fig10/scheme_sweep/{name}"), || {
+            let base = run(&w, Scheme::Baseline, PagingMode::AllResident, 2).cycles;
+            let wd = run(&w, Scheme::WdCommit, PagingMode::AllResident, 2).cycles;
+            let rq = run(&w, Scheme::ReplayQueue, PagingMode::AllResident, 2).cycles;
+            assert!(base <= wd.max(rq) || base <= wd.min(rq) + base);
+            (base, wd, rq)
         });
     }
-    g.finish();
 }
 
 /// Figure 11: operand-log sizes on the log-sensitive benchmark.
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
+fn bench_fig11(r: &mut BenchRunner) {
     let w = suite::by_name("lbm", Preset::Test).expect("lbm");
     for kib in [8u32, 16, 32] {
-        g.bench_with_input(BenchmarkId::new("operand_log", kib), &w, |b, w| {
-            b.iter(|| run(w, Scheme::operand_log_kib(kib), PagingMode::AllResident, 2).cycles)
+        r.bench(&format!("fig11/operand_log/{kib}"), || {
+            run(&w, Scheme::operand_log_kib(kib), PagingMode::AllResident, 2).cycles
         });
     }
-    g.finish();
 }
 
 /// Figure 12: block switching vs plain demand paging.
-fn bench_fig12(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
+fn bench_fig12(r: &mut BenchRunner) {
     let w = suite::by_name("sgemm", Preset::Test).expect("sgemm");
     let ic = Interconnect::nvlink();
-    g.bench_function("demand_plain", |b| {
-        b.iter(|| {
-            Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
-                .run(&w.trace, &w.demand_residency())
-                .cycles
-        })
-    });
-    g.bench_function("demand_switching", |b| {
-        b.iter(|| {
-            Gpu::new(
-                GpuConfig::kepler_k20().with_sms(4),
-                Scheme::ReplayQueue,
-                PagingMode::Demand {
-                    interconnect: ic,
-                    block_switch: Some(BlockSwitchConfig::default()),
-                    local_handling: None,
-                },
-            )
+    r.bench("fig12/demand_plain", || {
+        Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
             .run(&w.trace, &w.demand_residency())
             .cycles
-        })
     });
-    g.finish();
+    r.bench("fig12/demand_switching", || {
+        Gpu::new(
+            GpuConfig::kepler_k20().with_sms(4),
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: ic,
+                block_switch: Some(BlockSwitchConfig::default()),
+                local_handling: None,
+            },
+        )
+        .run(&w.trace, &w.demand_residency())
+        .cycles
+    });
 }
 
 /// Figure 13: local handling of malloc-backed faults.
-fn bench_fig13(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13");
-    g.sample_size(10);
+fn bench_fig13(r: &mut BenchRunner) {
     let w = gex::workloads::halloc::fixed(Preset::Test);
     let ic = Interconnect::pcie();
-    g.bench_function("cpu_handled", |b| {
-        b.iter(|| {
-            Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
-                .run(&w.trace, &w.heap_lazy_residency())
-                .cycles
-        })
+    r.bench("fig13/cpu_handled", || {
+        Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
+            .run(&w.trace, &w.heap_lazy_residency())
+            .cycles
     });
-    g.bench_function("gpu_local", |b| {
-        b.iter(|| {
+    r.bench("fig13/gpu_local", || {
+        Gpu::new(
+            GpuConfig::kepler_k20().with_sms(4),
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: ic,
+                block_switch: None,
+                local_handling: Some(LocalFaultConfig::default()),
+            },
+        )
+        .run(&w.trace, &w.heap_lazy_residency())
+        .cycles
+    });
+}
+
+/// Figure 14: local handling of output-page faults.
+fn bench_fig14(r: &mut BenchRunner) {
+    let w = suite::by_name("histo", Preset::Test).expect("histo");
+    let ic = Interconnect::pcie();
+    for (label, local) in [("cpu_handled", None), ("gpu_local", Some(LocalFaultConfig::default()))]
+    {
+        r.bench(&format!("fig14/outputs_lazy/{label}"), || {
             Gpu::new(
                 GpuConfig::kepler_k20().with_sms(4),
                 Scheme::ReplayQueue,
                 PagingMode::Demand {
                     interconnect: ic,
                     block_switch: None,
-                    local_handling: Some(LocalFaultConfig::default()),
+                    local_handling: local,
                 },
             )
-            .run(&w.trace, &w.heap_lazy_residency())
+            .run(&w.trace, &w.outputs_lazy_residency())
             .cycles
-        })
-    });
-    g.finish();
-}
-
-/// Figure 14: local handling of output-page faults.
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14");
-    g.sample_size(10);
-    let w = suite::by_name("histo", Preset::Test).expect("histo");
-    let ic = Interconnect::pcie();
-    for (label, local) in [("cpu_handled", None), ("gpu_local", Some(LocalFaultConfig::default()))]
-    {
-        g.bench_with_input(BenchmarkId::new("outputs_lazy", label), &local, |b, local| {
-            b.iter(|| {
-                Gpu::new(
-                    GpuConfig::kepler_k20().with_sms(4),
-                    Scheme::ReplayQueue,
-                    PagingMode::Demand {
-                        interconnect: ic,
-                        block_switch: None,
-                        local_handling: *local,
-                    },
-                )
-                .run(&w.trace, &w.outputs_lazy_residency())
-                .cycles
-            })
         });
     }
-    g.finish();
 }
 
 /// Tables 1 and 2 render from live models; timing them pins the power
 /// model's cost (trivial) and keeps the renderers exercised.
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1_render", |b| b.iter(gex::experiments::table1));
-    g.bench_function("table2_render", |b| b.iter(gex::experiments::table2));
-    g.finish();
+fn bench_tables(r: &mut BenchRunner) {
+    r.bench("tables/table1_render", gex::experiments::table1);
+    r.bench("tables/table2_render", gex::experiments::table2);
 }
 
-criterion_group!(
-    figures,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_tables
-);
-criterion_main!(figures);
+/// The resilience harness: one clean and one chaos-injected demand run
+/// (Figure-12 configuration), so the injector's overhead stays visible.
+fn bench_injection(r: &mut BenchRunner) {
+    let w = suite::by_name("histo", Preset::Test).expect("histo");
+    let ic = Interconnect::nvlink();
+    for (label, plan) in [
+        ("clean", gex::InjectionPlan::none()),
+        ("chaos", gex::InjectionPlan::chaos(7)),
+    ] {
+        r.bench(&format!("inject/{label}"), || {
+            Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
+                .inject(plan.clone())
+                .run(&w.trace, &w.demand_residency())
+                .cycles
+        });
+    }
+}
+
+fn main() {
+    let mut r = BenchRunner::from_args();
+    bench_fig10(&mut r);
+    bench_fig11(&mut r);
+    bench_fig12(&mut r);
+    bench_fig13(&mut r);
+    bench_fig14(&mut r);
+    bench_tables(&mut r);
+    bench_injection(&mut r);
+    r.finish();
+}

@@ -15,6 +15,7 @@ use gex::{
 };
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     let preset = gex_bench::preset_from_args();
     let sms = gex_bench::sms_from_env();
     let cfg = GpuConfig::kepler_k20().with_sms(sms);

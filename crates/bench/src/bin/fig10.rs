@@ -2,6 +2,7 @@
 //! normalized to the stall-on-fault baseline.
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     let preset = gex_bench::preset_from_args();
     let sms = gex_bench::sms_from_env();
     println!("{}", gex::experiments::table1());

@@ -1,6 +1,7 @@
 //! Regenerate Figure 11: operand-log performance across log sizes.
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     let preset = gex_bench::preset_from_args();
     let sms = gex_bench::sms_from_env();
     println!("{}", gex::experiments::fig11(preset, sms));

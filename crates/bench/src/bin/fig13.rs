@@ -3,6 +3,7 @@
 use gex::Interconnect;
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     let preset = gex_bench::preset_from_args();
     let sms = gex_bench::sms_from_env();
     println!("{}", gex::experiments::fig13(preset, sms, Interconnect::nvlink()));

@@ -1,6 +1,7 @@
 //! Section 5.5 scalability sweep over the SM count.
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     let preset = gex_bench::preset_from_args();
     let rows = gex::experiments::scalability(preset, &[4, 8, 16, 32]);
     println!("Section 5.5: scalability with SM count");

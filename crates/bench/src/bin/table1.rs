@@ -1,5 +1,6 @@
 //! Print Table 1 (simulation parameters) from the live configuration.
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     println!("{}", gex::experiments::table1());
 }

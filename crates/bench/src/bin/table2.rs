@@ -1,5 +1,6 @@
 //! Print Table 2 (operand log area/power overheads).
 
 fn main() {
+    gex_bench::apply_max_cycles_from_args();
     println!("{}", gex::experiments::table2());
 }

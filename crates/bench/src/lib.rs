@@ -2,17 +2,25 @@
 //!
 //! * Binaries (`cargo run -p gex-bench --release --bin figN`): print the
 //!   paper's tables/series at the `Paper` preset.
-//! * Criterion benches (`cargo bench`): time the same experiments at the
-//!   `Bench` preset, one bench group per figure.
+//! * The self-timed bench (`cargo bench -p gex-bench`): times the same
+//!   experiments at the `Test` preset, one group per figure. The harness
+//!   is in [`timing`]; the workspace builds fully offline, so it does not
+//!   depend on Criterion.
 //!
-//! Shared argument parsing for the binaries lives here.
+//! Shared argument parsing for the binaries lives here. Every binary
+//! accepts a positional preset (`test` / `bench` / `paper`) and
+//! `--max-cycles N`, which caps simulated cycles so misconfigured runs
+//! exit with the watchdog diagnostic instead of spinning forever.
 
 use gex::workloads::Preset;
 
+pub mod timing;
+
 /// Parse a preset name from the CLI (`test` / `bench` / `paper`);
-/// defaults to `paper` for the harness binaries.
+/// defaults to `paper` for the harness binaries. Flag arguments
+/// (`--max-cycles N`) are skipped.
 pub fn preset_from_args() -> Preset {
-    match std::env::args().nth(1).as_deref() {
+    match positional_args().first().map(String::as_str) {
         Some("test") => Preset::Test,
         Some("bench") => Preset::Bench,
         _ => Preset::Paper,
@@ -22,4 +30,56 @@ pub fn preset_from_args() -> Preset {
 /// SM count for harness runs: the paper's 16, unless `GEX_SMS` overrides.
 pub fn sms_from_env() -> u32 {
     std::env::var("GEX_SMS").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// Parse `--max-cycles N` (or `--max-cycles=N`) from the CLI.
+pub fn max_cycles_from_args() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-cycles" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--max-cycles=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Apply `--max-cycles` (if given) as the process-wide default cycle cap,
+/// so every `GpuConfig` the experiment drivers build inherits it. Call
+/// once at the top of each harness binary's `main`.
+pub fn apply_max_cycles_from_args() {
+    if let Some(c) = max_cycles_from_args() {
+        gex::sim::config::set_default_max_cycles(c);
+    }
+}
+
+fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--max-cycles" {
+            skip_value = true;
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn preset_defaults_to_paper_under_test_harness() {
+        // The test binary's argv has no recognized preset.
+        assert_eq!(super::preset_from_args(), gex::workloads::Preset::Paper);
+        assert!(super::max_cycles_from_args().is_none());
+    }
 }

@@ -1,0 +1,155 @@
+//! A small self-timed benchmark harness (Criterion replacement).
+//!
+//! The workspace builds offline, so the bench target cannot link
+//! Criterion. This keeps the parts the figures bench needs: named
+//! benchmarks grouped per figure, a warm-up run, a fixed sample count,
+//! and a min/median/mean report. Wall-clock numbers are for trend
+//! spotting, not statistics.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `fig10/scheme_sweep/sgemm`.
+    pub id: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean of all samples.
+    pub mean: Duration,
+}
+
+/// Collects and times benchmarks; prints a table on [`finish`].
+///
+/// [`finish`]: BenchRunner::finish
+pub struct BenchRunner {
+    samples: usize,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl BenchRunner {
+    /// A runner taking `samples` timed runs per benchmark.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples > 0);
+        BenchRunner { samples, filter: None, results: Vec::new() }
+    }
+
+    /// Parse CLI conventions: an optional substring filter (as `cargo
+    /// bench -- <filter>` passes) and `--samples N`. Cargo's
+    /// `--bench` flag is ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut samples = 10usize;
+        let mut filter = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--samples" => {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        samples = v;
+                    }
+                }
+                "--bench" | "--test" => {}
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        let mut r = BenchRunner::new(samples.max(1));
+        r.filter = filter;
+        r
+    }
+
+    /// Time `f`, unless the id is filtered out. The first (warm-up) run
+    /// is not recorded.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        if let Some(fil) = &self.filter {
+            if !id.contains(fil.as_str()) {
+                return;
+            }
+        }
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let res = BenchResult { id: id.to_string(), min, median, mean };
+        println!(
+            "{:<44} min {:>12} median {:>12} mean {:>12}",
+            res.id,
+            fmt_dur(res.min),
+            fmt_dur(res.median),
+            fmt_dur(res.mean)
+        );
+        self.results.push(res);
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the closing summary line.
+    pub fn finish(self) {
+        println!(
+            "timed {} benchmarks, {} samples each (self-timed harness; offline build)",
+            self.results.len(),
+            self.samples
+        );
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_records_and_formats() {
+        let mut r = BenchRunner::new(3);
+        let mut n = 0u64;
+        r.bench("unit/spin", || {
+            n += 1;
+            std::hint::black_box(n)
+        });
+        assert_eq!(r.results().len(), 1);
+        assert!(r.results()[0].min <= r.results()[0].median);
+        // warm-up + 3 samples
+        assert_eq!(n, 4);
+        assert_eq!(fmt_dur(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_dur(Duration::from_micros(1500)).ends_with("ms"));
+        r.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = BenchRunner::new(2);
+        r.filter = Some("keep".into());
+        let mut ran = false;
+        r.bench("drop/this", || ran = true);
+        assert!(!ran);
+        r.bench("keep/this", || ran = true);
+        assert!(ran);
+    }
+}

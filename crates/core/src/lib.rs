@@ -44,8 +44,9 @@ pub use gex_sm as sm;
 pub use gex_workloads as workloads;
 
 pub use gex_sim::{
-    geomean, BlockSwitchConfig, Gpu, GpuConfig, GpuRunReport, Interconnect, LocalFaultConfig,
-    PagingMode, Residency,
+    geomean, set_default_max_cycles, BlockSwitchConfig, Gpu, GpuConfig, GpuRunReport,
+    InjectionPlan, InjectionStats, Interconnect, LocalFaultConfig, PagingMode, Residency,
+    SimError, WatchdogDiagnostic,
 };
 pub use gex_sm::Scheme;
 pub use session::Session;

@@ -1,0 +1,132 @@
+//! Differential validation: fault-injection chaos must never change
+//! architectural results.
+//!
+//! For every Test-preset workload, under each of the paper's five
+//! exception schemes, a clean demand-paging run is compared against runs
+//! carrying three different seeded [`InjectionPlan::chaos`] schedules
+//! (resolution jitter, reordered and duplicated fault service, handler
+//! stalls, link spikes, spurious NACKs with retry/backoff). The contract:
+//!
+//! * **Per-warp retired-instruction counts are bit-identical** — every
+//!   warp executes exactly its trace no matter how faults resolve.
+//! * **Total committed instructions equal the trace's dynamic count.**
+//! * **The final memory image digest is reproducible** — workload
+//!   construction is deterministic and the timing layer never touches the
+//!   image, so no injection schedule can perturb the kernel's output.
+//! * **Same seed ⇒ same cycle count** — the injected simulation itself is
+//!   fully deterministic, so any failure reproduces from `(plan, seed)`.
+//!
+//! One test per scheme so the suite parallelizes across test threads.
+
+use gex::workloads::{suite, Preset, Workload};
+use gex::{Gpu, GpuConfig, InjectionPlan, Interconnect, PagingMode, Scheme};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const SMS: u32 = 4;
+
+fn every_test_workload() -> Vec<Workload> {
+    let mut ws = suite::parboil(Preset::Test);
+    ws.extend(suite::halloc(Preset::Test));
+    ws
+}
+
+fn gpu(scheme: Scheme) -> Gpu {
+    Gpu::new(
+        GpuConfig::kepler_k20().with_sms(SMS),
+        scheme,
+        PagingMode::demand(Interconnect::nvlink()),
+    )
+}
+
+fn check_scheme(scheme: Scheme) {
+    for w in every_test_workload() {
+        let res = w.demand_residency();
+        let base = gpu(scheme);
+        let clean = base.run(&w.trace, &res);
+        assert_eq!(
+            clean.sm.committed,
+            w.trace.dyn_instrs(),
+            "{}: clean run must commit the whole trace",
+            w.name
+        );
+        let retired_total: u64 = clean.warp_retired.values().sum();
+        assert_eq!(
+            retired_total, clean.sm.committed,
+            "{}: per-warp retirement must account for every commit",
+            w.name
+        );
+
+        let mut first_seed_cycles = None;
+        for seed in SEEDS {
+            let injected =
+                base.clone().inject(InjectionPlan::chaos(seed)).run(&w.trace, &res);
+            assert_eq!(
+                injected.warp_retired, clean.warp_retired,
+                "{} (seed {seed}): injection changed per-warp retirement",
+                w.name
+            );
+            assert_eq!(
+                injected.sm.committed, clean.sm.committed,
+                "{} (seed {seed}): injection changed the committed count",
+                w.name
+            );
+            let inj = injected.injection.expect("injected run reports its stats");
+            assert!(
+                inj.delay_cycles > 0 || inj.reorders > 0 || inj.nacks > 0 || inj.stalls > 0,
+                "{} (seed {seed}): the chaos schedule must actually perturb something",
+                w.name
+            );
+            if seed == SEEDS[0] {
+                first_seed_cycles = Some(injected.cycles);
+            }
+        }
+
+        // Determinism: re-running the first seed reproduces the cycle
+        // count exactly.
+        let repeat = base.clone().inject(InjectionPlan::chaos(SEEDS[0])).run(&w.trace, &res);
+        assert_eq!(
+            Some(repeat.cycles),
+            first_seed_cycles,
+            "{}: same seed must reproduce the same cycle count",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn baseline_is_injection_invariant() {
+    check_scheme(Scheme::Baseline);
+}
+
+#[test]
+fn operand_log_is_injection_invariant() {
+    check_scheme(Scheme::operand_log_kib(16));
+}
+
+#[test]
+fn replay_queue_is_injection_invariant() {
+    check_scheme(Scheme::ReplayQueue);
+}
+
+#[test]
+fn wd_last_check_is_injection_invariant() {
+    check_scheme(Scheme::WdLastCheck);
+}
+
+#[test]
+fn wd_commit_is_injection_invariant() {
+    check_scheme(Scheme::WdCommit);
+}
+
+#[test]
+fn memory_image_digest_is_reproducible() {
+    // Building the same (name, preset) twice yields bit-identical final
+    // memory images; the timing layer holds no reference to the image, so
+    // this digest is invariant under any injection schedule by
+    // construction — this pins the "deterministic workload" half.
+    for (a, b) in every_test_workload().into_iter().zip(every_test_workload()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.image_digest, b.image_digest, "{}: image digest drifted", a.name);
+        assert_ne!(a.image_digest, 0, "{}: digest must cover real content", a.name);
+    }
+}

@@ -130,6 +130,26 @@ impl MemImage {
     pub fn resident_bytes(&self) -> u64 {
         self.pages.len() as u64 * PAGE_BYTES
     }
+
+    /// FNV-1a digest over the image contents (pages visited in address
+    /// order, heap break included). Two images with identical bytes and
+    /// heap state produce identical digests, so differential tests can
+    /// compare final memory images without materializing byte dumps.
+    pub fn digest(&self) -> u64 {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        mix(&mut h, &self.heap_brk.to_le_bytes());
+        for page in self.touched_pages() {
+            mix(&mut h, &page.to_le_bytes());
+            mix(&mut h, &self.pages[&page]);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +184,22 @@ mod tests {
         assert_eq!(a, HEAP_BASE);
         assert_eq!(b, HEAP_BASE + 16);
         assert_eq!(m.heap_brk(), HEAP_BASE + 32);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = MemImage::new();
+        let mut b = MemImage::new();
+        a.write_u32(0x1000, 7);
+        b.write_u32(0x1000, 7);
+        assert_eq!(a.digest(), b.digest());
+        b.write_u32(0x1000, 8);
+        assert_ne!(a.digest(), b.digest());
+        // Heap state is part of the digest.
+        let mut c = MemImage::new();
+        c.write_u32(0x1000, 7);
+        c.heap_alloc(16);
+        assert_ne!(a.digest(), c.digest());
     }
 
     #[test]

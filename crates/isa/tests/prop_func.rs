@@ -9,7 +9,7 @@ use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
 use gex_isa::trace::DynKind;
-use proptest::prelude::*;
+use gex_testkit::prelude::*;
 
 const BUF: u64 = 0x10_0000;
 const BUF_LEN: u64 = 1 << 16; // 64 KB
@@ -113,7 +113,7 @@ proptest! {
 
     #[test]
     fn random_programs_are_deterministic(
-        ops in proptest::collection::vec(op_strategy(), 1..12),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..12),
         trips in 1u64..4,
         threads in prop_oneof![Just(32u32), Just(64), Just(96)],
     ) {
@@ -126,7 +126,7 @@ proptest! {
 
     #[test]
     fn traces_stay_inside_the_buffer(
-        ops in proptest::collection::vec(op_strategy(), 1..12),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..12),
         trips in 1u64..4,
     ) {
         let (run, _) = build_and_run(&ops, trips, 64);
@@ -138,7 +138,7 @@ proptest! {
 
     #[test]
     fn every_warp_trace_ends_with_exit(
-        ops in proptest::collection::vec(op_strategy(), 1..8),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..8),
     ) {
         let (run, _) = build_and_run(&ops, 2, 64);
         for b in &run.trace.blocks {
@@ -151,7 +151,7 @@ proptest! {
 
     #[test]
     fn coalesced_lines_are_sorted_unique(
-        ops in proptest::collection::vec(op_strategy(), 1..12),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..12),
     ) {
         let (run, _) = build_and_run(&ops, 2, 64);
         for d in run.trace.blocks.iter().flat_map(|b| &b.warps).flat_map(|w| &w.instrs) {

@@ -36,6 +36,9 @@ pub struct FaultEntry {
     pub enqueued_at: Cycle,
     /// How many distinct fault reports merged into this entry.
     pub merged: u32,
+    /// Times this entry was NACKed ("retry later") and re-enqueued.
+    /// Drives the exponential backoff of the re-service attempt.
+    pub retries: u32,
 }
 
 /// FIFO of pending fault regions with merge-on-duplicate.
@@ -49,6 +52,7 @@ pub struct FaultQueue {
     in_service: Vec<u64>,
     total_enqueued: u64,
     total_merged: u64,
+    total_nacked: u64,
 }
 
 impl FaultQueue {
@@ -78,6 +82,7 @@ impl FaultQueue {
             first_sm: sm,
             enqueued_at: now,
             merged: 0,
+            retries: 0,
         });
         self.total_enqueued += 1;
         (self.queue.len() - 1) as u32
@@ -100,10 +105,41 @@ impl FaultQueue {
         self.queue.push_front(e);
     }
 
+    /// Re-enqueue an entry whose service was NACKed ("retry later"): the
+    /// in-service mark clears, the retry count bumps, and the entry goes to
+    /// the *back* of the queue so other pending faults are not starved.
+    pub fn requeue_nacked(&mut self, mut e: FaultEntry) {
+        self.in_service.retain(|&r| r != e.region);
+        e.retries += 1;
+        self.total_nacked += 1;
+        self.queue.push_back(e);
+    }
+
     /// Take the first pending fault matching `pred`, marking it in-service.
     /// Used by the CPU handler to skip fault classes another handler owns.
     pub fn pop_where(&mut self, pred: impl Fn(&FaultEntry) -> bool) -> Option<FaultEntry> {
-        let pos = self.queue.iter().position(pred)?;
+        self.pop_nth_where(0, pred)
+    }
+
+    /// Take the `n`-th (0-based, wrapping) pending fault matching `pred`,
+    /// marking it in-service. Out-of-order service — a real fill unit does
+    /// not guarantee FIFO under contention, and the resilience injector
+    /// uses this to exercise reordered service schedules.
+    pub fn pop_nth_where(
+        &mut self,
+        n: usize,
+        pred: impl Fn(&FaultEntry) -> bool,
+    ) -> Option<FaultEntry> {
+        let matches: Vec<usize> = self
+            .queue
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| pred(e).then_some(i))
+            .collect();
+        if matches.is_empty() {
+            return None;
+        }
+        let pos = matches[n % matches.len()];
         let e = self.queue.remove(pos).expect("position just found");
         self.in_service.push(e.region);
         Some(e)
@@ -118,6 +154,16 @@ impl FaultQueue {
     /// Regions currently being serviced by a handler.
     pub fn in_service_count(&self) -> usize {
         self.in_service.len()
+    }
+
+    /// The regions currently marked in-service.
+    pub fn in_service_regions(&self) -> &[u64] {
+        &self.in_service
+    }
+
+    /// Iterate the pending entries in queue (FIFO) order.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultEntry> {
+        self.queue.iter()
     }
 
     /// Look at the head without removing it.
@@ -168,6 +214,11 @@ impl FaultQueue {
     /// Reports absorbed by merging.
     pub fn total_merged(&self) -> u64 {
         self.total_merged
+    }
+
+    /// Service attempts NACKed and re-enqueued.
+    pub fn total_nacked(&self) -> u64 {
+        self.total_nacked
     }
 }
 
@@ -235,6 +286,39 @@ mod tests {
         assert_eq!(q.in_service_count(), 1);
         assert_eq!(q.report(REGION_BYTES, FaultKind::FirstTouch, 1, 3), 0);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn nacked_entries_requeue_at_the_back_with_backoff_state() {
+        let mut q = FaultQueue::new();
+        q.report(0, FaultKind::Migration, 0, 1);
+        q.report(REGION_BYTES, FaultKind::AllocOnly, 1, 2);
+        let e = q.pop().unwrap();
+        assert_eq!(e.region, 0);
+        q.requeue_nacked(e);
+        assert_eq!(q.in_service_count(), 0);
+        assert_eq!(q.position(0), Some(1), "nacked entry goes to the back");
+        assert_eq!(q.get(0).unwrap().retries, 1);
+        assert_eq!(q.total_nacked(), 1);
+        // A second nack keeps counting.
+        let e = q.pop_where(|e| e.region == 0).unwrap();
+        q.requeue_nacked(e);
+        assert_eq!(q.get(0).unwrap().retries, 2);
+        assert_eq!(q.total_nacked(), 2);
+    }
+
+    #[test]
+    fn pop_nth_where_services_out_of_order() {
+        let mut q = FaultQueue::new();
+        for i in 0..4u64 {
+            q.report(i * REGION_BYTES, FaultKind::Migration, 0, i);
+        }
+        let e = q.pop_nth_where(2, |_| true).unwrap();
+        assert_eq!(e.region, 2 * REGION_BYTES);
+        // Wraps modulo the match count.
+        let e = q.pop_nth_where(7, |_| true).unwrap();
+        assert_eq!(e.region, REGION_BYTES);
+        assert_eq!(q.in_service_count(), 2);
     }
 
     #[test]

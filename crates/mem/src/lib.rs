@@ -34,4 +34,4 @@ pub mod tlb;
 pub use config::{CacheConfig, Cycle, MemConfig, TlbConfig};
 pub use fault::{FaultEntry, FaultKind, FaultQueue};
 pub use page_table::{region_of, PageState, PageTable, REGION_BYTES, REGION_PAGES};
-pub use system::{AccessEvent, AccessKind, AccessToken, FaultMode, MemStats, MemSystem};
+pub use system::{AccessEvent, AccessKind, AccessToken, FaultMode, MemError, MemStats, MemSystem};

@@ -82,6 +82,36 @@ impl AccessEvent {
     }
 }
 
+/// Fatal memory-system conditions. The hierarchy records the first one it
+/// hits instead of panicking mid-event; the driving simulator picks it up
+/// via [`MemSystem::take_error`] and aborts the run with a structured
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// A translation reached a page no registered buffer covers: the
+    /// workload touched memory outside every mapping the launch declared.
+    InvalidPage {
+        /// The unbacked page address.
+        page: u64,
+        /// SM whose access walked into it (first waiter).
+        sm: u32,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::InvalidPage { page, sm } => write!(
+                f,
+                "access to invalid page {page:#x} from SM {sm}: the workload touched \
+                 memory outside every registered buffer"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// What happens when translation faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultMode {
@@ -227,6 +257,9 @@ pub struct MemSystem {
     /// Stall-mode: faulted requests parked per 64 KB region.
     parked: HashMap<u64, Vec<u32>>,
     stats: MemStats,
+    /// First fatal condition hit (the hierarchy stops making progress on
+    /// the affected requests; the simulator must abort the run).
+    error: Option<MemError>,
 }
 
 impl MemSystem {
@@ -253,6 +286,7 @@ impl MemSystem {
             outbox: vec![Vec::new(); n],
             parked: HashMap::new(),
             stats: MemStats::default(),
+            error: None,
             fault_mode,
             cfg,
         }
@@ -266,6 +300,18 @@ impl MemSystem {
     /// Statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// The first fatal condition hit, if any (without clearing it).
+    pub fn error(&self) -> Option<&MemError> {
+        self.error.as_ref()
+    }
+
+    /// Take the first fatal condition hit, if any. Once an error is
+    /// recorded the affected requests make no further progress, so the
+    /// caller should abort the run.
+    pub fn take_error(&mut self) -> Option<MemError> {
+        self.error.take()
     }
 
     /// Direct access to the DRAM channel (context-switch transfers share
@@ -495,10 +541,21 @@ impl MemSystem {
                 }
             }
             PageState::Invalid => {
-                panic!(
-                    "access to invalid page {page:#x}: the workload touched memory \
-                     outside every registered buffer"
-                );
+                // Record the fatal condition instead of panicking: the
+                // waiters retire dead so the hierarchy stays consistent and
+                // the driving simulator aborts with a structured error.
+                let sm = waiters
+                    .first()
+                    .map(|&w| self.accesses[self.reqs[w as usize].access as usize].sm)
+                    .unwrap_or(0);
+                if self.error.is_none() {
+                    self.error = Some(MemError::InvalidPage { page, sm });
+                }
+                for w in waiters {
+                    let r = w as u32;
+                    self.reqs[r as usize].dead = true;
+                    self.retire_req(r);
+                }
             }
             _ => {
                 let kind = match state {
@@ -955,12 +1012,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid page")]
-    fn invalid_access_panics() {
+    fn invalid_access_reports_typed_error() {
         let mut m = MemSystem::new(MemConfig::kepler_k20(), FaultMode::SquashNotify);
-        m.start_access(0, 0, AccessKind::Load, &[0xdead_0000]);
+        m.start_access(0, 2, AccessKind::Load, &[0xdead_0000]);
         for t in 0..5_000 {
             m.tick(t);
         }
+        let err = m.error().cloned().expect("invalid access must record an error");
+        let MemError::InvalidPage { page, sm } = err;
+        assert_eq!(page, gex_isa::page_of(0xdead_0000));
+        assert_eq!(sm, 2);
+        assert!(err.to_string().contains("invalid page"));
+        // take_error clears it.
+        assert!(m.take_error().is_some());
+        assert!(m.take_error().is_none());
     }
 }

@@ -1,0 +1,162 @@
+//! Property tests for the fill unit's pending-fault queue: under random
+//! interleavings of reports, in-order pops, out-of-order pops, NACK
+//! requeues and service completions, the queue's invariants hold.
+
+use gex_mem::{region_of, FaultEntry, FaultKind, FaultQueue, REGION_BYTES};
+use gex_testkit::prelude::*;
+
+/// One random queue operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Report a fault on region index `r` (kind picked by `k`).
+    Report(u8, u8),
+    /// Pop the head for servicing.
+    Pop,
+    /// Pop the `n`-th matching entry (out-of-order service).
+    PopNth(u8),
+    /// NACK-requeue one entry currently being serviced.
+    Nack,
+    /// Complete service of one in-service region.
+    Finish,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12, 0u8..3).prop_map(|(r, k)| Op::Report(r, k)),
+        Just(Op::Pop),
+        (0u8..8).prop_map(Op::PopNth),
+        Just(Op::Nack),
+        Just(Op::Finish),
+    ]
+}
+
+fn kind(k: u8) -> FaultKind {
+    match k {
+        0 => FaultKind::Migration,
+        1 => FaultKind::AllocOnly,
+        _ => FaultKind::FirstTouch,
+    }
+}
+
+/// Replays `ops` against a queue while checking every invariant after
+/// every step. `serviced` models the handler side: entries popped but not
+/// yet finished/NACKed.
+fn run_ops(ops: &[Op]) -> (FaultQueue, u64) {
+    let mut q = FaultQueue::new();
+    let mut serviced: Vec<FaultEntry> = Vec::new();
+    let mut reports: u64 = 0;
+    for (step, op) in ops.iter().enumerate() {
+        match op {
+            Op::Report(r, k) => {
+                let addr = *r as u64 * REGION_BYTES + (step as u64 % REGION_BYTES);
+                let pos = q.report(addr, kind(*k), step as u32 % 16, step as u64);
+                reports += 1;
+                let region = region_of(addr);
+                if q.in_service_regions().contains(&region) {
+                    assert_eq!(pos, 0, "in-service reports merge at position 0");
+                } else {
+                    assert_eq!(
+                        q.position(region),
+                        Some(pos),
+                        "reported position must match the entry's queue position"
+                    );
+                }
+            }
+            Op::Pop => {
+                if let Some(e) = q.pop() {
+                    serviced.push(e);
+                }
+            }
+            Op::PopNth(n) => {
+                if let Some(e) = q.pop_nth_where(*n as usize, |_| true) {
+                    serviced.push(e);
+                }
+            }
+            Op::Nack => {
+                if let Some(e) = serviced.pop() {
+                    let retries = e.retries;
+                    q.requeue_nacked(e.clone());
+                    let back = q.get(e.region).expect("nacked entry re-enqueued");
+                    assert_eq!(back.retries, retries + 1, "retry count bumps on NACK");
+                    assert_eq!(
+                        q.position(e.region),
+                        Some(q.len() as u32 - 1),
+                        "nacked entries go to the back"
+                    );
+                }
+            }
+            Op::Finish => {
+                if let Some(e) = serviced.pop() {
+                    q.finish_service(e.region);
+                }
+            }
+        }
+
+        // Invariant: a region appears at most once across the pending
+        // queue and the in-service set.
+        let mut seen: Vec<u64> = q.iter().map(|e| e.region).collect();
+        seen.extend_from_slice(q.in_service_regions());
+        let total = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total, "region duplicated across queue/in-service");
+
+        // Invariant: positions are FIFO-monotone — position(r) agrees
+        // with iteration order for every pending region.
+        for (i, e) in q.iter().enumerate() {
+            assert_eq!(q.position(e.region), Some(i as u32));
+        }
+
+        // Invariant: the in-service set matches what the handler holds.
+        let mut held: Vec<u64> = serviced.iter().map(|e| e.region).collect();
+        held.sort_unstable();
+        let mut marked = q.in_service_regions().to_vec();
+        marked.sort_unstable();
+        assert_eq!(held, marked, "in-service marks mirror popped entries");
+    }
+    (q, reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn queue_invariants_hold_under_random_interleavings(
+        ops in collection::vec(op_strategy(), 1..60),
+    ) {
+        let (q, reports) = run_ops(&ops);
+        // Accounting: every report either created an entry, merged, or
+        // the entry was nacked back in. Merged + enqueued covers all
+        // reports; nacks are counted separately.
+        let merged_in_entries: u64 =
+            q.iter().map(|e| e.merged as u64).sum();
+        prop_assert!(q.total_enqueued() + q.total_merged() == reports,
+            "every report is either a new entry or a merge");
+        prop_assert!(merged_in_entries <= q.total_merged(),
+            "pending merge counts cannot exceed the global merge total");
+        prop_assert!(q.len() as u64 <= q.total_enqueued() + q.total_nacked());
+    }
+
+    #[test]
+    fn merged_counts_sum_to_the_reports_on_a_region(
+        dups in collection::vec(0u8..4, 1..24),
+    ) {
+        // All reports land on few regions: merged counts on each pending
+        // entry must equal reports-on-that-region minus one.
+        let mut q = FaultQueue::new();
+        let mut per_region = [0u64; 4];
+        for (i, r) in dups.iter().enumerate() {
+            q.report(*r as u64 * REGION_BYTES, FaultKind::Migration, 0, i as u64);
+            per_region[*r as usize] += 1;
+        }
+        for r in 0..4u64 {
+            if per_region[r as usize] > 0 {
+                let e = q.get(r * REGION_BYTES).expect("entry pending");
+                prop_assert_eq!(e.merged as u64 + 1, per_region[r as usize]);
+            }
+        }
+        let pending_plus_merged: u64 =
+            q.len() as u64 + q.iter().map(|e| e.merged as u64).sum::<u64>();
+        prop_assert_eq!(pending_plus_merged, dups.len() as u64);
+    }
+}

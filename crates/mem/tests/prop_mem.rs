@@ -7,7 +7,7 @@ use gex_mem::{FaultKind, MemConfig, PageState};
 use gex_mem::dram::Dram;
 use gex_mem::mshr::{MshrAlloc, MshrTable};
 use gex_mem::setassoc::SetAssoc;
-use proptest::prelude::*;
+use gex_testkit::prelude::*;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -22,7 +22,7 @@ fn access_strategy(sms: u32) -> impl Strategy<Value = AccessSpec> {
     (
         0..sms,
         prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store), Just(AccessKind::Atomic)],
-        proptest::collection::btree_set(0u64..512, 1..16),
+        gex_testkit::collection::btree_set(0u64..512, 1..16),
         0u64..200,
     )
         .prop_map(|(sm, kind, line_ids, start)| AccessSpec {
@@ -40,7 +40,7 @@ proptest! {
     /// LastTlbCheck, when all pages are mapped.
     #[test]
     fn accesses_terminate_exactly_once(
-        specs in proptest::collection::vec(access_strategy(4), 1..24),
+        specs in gex_testkit::collection::vec(access_strategy(4), 1..24),
     ) {
         let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(4),
                                      FaultMode::SquashNotify);
@@ -80,8 +80,8 @@ proptest! {
     /// unmapped.
     #[test]
     fn faults_and_data_are_exclusive(
-        specs in proptest::collection::vec(access_strategy(2), 1..16),
-        mapped_regions in proptest::collection::btree_set(0u64..8, 0..8),
+        specs in gex_testkit::collection::vec(access_strategy(2), 1..16),
+        mapped_regions in gex_testkit::collection::btree_set(0u64..8, 0..8),
     ) {
         let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(2),
                                      FaultMode::SquashNotify);
@@ -129,7 +129,7 @@ proptest! {
     /// The LRU array never exceeds capacity and always hits right after a
     /// fill.
     #[test]
-    fn setassoc_invariants(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+    fn setassoc_invariants(ops in gex_testkit::collection::vec((0u64..64, any::<bool>()), 1..200)) {
         let mut sa = SetAssoc::new(4, 4);
         for (tag, is_fill) in ops {
             if is_fill {
@@ -144,7 +144,7 @@ proptest! {
 
     /// MSHR: merge counts add up and capacity is never exceeded.
     #[test]
-    fn mshr_conservation(keys in proptest::collection::vec(0u64..8, 1..64)) {
+    fn mshr_conservation(keys in gex_testkit::collection::vec(0u64..8, 1..64)) {
         let mut m = MshrTable::new(4);
         let mut expected: HashMap<u64, u64> = HashMap::new();
         for (i, k) in keys.iter().enumerate() {
@@ -168,7 +168,7 @@ proptest! {
     /// DRAM completion times are monotone for same-cycle requests and
     /// never earlier than latency.
     #[test]
-    fn dram_monotonic(sizes in proptest::collection::vec(1u64..4096, 1..32)) {
+    fn dram_monotonic(sizes in gex_testkit::collection::vec(1u64..4096, 1..32)) {
         let mut d = Dram::new(200, 256);
         let mut last = 0;
         for s in sizes {
@@ -181,7 +181,7 @@ proptest! {
 
     /// Fault queue: positions are dense, merges never grow the queue.
     #[test]
-    fn fault_queue_positions(regions in proptest::collection::vec(0u64..6, 1..40)) {
+    fn fault_queue_positions(regions in gex_testkit::collection::vec(0u64..6, 1..40)) {
         let mut q = gex_mem::FaultQueue::new();
         for (i, r) in regions.iter().enumerate() {
             let pos = q.report(r * 65536, FaultKind::Migration, 0, i as u64);

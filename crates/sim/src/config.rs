@@ -3,8 +3,36 @@
 use crate::block_switch::BlockSwitchConfig;
 use crate::interconnect::Interconnect;
 use crate::local_fault::LocalFaultConfig;
-use gex_mem::MemConfig;
+use gex_mem::{Cycle, MemConfig};
 use gex_sm::SmConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide default for [`GpuConfig::max_cycles`]; 0 means unset.
+/// Written once by harness binaries parsing `--max-cycles`, consulted by
+/// [`GpuConfig::kepler_k20`]. Explicit builder calls always win.
+static DEFAULT_MAX_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Built-in runaway guard when neither the CLI nor the builder sets one.
+const MAX_CYCLES_FALLBACK: Cycle = 2_000_000_000;
+
+/// Default forward-progress window: generous against the longest
+/// legitimate stall (a PCIe fault round trip is ~25k cycles; block-switch
+/// transfers are tens of thousands), tiny against the fallback cycle cap.
+const WATCHDOG_FALLBACK: Cycle = 5_000_000;
+
+/// Set the process-wide default cycle cap that freshly built
+/// [`GpuConfig`]s inherit. Harness binaries call this once when the user
+/// passes `--max-cycles N`; configs built before the call are unaffected.
+pub fn set_default_max_cycles(c: Cycle) {
+    DEFAULT_MAX_CYCLES.store(c, Ordering::Relaxed);
+}
+
+fn default_max_cycles() -> Cycle {
+    match DEFAULT_MAX_CYCLES.load(Ordering::Relaxed) {
+        0 => MAX_CYCLES_FALLBACK,
+        c => c,
+    }
+}
 
 /// Full GPU configuration: Table 1's SM and system sections.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,17 +41,40 @@ pub struct GpuConfig {
     pub sm: SmConfig,
     /// Memory system configuration (includes the SM count).
     pub mem: MemConfig,
+    /// Abort the run (with a structured error) past this many cycles.
+    pub max_cycles: Cycle,
+    /// Abort the run when no warp commits, no fault resolves and no block
+    /// dispatches for this many consecutive cycles (forward-progress
+    /// watchdog).
+    pub watchdog_cycles: Cycle,
 }
 
 impl GpuConfig {
     /// The paper's 16-SM Kepler-K20-like baseline.
     pub fn kepler_k20() -> Self {
-        GpuConfig { sm: SmConfig::kepler_k20(), mem: MemConfig::kepler_k20() }
+        GpuConfig {
+            sm: SmConfig::kepler_k20(),
+            mem: MemConfig::kepler_k20(),
+            max_cycles: default_max_cycles(),
+            watchdog_cycles: WATCHDOG_FALLBACK,
+        }
     }
 
     /// Same per-SM configuration with `n` SMs (Section 5.5 scalability).
     pub fn with_sms(mut self, n: u32) -> Self {
         self.mem.num_sms = n;
+        self
+    }
+
+    /// Override the cycle cap.
+    pub fn with_max_cycles(mut self, c: Cycle) -> Self {
+        self.max_cycles = c;
+        self
+    }
+
+    /// Override the forward-progress watchdog window.
+    pub fn with_watchdog_cycles(mut self, c: Cycle) -> Self {
+        self.watchdog_cycles = c;
         self
     }
 
@@ -76,6 +127,19 @@ mod tests {
         let c = GpuConfig::kepler_k20();
         assert_eq!(c.num_sms(), 16);
         assert_eq!(c.with_sms(4).num_sms(), 4);
+    }
+
+    #[test]
+    fn cycle_guards_default_and_override() {
+        let c = GpuConfig::kepler_k20();
+        assert_eq!(c.max_cycles, MAX_CYCLES_FALLBACK);
+        assert_eq!(c.watchdog_cycles, WATCHDOG_FALLBACK);
+        let c = c.with_max_cycles(123).with_watchdog_cycles(45);
+        assert_eq!(c.max_cycles, 123);
+        assert_eq!(c.watchdog_cycles, 45);
+        // The watchdog window stays well under the cap by default, so a
+        // wedged run reports diagnostics instead of timing out.
+        const { assert!(WATCHDOG_FALLBACK < MAX_CYCLES_FALLBACK) };
     }
 
     #[test]

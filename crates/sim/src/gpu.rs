@@ -11,6 +11,8 @@
 
 use crate::block_switch::{BlockSwitchConfig, LocalScheduler};
 use crate::config::{GpuConfig, PagingMode};
+use crate::error::{SimError, WatchdogDiagnostic};
+use crate::inject::InjectionPlan;
 use crate::local_fault::LocalFaultState;
 use crate::paging::CpuHandler;
 use crate::report::GpuRunReport;
@@ -19,8 +21,8 @@ use gex_isa::trace::{BlockTrace, KernelTrace};
 use gex_mem::phys::PhysAllocator;
 use gex_mem::system::{FaultMode, MemSystem};
 use gex_mem::{Cycle, PageState};
-use gex_sm::{KernelSetup, Scheme, Sm, SmStats};
-use std::collections::VecDeque;
+use gex_sm::{KernelSetup, Scheme, Sm, SmStats, WarpDiag};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// The GPU simulator front end. Construct once, [`Gpu::run`] per launch.
@@ -29,19 +31,27 @@ pub struct Gpu {
     cfg: GpuConfig,
     scheme: Scheme,
     paging: PagingMode,
-    max_cycles: Cycle,
+    inject: Option<InjectionPlan>,
 }
 
 impl Gpu {
     /// A GPU with the given configuration, SM exception scheme and paging
-    /// mode.
+    /// mode. The cycle cap and watchdog window come from `cfg`.
     pub fn new(cfg: GpuConfig, scheme: Scheme, paging: PagingMode) -> Self {
-        Gpu { cfg, scheme, paging, max_cycles: 2_000_000_000 }
+        Gpu { cfg, scheme, paging, inject: None }
     }
 
-    /// Override the runaway guard (panics if a run exceeds it).
+    /// Override the runaway guard (the run aborts past this many cycles).
     pub fn max_cycles(mut self, c: Cycle) -> Self {
-        self.max_cycles = c;
+        self.cfg.max_cycles = c;
+        self
+    }
+
+    /// Attach a deterministic fault-injection schedule (resilience
+    /// testing). Only demand paging has anything to perturb; the plan is
+    /// ignored under [`PagingMode::AllResident`].
+    pub fn inject(mut self, plan: InjectionPlan) -> Self {
+        self.inject = Some(plan);
         self
     }
 
@@ -54,9 +64,24 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics if the kernel does not fit on an SM, a workload touches
-    /// unregistered memory, or the run exceeds the cycle guard.
+    /// Panics if the kernel does not fit on an SM or the run aborts (see
+    /// [`Gpu::try_run`] for the non-panicking form).
     pub fn run(&self, trace: &KernelTrace, residency: &Residency) -> GpuRunReport {
+        match self.try_run(trace, residency) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute `trace`, returning a structured [`SimError`] if the run
+    /// wedges (forward-progress watchdog), exceeds the cycle cap, has
+    /// stall-mode faults with no handler, or hits a fatal SM/memory
+    /// condition.
+    pub fn try_run(
+        &self,
+        trace: &KernelTrace,
+        residency: &Residency,
+    ) -> Result<GpuRunReport, SimError> {
         Engine::new(self, trace, residency).run(trace)
     }
 }
@@ -77,6 +102,7 @@ struct Engine {
     switches: u64,
     dispatch_rr: usize,
     max_cycles: Cycle,
+    watchdog_cycles: Cycle,
 }
 
 impl Engine {
@@ -98,6 +124,9 @@ impl Engine {
                     FaultMode::StallReplay
                 };
                 let mut cpu = CpuHandler::new(interconnect);
+                if let Some(plan) = &gpu.inject {
+                    cpu = cpu.with_injection(plan.clone());
+                }
                 if local_handling.is_some() {
                     assert!(
                         gpu.scheme.preemptible(),
@@ -153,7 +182,8 @@ impl Engine {
             completed: 0,
             switches: 0,
             dispatch_rr: 0,
-            max_cycles: gpu.max_cycles,
+            max_cycles: gpu.cfg.max_cycles,
+            watchdog_cycles: gpu.cfg.watchdog_cycles,
         }
     }
 
@@ -166,13 +196,29 @@ impl Engine {
         }
     }
 
-    fn run(mut self, trace: &KernelTrace) -> GpuRunReport {
+    fn committed_total(&self) -> u64 {
+        self.sms.iter().map(|s| s.stats().committed).sum()
+    }
+
+    fn warp_diagnostics(&self) -> Vec<WarpDiag> {
+        self.sms.iter().flat_map(|s| s.warp_diagnostics()).collect()
+    }
+
+    fn run(mut self, trace: &KernelTrace) -> Result<GpuRunReport, SimError> {
         let mut now: Cycle = 0;
+        // Forward-progress watchdog state: the cycle of the last commit,
+        // fault resolution, block completion or block dispatch.
+        let mut last_progress: Cycle = 0;
+        let mut last_committed: u64 = 0;
         loop {
             self.mem.tick(now);
+            if let Some(e) = self.mem.take_error() {
+                return Err(e.into());
+            }
             if let Some(cpu) = &mut self.cpu {
                 for region in cpu.tick(now, &mut self.mem, &mut self.phys) {
                     self.broadcast_resolved(region);
+                    last_progress = now;
                 }
             }
             let local_done = self
@@ -182,21 +228,51 @@ impl Engine {
                 .unwrap_or_default();
             for region in local_done {
                 self.broadcast_resolved(region);
+                last_progress = now;
             }
 
             for i in 0..self.sms.len() {
                 self.sms[i].tick(now, &mut self.mem);
+                if let Some(e) = self.sms[i].take_error() {
+                    return Err(e.into());
+                }
             }
 
             self.handle_notices(now);
             self.pump_switching(now);
+            let before_dispatch = self.queue.len();
             self.dispatch_blocks();
+            if self.queue.len() != before_dispatch {
+                last_progress = now;
+            }
+            let before_completed = self.completed;
             for sm in &mut self.sms {
                 self.completed += sm.take_completed().len() as u64;
+            }
+            if self.completed != before_completed {
+                last_progress = now;
             }
 
             if self.finished() {
                 break;
+            }
+
+            let committed = self.committed_total();
+            if committed != last_committed {
+                last_committed = committed;
+                last_progress = now;
+            } else if now - last_progress >= self.watchdog_cycles {
+                return Err(SimError::Watchdog(Box::new(WatchdogDiagnostic {
+                    cycle: now,
+                    last_progress,
+                    window: self.watchdog_cycles,
+                    committed,
+                    completed_blocks: self.completed,
+                    total_blocks: self.total_blocks,
+                    warps: self.warp_diagnostics(),
+                    fault_queue: self.mem.fault_queue.iter().cloned().collect(),
+                    in_service: self.mem.fault_queue.in_service_regions().to_vec(),
+                })));
             }
 
             // Idle skip: when every SM waits on external events, jump to
@@ -206,8 +282,15 @@ impl Engine {
                 let next = self.next_event_cycle();
                 if let Some(next) = next {
                     if next > now + 1 {
-                        now = next;
-                        continue;
+                        // Never jump past the watchdog deadline or the
+                        // cycle cap: both must fire at their exact cycle.
+                        let deadline = (last_progress + self.watchdog_cycles)
+                            .min(self.max_cycles);
+                        let target = next.min(deadline);
+                        if target > now {
+                            now = target;
+                            continue;
+                        }
                     }
                 } else if self.scheme_fault_mode == FaultMode::StallReplay
                     && self.cpu.is_none()
@@ -215,22 +298,31 @@ impl Engine {
                 {
                     // Stall-mode faults with no handler would hang forever;
                     // surface it instead.
-                    panic!("faults pending but no handler configured");
+                    return Err(SimError::NoFaultHandler {
+                        pending_faults: self.mem.fault_queue.len()
+                            + self.mem.fault_queue.in_service_count(),
+                    });
                 }
             }
             now += 1;
-            assert!(
-                now < self.max_cycles,
-                "GPU run exceeded {} cycles (likely a deadlock)",
-                self.max_cycles
-            );
+            if now >= self.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.max_cycles,
+                    completed_blocks: self.completed,
+                    total_blocks: self.total_blocks,
+                });
+            }
         }
 
         let mut sm_stats = SmStats::default();
+        let mut warp_retired: BTreeMap<(u32, u32), u64> = BTreeMap::new();
         for sm in &self.sms {
             sm_stats.merge(&sm.stats());
+            for (&key, &n) in sm.warp_retired() {
+                *warp_retired.entry(key).or_insert(0) += n;
+            }
         }
-        GpuRunReport {
+        Ok(GpuRunReport {
             kernel: trace.name.clone(),
             cycles: now,
             sm: sm_stats,
@@ -240,7 +332,9 @@ impl Engine {
             blocks: self.total_blocks,
             switches: self.switches,
             resident_regions: self.mem.page_table.resident_regions().to_vec(),
-        }
+            warp_retired,
+            injection: self.cpu.as_ref().and_then(|c| c.injection_stats()),
+        })
     }
 
     fn handle_notices(&mut self, now: Cycle) {

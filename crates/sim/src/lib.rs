@@ -20,7 +20,9 @@
 
 pub mod block_switch;
 pub mod config;
+pub mod error;
 pub mod gpu;
+pub mod inject;
 pub mod interconnect;
 pub mod local_fault;
 pub mod paging;
@@ -28,8 +30,10 @@ pub mod report;
 pub mod residency;
 
 pub use block_switch::BlockSwitchConfig;
-pub use config::{GpuConfig, PagingMode};
+pub use config::{set_default_max_cycles, GpuConfig, PagingMode};
+pub use error::{SimError, WatchdogDiagnostic};
 pub use gpu::Gpu;
+pub use inject::{InjectionPlan, InjectionStats, Injector};
 pub use interconnect::{Interconnect, CYCLES_PER_US};
 pub use local_fault::LocalFaultConfig;
 pub use report::{geomean, GpuRunReport};

@@ -17,10 +17,11 @@
 //! GPU-local handling (20 us latency but massively concurrent) a
 //! throughput win in use case 2.
 
+use crate::inject::{InjectionPlan, InjectionStats, Injector};
 use crate::interconnect::{Interconnect, CYCLES_PER_US};
 use gex_mem::phys::{AllocOwner, PhysAllocator};
 use gex_mem::system::MemSystem;
-use gex_mem::{Cycle, FaultKind, REGION_BYTES, REGION_PAGES};
+use gex_mem::{Cycle, FaultEntry, FaultKind, REGION_BYTES, REGION_PAGES};
 
 /// CPU work per fault (page pinning, allocation, page-table updates):
 /// the paper's ~2 us estimate (Section 5.4).
@@ -60,12 +61,13 @@ impl CpuHandlerStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct InFlight {
-    region: u64,
-    kind: FaultKind,
+    entry: FaultEntry,
     done_at: Cycle,
-    enqueued_at: Cycle,
+    /// An injected duplicate round trip: its resolution must be harmless,
+    /// and it is never NACKed (the original carries the retry state).
+    dup: bool,
 }
 
 /// Pipelined CPU-side servicing of the global pending-fault queue.
@@ -78,6 +80,8 @@ pub struct CpuHandler {
     /// Next cycle the link's data path is free.
     link_free: Cycle,
     in_flight: Vec<InFlight>,
+    /// Fault-injection state; `None` means exact, unperturbed timing.
+    injector: Option<Injector>,
     stats: CpuHandlerStats,
 }
 
@@ -90,6 +94,7 @@ impl CpuHandler {
             cpu_free: 0,
             link_free: 0,
             in_flight: Vec::new(),
+            injector: None,
             stats: CpuHandlerStats::default(),
         }
     }
@@ -99,6 +104,23 @@ impl CpuHandler {
     pub fn without_first_touch(mut self) -> Self {
         self.handle_first_touch = false;
         self
+    }
+
+    /// Attach a fault-injection schedule. A no-op plan attaches nothing,
+    /// so the unperturbed timing paths stay bit-exact.
+    pub fn with_injection(mut self, plan: InjectionPlan) -> Self {
+        self.injector = if plan.is_noop() { None } else { Some(Injector::new(plan)) };
+        self
+    }
+
+    /// Injection counters, if an injector is attached.
+    pub fn injection_stats(&self) -> Option<InjectionStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// NACKed faults parked in the injector, waiting out their backoff.
+    pub fn deferred_faults(&self) -> usize {
+        self.injector.as_ref().map_or(0, |i| i.deferred_faults())
     }
 
     /// The interconnect in use.
@@ -118,33 +140,66 @@ impl CpuHandler {
     /// the oldest-mapped regions back to the CPU (memory oversubscription /
     /// swapping), paying the write-back on the link.
     pub fn tick(&mut self, now: Cycle, mem: &mut MemSystem, phys: &mut PhysAllocator) -> Vec<u64> {
+        // NACKed faults whose backoff elapsed re-enter the pending queue.
+        if let Some(inj) = &mut self.injector {
+            inj.requeue_due(now, &mut mem.fault_queue);
+        }
         // Resolve completed round trips.
         let mut resolved = Vec::new();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].done_at <= now {
                 let f = self.in_flight.swap_remove(i);
-                if f.kind == FaultKind::Migration {
+                // A spurious "retry later" NACK: the round trip completed
+                // but resolved nothing. The entry parks for its backoff and
+                // the faulted warps keep waiting.
+                if !f.dup {
+                    if let Some(inj) = &mut self.injector {
+                        if inj.try_nack(now, &f.entry) {
+                            continue;
+                        }
+                    }
+                }
+                if f.entry.kind == FaultKind::Migration {
                     // The migrated region lands in GPU memory through the
                     // same DRAM channel the SMs use.
                     mem.dram_mut().bulk_transfer(now, REGION_BYTES);
-                    self.stats.migrations += 1;
-                } else {
+                    if !f.dup {
+                        self.stats.migrations += 1;
+                    }
+                } else if !f.dup {
                     self.stats.allocations += 1;
                 }
-                self.stats.latency_sum += now - f.enqueued_at;
-                mem.resolve_region(f.region, now);
-                resolved.push(f.region);
+                if !f.dup {
+                    self.stats.latency_sum += now - f.entry.enqueued_at;
+                }
+                mem.resolve_region(f.entry.region, now);
+                resolved.push(f.entry.region);
             } else {
                 i += 1;
             }
         }
         // Admit new faults while the CPU stage has capacity.
+        let hft = self.handle_first_touch;
         while self.cpu_free <= now {
-            let entry = if self.handle_first_touch {
+            let pred = |e: &FaultEntry| hft || e.kind != FaultKind::FirstTouch;
+            if !mem.fault_queue.iter().any(&pred) {
+                break;
+            }
+            // Injected handler stalls / backpressure bursts freeze
+            // admission. Rolled per admission opportunity (something is
+            // pending and the CPU stage is free), not per simulated cycle.
+            if let Some(inj) = &mut self.injector {
+                if inj.admission_blocked(now) {
+                    break;
+                }
+            }
+            let entry = if let Some(inj) = &mut self.injector {
+                inj.pick(&mut mem.fault_queue, pred)
+            } else if hft {
                 mem.fault_queue.pop()
             } else {
-                mem.fault_queue.pop_where(|e| e.kind != FaultKind::FirstTouch)
+                mem.fault_queue.pop_where(pred)
             };
             let Some(entry) = entry else { break };
             let admit = self.cpu_free.max(now);
@@ -178,20 +233,33 @@ impl CpuHandler {
             self.cpu_free = self.cpu_free.max(admit) + CPU_STAGE_CYCLES;
             self.stats.busy_cycles += CPU_STAGE_CYCLES;
             // Every fault's signaling occupies the link; migrations add the
-            // 64 KB of data on top.
+            // 64 KB of data on top. Injected link spikes and resolution
+            // jitter stretch the round trip.
             let mut occ = self.interconnect.signal_cycles;
             if entry.kind == FaultKind::Migration {
                 occ += self.interconnect.region_transfer_cycles();
             }
+            let mut extra = 0;
+            let mut dup = false;
+            if let Some(inj) = &mut self.injector {
+                occ += inj.link_spike();
+                extra = inj.extra_latency();
+                dup = inj.duplicate();
+            }
             let start = self.link_free.max(admit);
             self.link_free = start + occ;
-            let done = (admit + self.interconnect.fault_cost(entry.kind)).max(start + occ);
-            self.in_flight.push(InFlight {
-                region: entry.region,
-                kind: entry.kind,
-                done_at: done,
-                enqueued_at: entry.enqueued_at,
-            });
+            let done =
+                (admit + self.interconnect.fault_cost(entry.kind) + extra).max(start + occ);
+            if dup {
+                // The duplicated round trip lands shortly after the
+                // original; its second resolution must be harmless.
+                self.in_flight.push(InFlight {
+                    entry: entry.clone(),
+                    done_at: done + 500,
+                    dup: true,
+                });
+            }
+            self.in_flight.push(InFlight { entry, done_at: done, dup: false });
             self.stats.peak_in_flight =
                 self.stats.peak_in_flight.max(self.in_flight.len() as u64);
         }
@@ -203,9 +271,17 @@ impl CpuHandler {
         self.in_flight.is_empty()
     }
 
-    /// Earliest in-flight completion, for skip-ahead.
+    /// Earliest upcoming handler event — an in-flight completion, a
+    /// deferred NACK re-enqueue or a stall expiry — for skip-ahead.
     pub fn next_event_cycle(&self) -> Option<Cycle> {
-        self.in_flight.iter().map(|f| f.done_at).min()
+        let mut next = self.in_flight.iter().map(|f| f.done_at).min();
+        if let Some(inj) = &self.injector {
+            next = match (next, inj.next_event_cycle()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        next
     }
 }
 

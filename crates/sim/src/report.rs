@@ -1,9 +1,11 @@
 //! Results of a whole-GPU run.
 
+use crate::inject::InjectionStats;
 use crate::local_fault::LocalFaultStats;
 use crate::paging::CpuHandlerStats;
 use gex_mem::{Cycle, MemStats};
 use gex_sm::SmStats;
+use std::collections::BTreeMap;
 
 /// Aggregated outcome of one kernel execution on the GPU.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +31,16 @@ pub struct GpuRunReport {
     /// (mapping order). Feed these into the next launch's residency to
     /// model multi-kernel applications (see `gex::Session`).
     pub resident_regions: Vec<u64>,
+    /// Instructions retired per `(block_id, warp)`, summed across SMs.
+    /// The differential-validation harness compares these between clean
+    /// and fault-injected runs: scheduling chaos must never change what a
+    /// warp executes.
+    pub warp_retired: BTreeMap<(u32, u32), u64>,
+    /// Fault-injection counters, if the run carried an [`InjectionPlan`]
+    /// (see [`Gpu::inject`](crate::gpu::Gpu::inject)).
+    ///
+    /// [`InjectionPlan`]: crate::inject::InjectionPlan
+    pub injection: Option<InjectionStats>,
 }
 
 impl GpuRunReport {

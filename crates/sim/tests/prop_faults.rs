@@ -11,7 +11,7 @@ use gex_isa::reg::{Pred, Reg};
 use gex_isa::trace::KernelTrace;
 use gex_sim::{BlockSwitchConfig, Gpu, GpuConfig, Interconnect, LocalFaultConfig, PagingMode, Residency};
 use gex_sm::Scheme;
-use proptest::prelude::*;
+use gex_testkit::prelude::*;
 
 const BUF: u64 = 0x100_0000;
 const BUF_LEN: u64 = 1 << 20; // 16 regions
@@ -74,7 +74,7 @@ proptest! {
     fn fault_placement_never_breaks_execution(
         stride in prop_oneof![Just(4u64), Just(128), Just(4096), Just(65536)],
         phase in 0u64..65536,
-        regions in proptest::collection::vec(0u8..3, 16),
+        regions in gex_testkit::collection::vec(0u8..3, 16),
         scheme in prop_oneof![
             Just(Scheme::WdLastCheck),
             Just(Scheme::ReplayQueue),
@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn use_cases_survive_random_faults(
         stride in prop_oneof![Just(4u64), Just(4096)],
-        regions in proptest::collection::vec(0u8..3, 16),
+        regions in gex_testkit::collection::vec(0u8..3, 16),
     ) {
         let t = build_trace(stride, 0, 2, 8);
         let res = residency(&regions);

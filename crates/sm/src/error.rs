@@ -1,0 +1,86 @@
+//! Typed SM pipeline errors.
+//!
+//! The pipeline used to `expect`/panic on internal bookkeeping
+//! inconsistencies (an event naming an instruction that is not in flight).
+//! Those now record an [`SmError`] instead: the SM stops making progress on
+//! the affected warp, and the driving simulator surfaces the error through
+//! its run result with full context — which SM, block, warp and trace index
+//! tripped, and at which pipeline stage.
+
+use gex_mem::Cycle;
+
+/// The pipeline stage at which an invariant violation was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmStage {
+    /// The out-of-order commit stage.
+    Commit,
+    /// The fault-squash path (memory system reported a fault).
+    FaultSquash,
+    /// The arithmetic-trap squash path.
+    Trap,
+}
+
+impl std::fmt::Display for SmStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmStage::Commit => write!(f, "commit"),
+            SmStage::FaultSquash => write!(f, "fault-squash"),
+            SmStage::Trap => write!(f, "trap"),
+        }
+    }
+}
+
+/// A fatal SM pipeline error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmError {
+    /// A completion, fault or trap event named an instruction that is not
+    /// in the warp's in-flight window — the pipeline's bookkeeping is
+    /// inconsistent and the run must abort.
+    InflightMissing {
+        /// Stage that tripped.
+        stage: SmStage,
+        /// SM id.
+        sm: u32,
+        /// Block slot index.
+        slot: u32,
+        /// Warp index within the block.
+        warp: u32,
+        /// Trace index of the instruction the event named.
+        idx: usize,
+        /// Cycle of detection.
+        cycle: Cycle,
+    },
+}
+
+impl std::fmt::Display for SmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmError::InflightMissing { stage, sm, slot, warp, idx, cycle } => write!(
+                f,
+                "SM {sm} {stage} stage: instruction #{idx} of slot {slot} warp {warp} is \
+                 not in flight (cycle {cycle})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_site() {
+        let e = SmError::InflightMissing {
+            stage: SmStage::Commit,
+            sm: 3,
+            slot: 1,
+            warp: 2,
+            idx: 40,
+            cycle: 1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SM 3") && s.contains("commit") && s.contains("#40"), "{s}");
+    }
+}

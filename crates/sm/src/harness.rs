@@ -5,14 +5,21 @@
 //! exactly the global-scheduler behaviour of Section 2.1 restricted to one
 //! SM. Used by unit tests, the pipeline-diagram example and quick
 //! scheme-vs-scheme comparisons; the full multi-SM GPU lives in `gex-sim`.
+//!
+//! The harness carries the same robustness guards as the full simulator: a
+//! forward-progress watchdog (no commit for a configurable window aborts
+//! with per-warp diagnostics instead of spinning) and typed error
+//! propagation from the SM pipeline and the memory system, surfaced via
+//! [`SingleSmHarness::try_run`].
 
 use crate::config::SmConfig;
+use crate::error::SmError;
 use crate::scheme::Scheme;
-use crate::sm::{KernelSetup, ProbeEvent, Sm};
+use crate::sm::{KernelSetup, ProbeEvent, Sm, WarpDiag};
 use crate::stats::SmStats;
 use gex_isa::trace::KernelTrace;
 use gex_mem::system::{FaultMode, MemSystem};
-use gex_mem::{Cycle, MemConfig, MemStats, PageState};
+use gex_mem::{Cycle, MemConfig, MemError, MemStats, PageState};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -29,6 +36,56 @@ pub struct SingleSmRun {
     pub probe: Vec<ProbeEvent>,
 }
 
+/// Why a single-SM run aborted.
+#[derive(Debug, Clone)]
+pub enum HarnessError {
+    /// No instruction committed for the watchdog window while blocks were
+    /// still resident: the run is wedged.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: Cycle,
+        /// The no-progress window that elapsed.
+        window: Cycle,
+        /// Instructions committed before the run wedged.
+        committed: u64,
+        /// Scheduling state of every resident warp.
+        warps: Vec<WarpDiag>,
+        /// Faults pending in the fill unit's queue.
+        pending_faults: usize,
+    },
+    /// The run exceeded the configured cycle limit.
+    CycleLimit {
+        /// The configured limit.
+        limit: Cycle,
+    },
+    /// The SM pipeline hit a fatal invariant violation.
+    Sm(SmError),
+    /// The memory system hit a fatal condition.
+    Mem(MemError),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Watchdog { cycle, window, committed, warps, pending_faults } => {
+                write!(
+                    f,
+                    "single-SM watchdog: no commit for {window} cycles (at cycle {cycle}, \
+                     {committed} committed, {} resident warps, {pending_faults} pending faults)",
+                    warps.len()
+                )
+            }
+            HarnessError::CycleLimit { limit } => {
+                write!(f, "single-SM run exceeded {limit} cycles")
+            }
+            HarnessError::Sm(e) => write!(f, "{e}"),
+            HarnessError::Mem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
 /// Builder-style harness around one [`Sm`] and one [`MemSystem`].
 #[derive(Debug)]
 pub struct SingleSmHarness {
@@ -37,6 +94,7 @@ pub struct SingleSmHarness {
     scheme: Scheme,
     probe: bool,
     max_cycles: Cycle,
+    watchdog_cycles: Cycle,
 }
 
 impl SingleSmHarness {
@@ -48,6 +106,7 @@ impl SingleSmHarness {
             scheme,
             probe: false,
             max_cycles: 50_000_000,
+            watchdog_cycles: 5_000_000,
         }
     }
 
@@ -63,9 +122,16 @@ impl SingleSmHarness {
         self
     }
 
-    /// Abort (panic) if the run exceeds this many cycles.
+    /// Abort if the run exceeds this many cycles.
     pub fn max_cycles(mut self, c: Cycle) -> Self {
         self.max_cycles = c;
+        self
+    }
+
+    /// Abort if no instruction commits for this many consecutive cycles
+    /// while work is still resident (forward-progress watchdog).
+    pub fn watchdog_cycles(mut self, c: Cycle) -> Self {
+        self.watchdog_cycles = c;
         self
     }
 
@@ -74,9 +140,19 @@ impl SingleSmHarness {
     ///
     /// # Panics
     ///
-    /// Panics if the kernel does not fit on the SM or the run exceeds the
-    /// cycle limit.
+    /// Panics if the kernel does not fit on the SM or the run aborts (see
+    /// [`SingleSmHarness::try_run`] for the non-panicking form).
     pub fn run(&self, trace: &KernelTrace) -> SingleSmRun {
+        match self.try_run(trace) {
+            Ok(run) => run,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Run every block of `trace`, returning a structured error if the run
+    /// wedges (watchdog), exceeds the cycle limit, or hits a fatal
+    /// SM/memory condition.
+    pub fn try_run(&self, trace: &KernelTrace) -> Result<SingleSmRun, HarnessError> {
         let mode = if self.scheme.preemptible() {
             FaultMode::SquashNotify
         } else {
@@ -107,25 +183,49 @@ impl SingleSmHarness {
             trace.blocks.iter().cloned().map(Arc::new).collect();
 
         let mut now: Cycle = 0;
+        let mut last_progress: Cycle = 0;
+        let mut last_committed: u64 = 0;
         loop {
             while sm.free_slot().is_some() && !pending.is_empty() {
                 let b = pending.pop_front().expect("non-empty pending");
                 sm.assign_block(b);
+                last_progress = now;
             }
             mem.tick(now);
+            if let Some(e) = mem.take_error() {
+                return Err(HarnessError::Mem(e));
+            }
             sm.tick(now, &mut mem);
+            if let Some(e) = sm.take_error() {
+                return Err(HarnessError::Sm(e));
+            }
             sm.take_completed();
             if sm.is_empty() && pending.is_empty() {
                 break;
             }
+            let committed = sm.stats().committed;
+            if committed != last_committed {
+                last_committed = committed;
+                last_progress = now;
+            } else if now - last_progress >= self.watchdog_cycles {
+                return Err(HarnessError::Watchdog {
+                    cycle: now,
+                    window: self.watchdog_cycles,
+                    committed,
+                    warps: sm.warp_diagnostics(),
+                    pending_faults: mem.fault_queue.len(),
+                });
+            }
             now += 1;
-            assert!(now < self.max_cycles, "single-SM run exceeded {} cycles", self.max_cycles);
+            if now >= self.max_cycles {
+                return Err(HarnessError::CycleLimit { limit: self.max_cycles });
+            }
         }
-        SingleSmRun {
+        Ok(SingleSmRun {
             cycles: now,
             sm_stats: sm.stats(),
             mem_stats: mem.stats(),
             probe: sm.take_probe(),
-        }
+        })
     }
 }

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod exec;
 pub mod harness;
 pub mod operand_log;
@@ -33,7 +34,8 @@ pub mod sm;
 pub mod stats;
 
 pub use config::SmConfig;
-pub use harness::{SingleSmHarness, SingleSmRun};
+pub use error::{SmError, SmStage};
+pub use harness::{HarnessError, SingleSmHarness, SingleSmRun};
 pub use scheme::Scheme;
-pub use sm::{FaultNotice, KernelSetup, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpState};
+pub use sm::{FaultNotice, KernelSetup, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpDiag, WarpState};
 pub use stats::SmStats;

@@ -21,6 +21,7 @@
 //!   unit broadcasts the region resolution.
 
 use crate::config::{SchedulerPolicy, SmConfig};
+use crate::error::{SmError, SmStage};
 use crate::exec::ExecUnits;
 use crate::operand_log::OperandLog;
 use crate::scheme::Scheme;
@@ -185,6 +186,28 @@ impl SavedBlock {
     }
 }
 
+/// Scheduling snapshot of one resident warp — the watchdog's raw material
+/// for explaining *why* a run stopped making progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpDiag {
+    /// SM id.
+    pub sm: u32,
+    /// Block id (global, not the slot index).
+    pub block_id: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// 64 KB regions the warp waits on (faulted warps).
+    pub waiting_regions: Vec<u64>,
+    /// Squashed instructions pending replay.
+    pub replay_len: usize,
+    /// Next instruction to issue.
+    pub next_issue: usize,
+    /// Length of the warp's dynamic trace.
+    pub trace_len: usize,
+}
+
 /// A fault notification surfaced to the GPU-level scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultNotice {
@@ -265,6 +288,12 @@ pub struct Sm {
     probe: Vec<ProbeEvent>,
     /// Reused per-cycle scheduling scratch (allocation-free ticks).
     order_buf: Vec<(u32, u32)>,
+    /// Committed instructions per (block id, warp index) — survives block
+    /// completion and context switches, so differential runs can compare
+    /// exactly what every warp retired.
+    retired: HashMap<(u32, u32), u64>,
+    /// First fatal pipeline error (the run must abort).
+    error: Option<SmError>,
 }
 
 impl Sm {
@@ -291,6 +320,8 @@ impl Sm {
             probe_on: false,
             probe: Vec::new(),
             order_buf: Vec::new(),
+            retired: HashMap::new(),
+            error: None,
         }
     }
 
@@ -319,6 +350,44 @@ impl Sm {
     /// Statistics so far.
     pub fn stats(&self) -> SmStats {
         self.stats
+    }
+
+    /// Committed instruction counts per (block id, warp index).
+    pub fn warp_retired(&self) -> &HashMap<(u32, u32), u64> {
+        &self.retired
+    }
+
+    /// Take the first fatal pipeline error, if one was recorded. Once set,
+    /// the affected warp makes no further progress; the caller must abort.
+    pub fn take_error(&mut self) -> Option<SmError> {
+        self.error.take()
+    }
+
+    /// Snapshot of every resident warp's scheduling state, for the forward
+    /// progress watchdog's diagnostics.
+    pub fn warp_diagnostics(&self) -> Vec<WarpDiag> {
+        let mut out = Vec::new();
+        for b in self.slots.iter().flatten() {
+            for (wi, w) in b.warps.iter().enumerate() {
+                out.push(WarpDiag {
+                    sm: self.sm_id,
+                    block_id: b.block_id,
+                    warp: wi as u32,
+                    state: w.state,
+                    waiting_regions: w.waiting_regions.clone(),
+                    replay_len: w.replay.len(),
+                    next_issue: w.next_issue,
+                    trace_len: b.trace.warps[wi].instrs.len(),
+                });
+            }
+        }
+        out
+    }
+
+    fn fail(&mut self, err: SmError) {
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
     }
 
     /// Configure for a kernel: sizes the block slots and, for the
@@ -623,7 +692,18 @@ impl Sm {
         let w = &mut b.warps[warp as usize];
         // Squash: undo the instruction's scoreboard effects and remember it
         // for replay.
-        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("faulted instr in flight");
+        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+            let sm = self.sm_id;
+            self.fail(SmError::InflightMissing {
+                stage: SmStage::FaultSquash,
+                sm,
+                slot,
+                warp,
+                idx,
+                cycle: now,
+            });
+            return;
+        };
         let e = w.inflight.remove(pos);
         if !e.srcs_released {
             w.sb.release_sources(e.srcs.iter().flatten().copied());
@@ -668,7 +748,18 @@ impl Sm {
         self.record(slot, warp, idx, ProbeStage::Commit, now);
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
         let w = &mut b.warps[warp as usize];
-        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("committing unknown instr");
+        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+            let sm = self.sm_id;
+            self.fail(SmError::InflightMissing {
+                stage: SmStage::Commit,
+                sm,
+                slot,
+                warp,
+                idx,
+                cycle: now,
+            });
+            return;
+        };
         let e = w.inflight.remove(pos);
         if !e.srcs_released {
             w.sb.release_sources(e.srcs.iter().flatten().copied());
@@ -691,6 +782,7 @@ impl Sm {
             _ => {}
         }
         self.stats.committed += 1;
+        *self.retired.entry((b.block_id, warp)).or_insert(0) += 1;
         let instr = &b.trace.warps[warp as usize].instrs[idx];
         if instr.kind == DynKind::Barrier {
             b.barrier_arrived += 1;
@@ -711,7 +803,18 @@ impl Sm {
         if w.trap_handled.contains(&idx) {
             return false; // replay after the handler: commit normally
         }
-        let pos = w.inflight.iter().position(|e| e.idx == idx).expect("trapping instr in flight");
+        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+            let sm = self.sm_id;
+            self.fail(SmError::InflightMissing {
+                stage: SmStage::Trap,
+                sm,
+                slot,
+                warp,
+                idx,
+                cycle: now,
+            });
+            return true;
+        };
         let e = w.inflight.remove(pos);
         if !e.srcs_released {
             w.sb.release_sources(e.srcs.iter().flatten().copied());

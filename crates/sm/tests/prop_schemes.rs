@@ -9,7 +9,7 @@ use gex_isa::mem_image::MemImage;
 use gex_isa::reg::Reg;
 use gex_isa::trace::KernelTrace;
 use gex_sm::{Scheme, SingleSmHarness};
-use proptest::prelude::*;
+use gex_testkit::prelude::*;
 
 const BUF: u64 = 0x10_0000;
 const BUF_LEN: u64 = 1 << 16;
@@ -90,7 +90,7 @@ proptest! {
     /// (no lost or double commits under any constraint set).
     #[test]
     fn schemes_commit_identical_work(
-        ops in proptest::collection::vec(op_strategy(), 1..10),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..10),
         warps in 1u32..4,
     ) {
         let t = build_trace(&ops, warps);
@@ -109,7 +109,7 @@ proptest! {
     /// dual-issue noise are tolerated.
     #[test]
     fn performance_ordering_is_total(
-        ops in proptest::collection::vec(op_strategy(), 1..10),
+        ops in gex_testkit::collection::vec(op_strategy(), 1..10),
         warps in 1u32..4,
     ) {
         let t = build_trace(&ops, warps);

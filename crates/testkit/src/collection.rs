@@ -1,0 +1,130 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use gex_prng::Prng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A size specification: an exact length or a half-open/inclusive range,
+/// mirroring proptest's `Into<SizeRange>` arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut Prng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// `Vec` strategy: `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Prng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` strategy: a set of `size` distinct elements.
+///
+/// If the element space is too small to reach the drawn size the set is
+/// returned with as many distinct elements as a bounded number of draws
+/// produced (proptest treats this the same way).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut Prng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < n && attempts < n.saturating_mul(64) + 64 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = Prng::seed_from_u64(1);
+        let exact = vec(0u8..10, 16);
+        assert_eq!(exact.generate(&mut rng).len(), 16);
+        let ranged = vec(0u8..10, 1..4);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+        let incl = vec(0u8..10, 2..=3);
+        for _ in 0..50 {
+            assert!((2..=3).contains(&incl.generate(&mut rng).len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_sizes_and_distinctness() {
+        let mut rng = Prng::seed_from_u64(2);
+        let s = btree_set(0u64..512, 1..16);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 16);
+        }
+        // Element space smaller than requested size: saturates, no hang.
+        let tiny = btree_set(0u64..3, 10);
+        assert_eq!(tiny.generate(&mut rng).len(), 3);
+    }
+}

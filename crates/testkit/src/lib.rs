@@ -1,0 +1,128 @@
+//! A minimal, deterministic property-testing harness.
+//!
+//! The workspace builds fully offline, so it cannot depend on the
+//! `proptest` crate. This crate implements the small subset the gex
+//! test-suites actually use — `proptest!`, `prop_oneof!`,
+//! `prop_assert*!`, range/`Just`/tuple/collection strategies and
+//! `prop_map` — with the same spelling, so tests read identically.
+//!
+//! Design differences from real proptest, on purpose:
+//!
+//! - **No shrinking.** On failure the harness prints the case number,
+//!   the per-case seed and the generated inputs (`Debug`), which is
+//!   enough to reproduce: every case's seed is a pure function of the
+//!   test name and case index.
+//! - **Deterministic by construction.** There is no environment
+//!   variable or time-based entropy; CI and local runs explore the
+//!   same cases.
+//!
+//! ```
+//! use gex_testkit::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!     // add #[test] above each property in a real test module
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod collection;
+mod macros;
+pub mod strategy;
+
+pub use gex_prng::Prng;
+pub use strategy::{any, boxed, Just, OneOf, Strategy};
+
+/// Per-suite configuration; only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a, used to derive stable per-test seeds from the test's name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed for `case` of the property named `name` (stable across runs).
+#[doc(hidden)]
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    fnv1a(name.as_bytes()) ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, boxed, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_maps(x in 1u8..10, y in (0u32..5).prop_map(|v| v * 2)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert_eq!(y % 2, 0);
+            prop_assert_ne!(y, 11);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            tag in prop_oneof![Just("a"), Just("b")],
+            v in collection::vec(0u64..100, 3),
+            s in collection::btree_set(0u64..512, 1..16),
+        ) {
+            prop_assert!(tag == "a" || tag == "b");
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(!s.is_empty() && s.len() < 16);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::case_seed("t", 0), crate::case_seed("t", 0));
+        assert_ne!(crate::case_seed("t", 0), crate::case_seed("t", 1));
+        assert_ne!(crate::case_seed("t", 0), crate::case_seed("u", 0));
+    }
+
+    proptest! {
+        // No #[test]: never collected, only driven by the test below.
+        fn always_fails(x in 0u8..4) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics() {
+        assert!(std::panic::catch_unwind(always_fails).is_err());
+    }
+}

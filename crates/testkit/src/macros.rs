@@ -1,0 +1,79 @@
+//! The `proptest!`, `prop_oneof!` and `prop_assert*!` macros.
+
+/// Define property tests.
+///
+/// Mirrors proptest's surface: an optional
+/// `#![proptest_config(...)]` header, then any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each test
+/// runs `cases` times with inputs drawn from the strategies; on
+/// failure the case number, seed and generated inputs are printed
+/// before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no items left.
+    (@impl ($cfg:expr)) => {};
+    // Internal: one test item, then recurse on the rest.
+    (@impl ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__cfg.cases {
+                let __seed = $crate::case_seed(__name, __case);
+                let mut __rng = $crate::Prng::seed_from_u64(__seed);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs =
+                    format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "[gex-testkit] property {} failed at case {}/{} (seed {:#x})\n  inputs: {}",
+                        __name, __case, __cfg.cases, __seed, __inputs
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    // Entry with a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    // Entry without one: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a property (plain `assert!`; no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

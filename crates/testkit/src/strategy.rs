@@ -1,0 +1,193 @@
+//! Value-generation strategies (the proptest-compatible core).
+
+use gex_prng::{Prng, Sample};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the per-case [`Prng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut Prng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut Prng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Prng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy for heterogeneous storage (e.g. [`OneOf`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Debug,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut Prng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Prng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> OneOf<T> {
+    /// Choose uniformly among `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one alternative");
+        OneOf { choices }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Prng) -> T {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Prng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// The canonical strategy for a whole type (`any::<bool>()`).
+pub fn any<T: Sample + Debug>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`]: the type's full value space.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Sample + Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Prng) -> T {
+        rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_and_map_and_ranges() {
+        let mut rng = Prng::seed_from_u64(1);
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+        let doubled = (0u32..5).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+        for _ in 0..50 {
+            assert!((3u64..=5).contains(&(3u64..=5).generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_choice() {
+        let s = OneOf::new(vec![boxed(Just(1u8)), boxed(Just(2u8)), boxed(Just(3u8))]);
+        let mut rng = Prng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let s = (0u8..4, Just("x"), any::<bool>());
+        let mut rng = Prng::seed_from_u64(3);
+        let (a, b, _c) = s.generate(&mut rng);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+    }
+}

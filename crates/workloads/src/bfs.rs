@@ -12,8 +12,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{AtomKind, CmpKind, CmpType, Width};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Fixed out-degree of the synthetic graph.
 const DEGREE: u64 = 8;
@@ -29,7 +28,7 @@ fn nodes(preset: Preset) -> u64 {
 /// Build the `bfs` workload: one frontier-expansion step on a random graph.
 pub fn build(preset: Preset) -> Workload {
     let n = nodes(preset);
-    let mut rng = StdRng::seed_from_u64(0xbf5);
+    let mut rng = Prng::seed_from_u64(0xbf5);
     let mut va = VaAlloc::new();
     let adj = va.alloc(n * DEGREE * 4);
     let levels = va.alloc(n * 4);

@@ -11,8 +11,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Atoms staged per shared-memory tile (2 values each: coordinate+charge).
 const TILE_ATOMS: u64 = 128;
@@ -98,10 +97,10 @@ pub fn build(preset: Preset) -> Workload {
         .expect("cutcp kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0xc07c);
+    let mut rng = Prng::seed_from_u64(0xc07c);
     for i in 0..atoms {
-        image.write_f32(atom_buf + i * 8, rng.gen_range(0.0..64.0));
-        image.write_f32(atom_buf + i * 8 + 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(atom_buf + i * 8, rng.gen_range(0.0f32..64.0));
+        image.write_f32(atom_buf + i * 8 + 4, rng.gen_range(-1.0f32..1.0));
     }
 
     Workload::build(

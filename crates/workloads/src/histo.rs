@@ -19,8 +19,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Histogram bins (one byte of key space).
 pub const BINS: u64 = 256;
@@ -100,7 +99,7 @@ pub fn build(preset: Preset) -> Workload {
         .expect("histo kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x4157);
+    let mut rng = Prng::seed_from_u64(0x4157);
     for i in 0..n {
         image.write_u32(input + i * 4, rng.gen());
     }

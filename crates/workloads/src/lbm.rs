@@ -21,8 +21,7 @@ use gex_isa::asm::Asm;
 use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::reg::Reg;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// D3Q19 lattice: 19 distribution directions.
 pub const DIRS: u64 = 19;
@@ -119,9 +118,9 @@ pub fn build(preset: Preset) -> Workload {
         .expect("lbm kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x1b);
+    let mut rng = Prng::seed_from_u64(0x1b);
     for i in 0..DIRS * n {
-        image.write_f32(src + i * 4, rng.gen_range(0.0..1.0));
+        image.write_f32(src + i * 4, rng.gen_range(0.0f32..1.0));
     }
 
     Workload::build(

@@ -15,8 +15,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 fn config(preset: Preset) -> (u32, u64, u64) {
     // (blocks, light iterations, heavy iterations)
@@ -96,10 +95,10 @@ pub fn build(preset: Preset) -> Workload {
         .expect("mri-gridding kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x321d);
+    let mut rng = Prng::seed_from_u64(0x321d);
     for s in 0..samples {
-        image.write_f32(sample_buf + s * 8, rng.gen_range(-2.0..2.0));
-        image.write_f32(sample_buf + s * 8 + 4, rng.gen_range(0.0..1.0));
+        image.write_f32(sample_buf + s * 8, rng.gen_range(-2.0f32..2.0));
+        image.write_f32(sample_buf + s * 8 + 4, rng.gen_range(0.0f32..1.0));
     }
 
     Workload::build(

@@ -11,8 +11,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 fn config(preset: Preset) -> (u64, u64) {
     // (image points, k-space samples)
@@ -77,13 +76,13 @@ pub fn build(preset: Preset) -> Workload {
         .expect("mri-q kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x3219);
+    let mut rng = Prng::seed_from_u64(0x3219);
     for i in 0..points {
-        image.write_f32(xs + i * 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(xs + i * 4, rng.gen_range(-1.0f32..1.0));
     }
     for s in 0..ksamples {
-        image.write_f32(kdata + s * 8, rng.gen_range(-3.0..3.0));
-        image.write_f32(kdata + s * 8 + 4, rng.gen_range(0.0..1.0));
+        image.write_f32(kdata + s * 8, rng.gen_range(-3.0f32..3.0));
+        image.write_f32(kdata + s * 8 + 4, rng.gen_range(0.0f32..1.0));
     }
 
     Workload::build(

@@ -12,8 +12,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Macroblock pixels evaluated per candidate.
 const MB_PIXELS: u64 = 32;
@@ -92,10 +91,10 @@ pub fn build(preset: Preset) -> Workload {
         .expect("sad kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x5ad);
+    let mut rng = Prng::seed_from_u64(0x5ad);
     for i in 0..frame {
-        image.write_u32(cur + i * 4, rng.gen_range(0..256));
-        image.write_u32(reference + i * 4, rng.gen_range(0..256));
+        image.write_u32(cur + i * 4, rng.gen_range(0u32..256));
+        image.write_u32(reference + i * 4, rng.gen_range(0u32..256));
     }
 
     Workload::build(

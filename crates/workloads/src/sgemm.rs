@@ -12,8 +12,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Tile edge (threads per block side).
 const TILE: u64 = 16;
@@ -102,12 +101,12 @@ pub fn build(preset: Preset) -> Workload {
         .expect("sgemm kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x5135);
+    let mut rng = Prng::seed_from_u64(0x5135);
     for i in 0..m * k {
-        image.write_f32(a_base + i * 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(a_base + i * 4, rng.gen_range(-1.0f32..1.0));
     }
     for i in 0..k * n {
-        image.write_f32(b_base + i * 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(b_base + i * 4, rng.gen_range(-1.0f32..1.0));
     }
 
     Workload::build(

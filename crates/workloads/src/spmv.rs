@@ -11,8 +11,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 fn config(preset: Preset) -> (u64, u64) {
     // (rows, average nonzeros per row)
@@ -26,7 +25,7 @@ fn config(preset: Preset) -> (u64, u64) {
 /// Build the `spmv` workload.
 pub fn build(preset: Preset) -> Workload {
     let (rows, avg_nnz) = config(preset);
-    let mut rng = StdRng::seed_from_u64(0x59c7);
+    let mut rng = Prng::seed_from_u64(0x59c7);
 
     // Build the CSR structure host-side.
     let mut row_ptr: Vec<u32> = Vec::with_capacity(rows as usize + 1);
@@ -94,13 +93,13 @@ pub fn build(preset: Preset) -> Workload {
     let mut image = MemImage::new();
     for (i, &c) in cols.iter().enumerate() {
         image.write_u32(col_idx + i as u64 * 4, c);
-        image.write_f32(vals + i as u64 * 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(vals + i as u64 * 4, rng.gen_range(-1.0f32..1.0));
     }
     for (i, &r) in row_ptr.iter().enumerate() {
         image.write_u32(rp + i as u64 * 4, r);
     }
     for i in 0..rows {
-        image.write_f32(x + i * 4, rng.gen_range(-1.0..1.0));
+        image.write_f32(x + i * 4, rng.gen_range(-1.0f32..1.0));
     }
 
     Workload::build(

@@ -11,8 +11,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 fn dims(preset: Preset) -> (u64, u64, u64) {
     match preset {
@@ -98,9 +97,9 @@ pub fn build(preset: Preset) -> Workload {
         .expect("stencil kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x57e4);
+    let mut rng = Prng::seed_from_u64(0x57e4);
     for i in 0..nx * ny * nz {
-        image.write_f32(src + i * 4, rng.gen_range(0.0..1.0));
+        image.write_f32(src + i * 4, rng.gen_range(0.0f32..1.0));
     }
 
     Workload::build(

@@ -14,8 +14,7 @@ use gex_isa::kernel::{Dim3, KernelBuilder};
 use gex_isa::mem_image::MemImage;
 use gex_isa::op::{CmpKind, CmpType};
 use gex_isa::reg::{Pred, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gex_prng::Prng;
 
 /// Histogram bins.
 const BINS: u64 = 32;
@@ -101,7 +100,7 @@ pub fn build(preset: Preset) -> Workload {
         .expect("tpacf kernel");
 
     let mut image = MemImage::new();
-    let mut rng = StdRng::seed_from_u64(0x79ac);
+    let mut rng = Prng::seed_from_u64(0x79ac);
     for i in 0..n {
         let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
         image.write_f32(data + i * 8, theta.cos());

@@ -57,6 +57,13 @@ pub struct Workload {
     pub heap_bytes: u64,
     /// Functional-run counters (instruction mix sanity).
     pub func: FuncStats,
+    /// Digest of the final memory image after the functional run: the
+    /// architectural result of the kernel. Workload construction is
+    /// deterministic, so rebuilding the same `(name, preset)` must
+    /// reproduce this digest bit-for-bit — and the timing simulator never
+    /// touches the image, so no scheduling or fault-injection chaos can
+    /// perturb it. The differential-validation suite checks both.
+    pub image_digest: u64,
 }
 
 impl Workload {
@@ -82,6 +89,7 @@ impl Workload {
             buffers,
             heap_bytes: image.heap_brk() - heap_before,
             func: run.stats,
+            image_digest: image.digest(),
         }
     }
 
