@@ -3,9 +3,12 @@
 //! Each group times the experiment that regenerates the corresponding
 //! result at the `Test` preset (the harness binaries run the full `Paper`
 //! preset); traces are built once outside the measurement loop, so the
-//! benches time the cycle-level simulation itself. Runs with the
-//! in-repo [`gex_bench::timing`] harness — the workspace builds offline
-//! and cannot link Criterion.
+//! benches time the cycle-level simulation itself. Every group sweeps its
+//! independent `(workload, scheme, config)` points through
+//! [`gex_exec::par_map`], so wall-clock scales with the worker count
+//! (`GEX_THREADS`; serial when 1). Runs with the in-repo
+//! [`gex_bench::timing`] harness — the workspace builds offline and
+//! cannot link Criterion.
 
 use gex_bench::timing::BenchRunner;
 use gex::workloads::{suite, Preset, Workload};
@@ -22,97 +25,84 @@ fn run(w: &Workload, scheme: Scheme, paging: PagingMode, sms: u32) -> GpuRunRepo
 }
 
 /// Figure 10: normalized performance of the preemptible pipelines.
+/// One bench per workload; the three schemes sweep in parallel.
 fn bench_fig10(r: &mut BenchRunner) {
     for name in ["sgemm", "lbm", "histo", "stencil"] {
         let w = suite::by_name(name, Preset::Test).expect("known workload");
         r.bench(&format!("fig10/scheme_sweep/{name}"), || {
-            let base = run(&w, Scheme::Baseline, PagingMode::AllResident, 2).cycles;
-            let wd = run(&w, Scheme::WdCommit, PagingMode::AllResident, 2).cycles;
-            let rq = run(&w, Scheme::ReplayQueue, PagingMode::AllResident, 2).cycles;
+            let schemes = vec![Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue];
+            let cycles =
+                gex_exec::par_map(schemes, |s| run(&w, s, PagingMode::AllResident, 2).cycles);
+            let (base, wd, rq) = (cycles[0], cycles[1], cycles[2]);
             assert!(base <= wd.max(rq) || base <= wd.min(rq) + base);
             (base, wd, rq)
         });
     }
 }
 
-/// Figure 11: operand-log sizes on the log-sensitive benchmark.
+/// Figure 11: operand-log sizes on the log-sensitive benchmark, swept in
+/// parallel.
 fn bench_fig11(r: &mut BenchRunner) {
     let w = suite::by_name("lbm", Preset::Test).expect("lbm");
-    for kib in [8u32, 16, 32] {
-        r.bench(&format!("fig11/operand_log/{kib}"), || {
+    r.bench("fig11/operand_log/sweep", || {
+        gex_exec::par_map(vec![8u32, 16, 32], |kib| {
             run(&w, Scheme::operand_log_kib(kib), PagingMode::AllResident, 2).cycles
-        });
-    }
+        })
+    });
 }
 
-/// Figure 12: block switching vs plain demand paging.
+/// Figure 12: block switching vs plain demand paging, both points in
+/// parallel.
 fn bench_fig12(r: &mut BenchRunner) {
     let w = suite::by_name("sgemm", Preset::Test).expect("sgemm");
     let ic = Interconnect::nvlink();
-    r.bench("fig12/demand_plain", || {
-        Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
-            .run(&w.trace, &w.demand_residency())
-            .cycles
-    });
-    r.bench("fig12/demand_switching", || {
-        Gpu::new(
-            GpuConfig::kepler_k20().with_sms(4),
-            Scheme::ReplayQueue,
-            PagingMode::Demand {
-                interconnect: ic,
-                block_switch: Some(BlockSwitchConfig::default()),
-                local_handling: None,
-            },
-        )
-        .run(&w.trace, &w.demand_residency())
-        .cycles
-    });
-}
-
-/// Figure 13: local handling of malloc-backed faults.
-fn bench_fig13(r: &mut BenchRunner) {
-    let w = gex::workloads::halloc::fixed(Preset::Test);
-    let ic = Interconnect::pcie();
-    r.bench("fig13/cpu_handled", || {
-        Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
-            .run(&w.trace, &w.heap_lazy_residency())
-            .cycles
-    });
-    r.bench("fig13/gpu_local", || {
-        Gpu::new(
-            GpuConfig::kepler_k20().with_sms(4),
-            Scheme::ReplayQueue,
-            PagingMode::Demand {
-                interconnect: ic,
-                block_switch: None,
-                local_handling: Some(LocalFaultConfig::default()),
-            },
-        )
-        .run(&w.trace, &w.heap_lazy_residency())
-        .cycles
-    });
-}
-
-/// Figure 14: local handling of output-page faults.
-fn bench_fig14(r: &mut BenchRunner) {
-    let w = suite::by_name("histo", Preset::Test).expect("histo");
-    let ic = Interconnect::pcie();
-    for (label, local) in [("cpu_handled", None), ("gpu_local", Some(LocalFaultConfig::default()))]
-    {
-        r.bench(&format!("fig14/outputs_lazy/{label}"), || {
+    r.bench("fig12/demand_sweep", || {
+        gex_exec::par_map(vec![None, Some(BlockSwitchConfig::default())], |block_switch| {
             Gpu::new(
                 GpuConfig::kepler_k20().with_sms(4),
                 Scheme::ReplayQueue,
-                PagingMode::Demand {
-                    interconnect: ic,
-                    block_switch: None,
-                    local_handling: local,
-                },
+                PagingMode::Demand { interconnect: ic, block_switch, local_handling: None },
+            )
+            .run(&w.trace, &w.demand_residency())
+            .cycles
+        })
+    });
+}
+
+/// Figure 13: CPU-handled vs GPU-local malloc-backed faults, both points
+/// in parallel.
+fn bench_fig13(r: &mut BenchRunner) {
+    let w = gex::workloads::halloc::fixed(Preset::Test);
+    let ic = Interconnect::pcie();
+    r.bench("fig13/local_sweep", || {
+        gex_exec::par_map(vec![None, Some(LocalFaultConfig::default())], |local_handling| {
+            Gpu::new(
+                GpuConfig::kepler_k20().with_sms(4),
+                Scheme::ReplayQueue,
+                PagingMode::Demand { interconnect: ic, block_switch: None, local_handling },
+            )
+            .run(&w.trace, &w.heap_lazy_residency())
+            .cycles
+        })
+    });
+}
+
+/// Figure 14: CPU-handled vs GPU-local output-page faults, both points in
+/// parallel.
+fn bench_fig14(r: &mut BenchRunner) {
+    let w = suite::by_name("histo", Preset::Test).expect("histo");
+    let ic = Interconnect::pcie();
+    r.bench("fig14/outputs_lazy_sweep", || {
+        gex_exec::par_map(vec![None, Some(LocalFaultConfig::default())], |local_handling| {
+            Gpu::new(
+                GpuConfig::kepler_k20().with_sms(4),
+                Scheme::ReplayQueue,
+                PagingMode::Demand { interconnect: ic, block_switch: None, local_handling },
             )
             .run(&w.trace, &w.outputs_lazy_residency())
             .cycles
-        });
-    }
+        })
+    });
 }
 
 /// Tables 1 and 2 render from live models; timing them pins the power
@@ -123,21 +113,20 @@ fn bench_tables(r: &mut BenchRunner) {
 }
 
 /// The resilience harness: one clean and one chaos-injected demand run
-/// (Figure-12 configuration), so the injector's overhead stays visible.
+/// (Figure-12 configuration), swept in parallel so the injector's
+/// overhead stays visible.
 fn bench_injection(r: &mut BenchRunner) {
     let w = suite::by_name("histo", Preset::Test).expect("histo");
     let ic = Interconnect::nvlink();
-    for (label, plan) in [
-        ("clean", gex::InjectionPlan::none()),
-        ("chaos", gex::InjectionPlan::chaos(7)),
-    ] {
-        r.bench(&format!("inject/{label}"), || {
+    r.bench("inject/clean_vs_chaos", || {
+        let plans = vec![gex::InjectionPlan::none(), gex::InjectionPlan::chaos(7)];
+        gex_exec::par_map(plans, |plan| {
             Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::ReplayQueue, PagingMode::demand(ic))
-                .inject(plan.clone())
+                .inject(plan)
                 .run(&w.trace, &w.demand_residency())
                 .cycles
-        });
-    }
+        })
+    });
 }
 
 fn main() {

@@ -7,6 +7,10 @@
 //!    prototype; how sensitive is use case 2 to it?);
 //! 4. the issue-stage warp scheduler (loose round-robin vs
 //!    greedy-then-oldest) under each exception scheme.
+//!
+//! Each sweep's independent points run through [`gex_exec::par_map`];
+//! rows print in grid order afterwards, so output is identical to the
+//! serial version.
 
 use gex::sm::config::SchedulerPolicy;
 use gex::workloads::{halloc, suite};
@@ -28,23 +32,27 @@ fn main() {
         .run(&w.trace, &res);
     println!("Ablation 1: block-switching policy on sgemm ({ic}, plain = {} cycles)", plain.cycles);
     println!("{:<12} {:<12} {:>9} {:>9}", "threshold", "max-extra", "speedup", "switches");
-    for threshold in [0u32, 1, 2, 4, 8] {
-        for max_extra in [2u32, 4, 8] {
-            let bs = BlockSwitchConfig { queue_pos_threshold: threshold, max_extra_blocks: max_extra, ideal: false };
-            let r = Gpu::new(
-                cfg.clone(),
-                Scheme::ReplayQueue,
-                PagingMode::Demand { interconnect: ic, block_switch: Some(bs), local_handling: None },
-            )
-            .run(&w.trace, &res);
-            println!(
-                "{:<12} {:<12} {:>9.3} {:>9}",
-                threshold,
-                max_extra,
-                plain.cycles as f64 / r.cycles as f64,
-                r.switches
-            );
-        }
+    let grid: Vec<(u32, u32)> = [0u32, 1, 2, 4, 8]
+        .iter()
+        .flat_map(|&t| [2u32, 4, 8].iter().map(move |&m| (t, m)))
+        .collect();
+    let runs = gex_exec::par_map(grid.clone(), |(threshold, max_extra)| {
+        let bs = BlockSwitchConfig { queue_pos_threshold: threshold, max_extra_blocks: max_extra, ideal: false };
+        Gpu::new(
+            cfg.clone(),
+            Scheme::ReplayQueue,
+            PagingMode::Demand { interconnect: ic, block_switch: Some(bs), local_handling: None },
+        )
+        .run(&w.trace, &res)
+    });
+    for ((threshold, max_extra), r) in grid.iter().zip(&runs) {
+        println!(
+            "{:<12} {:<12} {:>9.3} {:>9}",
+            threshold,
+            max_extra,
+            plain.cycles as f64 / r.cycles as f64,
+            r.switches
+        );
     }
 
     // ---- 2. operand-log capacity sweep on lbm ----
@@ -54,18 +62,18 @@ fn main() {
         .run(&w.trace, &res);
     println!("\nAblation 2: operand log capacity on lbm (baseline = {} cycles)", base.cycles);
     println!("{:<10} {:>12} {:>12}", "log KiB", "normalized", "gpu area %");
-    for kib in [4u32, 8, 12, 16, 20, 24, 32, 48, 64] {
-        let r = Gpu::new(
-            cfg.clone(),
-            Scheme::OperandLog { bytes: kib * 1024 },
-            PagingMode::AllResident,
-        )
-        .run(&w.trace, &res);
+    let sizes = vec![4u32, 8, 12, 16, 20, 24, 32, 48, 64];
+    let cycles = gex_exec::par_map(sizes.clone(), |kib| {
+        Gpu::new(cfg.clone(), Scheme::OperandLog { bytes: kib * 1024 }, PagingMode::AllResident)
+            .run(&w.trace, &res)
+            .cycles
+    });
+    for (kib, c) in sizes.iter().zip(&cycles) {
         let o = gex::power::operand_log_overheads(kib * 1024);
         println!(
             "{:<10} {:>12.3} {:>12.2}",
             kib,
-            base.cycles as f64 / r.cycles as f64,
+            base.cycles as f64 / *c as f64,
             o.gpu_area_pct
         );
     }
@@ -81,8 +89,9 @@ fn main() {
         cpu_handled.cycles
     );
     println!("{:<14} {:>9}", "handler us", "speedup");
-    for us in [5u64, 10, 20, 40, 80] {
-        let r = Gpu::new(
+    let lats = vec![5u64, 10, 20, 40, 80];
+    let cycles = gex_exec::par_map(lats.clone(), |us| {
+        Gpu::new(
             cfg.clone(),
             Scheme::ReplayQueue,
             PagingMode::Demand {
@@ -91,8 +100,11 @@ fn main() {
                 local_handling: Some(LocalFaultConfig { handler_cycles: us * 1000 }),
             },
         )
-        .run(&w.trace, &res);
-        println!("{:<14} {:>9.3}", us, cpu_handled.cycles as f64 / r.cycles as f64);
+        .run(&w.trace, &res)
+        .cycles
+    });
+    for (us, c) in lats.iter().zip(&cycles) {
+        println!("{:<14} {:>9.3}", us, cpu_handled.cycles as f64 / *c as f64);
     }
 
     // ---- 4. warp scheduler policy per scheme on lbm (scheme-sensitive) ----
@@ -100,14 +112,24 @@ fn main() {
     let res = w.demand_residency();
     println!("\nAblation 4: warp scheduler policy on lbm (cycles)");
     println!("{:<16} {:>12} {:>12}", "scheme", "loose-rr", "greedy");
-    for scheme in [Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue] {
-        let mut row = Vec::new();
-        for policy in [SchedulerPolicy::LooseRoundRobin, SchedulerPolicy::GreedyThenOldest] {
-            let mut c = cfg.clone();
-            c.sm.scheduler = policy;
-            let r = Gpu::new(c, scheme, PagingMode::AllResident).run(&w.trace, &res);
-            row.push(r.cycles);
-        }
-        println!("{:<16} {:>12} {:>12}", scheme.to_string(), row[0], row[1]);
+    const SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue];
+    const POLICIES: [SchedulerPolicy; 2] =
+        [SchedulerPolicy::LooseRoundRobin, SchedulerPolicy::GreedyThenOldest];
+    let jobs: Vec<(Scheme, SchedulerPolicy)> = SCHEMES
+        .iter()
+        .flat_map(|&s| POLICIES.iter().map(move |&p| (s, p)))
+        .collect();
+    let cycles = gex_exec::par_map(jobs, |(scheme, policy)| {
+        let mut c = cfg.clone();
+        c.sm.scheduler = policy;
+        Gpu::new(c, scheme, PagingMode::AllResident).run(&w.trace, &res).cycles
+    });
+    for (i, scheme) in SCHEMES.iter().enumerate() {
+        println!(
+            "{:<16} {:>12} {:>12}",
+            scheme.to_string(),
+            cycles[i * POLICIES.len()],
+            cycles[i * POLICIES.len() + 1]
+        );
     }
 }

@@ -1,0 +1,56 @@
+//! Perf-regression baseline recorder.
+//!
+//! Times each figure sweep serially and on the parallel sweep engine,
+//! prints a table, and writes the snapshot to the next free
+//! `BENCH_<n>.json` in the output directory:
+//!
+//! ```text
+//! cargo run -p gex-bench --release --bin perfstat -- [test|bench|paper] \
+//!     [--samples N] [--out DIR] [--max-cycles N]
+//! ```
+//!
+//! Defaults: `test` preset, 3 samples, output to the current directory.
+//! `GEX_SMS` / `GEX_THREADS` override the SM count and worker count.
+
+use gex_bench::{perfstat, sms_from_env, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    // perfstat is a smoke/baseline tool, so unlike the figure binaries it
+    // defaults to the Test preset.
+    let preset = if args.positional.is_empty() {
+        gex::workloads::Preset::Test
+    } else {
+        args.preset()
+    };
+    let samples = args.samples.unwrap_or(3).max(1);
+    let out_dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("."));
+    let sms = sms_from_env();
+
+    println!(
+        "perfstat: preset={preset:?} sms={sms} samples={samples} threads={}",
+        gex_exec::threads()
+    );
+    let groups = perfstat::standard_groups(preset);
+    let mut stats = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let st = perfstat::time_group(g, sms, samples);
+        println!(
+            "{:<8} {:>3} points  serial {:>9.3} ms  parallel {:>9.3} ms  speedup {:>5.2}x  {:>12.0} sim-cyc/s",
+            st.id,
+            st.points,
+            st.serial.as_secs_f64() * 1e3,
+            st.parallel.as_secs_f64() * 1e3,
+            st.speedup(),
+            st.sim_cycles_per_sec(),
+        );
+        stats.push(st);
+    }
+
+    let json = perfstat::to_json(preset, sms, samples, &stats);
+    std::fs::create_dir_all(&out_dir).expect("create perfstat output directory");
+    let path = out_dir.join(format!("BENCH_{}.json", perfstat::next_bench_index(&out_dir)));
+    std::fs::write(&path, &json).expect("write perfstat snapshot");
+    println!("wrote {}", path.display());
+}

@@ -7,24 +7,96 @@
 //!   is in [`timing`]; the workspace builds fully offline, so it does not
 //!   depend on Criterion.
 //!
-//! Shared argument parsing for the binaries lives here. Every binary
-//! accepts a positional preset (`test` / `bench` / `paper`) and
+//! Shared argument parsing for the binaries lives here: [`BenchArgs`]
+//! walks argv exactly once and every consumer (preset selection, the
+//! cycle cap, the self-timed runner, `perfstat`) reads from it. Every
+//! binary accepts a positional preset (`test` / `bench` / `paper`) and
 //! `--max-cycles N`, which caps simulated cycles so misconfigured runs
 //! exit with the watchdog diagnostic instead of spinning forever.
 
 use gex::workloads::Preset;
 
+pub mod perfstat;
 pub mod timing;
 
-/// Parse a preset name from the CLI (`test` / `bench` / `paper`);
-/// defaults to `paper` for the harness binaries. Flag arguments
-/// (`--max-cycles N`) are skipped.
-pub fn preset_from_args() -> Preset {
-    match positional_args().first().map(String::as_str) {
-        Some("test") => Preset::Test,
-        Some("bench") => Preset::Bench,
-        _ => Preset::Paper,
+/// Everything the harness binaries and the self-timed bench accept on the
+/// command line, parsed from argv in a single pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Non-flag arguments in order: a preset name for the harness
+    /// binaries, a substring filter for the self-timed bench.
+    pub positional: Vec<String>,
+    /// `--max-cycles N` / `--max-cycles=N`: simulated-cycle cap.
+    pub max_cycles: Option<u64>,
+    /// `--samples N` / `--samples=N`: timed runs per benchmark.
+    pub samples: Option<usize>,
+    /// `--out DIR` / `--out=DIR`: output directory (`perfstat`).
+    pub out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments (excluding the binary name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
     }
+
+    /// Parse an explicit argument list (the testable form of [`parse`]).
+    ///
+    /// [`parse`]: BenchArgs::parse
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if a == "--max-cycles" {
+                out.max_cycles = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--max-cycles=") {
+                out.max_cycles = v.parse().ok();
+            } else if a == "--samples" {
+                out.samples = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--samples=") {
+                out.samples = v.parse().ok();
+            } else if a == "--out" {
+                out.out = it.next();
+            } else if let Some(v) = a.strip_prefix("--out=") {
+                out.out = Some(v.to_string());
+            } else if !a.starts_with('-') {
+                out.positional.push(a);
+            }
+            // Unknown flags (cargo's --bench/--test etc.) are ignored.
+        }
+        out
+    }
+
+    /// The preset named by the first positional argument; harness
+    /// binaries default to `paper`.
+    pub fn preset(&self) -> Preset {
+        match self.positional.first().map(String::as_str) {
+            Some("test") => Preset::Test,
+            Some("bench") => Preset::Bench,
+            _ => Preset::Paper,
+        }
+    }
+
+    /// The self-timed bench's substring filter (its last positional, as
+    /// `cargo bench -- <filter>` passes it).
+    pub fn filter(&self) -> Option<&str> {
+        self.positional.last().map(String::as_str)
+    }
+
+    /// Apply `--max-cycles` (if given) as the process-wide default cycle
+    /// cap, so every `GpuConfig` the experiment drivers build inherits
+    /// it. Call once at the top of each harness binary's `main`.
+    pub fn apply_max_cycles(&self) {
+        if let Some(c) = self.max_cycles {
+            gex::sim::config::set_default_max_cycles(c);
+        }
+    }
+}
+
+/// Parse a preset name from the CLI (`test` / `bench` / `paper`);
+/// defaults to `paper` for the harness binaries.
+pub fn preset_from_args() -> Preset {
+    BenchArgs::parse().preset()
 }
 
 /// SM count for harness runs: the paper's 16, unless `GEX_SMS` overrides.
@@ -34,52 +106,57 @@ pub fn sms_from_env() -> u32 {
 
 /// Parse `--max-cycles N` (or `--max-cycles=N`) from the CLI.
 pub fn max_cycles_from_args() -> Option<u64> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--max-cycles" {
-            return it.next().and_then(|v| v.parse().ok());
-        }
-        if let Some(v) = a.strip_prefix("--max-cycles=") {
-            return v.parse().ok();
-        }
-    }
-    None
+    BenchArgs::parse().max_cycles
 }
 
-/// Apply `--max-cycles` (if given) as the process-wide default cycle cap,
-/// so every `GpuConfig` the experiment drivers build inherits it. Call
-/// once at the top of each harness binary's `main`.
+/// Apply `--max-cycles` (if given) as the process-wide default cycle cap.
+/// Shorthand for `BenchArgs::parse().apply_max_cycles()`.
 pub fn apply_max_cycles_from_args() {
-    if let Some(c) = max_cycles_from_args() {
-        gex::sim::config::set_default_max_cycles(c);
-    }
-}
-
-fn positional_args() -> Vec<String> {
-    let mut out = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut skip_value = false;
-    for a in args {
-        if skip_value {
-            skip_value = false;
-            continue;
-        }
-        if a == "--max-cycles" {
-            skip_value = true;
-        } else if !a.starts_with("--") {
-            out.push(a);
-        }
-    }
-    out
+    BenchArgs::parse().apply_max_cycles();
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn preset_defaults_to_paper_under_test_harness() {
         // The test binary's argv has no recognized preset.
-        assert_eq!(super::preset_from_args(), gex::workloads::Preset::Paper);
-        assert!(super::max_cycles_from_args().is_none());
+        assert_eq!(preset_from_args(), Preset::Paper);
+        assert!(max_cycles_from_args().is_none());
+    }
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn one_pass_parse_covers_all_consumers() {
+        let a = parse(&["test", "--max-cycles", "5000", "--samples=3", "--out", "bench-out"]);
+        assert_eq!(a.preset(), Preset::Test);
+        assert_eq!(a.max_cycles, Some(5000));
+        assert_eq!(a.samples, Some(3));
+        assert_eq!(a.out.as_deref(), Some("bench-out"));
+        assert_eq!(a.positional, vec!["test"]);
+    }
+
+    #[test]
+    fn flag_values_never_leak_into_positionals() {
+        let a = parse(&["--max-cycles", "9", "--samples", "4", "fig10"]);
+        assert_eq!(a.positional, vec!["fig10"]);
+        assert_eq!(a.filter(), Some("fig10"));
+        assert_eq!(a.preset(), Preset::Paper);
+        assert_eq!(a.max_cycles, Some(9));
+        assert_eq!(a.samples, Some(4));
+    }
+
+    #[test]
+    fn unknown_flags_and_equals_forms_parse() {
+        let a = parse(&["--bench", "--max-cycles=77", "bench"]);
+        assert_eq!(a.max_cycles, Some(77));
+        assert_eq!(a.preset(), Preset::Bench);
+        let none = parse(&[]);
+        assert_eq!(none.preset(), Preset::Paper);
+        assert!(none.filter().is_none());
     }
 }

@@ -1,0 +1,293 @@
+//! Performance-trajectory recorder: times the paper's figure sweeps
+//! serially and on the parallel sweep engine, and emits a `BENCH_<n>.json`
+//! snapshot so every PR leaves a recorded perf baseline.
+//!
+//! The `perfstat` binary drives this module. Each [`Group`] is the
+//! flattened `(workload, scheme, config)` point grid behind one figure;
+//! [`Group::run_all`] executes it through [`gex_exec::par_map`] and
+//! returns the total simulated cycles, which — divided by wall-clock —
+//! gives the sim-cycles/second throughput recorded in the JSON.
+
+use gex::workloads::{suite, Preset, Workload};
+use gex::{Gpu, GpuConfig, Interconnect, LocalFaultConfig, PagingMode, Residency, Scheme};
+use std::time::{Duration, Instant};
+
+/// Which residency a simulation point runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResKind {
+    /// Figure 10/11: everything resident, no faults.
+    AllResident,
+    /// Figure 13 placement: heap lazily backed.
+    HeapLazy,
+    /// Figure 14 placement: outputs lazily backed.
+    OutputsLazy,
+}
+
+/// One simulation point: workload index + scheme + paging mode.
+type Point = (usize, Scheme, PagingMode, ResKind);
+
+/// The flattened point grid behind one figure of the paper.
+pub struct Group {
+    /// Group id, e.g. `fig10`.
+    pub id: &'static str,
+    workloads: Vec<Workload>,
+    points: Vec<Point>,
+}
+
+impl Group {
+    /// Number of independent simulation points in the grid.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Run every point through the sweep engine; returns total simulated
+    /// cycles. Thread count follows [`gex_exec::threads`], so callers
+    /// time the serial path with `gex_exec::set_threads(1)` and the
+    /// parallel path with the override cleared.
+    pub fn run_all(&self, sms: u32) -> u64 {
+        let cfg = GpuConfig::kepler_k20().with_sms(sms);
+        gex_exec::par_map(self.points.clone(), |(wi, scheme, paging, res)| {
+            let w = &self.workloads[wi];
+            let residency: Residency = match res {
+                // AllResident ignores the residency argument.
+                ResKind::AllResident => w.demand_residency(),
+                ResKind::HeapLazy => w.heap_lazy_residency(),
+                ResKind::OutputsLazy => w.outputs_lazy_residency(),
+            };
+            Gpu::new(cfg.clone(), scheme, paging).run(&w.trace, &residency).cycles
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// The figure groups perfstat times, mirroring the experiment drivers'
+/// Test-preset grids.
+pub fn standard_groups(preset: Preset) -> Vec<Group> {
+    let all = PagingMode::AllResident;
+    let nvlink = Interconnect::nvlink();
+    let demand = PagingMode::demand(nvlink);
+    let local = PagingMode::Demand {
+        interconnect: nvlink,
+        block_switch: None,
+        local_handling: Some(LocalFaultConfig::default()),
+    };
+    let parboil = suite::parboil(preset);
+    let halloc = suite::halloc(preset);
+
+    let fig10_schemes =
+        [Scheme::Baseline, Scheme::WdCommit, Scheme::WdLastCheck, Scheme::ReplayQueue];
+    let fig10 = Group {
+        id: "fig10",
+        points: grid(&parboil, &fig10_schemes, all, ResKind::AllResident),
+        workloads: parboil.clone(),
+    };
+
+    let mut fig11_schemes = vec![Scheme::Baseline];
+    fig11_schemes.extend(gex::power::studied_sizes().iter().map(|&bytes| Scheme::OperandLog { bytes }));
+    let fig11 = Group {
+        id: "fig11",
+        points: grid(&parboil, &fig11_schemes, all, ResKind::AllResident),
+        workloads: parboil.clone(),
+    };
+
+    let fig13 = Group {
+        id: "fig13",
+        points: (0..halloc.len())
+            .flat_map(|i| {
+                [(i, Scheme::ReplayQueue, demand, ResKind::HeapLazy),
+                 (i, Scheme::ReplayQueue, local, ResKind::HeapLazy)]
+            })
+            .collect(),
+        workloads: halloc,
+    };
+
+    let fig14 = Group {
+        id: "fig14",
+        points: (0..parboil.len())
+            .flat_map(|i| {
+                [(i, Scheme::ReplayQueue, demand, ResKind::OutputsLazy),
+                 (i, Scheme::ReplayQueue, local, ResKind::OutputsLazy)]
+            })
+            .collect(),
+        workloads: parboil,
+    };
+
+    vec![fig10, fig11, fig13, fig14]
+}
+
+fn grid(ws: &[Workload], schemes: &[Scheme], paging: PagingMode, res: ResKind) -> Vec<Point> {
+    (0..ws.len()).flat_map(|i| schemes.iter().map(move |&s| (i, s, paging, res))).collect()
+}
+
+/// Timing record for one group.
+#[derive(Debug, Clone)]
+pub struct GroupStat {
+    /// Group id.
+    pub id: String,
+    /// Simulation points in the grid.
+    pub points: usize,
+    /// Total simulated cycles across the grid.
+    pub sim_cycles: u64,
+    /// Best serial wall-clock across samples.
+    pub serial: Duration,
+    /// Best parallel wall-clock across samples.
+    pub parallel: Duration,
+}
+
+impl GroupStat {
+    /// Serial over parallel wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-12)
+    }
+
+    /// Simulated cycles per wall-clock second on the parallel path.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.parallel.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Time `group` `samples` times on each path, keeping the best sample.
+/// The serial path forces one worker; the parallel path restores the
+/// ambient thread count.
+pub fn time_group(group: &Group, sms: u32, samples: usize) -> GroupStat {
+    let mut sim_cycles = 0;
+    let mut best = |threads: usize| {
+        gex_exec::set_threads(threads);
+        let mut best = Duration::MAX;
+        for _ in 0..samples.max(1) {
+            let t0 = Instant::now();
+            sim_cycles = group.run_all(sms);
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let serial = best(1);
+    let parallel = best(0);
+    gex_exec::set_threads(0);
+    GroupStat {
+        id: group.id.to_string(),
+        points: group.len(),
+        sim_cycles,
+        serial,
+        parallel,
+    }
+}
+
+/// Render the whole snapshot as JSON (hand-rolled: offline build, no
+/// serde).
+pub fn to_json(preset: Preset, sms: u32, samples: usize, stats: &[GroupStat]) -> String {
+    let threads = gex_exec::threads();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"perfstat\",\n");
+    s.push_str(&format!("  \"preset\": \"{}\",\n", preset_name(preset)));
+    s.push_str(&format!("  \"sms\": {sms},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"groups\": [\n");
+    for (i, g) in stats.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"points\": {}, \"sim_cycles\": {}, \
+             \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"sim_cycles_per_sec\": {:.0}}}{}\n",
+            g.id,
+            g.points,
+            g.sim_cycles,
+            g.serial.as_secs_f64() * 1e3,
+            g.parallel.as_secs_f64() * 1e3,
+            g.speedup(),
+            g.sim_cycles_per_sec(),
+            if i + 1 == stats.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    let serial: f64 = stats.iter().map(|g| g.serial.as_secs_f64()).sum();
+    let parallel: f64 = stats.iter().map(|g| g.parallel.as_secs_f64()).sum();
+    s.push_str(&format!(
+        "  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n",
+        serial * 1e3,
+        parallel * 1e3,
+        serial / parallel.max(1e-12),
+    ));
+    s.push_str("}\n");
+    s
+}
+
+fn preset_name(p: Preset) -> &'static str {
+    match p {
+        Preset::Test => "test",
+        Preset::Bench => "bench",
+        Preset::Paper => "paper",
+    }
+}
+
+/// Next free `BENCH_<n>.json` index in `dir` (one above the highest
+/// existing index; 0 for a fresh directory).
+pub fn next_bench_index(dir: &std::path::Path) -> u32 {
+    let mut max: Option<u32> = None;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|r| r.parse::<u32>().ok())
+            {
+                max = Some(max.map_or(n, |m: u32| m.max(n)));
+            }
+        }
+    }
+    max.map_or(0, |m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_the_figures() {
+        let gs = standard_groups(Preset::Test);
+        let ids: Vec<&str> = gs.iter().map(|g| g.id).collect();
+        assert_eq!(ids, ["fig10", "fig11", "fig13", "fig14"]);
+        assert!(gs.iter().all(|g| !g.is_empty()));
+        // fig10 is the full parboil x scheme grid.
+        assert_eq!(gs[0].len(), suite::parboil(Preset::Test).len() * 4);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let stats = vec![GroupStat {
+            id: "fig10".into(),
+            points: 44,
+            sim_cycles: 123_456,
+            serial: Duration::from_millis(10),
+            parallel: Duration::from_millis(5),
+        }];
+        let j = to_json(Preset::Test, 8, 3, &stats);
+        assert!(j.contains("\"preset\": \"test\""));
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.contains("\"sim_cycles\": 123456"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn bench_index_scans_existing_files() {
+        let dir = std::env::temp_dir().join(format!("gex-perfstat-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_index(&dir), 0);
+        std::fs::write(dir.join("BENCH_2.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_7.json"), "{}").unwrap();
+        std::fs::write(dir.join("not-a-bench.json"), "{}").unwrap();
+        assert_eq!(next_bench_index(&dir), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -37,28 +37,16 @@ impl BenchRunner {
         BenchRunner { samples, filter: None, results: Vec::new() }
     }
 
-    /// Parse CLI conventions: an optional substring filter (as `cargo
-    /// bench -- <filter>` passes) and `--samples N`. Cargo's
-    /// `--bench` flag is ignored.
+    /// Parse CLI conventions via the shared one-pass [`BenchArgs`]
+    /// parser: an optional substring filter (as `cargo bench --
+    /// <filter>` passes) and `--samples N`. Cargo's `--bench` flag is
+    /// ignored.
+    ///
+    /// [`BenchArgs`]: crate::BenchArgs
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut samples = 10usize;
-        let mut filter = None;
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--samples" => {
-                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
-                        samples = v;
-                    }
-                }
-                "--bench" | "--test" => {}
-                s if !s.starts_with('-') => filter = Some(s.to_string()),
-                _ => {}
-            }
-        }
-        let mut r = BenchRunner::new(samples.max(1));
-        r.filter = filter;
+        let args = crate::BenchArgs::parse();
+        let mut r = BenchRunner::new(args.samples.unwrap_or(10).max(1));
+        r.filter = args.filter().map(String::from);
         r
     }
 

@@ -60,18 +60,27 @@ impl Fig10 {
     }
 }
 
-/// Run the Figure 10 sweep.
+/// Run the Figure 10 sweep. Every `(workload, scheme)` point is an
+/// independent simulation, so the grid is flattened onto the parallel
+/// sweep engine and rows are reassembled in workload order.
 pub fn fig10(preset: Preset, sms: u32) -> Fig10 {
-    let rows = suite::parboil(preset)
+    const SCHEMES: [Scheme; 4] =
+        [Scheme::Baseline, Scheme::WdCommit, Scheme::WdLastCheck, Scheme::ReplayQueue];
+    let ws = suite::parboil(preset);
+    let jobs: Vec<(&Workload, Scheme)> =
+        ws.iter().flat_map(|w| SCHEMES.iter().map(move |&s| (w, s))).collect();
+    let cycles =
+        gex_exec::par_map(jobs, |(w, s)| run_resident(w, s, sms).cycles as f64);
+    let rows = ws
         .iter()
-        .map(|w| {
-            let base = run_resident(w, Scheme::Baseline, sms).cycles as f64;
-            let norm = |s: Scheme| base / run_resident(w, s, sms).cycles as f64;
+        .enumerate()
+        .map(|(i, w)| {
+            let base = cycles[i * SCHEMES.len()];
             Fig10Row {
                 benchmark: w.name.clone(),
-                wd_commit: norm(Scheme::WdCommit),
-                wd_lastcheck: norm(Scheme::WdLastCheck),
-                replay_queue: norm(Scheme::ReplayQueue),
+                wd_commit: base / cycles[i * SCHEMES.len() + 1],
+                wd_lastcheck: base / cycles[i * SCHEMES.len() + 2],
+                replay_queue: base / cycles[i * SCHEMES.len() + 3],
             }
         })
         .collect();
@@ -130,19 +139,29 @@ impl Fig11 {
     }
 }
 
-/// Run the Figure 11 sweep over the paper's four log sizes.
+/// Run the Figure 11 sweep over the paper's four log sizes. Jobs are the
+/// flattened `(workload, scheme)` grid: one baseline plus one run per log
+/// size for each benchmark.
 pub fn fig11(preset: Preset, sms: u32) -> Fig11 {
     let sizes: Vec<u32> = gex_power::studied_sizes().to_vec();
-    let rows = suite::parboil(preset)
+    let ws = suite::parboil(preset);
+    let stride = 1 + sizes.len();
+    let jobs: Vec<(&Workload, Scheme)> = ws
         .iter()
-        .map(|w| {
-            let base = run_resident(w, Scheme::Baseline, sms).cycles as f64;
-            let by_size = sizes
-                .iter()
-                .map(|&bytes| {
-                    base / run_resident(w, Scheme::OperandLog { bytes }, sms).cycles as f64
-                })
-                .collect();
+        .flat_map(|w| {
+            std::iter::once((w, Scheme::Baseline))
+                .chain(sizes.iter().map(move |&bytes| (w, Scheme::OperandLog { bytes })))
+        })
+        .collect();
+    let cycles =
+        gex_exec::par_map(jobs, |(w, s)| run_resident(w, s, sms).cycles as f64);
+    let rows = ws
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let base = cycles[i * stride];
+            let by_size =
+                (1..stride).map(|j| base / cycles[i * stride + j]).collect();
             Fig11Row { benchmark: w.name.clone(), by_size }
         })
         .collect();
@@ -199,31 +218,33 @@ pub struct Fig12 {
 /// the replay queue but performs no switching, exactly as in Section 5.1.
 pub fn fig12(preset: Preset, sms: u32, interconnect: Interconnect) -> Fig12 {
     let cfg = GpuConfig::kepler_k20().with_sms(sms);
-    let rows = suite::parboil(preset)
+    let ws = suite::parboil(preset);
+    let ress: Vec<_> = ws.iter().map(|w| w.demand_residency()).collect();
+    // Per workload: plain demand paging, default switching, ideal
+    // switching — three independent simulation points.
+    let switches: [Option<BlockSwitchConfig>; 3] =
+        [None, Some(BlockSwitchConfig::default()), Some(BlockSwitchConfig::ideal())];
+    let jobs: Vec<(usize, Option<BlockSwitchConfig>)> = ws
         .iter()
-        .map(|w| {
-            let res = w.demand_residency();
-            let plain = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(interconnect))
-                .run(&w.trace, &res);
-            let run_sw = |bs: BlockSwitchConfig| {
-                Gpu::new(
-                    cfg.clone(),
-                    Scheme::ReplayQueue,
-                    PagingMode::Demand {
-                        interconnect,
-                        block_switch: Some(bs),
-                        local_handling: None,
-                    },
-                )
-                .run(&w.trace, &res)
-            };
-            let sw = run_sw(BlockSwitchConfig::default());
-            let ideal = run_sw(BlockSwitchConfig::ideal());
-            Fig12Row {
-                benchmark: w.name.clone(),
-                switching: plain.cycles as f64 / sw.cycles as f64,
-                ideal: plain.cycles as f64 / ideal.cycles as f64,
-            }
+        .enumerate()
+        .flat_map(|(i, _)| switches.iter().map(move |&bs| (i, bs)))
+        .collect();
+    let cycles = gex_exec::par_map(jobs, |(i, block_switch)| {
+        Gpu::new(
+            cfg.clone(),
+            Scheme::ReplayQueue,
+            PagingMode::Demand { interconnect, block_switch, local_handling: None },
+        )
+        .run(&ws[i].trace, &ress[i])
+        .cycles as f64
+    });
+    let rows = ws
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Fig12Row {
+            benchmark: w.name.clone(),
+            switching: cycles[i * 3] / cycles[i * 3 + 1],
+            ideal: cycles[i * 3] / cycles[i * 3 + 2],
         })
         .collect();
     Fig12 { interconnect, rows }
@@ -294,26 +315,30 @@ fn local_handling_fig(
     interconnect: Interconnect,
 ) -> LocalHandlingFig {
     let cfg = GpuConfig::kepler_k20().with_sms(sms);
+    let ress: Vec<_> = workloads.iter().map(&residency_of).collect();
+    // Per workload: CPU-handled and GPU-local-handled demand paging.
+    let handlers: [Option<LocalFaultConfig>; 2] =
+        [None, Some(LocalFaultConfig::default())];
+    let jobs: Vec<(usize, Option<LocalFaultConfig>)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| handlers.iter().map(move |&h| (i, h)))
+        .collect();
+    let cycles = gex_exec::par_map(jobs, |(i, local_handling)| {
+        Gpu::new(
+            cfg.clone(),
+            Scheme::ReplayQueue,
+            PagingMode::Demand { interconnect, block_switch: None, local_handling },
+        )
+        .run(&workloads[i].trace, &ress[i])
+        .cycles as f64
+    });
     let rows = workloads
         .iter()
-        .map(|w| {
-            let res = residency_of(w);
-            let cpu = Gpu::new(cfg.clone(), Scheme::ReplayQueue, PagingMode::demand(interconnect))
-                .run(&w.trace, &res);
-            let local = Gpu::new(
-                cfg.clone(),
-                Scheme::ReplayQueue,
-                PagingMode::Demand {
-                    interconnect,
-                    block_switch: None,
-                    local_handling: Some(LocalFaultConfig::default()),
-                },
-            )
-            .run(&w.trace, &res);
-            LocalHandlingRow {
-                benchmark: w.name.clone(),
-                speedup: cpu.cycles as f64 / local.cycles as f64,
-            }
+        .enumerate()
+        .map(|(i, w)| LocalHandlingRow {
+            benchmark: w.name.clone(),
+            speedup: cycles[i * 2] / cycles[i * 2 + 1],
         })
         .collect();
     LocalHandlingFig { figure, interconnect, rows }

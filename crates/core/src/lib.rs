@@ -17,6 +17,7 @@
 //! | [`sim`] | whole GPU: scheduler, demand paging, both use cases |
 //! | [`workloads`] | Parboil-like, Halloc-like and quad-tree benchmarks |
 //! | [`power`] | operand-log area/power model (Table 2) |
+//! | [`exec`] | parallel sweep engine (work-stealing `par_map`) |
 //! | [`experiments`] | drivers for Figures 10-14 and both tables |
 //!
 //! ## Quickstart
@@ -36,6 +37,7 @@
 pub mod experiments;
 pub mod session;
 
+pub use gex_exec as exec;
 pub use gex_isa as isa;
 pub use gex_mem as mem;
 pub use gex_power as power;

@@ -39,7 +39,11 @@ fn gpu(scheme: Scheme) -> Gpu {
 }
 
 fn check_scheme(scheme: Scheme) {
-    for w in every_test_workload() {
+    // The workload loop fans out through the parallel sweep engine — this
+    // keystone test is itself a consumer of `gex::exec`, so worker-thread
+    // panics (assertion failures) must propagate; `par_map` re-raises
+    // them on the caller.
+    gex::exec::par_map(every_test_workload(), |w| {
         let res = w.demand_residency();
         let base = gpu(scheme);
         let clean = base.run(&w.trace, &res);
@@ -90,7 +94,7 @@ fn check_scheme(scheme: Scheme) {
             "{}: same seed must reproduce the same cycle count",
             w.name
         );
-    }
+    });
 }
 
 #[test]

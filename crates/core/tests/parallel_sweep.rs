@@ -1,0 +1,79 @@
+//! Determinism contract of the parallel sweep engine: a sweep run on N
+//! workers is byte-identical to the same sweep run serially. The engine
+//! only distributes *independent* `(workload, scheme, config)` points and
+//! reassembles results by job index, so thread count must never leak into
+//! any figure or report.
+//!
+//! `gex_exec` resolves its worker count from a process-global override,
+//! so these tests serialize on a lock instead of racing `set_threads`.
+
+use gex::workloads::{suite, Preset};
+use gex::{Gpu, GpuConfig, Interconnect, PagingMode, Scheme};
+use std::sync::Mutex;
+
+/// Serializes every test that flips the global thread override.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    gex::exec::set_threads(n);
+    let out = f();
+    gex::exec::set_threads(0);
+    out
+}
+
+#[test]
+fn fig10_parallel_is_byte_identical_to_serial() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    let serial = with_threads(1, || gex::experiments::fig10(Preset::Test, 4).to_string());
+    let parallel = with_threads(8, || gex::experiments::fig10(Preset::Test, 4).to_string());
+    assert_eq!(serial, parallel, "fig10 must not depend on worker count");
+    assert!(!serial.is_empty());
+}
+
+#[test]
+fn fig12_and_fig13_parallel_match_serial() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    let ic = Interconnect::nvlink();
+    let s12 = with_threads(1, || gex::experiments::fig12(Preset::Test, 2, ic).to_string());
+    let p12 = with_threads(8, || gex::experiments::fig12(Preset::Test, 2, ic).to_string());
+    assert_eq!(s12, p12, "fig12 must not depend on worker count");
+    let s13 = with_threads(1, || gex::experiments::fig13(Preset::Test, 2, ic).to_string());
+    let p13 = with_threads(8, || gex::experiments::fig13(Preset::Test, 2, ic).to_string());
+    assert_eq!(s13, p13, "fig13 must not depend on worker count");
+}
+
+#[test]
+fn raw_reports_from_par_map_match_serial_runs() {
+    let _g = THREADS_LOCK.lock().unwrap();
+    // Beyond the rendered figures: the full per-run reports out of the
+    // sweep engine must equal one-at-a-time simulation, field by field.
+    let ws = suite::parboil(Preset::Test);
+    let cfg = GpuConfig::kepler_k20().with_sms(2);
+    let run_one = |wi: usize, scheme: Scheme| {
+        Gpu::new(cfg.clone(), scheme, PagingMode::demand(Interconnect::nvlink()))
+            .run(&ws[wi].trace, &ws[wi].demand_residency())
+    };
+    let jobs: Vec<(usize, Scheme)> = (0..ws.len().min(4))
+        .flat_map(|i| [(i, Scheme::Baseline), (i, Scheme::ReplayQueue)])
+        .collect();
+    let swept = with_threads(8, || gex::exec::par_map(jobs.clone(), |(i, s)| run_one(i, s)));
+    for ((wi, scheme), par) in jobs.iter().zip(&swept) {
+        let ser = run_one(*wi, *scheme);
+        assert_eq!(ser.cycles, par.cycles, "{}/{scheme}: cycles drifted", ws[*wi].name);
+        assert_eq!(
+            ser.sm.committed, par.sm.committed,
+            "{}/{scheme}: committed drifted",
+            ws[*wi].name
+        );
+        assert_eq!(
+            ser.warp_retired, par.warp_retired,
+            "{}/{scheme}: per-warp retirement drifted",
+            ws[*wi].name
+        );
+        assert_eq!(
+            ser.mem.faulted_accesses, par.mem.faulted_accesses,
+            "{}/{scheme}: fault count drifted",
+            ws[*wi].name
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Parallel sweep engine for independent simulation points.
+//!
+//! The paper's evaluation is a grid of independent `(workload, scheme,
+//! config)` simulations — Figures 10–14, Tables 1–2, the ablations and the
+//! differential keystone test all sweep that grid. Each point is a pure
+//! function of its inputs (the simulator is deterministic and shares no
+//! state between runs), so the sweep is embarrassingly parallel. This
+//! crate provides the one primitive everything routes through:
+//! [`par_map`], a scoped work-stealing map that preserves input order.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are collected as `(index, value)` pairs and
+//!    merged back in index order, so the output of `par_map(items, f)` is
+//!    byte-identical to `items.into_iter().map(f).collect()` regardless of
+//!    thread count or scheduling. The differential tests assert this.
+//! 2. **Std only.** The workspace builds offline; no rayon/crossbeam. The
+//!    pool is `std::thread::scope` plus per-worker `Mutex<VecDeque>`
+//!    deques with steal-from-the-back, which is plenty for jobs that each
+//!    run millions of simulated cycles.
+//! 3. **Observable.** [`threads`] reports the effective worker count so
+//!    `perfstat` can record it in `BENCH_*.json`, and [`set_threads`]
+//!    lets the same process time serial and parallel sweeps back to back.
+//!
+//! Thread-count resolution order: [`set_threads`] override, then the
+//! `GEX_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide override set by [`set_threads`]; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads [`par_map`] will use.
+///
+/// Resolution order: a [`set_threads`] override, the `GEX_THREADS`
+/// environment variable (clamped to at least 1; unparsable values are
+/// ignored), then [`std::thread::available_parallelism`], falling back to
+/// 1 if even that is unavailable.
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("GEX_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Force the worker count for subsequent [`par_map`] calls in this
+/// process, overriding `GEX_THREADS`. Pass 0 to clear the override.
+///
+/// Used by `perfstat` to time the serial and parallel paths of the same
+/// sweep in one process.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Map `f` over `items` on a scoped work-stealing pool, returning results
+/// in input order.
+///
+/// With one worker (or one item) this runs serially on the caller's
+/// thread — same code path, same result order, no pool — which is the
+/// determinism anchor: the parallel path must and does reproduce it
+/// byte for byte. A panic in `f` propagates to the caller.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n_jobs = items.len();
+    let n_workers = threads().min(n_jobs.max(1));
+    if n_workers <= 1 || n_jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Jobs move into per-worker option slots so workers can `take` them
+    // by index without cloning; the deques hold only indices.
+    let jobs: Vec<Mutex<Option<I>>> =
+        items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+
+    // Seed worker w with the contiguous index chunk [w*chunk, ...): a
+    // cache-friendly initial split; stealing rebalances the tail.
+    let chunk = n_jobs.div_ceil(n_workers);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..n_workers)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = (lo + chunk).min(n_jobs);
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut out: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    let results: Vec<Mutex<Vec<(usize, T)>>> =
+        (0..n_workers).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let queues = &queues;
+            let jobs = &jobs;
+            let f = &f;
+            let sink = &results[w];
+            handles.push(s.spawn(move || {
+                loop {
+                    // Own queue first (front), then steal from the back
+                    // of the busiest-looking victim.
+                    let idx = pop_own(&queues[w]).or_else(|| steal(queues, w));
+                    let Some(idx) = idx else { break };
+                    let job = jobs[idx]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("job index dequeued twice");
+                    let val = f(job);
+                    sink.lock().unwrap().push((idx, val));
+                }
+            }));
+        }
+        // Join explicitly so a worker panic propagates as a panic here
+        // rather than aborting via an implicit scope unwind mid-collect.
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+
+    for sink in results {
+        for (idx, val) in sink.into_inner().unwrap() {
+            debug_assert!(out[idx].is_none(), "job {idx} produced twice");
+            out[idx] = Some(val);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every job index produced exactly one result"))
+        .collect()
+}
+
+fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().unwrap().pop_front()
+}
+
+fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (thief + off) % n;
+        if let Some(idx) = queues[victim].lock().unwrap().pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the process-wide override.
+    static OVERRIDE_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn preserves_input_order() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(8);
+        let out = par_map((0..257).collect::<Vec<u64>>(), |x| x * 3 + 1);
+        set_threads(0);
+        assert_eq!(out, (0..257).map(|x| x * 3 + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        // A non-commutative accumulation per item: any ordering mistake
+        // shows up as a different string.
+        let items: Vec<usize> = (0..100).collect();
+        let f = |i: usize| format!("job-{i}:{}", (0..i).sum::<usize>());
+        set_threads(1);
+        let serial = par_map(items.clone(), f);
+        set_threads(7);
+        let parallel = par_map(items, f);
+        set_threads(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_fewer_jobs_than_workers() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(16);
+        let out = par_map(vec![41], |x: i32| x + 1);
+        set_threads(0);
+        assert_eq!(out, vec![42]);
+        let empty: Vec<i32> = par_map(Vec::<i32>::new(), |x| x + 1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn set_threads_overrides_env() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(4);
+        let res = std::panic::catch_unwind(|| {
+            par_map((0..64).collect::<Vec<u32>>(), |x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        });
+        set_threads(0);
+        assert!(res.is_err(), "panic in a worker must reach the caller");
+    }
+}

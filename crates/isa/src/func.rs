@@ -132,14 +132,14 @@ impl FuncSim {
             blocks.push(self.run_block(kernel, block_id, mem, &mut stats)?);
         }
         Ok(FuncRun {
-            trace: KernelTrace {
-                name: kernel.name.clone(),
+            trace: KernelTrace::new(
+                kernel.name.clone(),
                 blocks,
-                threads_per_block: kernel.threads_per_block(),
-                warps_per_block: kernel.warps_per_block(),
-                regs_per_thread: kernel.regs_per_thread,
-                shared_bytes: kernel.shared_bytes,
-            },
+                kernel.threads_per_block(),
+                kernel.warps_per_block(),
+                kernel.regs_per_thread,
+                kernel.shared_bytes,
+            ),
             stats,
         })
     }

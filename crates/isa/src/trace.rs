@@ -122,7 +122,11 @@ impl BlockTrace {
 }
 
 /// Trace of a whole kernel launch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Traces are immutable once built by the functional simulator; the
+/// touched-page set is memoized on first query (every timing run of an
+/// all-resident launch asks for it).
+#[derive(Debug, Clone)]
 pub struct KernelTrace {
     /// Kernel name, for reporting.
     pub name: String,
@@ -136,28 +140,69 @@ pub struct KernelTrace {
     pub regs_per_thread: u32,
     /// Shared memory bytes per block (drives occupancy).
     pub shared_bytes: u32,
+    /// Memoized [`KernelTrace::touched_pages`] result (derived data, not
+    /// part of the trace's identity).
+    pages_cache: std::sync::OnceLock<Vec<u64>>,
 }
 
+impl PartialEq for KernelTrace {
+    fn eq(&self, other: &Self) -> bool {
+        // The page cache is derived from the compared fields; ignore it.
+        self.name == other.name
+            && self.blocks == other.blocks
+            && self.threads_per_block == other.threads_per_block
+            && self.warps_per_block == other.warps_per_block
+            && self.regs_per_thread == other.regs_per_thread
+            && self.shared_bytes == other.shared_bytes
+    }
+}
+
+impl Eq for KernelTrace {}
+
 impl KernelTrace {
+    /// A kernel trace over `blocks` with the given launch geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: String,
+        blocks: Vec<BlockTrace>,
+        threads_per_block: u32,
+        warps_per_block: u32,
+        regs_per_thread: u32,
+        shared_bytes: u32,
+    ) -> Self {
+        KernelTrace {
+            name,
+            blocks,
+            threads_per_block,
+            warps_per_block,
+            regs_per_thread,
+            shared_bytes,
+            pages_cache: std::sync::OnceLock::new(),
+        }
+    }
+
     /// Total dynamic instructions in the launch.
     pub fn dyn_instrs(&self) -> u64 {
         self.blocks.iter().map(|b| b.dyn_instrs()).sum()
     }
 
-    /// Unique global-memory pages touched anywhere in the launch.
-    pub fn touched_pages(&self) -> Vec<u64> {
-        let mut pages: Vec<u64> = self
-            .blocks
-            .iter()
-            .flat_map(|b| &b.warps)
-            .flat_map(|w| &w.instrs)
-            .filter_map(|i| i.mem.as_ref())
-            .filter(|m| m.space == Space::Global)
-            .flat_map(|m| m.lines.iter().map(|l| crate::page_of(*l)))
-            .collect();
-        pages.sort_unstable();
-        pages.dedup();
-        pages
+    /// Unique global-memory pages touched anywhere in the launch, computed
+    /// once and cached (the trace is immutable after construction).
+    pub fn touched_pages(&self) -> &[u64] {
+        self.pages_cache.get_or_init(|| {
+            let mut pages: Vec<u64> = self
+                .blocks
+                .iter()
+                .flat_map(|b| &b.warps)
+                .flat_map(|w| &w.instrs)
+                .filter_map(|i| i.mem.as_ref())
+                .filter(|m| m.space == Space::Global)
+                .flat_map(|m| m.lines.iter().map(|l| crate::page_of(*l)))
+                .collect();
+            pages.sort_unstable();
+            pages.dedup();
+            pages
+        })
     }
 }
 
@@ -214,15 +259,17 @@ mod tests {
     #[test]
     fn kernel_trace_aggregates() {
         let d = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![8192], false, Space::Global);
-        let kt = KernelTrace {
-            name: "t".into(),
-            blocks: vec![BlockTrace { block_id: 0, warps: vec![WarpTrace { instrs: vec![d] }] }],
-            threads_per_block: 32,
-            warps_per_block: 1,
-            regs_per_thread: 16,
-            shared_bytes: 0,
-        };
+        let kt = KernelTrace::new(
+            "t".into(),
+            vec![BlockTrace { block_id: 0, warps: vec![WarpTrace { instrs: vec![d] }] }],
+            32,
+            1,
+            16,
+            0,
+        );
         assert_eq!(kt.dyn_instrs(), 1);
         assert_eq!(kt.touched_pages(), vec![8192]);
+        // The second query returns the memoized slice.
+        assert_eq!(kt.touched_pages().as_ptr(), kt.touched_pages().as_ptr());
     }
 }

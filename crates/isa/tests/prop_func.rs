@@ -130,7 +130,7 @@ proptest! {
         trips in 1u64..4,
     ) {
         let (run, _) = build_and_run(&ops, trips, 64);
-        for page in run.trace.touched_pages() {
+        for &page in run.trace.touched_pages() {
             prop_assert!((BUF..BUF + BUF_LEN).contains(&page),
                 "page {page:#x} escaped the buffer");
         }

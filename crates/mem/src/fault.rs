@@ -166,6 +166,12 @@ impl FaultQueue {
         self.queue.iter()
     }
 
+    /// Owned snapshot of the pending entries in FIFO order, for diagnostic
+    /// captures (e.g. the watchdog error path).
+    pub fn snapshot(&self) -> Vec<FaultEntry> {
+        self.queue.iter().cloned().collect()
+    }
+
     /// Look at the head without removing it.
     pub fn peek(&self) -> Option<&FaultEntry> {
         self.queue.front()

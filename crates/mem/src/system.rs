@@ -402,6 +402,12 @@ impl MemSystem {
         std::mem::take(&mut self.outbox[sm as usize])
     }
 
+    /// True if SM `sm` has undelivered events waiting in its outbox. Lets
+    /// the engine skip ticking a stalled SM with nothing to deliver.
+    pub fn has_pending_events(&self, sm: u32) -> bool {
+        !self.outbox[sm as usize].is_empty()
+    }
+
     /// Resolve the 64 KB region containing `addr`: map its pages and replay
     /// any requests parked on it (stall mode). The caller (the paging
     /// engine or a fault handler) invokes this when the fault service

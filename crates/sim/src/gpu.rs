@@ -140,7 +140,7 @@ impl Engine {
         let mut mem = MemSystem::new(gpu.cfg.mem.clone(), fault_mode);
         match gpu.paging {
             PagingMode::AllResident => {
-                for page in trace.touched_pages() {
+                for &page in trace.touched_pages() {
                     mem.page_table.set_range(page, 1, PageState::Present);
                 }
             }
@@ -201,7 +201,11 @@ impl Engine {
     }
 
     fn warp_diagnostics(&self) -> Vec<WarpDiag> {
-        self.sms.iter().flat_map(|s| s.warp_diagnostics()).collect()
+        let mut out = Vec::new();
+        for s in &self.sms {
+            s.append_warp_diagnostics(&mut out);
+        }
+        out
     }
 
     fn run(mut self, trace: &KernelTrace) -> Result<GpuRunReport, SimError> {
@@ -232,6 +236,14 @@ impl Engine {
             }
 
             for i in 0..self.sms.len() {
+                // A stalled SM with no events to deliver cannot change
+                // state this cycle: every warp waits on an external
+                // resolution and its internal event heap is empty, so the
+                // whole tick (issue/fetch/drain) is skipped. `is_stalled`
+                // is O(1) — the active-warp count is kept incrementally.
+                if self.sms[i].is_stalled() && !self.mem.has_pending_events(i as u32) {
+                    continue;
+                }
                 self.sms[i].tick(now, &mut self.mem);
                 if let Some(e) = self.sms[i].take_error() {
                     return Err(e.into());
@@ -270,7 +282,7 @@ impl Engine {
                     completed_blocks: self.completed,
                     total_blocks: self.total_blocks,
                     warps: self.warp_diagnostics(),
-                    fault_queue: self.mem.fault_queue.iter().cloned().collect(),
+                    fault_queue: self.mem.fault_queue.snapshot(),
                     in_service: self.mem.fault_queue.in_service_regions().to_vec(),
                 })));
             }

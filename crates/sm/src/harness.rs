@@ -160,7 +160,7 @@ impl SingleSmHarness {
         };
         let mut mem = MemSystem::new(self.mem_cfg.clone(), mode);
         // Pre-map everything the kernel touches: no faults occur.
-        for page in trace.touched_pages() {
+        for &page in trace.touched_pages() {
             mem.page_table.set_range(page, 1, PageState::Present);
         }
         let mut sm = Sm::new(0, self.sm_cfg.clone(), self.scheme);

@@ -89,6 +89,26 @@ struct Warp {
     fetch_block: FetchBlock,
 }
 
+/// Adjust the SM's Running-block active-warp count for one warp's state
+/// change. Every warp-state write on a resident block funnels through
+/// this (or adjusts the counter explicitly) so the count never drifts
+/// from the slow scan it replaces.
+fn count_transition(
+    active_warps: &mut u32,
+    block_state: BlockState,
+    from: WarpState,
+    to: WarpState,
+) {
+    if block_state != BlockState::Running || from == to {
+        return;
+    }
+    if from == WarpState::Active {
+        *active_warps -= 1;
+    } else if to == WarpState::Active {
+        *active_warps += 1;
+    }
+}
+
 impl Warp {
     fn fresh(next_issue: usize, replay: VecDeque<usize>, state: WarpState) -> Self {
         Warp {
@@ -288,6 +308,10 @@ pub struct Sm {
     probe: Vec<ProbeEvent>,
     /// Reused per-cycle scheduling scratch (allocation-free ticks).
     order_buf: Vec<(u32, u32)>,
+    /// Warps in [`WarpState::Active`] within [`BlockState::Running`]
+    /// blocks, maintained incrementally at every state transition so
+    /// [`Sm::is_stalled`] is O(1) instead of a per-cycle all-slot scan.
+    active_warps: u32,
     /// Committed instructions per (block id, warp index) — survives block
     /// completion and context switches, so differential runs can compare
     /// exactly what every warp retired.
@@ -320,6 +344,7 @@ impl Sm {
             probe_on: false,
             probe: Vec::new(),
             order_buf: Vec::new(),
+            active_warps: 0,
             retired: HashMap::new(),
             error: None,
         }
@@ -365,8 +390,21 @@ impl Sm {
 
     /// Snapshot of every resident warp's scheduling state, for the forward
     /// progress watchdog's diagnostics.
+    ///
+    /// This clones per-warp state, so it must only be called when an error
+    /// is actually being constructed (the watchdog/abort path), never per
+    /// cycle. [`Sm::append_warp_diagnostics`] lets multi-SM callers reuse
+    /// one output vector.
     pub fn warp_diagnostics(&self) -> Vec<WarpDiag> {
-        let mut out = Vec::new();
+        let mut out =
+            Vec::with_capacity(self.slots.iter().flatten().map(|b| b.warps.len()).sum());
+        self.append_warp_diagnostics(&mut out);
+        out
+    }
+
+    /// Append this SM's warp diagnostics to `out` (no intermediate vector
+    /// per SM when the engine snapshots the whole GPU).
+    pub fn append_warp_diagnostics(&self, out: &mut Vec<WarpDiag>) {
         for b in self.slots.iter().flatten() {
             for (wi, w) in b.warps.iter().enumerate() {
                 out.push(WarpDiag {
@@ -381,7 +419,6 @@ impl Sm {
                 });
             }
         }
-        out
     }
 
     fn fail(&mut self, err: SmError) {
@@ -416,8 +453,9 @@ impl Sm {
     /// Panics if no slot is free or the kernel was not configured.
     pub fn assign_block(&mut self, trace: Arc<BlockTrace>) -> u32 {
         let slot = self.free_slot().expect("no free block slot");
-        let warps =
+        let warps: Vec<Warp> =
             trace.warps.iter().map(|_| Warp::fresh(0, VecDeque::new(), WarpState::Active)).collect();
+        self.active_warps += warps.len() as u32;
         self.slots[slot as usize] = Some(BlockSlot {
             block_id: trace.block_id,
             trace,
@@ -447,22 +485,28 @@ impl Sm {
     /// True if the SM cannot make progress without an external event:
     /// every resident warp is faulted, at a barrier that cannot release,
     /// done, or draining, and no internal completions are pending.
+    ///
+    /// O(1): the active-warp count is maintained incrementally at every
+    /// state transition instead of scanning all slots each cycle.
     pub fn is_stalled(&self) -> bool {
-        if !self.events.is_empty() {
-            return false;
-        }
-        self.slots.iter().flatten().all(|b| {
-            b.state == BlockState::Draining
-                || b.warps.iter().all(|w| {
-                    matches!(
-                        w.state,
-                        WarpState::Faulted
-                            | WarpState::Done
-                            | WarpState::AtBarrier
-                            | WarpState::Trapped
-                    )
-                })
-        })
+        debug_assert_eq!(
+            self.active_warps,
+            self.count_active_slow(),
+            "incremental active-warp count drifted from the slot scan"
+        );
+        self.events.is_empty() && self.active_warps == 0
+    }
+
+    /// The slow all-slot scan the incremental count replaces; cross-checked
+    /// against it by a `debug_assert` in [`Sm::is_stalled`].
+    fn count_active_slow(&self) -> u32 {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|b| b.state == BlockState::Running)
+            .flat_map(|b| &b.warps)
+            .filter(|w| w.state == WarpState::Active)
+            .count() as u32
     }
 
     /// Earliest pending internal completion, for idle skip-ahead.
@@ -476,6 +520,13 @@ impl Sm {
     /// in-flight instructions complete.
     pub fn begin_drain(&mut self, slot: u32) {
         if let Some(b) = self.slots[slot as usize].as_mut() {
+            if b.state == BlockState::Running {
+                self.active_warps -= b
+                    .warps
+                    .iter()
+                    .filter(|w| w.state == WarpState::Active)
+                    .count() as u32;
+            }
             b.state = BlockState::Draining;
         }
     }
@@ -496,6 +547,10 @@ impl Sm {
     pub fn take_block(&mut self, slot: u32) -> SavedBlock {
         assert!(self.drained(slot), "taking a block with in-flight instructions");
         let b = self.slots[slot as usize].take().expect("empty slot");
+        if b.state == BlockState::Running {
+            self.active_warps -=
+                b.warps.iter().filter(|w| w.state == WarpState::Active).count() as u32;
+        }
         if let Some(log) = &mut self.log {
             log.reset_partition(slot);
         }
@@ -537,7 +592,7 @@ impl Sm {
     /// Panics if no slot is free.
     pub fn restore_block(&mut self, saved: SavedBlock) -> u32 {
         let slot = self.free_slot().expect("no free slot for restore");
-        let warps = saved
+        let warps: Vec<Warp> = saved
             .warps
             .into_iter()
             .map(|s| {
@@ -548,6 +603,8 @@ impl Sm {
                 w
             })
             .collect();
+        self.active_warps +=
+            warps.iter().filter(|w| w.state == WarpState::Active).count() as u32;
         self.slots[slot as usize] = Some(BlockSlot {
             block_id: saved.block_id,
             trace: saved.trace,
@@ -591,6 +648,12 @@ impl Sm {
             for w in &mut b.warps {
                 w.waiting_regions.retain(|&r| r != region);
                 if w.state == WarpState::Faulted && w.waiting_regions.is_empty() {
+                    count_transition(
+                        &mut self.active_warps,
+                        b.state,
+                        w.state,
+                        WarpState::Active,
+                    );
                     w.state = WarpState::Active;
                 }
             }
@@ -626,6 +689,12 @@ impl Sm {
                     if let Some(b) = self.slots[slot as usize].as_mut() {
                         let w = &mut b.warps[warp as usize];
                         if w.state == WarpState::Trapped {
+                            count_transition(
+                                &mut self.active_warps,
+                                b.state,
+                                w.state,
+                                WarpState::Active,
+                            );
                             w.state = WarpState::Active;
                         }
                     }
@@ -720,6 +789,7 @@ impl Sm {
         self.stats.peak_replay_entries = self.stats.peak_replay_entries.max(w.replay.len() as u64);
         // The warp parks; younger fetched-but-unissued instructions flush
         // and will re-fetch after the replay drains.
+        count_transition(&mut self.active_warps, b.state, w.state, WarpState::Faulted);
         w.state = WarpState::Faulted;
         w.ibuffer.clear();
         w.next_fetch = w.next_issue;
@@ -823,6 +893,7 @@ impl Sm {
         let at = w.replay.iter().position(|&r| r > idx).unwrap_or(w.replay.len());
         w.replay.insert(at, idx);
         w.trap_handled.push(idx);
+        count_transition(&mut self.active_warps, b.state, w.state, WarpState::Trapped);
         w.state = WarpState::Trapped;
         w.ibuffer.clear();
         w.next_fetch = w.next_issue;
@@ -845,6 +916,7 @@ impl Sm {
                 && w.replay.is_empty()
                 && w.inflight.is_empty()
             {
+                count_transition(&mut self.active_warps, b.state, w.state, WarpState::Done);
                 w.state = WarpState::Done;
             }
         }
@@ -856,6 +928,12 @@ impl Sm {
             b.barrier_arrived = 0;
             for w in &mut b.warps {
                 if w.state == WarpState::AtBarrier {
+                    count_transition(
+                        &mut self.active_warps,
+                        b.state,
+                        w.state,
+                        WarpState::Active,
+                    );
                     w.state = WarpState::Active;
                 }
             }
@@ -996,8 +1074,11 @@ impl Sm {
         let srcs = instr.srcs;
         let kind = instr.kind;
         let op = instr.op;
-        let lines: Vec<u64> =
-            instr.mem.as_ref().map(|m| m.lines.clone()).unwrap_or_default();
+        // Borrow the coalesced line list straight from the trace: the
+        // memory system and the latency model only read it, so no per-issue
+        // clone is needed — everything that uses it runs before the slot is
+        // re-borrowed mutably below.
+        let lines: &[u64] = instr.mem.as_ref().map(|m| m.lines.as_slice()).unwrap_or(&[]);
         let warp_disable = self.scheme.warp_disable();
         let mut token = None;
         if is_global {
@@ -1007,10 +1088,11 @@ impl Sm {
                 _ => AccessKind::Load,
             };
             // The access starts after the operand-read stage.
-            let t = mem.start_access(now + 1, self.sm_id, access_kind, &lines);
+            let t = mem.start_access(now + 1, self.sm_id, access_kind, lines);
             self.tokens.insert(t, (slot, warp, idx));
             token = Some(t);
         }
+        let fixed_done = (!is_global).then(|| now + 1 + self.fixed_latency(op, kind, lines));
         {
             let b = self.slots[slot as usize].as_mut().expect("slot checked above");
             let w = &mut b.warps[warp as usize];
@@ -1028,6 +1110,7 @@ impl Sm {
             }
             w.inflight.push(Inflight { idx, dst, srcs, token, srcs_released: false, log_slots });
             if kind == DynKind::Barrier {
+                count_transition(&mut self.active_warps, b.state, w.state, WarpState::AtBarrier);
                 w.state = WarpState::AtBarrier;
             }
         }
@@ -1035,9 +1118,8 @@ impl Sm {
         if !srcs_deferred {
             self.schedule(now + 1, SmEv::SrcRelease { slot, warp, idx });
         }
-        if !is_global {
-            let latency = self.fixed_latency(op, kind, &lines);
-            self.schedule(now + 1 + latency, SmEv::Complete { slot, warp, idx });
+        if let Some(done) = fixed_done {
+            self.schedule(done, SmEv::Complete { slot, warp, idx });
         }
         self.stats.issued += 1;
         self.record(slot, warp, idx, ProbeStage::Issue, now);

@@ -308,7 +308,7 @@ fn faults_inflate_runtime_vs_prefaulted() {
 fn context_switch_roundtrip_preserves_progress() {
     let t = streaming_kernel(1, 128);
     let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(1), FaultMode::SquashNotify);
-    for page in t.touched_pages() {
+    for &page in t.touched_pages() {
         mem.page_table.set_range(page, 1, PageState::Present);
     }
     let cfg = SmConfig::kepler_k20();

@@ -93,7 +93,7 @@ fn trapped_warp_survives_a_context_switch() {
 
     let t: KernelTrace = div_kernel(true);
     let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(1), FaultMode::SquashNotify);
-    for page in t.touched_pages() {
+    for &page in t.touched_pages() {
         mem.page_table.set_range(page, 1, PageState::Present);
     }
     let cfg = SmConfig::kepler_k20();

@@ -234,7 +234,7 @@ mod tests {
         use gex_mem::{MemConfig, PageState};
         let mut mem = MemSystem::new(MemConfig::kepler_k20().with_sms(1), FaultMode::SquashNotify);
         r.apply(&mut mem, 0);
-        for page in w.trace.touched_pages() {
+        for &page in w.trace.touched_pages() {
             assert_ne!(mem.page_table.state(page), PageState::Invalid, "page {page:#x}");
         }
     }

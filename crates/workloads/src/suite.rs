@@ -66,7 +66,7 @@ mod tests {
             let mut mem =
                 MemSystem::new(MemConfig::kepler_k20().with_sms(1), FaultMode::SquashNotify);
             w.demand_residency().apply(&mut mem, 0);
-            for page in w.trace.touched_pages() {
+            for &page in w.trace.touched_pages() {
                 assert_ne!(
                     mem.page_table.state(page),
                     PageState::Invalid,
