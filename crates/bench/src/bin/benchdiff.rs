@@ -1,0 +1,101 @@
+//! Bench-regression gate: compare two perfstat snapshots and fail on a
+//! large throughput drop.
+//!
+//! ```text
+//! cargo run -p gex-bench --release --bin benchdiff -- OLD.json NEW.json
+//! cargo run -p gex-bench --release --bin benchdiff -- [--out DIR]
+//! ```
+//!
+//! With two explicit paths, compares them directly. With none, compares
+//! the two newest `BENCH_<n>.json` in the output directory (default `.`),
+//! i.e. "did the snapshot I just recorded regress against the previous
+//! baseline?". Exits 1 if any group's `sim_cycles_per_sec` fell by more
+//! than the gate factor (default 2x; override with `GEX_BENCHDIFF_GATE`).
+//! Groups present in only one snapshot are reported but never gate — a
+//! renamed or added figure must not fail CI. Exits 0 with a notice when
+//! fewer than two snapshots exist (first run of a fresh repo).
+
+use gex_bench::perfstat::{parse_snapshot, snapshot_files, GroupSnapshot};
+use gex_bench::BenchArgs;
+use std::path::PathBuf;
+
+fn load(path: &PathBuf) -> Vec<GroupSnapshot> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => parse_snapshot(&s),
+        Err(e) => {
+            eprintln!("benchdiff: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let gate: f64 = std::env::var("GEX_BENCHDIFF_GATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    // Positional paths must look like files, not preset names.
+    let explicit: Vec<PathBuf> = args
+        .positional
+        .iter()
+        .filter(|p| p.ends_with(".json"))
+        .map(PathBuf::from)
+        .collect();
+    let (old_path, new_path) = if explicit.len() >= 2 {
+        (explicit[0].clone(), explicit[1].clone())
+    } else {
+        let dir = PathBuf::from(args.out.as_deref().unwrap_or("."));
+        let files = snapshot_files(&dir);
+        if files.len() < 2 {
+            println!(
+                "benchdiff: {} snapshot(s) in {} — need two to compare, passing",
+                files.len(),
+                dir.display()
+            );
+            return;
+        }
+        (files[files.len() - 2].1.clone(), files[files.len() - 1].1.clone())
+    };
+
+    let old = load(&old_path);
+    let new = load(&new_path);
+    println!(
+        "benchdiff: {} -> {} (gate: fail below 1/{gate:.1}x)",
+        old_path.display(),
+        new_path.display()
+    );
+
+    let mut failed = false;
+    for n in &new {
+        let Some(o) = old.iter().find(|o| o.id == n.id) else {
+            println!("{:<8} new group ({:>12.0} sim-cyc/s), not gated", n.id, n.sim_cycles_per_sec);
+            continue;
+        };
+        if o.sim_cycles_per_sec <= 0.0 {
+            println!("{:<8} old throughput is zero, not gated", n.id);
+            continue;
+        }
+        let ratio = n.sim_cycles_per_sec / o.sim_cycles_per_sec;
+        let verdict = if ratio * gate < 1.0 {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<8} {:>12.0} -> {:>12.0} sim-cyc/s ({:>6.2}x)  {verdict}",
+            n.id, o.sim_cycles_per_sec, n.sim_cycles_per_sec, ratio
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.id == o.id) {
+            println!("{:<8} dropped from the new snapshot, not gated", o.id);
+        }
+    }
+    if failed {
+        eprintln!("benchdiff: throughput regressed by more than {gate:.1}x");
+        std::process::exit(1);
+    }
+}

@@ -1,10 +1,22 @@
 //! Regenerate Figure 10: warp-disable and replay-queue performance
 //! normalized to the stall-on-fault baseline.
+//!
+//! Runs under sweep supervision: `--deadline N` budgets each point,
+//! `--resume` / `--journal PATH` make the campaign resumable, and failed
+//! points are quarantined (reported below the figure) instead of taking
+//! the run down. Exits 2 if anything was quarantined.
+
+use gex_bench::{sms_from_env, BenchArgs};
 
 fn main() {
-    gex_bench::apply_max_cycles_from_args();
-    let preset = gex_bench::preset_from_args();
-    let sms = gex_bench::sms_from_env();
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sms = sms_from_env();
     println!("{}", gex::experiments::table1());
-    println!("{}", gex::experiments::fig10(preset, sms));
+    let fig = gex::experiments::fig10_supervised(preset, sms, &args.sweep_options("fig10"));
+    println!("{fig}");
+    if !fig.quarantine.is_empty() {
+        std::process::exit(2);
+    }
 }

@@ -1,8 +1,18 @@
 //! Regenerate Figure 11: operand-log performance across log sizes.
+//!
+//! Runs under sweep supervision (`--deadline`, `--resume`, `--journal`);
+//! exits 2 if any point was quarantined.
+
+use gex_bench::{sms_from_env, BenchArgs};
 
 fn main() {
-    gex_bench::apply_max_cycles_from_args();
-    let preset = gex_bench::preset_from_args();
-    let sms = gex_bench::sms_from_env();
-    println!("{}", gex::experiments::fig11(preset, sms));
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sms = sms_from_env();
+    let fig = gex::experiments::fig11_supervised(preset, sms, &args.sweep_options("fig11"));
+    println!("{fig}");
+    if !fig.quarantine.is_empty() {
+        std::process::exit(2);
+    }
 }

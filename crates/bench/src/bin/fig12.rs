@@ -1,11 +1,25 @@
 //! Regenerate Figure 12: thread-block switching on fault, NVLink and PCIe.
+//!
+//! Runs under sweep supervision (`--deadline`, `--resume`, `--journal`);
+//! each interconnect panel journals to its own file. Exits 2 if any point
+//! was quarantined.
 
 use gex::Interconnect;
+use gex_bench::{sms_from_env, BenchArgs};
 
 fn main() {
-    gex_bench::apply_max_cycles_from_args();
-    let preset = gex_bench::preset_from_args();
-    let sms = gex_bench::sms_from_env();
-    println!("{}", gex::experiments::fig12(preset, sms, Interconnect::nvlink()));
-    println!("{}", gex::experiments::fig12(preset, sms, Interconnect::pcie()));
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sms = sms_from_env();
+    let mut healthy = true;
+    for (panel, ic) in [("nvlink", Interconnect::nvlink()), ("pcie", Interconnect::pcie())] {
+        let opts = args.sweep_options_panel("fig12", panel);
+        let fig = gex::experiments::fig12_supervised(preset, sms, ic, &opts);
+        println!("{fig}");
+        healthy &= fig.quarantine.is_empty();
+    }
+    if !healthy {
+        std::process::exit(2);
+    }
 }

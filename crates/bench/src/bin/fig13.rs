@@ -1,11 +1,25 @@
 //! Regenerate Figure 13: GPU-local handling of dynamic-allocation faults.
+//!
+//! Runs under sweep supervision (`--deadline`, `--resume`, `--journal`);
+//! each interconnect panel journals to its own file. Exits 2 if any point
+//! was quarantined.
 
 use gex::Interconnect;
+use gex_bench::{sms_from_env, BenchArgs};
 
 fn main() {
-    gex_bench::apply_max_cycles_from_args();
-    let preset = gex_bench::preset_from_args();
-    let sms = gex_bench::sms_from_env();
-    println!("{}", gex::experiments::fig13(preset, sms, Interconnect::nvlink()));
-    println!("{}", gex::experiments::fig13(preset, sms, Interconnect::pcie()));
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sms = sms_from_env();
+    let mut healthy = true;
+    for (panel, ic) in [("nvlink", Interconnect::nvlink()), ("pcie", Interconnect::pcie())] {
+        let opts = args.sweep_options_panel("fig13", panel);
+        let fig = gex::experiments::fig13_supervised(preset, sms, ic, &opts);
+        println!("{fig}");
+        healthy &= fig.quarantine.is_empty();
+    }
+    if !healthy {
+        std::process::exit(2);
+    }
 }

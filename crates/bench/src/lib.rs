@@ -15,6 +15,8 @@
 //! exit with the watchdog diagnostic instead of spinning forever.
 
 use gex::workloads::Preset;
+use gex::{RunBudget, SweepOptions};
+use std::path::PathBuf;
 
 pub mod perfstat;
 pub mod timing;
@@ -32,6 +34,16 @@ pub struct BenchArgs {
     pub samples: Option<usize>,
     /// `--out DIR` / `--out=DIR`: output directory (`perfstat`).
     pub out: Option<String>,
+    /// `--deadline N` / `--deadline=N`: per-point cycle budget for
+    /// supervised figure sweeps (retried with escalation, then
+    /// quarantined).
+    pub deadline: Option<u64>,
+    /// `--resume`: journal the campaign (default path per figure) and
+    /// skip points an earlier run already completed.
+    pub resume: bool,
+    /// `--journal PATH` / `--journal=PATH`: campaign journal file
+    /// (implies `--resume` semantics with an explicit path).
+    pub journal: Option<String>,
 }
 
 impl BenchArgs {
@@ -59,6 +71,16 @@ impl BenchArgs {
                 out.out = it.next();
             } else if let Some(v) = a.strip_prefix("--out=") {
                 out.out = Some(v.to_string());
+            } else if a == "--deadline" {
+                out.deadline = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--deadline=") {
+                out.deadline = v.parse().ok();
+            } else if a == "--resume" {
+                out.resume = true;
+            } else if a == "--journal" {
+                out.journal = it.next();
+            } else if let Some(v) = a.strip_prefix("--journal=") {
+                out.journal = Some(v.to_string());
             } else if !a.starts_with('-') {
                 out.positional.push(a);
             }
@@ -90,6 +112,41 @@ impl BenchArgs {
         if let Some(c) = self.max_cycles {
             gex::sim::config::set_default_max_cycles(c);
         }
+    }
+
+    /// Supervision options for the single sweep of campaign `name`:
+    /// `--deadline` becomes the per-point budget, and `--journal PATH` /
+    /// `--resume` (default path `gex-campaign-<name>.jsonl`) enable
+    /// journal-backed resumption.
+    pub fn sweep_options(&self, name: &str) -> SweepOptions {
+        self.options_with_path(self.journal.as_ref().map(PathBuf::from), name)
+    }
+
+    /// Like [`BenchArgs::sweep_options`] for binaries that run several
+    /// sweeps (e.g. `fig12` NVLink + PCIe): each panel needs its own
+    /// journal file, so `panel` is appended to the explicit `--journal`
+    /// stem (`camp.jsonl` → `camp-nvlink.jsonl`) and to the default name.
+    pub fn sweep_options_panel(&self, name: &str, panel: &str) -> SweepOptions {
+        let explicit = self.journal.as_ref().map(|base| {
+            let p = PathBuf::from(base);
+            let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("gex-campaign");
+            let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("jsonl");
+            p.with_file_name(format!("{stem}-{panel}.{ext}"))
+        });
+        self.options_with_path(explicit, &format!("{name}-{panel}"))
+    }
+
+    fn options_with_path(&self, explicit: Option<PathBuf>, name: &str) -> SweepOptions {
+        let mut opts = SweepOptions::default();
+        if let Some(d) = self.deadline {
+            opts.policy.budget = RunBudget::cycles(d);
+        }
+        opts.journal = match (explicit, self.resume) {
+            (Some(p), _) => Some(p),
+            (None, true) => Some(PathBuf::from(format!("gex-campaign-{name}.jsonl"))),
+            (None, false) => None,
+        };
+        opts
     }
 }
 
@@ -158,5 +215,39 @@ mod tests {
         let none = parse(&[]);
         assert_eq!(none.preset(), Preset::Paper);
         assert!(none.filter().is_none());
+    }
+
+    #[test]
+    fn supervision_flags_build_sweep_options() {
+        let a = parse(&["test", "--deadline", "5000", "--resume"]);
+        let opts = a.sweep_options("fig10");
+        assert_eq!(opts.policy.budget.deadline_cycles, Some(5000));
+        assert_eq!(
+            opts.journal.as_deref(),
+            Some(std::path::Path::new("gex-campaign-fig10.jsonl"))
+        );
+        // No journaling flags → no journal; deadline still applies.
+        let bare = parse(&["--deadline=9"]).sweep_options("fig11");
+        assert_eq!(bare.policy.budget.deadline_cycles, Some(9));
+        assert!(bare.journal.is_none());
+    }
+
+    #[test]
+    fn explicit_journal_paths_and_panel_suffixes() {
+        let a = parse(&["--journal", "camp.jsonl"]);
+        assert_eq!(
+            a.sweep_options("fig10").journal.as_deref(),
+            Some(std::path::Path::new("camp.jsonl"))
+        );
+        assert_eq!(
+            a.sweep_options_panel("fig12", "nvlink").journal.as_deref(),
+            Some(std::path::Path::new("camp-nvlink.jsonl")),
+            "each panel of a multi-sweep binary gets its own journal file"
+        );
+        let defaulted = parse(&["--resume"]).sweep_options_panel("fig12", "pcie");
+        assert_eq!(
+            defaulted.journal.as_deref(),
+            Some(std::path::Path::new("gex-campaign-fig12-pcie.jsonl"))
+        );
     }
 }

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 /// Which residency a simulation point runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ResKind {
-    /// Figure 10/11: everything resident, no faults.
+    /// Figure 10/11: everything resident, no faults. The engine ignores
+    /// the residency argument and pre-maps every touched page, so these
+    /// points share one empty [`Residency`].
     AllResident,
     /// Figure 13 placement: heap lazily backed.
     HeapLazy,
@@ -24,17 +26,33 @@ enum ResKind {
 }
 
 /// One simulation point: workload index + scheme + paging mode.
-type Point = (usize, Scheme, PagingMode, ResKind);
+type Point = (usize, Scheme, PagingMode);
 
 /// The flattened point grid behind one figure of the paper.
 pub struct Group {
     /// Group id, e.g. `fig10`.
     pub id: &'static str,
     workloads: Vec<Workload>,
+    /// One residency per workload, computed once at construction and
+    /// shared by every point of that workload (building page sets per
+    /// point dominated small-grid runs).
+    residencies: Vec<Residency>,
     points: Vec<Point>,
 }
 
 impl Group {
+    fn new(id: &'static str, workloads: Vec<Workload>, res: ResKind, points: Vec<Point>) -> Self {
+        let residencies = workloads
+            .iter()
+            .map(|w| match res {
+                ResKind::AllResident => Residency::new(),
+                ResKind::HeapLazy => w.heap_lazy_residency(),
+                ResKind::OutputsLazy => w.outputs_lazy_residency(),
+            })
+            .collect();
+        Group { id, workloads, residencies, points }
+    }
+
     /// Number of independent simulation points in the grid.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -51,15 +69,9 @@ impl Group {
     /// parallel path with the override cleared.
     pub fn run_all(&self, sms: u32) -> u64 {
         let cfg = GpuConfig::kepler_k20().with_sms(sms);
-        gex_exec::par_map(self.points.clone(), |(wi, scheme, paging, res)| {
+        gex_exec::par_map(self.points.clone(), |(wi, scheme, paging)| {
             let w = &self.workloads[wi];
-            let residency: Residency = match res {
-                // AllResident ignores the residency argument.
-                ResKind::AllResident => w.demand_residency(),
-                ResKind::HeapLazy => w.heap_lazy_residency(),
-                ResKind::OutputsLazy => w.outputs_lazy_residency(),
-            };
-            Gpu::new(cfg.clone(), scheme, paging).run(&w.trace, &residency).cycles
+            Gpu::new(cfg.clone(), scheme, paging).run(&w.trace, &self.residencies[wi]).cycles
         })
         .into_iter()
         .sum()
@@ -82,47 +94,49 @@ pub fn standard_groups(preset: Preset) -> Vec<Group> {
 
     let fig10_schemes =
         [Scheme::Baseline, Scheme::WdCommit, Scheme::WdLastCheck, Scheme::ReplayQueue];
-    let fig10 = Group {
-        id: "fig10",
-        points: grid(&parboil, &fig10_schemes, all, ResKind::AllResident),
-        workloads: parboil.clone(),
-    };
+    let fig10 = Group::new(
+        "fig10",
+        parboil.clone(),
+        ResKind::AllResident,
+        grid(&parboil, &fig10_schemes, all),
+    );
 
     let mut fig11_schemes = vec![Scheme::Baseline];
     fig11_schemes.extend(gex::power::studied_sizes().iter().map(|&bytes| Scheme::OperandLog { bytes }));
-    let fig11 = Group {
-        id: "fig11",
-        points: grid(&parboil, &fig11_schemes, all, ResKind::AllResident),
-        workloads: parboil.clone(),
-    };
+    let fig11 = Group::new(
+        "fig11",
+        parboil.clone(),
+        ResKind::AllResident,
+        grid(&parboil, &fig11_schemes, all),
+    );
 
-    let fig13 = Group {
-        id: "fig13",
-        points: (0..halloc.len())
+    let fig13 = Group::new(
+        "fig13",
+        halloc.clone(),
+        ResKind::HeapLazy,
+        (0..halloc.len())
             .flat_map(|i| {
-                [(i, Scheme::ReplayQueue, demand, ResKind::HeapLazy),
-                 (i, Scheme::ReplayQueue, local, ResKind::HeapLazy)]
+                [(i, Scheme::ReplayQueue, demand), (i, Scheme::ReplayQueue, local)]
             })
             .collect(),
-        workloads: halloc,
-    };
+    );
 
-    let fig14 = Group {
-        id: "fig14",
-        points: (0..parboil.len())
+    let fig14 = Group::new(
+        "fig14",
+        parboil.clone(),
+        ResKind::OutputsLazy,
+        (0..parboil.len())
             .flat_map(|i| {
-                [(i, Scheme::ReplayQueue, demand, ResKind::OutputsLazy),
-                 (i, Scheme::ReplayQueue, local, ResKind::OutputsLazy)]
+                [(i, Scheme::ReplayQueue, demand), (i, Scheme::ReplayQueue, local)]
             })
             .collect(),
-        workloads: parboil,
-    };
+    );
 
     vec![fig10, fig11, fig13, fig14]
 }
 
-fn grid(ws: &[Workload], schemes: &[Scheme], paging: PagingMode, res: ResKind) -> Vec<Point> {
-    (0..ws.len()).flat_map(|i| schemes.iter().map(move |&s| (i, s, paging, res))).collect()
+fn grid(ws: &[Workload], schemes: &[Scheme], paging: PagingMode) -> Vec<Point> {
+    (0..ws.len()).flat_map(|i| schemes.iter().map(move |&s| (i, s, paging))).collect()
 }
 
 /// Timing record for one group.
@@ -227,6 +241,63 @@ fn preset_name(p: Preset) -> &'static str {
     }
 }
 
+/// One group row parsed back out of a `BENCH_<n>.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSnapshot {
+    /// Group id, e.g. `fig10`.
+    pub id: String,
+    /// Simulation points in the grid.
+    pub points: u64,
+    /// Recorded parallel-path throughput.
+    pub sim_cycles_per_sec: f64,
+}
+
+/// Extract the field `name` (string or number, colon optionally followed
+/// by spaces) from one snapshot line.
+fn snapshot_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parse the group rows of a perfstat snapshot (the inverse of
+/// [`to_json`]'s `groups` array — hand-rolled like the writer). Lines
+/// that do not carry a group entry are skipped, so the parser tolerates
+/// format drift everywhere except the fields it needs.
+pub fn parse_snapshot(json: &str) -> Vec<GroupSnapshot> {
+    json.lines()
+        .filter_map(|line| {
+            let id = snapshot_field(line, "id")?.to_string();
+            let points = snapshot_field(line, "points")?.parse().ok()?;
+            let sim_cycles_per_sec =
+                snapshot_field(line, "sim_cycles_per_sec")?.parse().ok()?;
+            Some(GroupSnapshot { id, points, sim_cycles_per_sec })
+        })
+        .collect()
+}
+
+/// The `BENCH_<n>.json` files in `dir`, sorted by index (oldest first).
+pub fn snapshot_files(dir: &std::path::Path) -> Vec<(u32, std::path::PathBuf)> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|r| r.parse::<u32>().ok())
+            {
+                out.push((n, e.path()));
+            }
+        }
+    }
+    out.sort_by_key(|(n, _)| *n);
+    out
+}
+
 /// Next free `BENCH_<n>.json` index in `dir` (one above the highest
 /// existing index; 0 for a fresh directory).
 pub fn next_bench_index(dir: &std::path::Path) -> u32 {
@@ -276,6 +347,46 @@ mod tests {
         assert!(j.contains("\"sim_cycles\": 123456"));
         assert!(j.trim_end().ends_with('}'));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_the_parser() {
+        let stats = vec![
+            GroupStat {
+                id: "fig10".into(),
+                points: 44,
+                sim_cycles: 2_000_000,
+                serial: Duration::from_millis(10),
+                parallel: Duration::from_millis(4),
+            },
+            GroupStat {
+                id: "fig13".into(),
+                points: 10,
+                sim_cycles: 500_000,
+                serial: Duration::from_millis(2),
+                parallel: Duration::from_millis(1),
+            },
+        ];
+        let parsed = parse_snapshot(&to_json(Preset::Test, 8, 3, &stats));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "fig10");
+        assert_eq!(parsed[0].points, 44);
+        assert_eq!(parsed[0].sim_cycles_per_sec, 500_000_000.0);
+        assert_eq!(parsed[1].id, "fig13");
+        assert!(parse_snapshot("not json").is_empty());
+    }
+
+    #[test]
+    fn snapshot_files_sort_by_index() {
+        let dir = std::env::temp_dir().join(format!("gex-snapfiles-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_3.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_10.json"), "{}").unwrap();
+        let files = snapshot_files(&dir);
+        assert_eq!(files.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![0, 3, 10]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

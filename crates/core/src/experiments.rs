@@ -2,8 +2,20 @@
 //! evaluation (Section 5). Each driver returns plain data and renders a
 //! text table via `Display`, so the harness binaries, Criterion benches and
 //! tests all share one implementation.
+//!
+//! Every figure driver comes in two forms: `figN` (panics on any failed
+//! point — the historical behaviour, right for tests and quick runs) and
+//! `figN_supervised` (runs the grid under the [`crate::supervise`]
+//! supervisor: per-point panic isolation, deadline retry with budget
+//! escalation, a quarantine report rendered into the figure output, and
+//! journal-backed resumption via [`SweepOptions::journal`]).
 
-use crate::{geomean, Gpu, GpuConfig, GpuRunReport, Interconnect, PagingMode, Scheme};
+use crate::journal::{digest, CampaignJournal};
+use crate::supervise::{run_supervised, QuarantineReport, SweepOptions};
+use crate::{
+    geomean, Gpu, GpuConfig, GpuRunReport, Interconnect, PagingMode, Residency, RunBudget,
+    Scheme, SimError,
+};
 use gex_sim::{BlockSwitchConfig, LocalFaultConfig};
 use gex_workloads::{suite, Preset, Workload};
 use std::fmt;
@@ -20,9 +32,92 @@ fn bar(value: f64, full: f64, width: usize) -> String {
 }
 
 /// Run one workload fault-free (Figures 10/11's configuration).
-fn run_resident(w: &Workload, scheme: Scheme, sms: u32) -> GpuRunReport {
+///
+/// `AllResident` ignores the residency argument entirely — the engine
+/// pre-maps every touched page — so callers pass one shared empty
+/// [`Residency`] for the whole sweep instead of cloning per-point page
+/// sets that were never read.
+fn run_resident(
+    w: &Workload,
+    scheme: Scheme,
+    sms: u32,
+    residency: &Residency,
+    budget: &RunBudget,
+) -> Result<GpuRunReport, SimError> {
     Gpu::new(GpuConfig::kepler_k20().with_sms(sms), scheme, PagingMode::AllResident)
-        .run(&w.trace, &w.demand_residency())
+        .budget(budget.clone())
+        .try_run(&w.trace, residency)
+}
+
+/// A figure plus the supervision diagnostics of the sweep that produced
+/// it. Quarantined points render as `NaN` in the figure; the report makes
+/// the gaps explicit.
+#[derive(Debug, Clone)]
+pub struct Supervised<F> {
+    /// The assembled figure (partial if anything was quarantined).
+    pub fig: F,
+    /// Diagnostics for every point the sweep failed to produce.
+    pub quarantine: QuarantineReport,
+    /// Points answered from the campaign journal without re-simulation.
+    pub resumed: usize,
+    /// Points simulated by this run.
+    pub simulated: usize,
+}
+
+impl<F: fmt::Display> fmt::Display for Supervised<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.fig)?;
+        writeln!(
+            f,
+            "sweep: {} point(s) simulated, {} resumed from journal",
+            self.simulated, self.resumed
+        )?;
+        if !self.quarantine.is_empty() {
+            write!(f, "{}", self.quarantine)?;
+        }
+        Ok(())
+    }
+}
+
+/// Unwrap a supervised figure, panicking (with the full quarantine
+/// report) if any point failed — the contract of the plain `figN`
+/// drivers.
+fn expect_healthy<F>(s: Supervised<F>) -> F {
+    if !s.quarantine.is_empty() {
+        panic!(
+            "sweep quarantined {} point(s):\n{}",
+            s.quarantine.records.len(),
+            s.quarantine
+        );
+    }
+    s.fig
+}
+
+/// `num/den` as `f64`, `NaN` when either point was quarantined.
+fn ratio(num: Option<u64>, den: Option<u64>) -> f64 {
+    match (num, den) {
+        (Some(n), Some(d)) => n as f64 / d as f64,
+        _ => f64::NAN,
+    }
+}
+
+/// Open the campaign journal named by `opts`, keyed by a digest of the
+/// campaign identity plus the full ordered point grid. An unusable path
+/// degrades to running without resumption rather than failing the sweep.
+fn campaign_journal(
+    opts: &SweepOptions,
+    campaign: &str,
+    keys: &[String],
+) -> Option<CampaignJournal> {
+    let path = opts.journal.as_ref()?;
+    let d = digest(&format!("{campaign}|{}", keys.join(",")));
+    match CampaignJournal::open(path, d) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("warning: journal {} unusable ({e}); running without resume", path.display());
+            None
+        }
+    }
 }
 
 // ---------------------------------------------------------------- Fig 10
@@ -62,29 +157,48 @@ impl Fig10 {
 
 /// Run the Figure 10 sweep. Every `(workload, scheme)` point is an
 /// independent simulation, so the grid is flattened onto the parallel
-/// sweep engine and rows are reassembled in workload order.
+/// sweep engine and rows are reassembled in workload order. Panics if any
+/// point fails; [`fig10_supervised`] is the fault-tolerant form.
 pub fn fig10(preset: Preset, sms: u32) -> Fig10 {
+    expect_healthy(fig10_supervised(preset, sms, &SweepOptions::default()))
+}
+
+/// [`fig10`] under sweep supervision: failed points are quarantined
+/// (their rows show `NaN`), deadline overruns retry with escalated
+/// budgets, and an attached journal makes the campaign resumable.
+pub fn fig10_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Supervised<Fig10> {
     const SCHEMES: [Scheme; 4] =
         [Scheme::Baseline, Scheme::WdCommit, Scheme::WdLastCheck, Scheme::ReplayQueue];
     let ws = suite::parboil(preset);
-    let jobs: Vec<(&Workload, Scheme)> =
-        ws.iter().flat_map(|w| SCHEMES.iter().map(move |&s| (w, s))).collect();
-    let cycles =
-        gex_exec::par_map(jobs, |(w, s)| run_resident(w, s, sms).cycles as f64);
+    let shared = Residency::new();
+    let points: Vec<(String, (&Workload, Scheme))> = ws
+        .iter()
+        .flat_map(|w| SCHEMES.iter().map(move |&s| (format!("{}/{s:?}", w.name), (w, s))))
+        .collect();
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(opts, &format!("fig10|{preset:?}|sms={sms}"), &keys);
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |(w, s), budget| {
+        run_resident(w, *s, sms, &shared, budget).map(|r| r.cycles)
+    });
     let rows = ws
         .iter()
         .enumerate()
         .map(|(i, w)| {
-            let base = cycles[i * SCHEMES.len()];
+            let base = out.values[i * SCHEMES.len()];
             Fig10Row {
                 benchmark: w.name.clone(),
-                wd_commit: base / cycles[i * SCHEMES.len() + 1],
-                wd_lastcheck: base / cycles[i * SCHEMES.len() + 2],
-                replay_queue: base / cycles[i * SCHEMES.len() + 3],
+                wd_commit: ratio(base, out.values[i * SCHEMES.len() + 1]),
+                wd_lastcheck: ratio(base, out.values[i * SCHEMES.len() + 2]),
+                replay_queue: ratio(base, out.values[i * SCHEMES.len() + 3]),
             }
         })
         .collect();
-    Fig10 { rows }
+    Supervised {
+        fig: Fig10 { rows },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+    }
 }
 
 impl fmt::Display for Fig10 {
@@ -141,31 +255,47 @@ impl Fig11 {
 
 /// Run the Figure 11 sweep over the paper's four log sizes. Jobs are the
 /// flattened `(workload, scheme)` grid: one baseline plus one run per log
-/// size for each benchmark.
+/// size for each benchmark. Panics if any point fails;
+/// [`fig11_supervised`] is the fault-tolerant form.
 pub fn fig11(preset: Preset, sms: u32) -> Fig11 {
+    expect_healthy(fig11_supervised(preset, sms, &SweepOptions::default()))
+}
+
+/// [`fig11`] under sweep supervision (see [`fig10_supervised`]).
+pub fn fig11_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Supervised<Fig11> {
     let sizes: Vec<u32> = gex_power::studied_sizes().to_vec();
     let ws = suite::parboil(preset);
+    let shared = Residency::new();
     let stride = 1 + sizes.len();
-    let jobs: Vec<(&Workload, Scheme)> = ws
+    let points: Vec<(String, (&Workload, Scheme))> = ws
         .iter()
         .flat_map(|w| {
             std::iter::once((w, Scheme::Baseline))
                 .chain(sizes.iter().map(move |&bytes| (w, Scheme::OperandLog { bytes })))
         })
+        .map(|(w, s)| (format!("{}/{s:?}", w.name), (w, s)))
         .collect();
-    let cycles =
-        gex_exec::par_map(jobs, |(w, s)| run_resident(w, s, sms).cycles as f64);
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(opts, &format!("fig11|{preset:?}|sms={sms}"), &keys);
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |(w, s), budget| {
+        run_resident(w, *s, sms, &shared, budget).map(|r| r.cycles)
+    });
     let rows = ws
         .iter()
         .enumerate()
         .map(|(i, w)| {
-            let base = cycles[i * stride];
+            let base = out.values[i * stride];
             let by_size =
-                (1..stride).map(|j| base / cycles[i * stride + j]).collect();
+                (1..stride).map(|j| ratio(base, out.values[i * stride + j])).collect();
             Fig11Row { benchmark: w.name.clone(), by_size }
         })
         .collect();
-    Fig11 { sizes, rows }
+    Supervised {
+        fig: Fig11 { sizes, rows },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+    }
 }
 
 impl fmt::Display for Fig11 {
@@ -216,38 +346,70 @@ pub struct Fig12 {
 
 /// Run one Figure 12 panel. The baseline supports preemptible faults with
 /// the replay queue but performs no switching, exactly as in Section 5.1.
+/// Panics if any point fails; [`fig12_supervised`] is the fault-tolerant
+/// form.
 pub fn fig12(preset: Preset, sms: u32, interconnect: Interconnect) -> Fig12 {
+    expect_healthy(fig12_supervised(preset, sms, interconnect, &SweepOptions::default()))
+}
+
+/// [`fig12`] under sweep supervision (see [`fig10_supervised`]).
+pub fn fig12_supervised(
+    preset: Preset,
+    sms: u32,
+    interconnect: Interconnect,
+    opts: &SweepOptions,
+) -> Supervised<Fig12> {
     let cfg = GpuConfig::kepler_k20().with_sms(sms);
     let ws = suite::parboil(preset);
+    // Demand paging reads the residency, so each workload needs its real
+    // page set — but one per workload, shared by its three points, not
+    // one per point.
     let ress: Vec<_> = ws.iter().map(|w| w.demand_residency()).collect();
     // Per workload: plain demand paging, default switching, ideal
     // switching — three independent simulation points.
-    let switches: [Option<BlockSwitchConfig>; 3] =
-        [None, Some(BlockSwitchConfig::default()), Some(BlockSwitchConfig::ideal())];
-    let jobs: Vec<(usize, Option<BlockSwitchConfig>)> = ws
+    let switches: [(&str, Option<BlockSwitchConfig>); 3] = [
+        ("demand", None),
+        ("switch", Some(BlockSwitchConfig::default())),
+        ("ideal", Some(BlockSwitchConfig::ideal())),
+    ];
+    let points: Vec<(String, (usize, Option<BlockSwitchConfig>))> = ws
         .iter()
         .enumerate()
-        .flat_map(|(i, _)| switches.iter().map(move |&bs| (i, bs)))
+        .flat_map(|(i, w)| {
+            switches.iter().map(move |&(label, bs)| (format!("{}/{label}", w.name), (i, bs)))
+        })
         .collect();
-    let cycles = gex_exec::par_map(jobs, |(i, block_switch)| {
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(
+        opts,
+        &format!("fig12|{preset:?}|sms={sms}|{interconnect}"),
+        &keys,
+    );
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |&(i, block_switch), budget| {
         Gpu::new(
             cfg.clone(),
             Scheme::ReplayQueue,
             PagingMode::Demand { interconnect, block_switch, local_handling: None },
         )
-        .run(&ws[i].trace, &ress[i])
-        .cycles as f64
+        .budget(budget.clone())
+        .try_run(&ws[i].trace, &ress[i])
+        .map(|r| r.cycles)
     });
     let rows = ws
         .iter()
         .enumerate()
         .map(|(i, w)| Fig12Row {
             benchmark: w.name.clone(),
-            switching: cycles[i * 3] / cycles[i * 3 + 1],
-            ideal: cycles[i * 3] / cycles[i * 3 + 2],
+            switching: ratio(out.values[i * 3], out.values[i * 3 + 1]),
+            ideal: ratio(out.values[i * 3], out.values[i * 3 + 2]),
         })
         .collect();
-    Fig12 { interconnect, rows }
+    Supervised {
+        fig: Fig12 { interconnect, rows },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+    }
 }
 
 impl fmt::Display for Fig12 {
@@ -309,56 +471,105 @@ impl LocalHandlingFig {
 
 fn local_handling_fig(
     figure: &'static str,
+    preset: Preset,
     workloads: &[Workload],
     residency_of: impl Fn(&Workload) -> crate::Residency,
     sms: u32,
     interconnect: Interconnect,
-) -> LocalHandlingFig {
+    opts: &SweepOptions,
+) -> Supervised<LocalHandlingFig> {
     let cfg = GpuConfig::kepler_k20().with_sms(sms);
+    // One residency per workload, shared by both of its points.
     let ress: Vec<_> = workloads.iter().map(&residency_of).collect();
     // Per workload: CPU-handled and GPU-local-handled demand paging.
-    let handlers: [Option<LocalFaultConfig>; 2] =
-        [None, Some(LocalFaultConfig::default())];
-    let jobs: Vec<(usize, Option<LocalFaultConfig>)> = workloads
+    let handlers: [(&str, Option<LocalFaultConfig>); 2] =
+        [("cpu", None), ("local", Some(LocalFaultConfig::default()))];
+    let points: Vec<(String, (usize, Option<LocalFaultConfig>))> = workloads
         .iter()
         .enumerate()
-        .flat_map(|(i, _)| handlers.iter().map(move |&h| (i, h)))
+        .flat_map(|(i, w)| {
+            handlers.iter().map(move |&(label, h)| (format!("{}/{label}", w.name), (i, h)))
+        })
         .collect();
-    let cycles = gex_exec::par_map(jobs, |(i, local_handling)| {
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(
+        opts,
+        &format!("fig{figure}|{preset:?}|sms={sms}|{interconnect}"),
+        &keys,
+    );
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |&(i, local_handling), budget| {
         Gpu::new(
             cfg.clone(),
             Scheme::ReplayQueue,
             PagingMode::Demand { interconnect, block_switch: None, local_handling },
         )
-        .run(&workloads[i].trace, &ress[i])
-        .cycles as f64
+        .budget(budget.clone())
+        .try_run(&workloads[i].trace, &ress[i])
+        .map(|r| r.cycles)
     });
     let rows = workloads
         .iter()
         .enumerate()
         .map(|(i, w)| LocalHandlingRow {
             benchmark: w.name.clone(),
-            speedup: cycles[i * 2] / cycles[i * 2 + 1],
+            speedup: ratio(out.values[i * 2], out.values[i * 2 + 1]),
         })
         .collect();
-    LocalHandlingFig { figure, interconnect, rows }
+    Supervised {
+        fig: LocalHandlingFig { figure, interconnect, rows },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+    }
 }
 
 /// Figure 13: local handling of faults backing dynamically allocated
-/// memory (Halloc benchmarks + quad-tree, heap lazily backed).
+/// memory (Halloc benchmarks + quad-tree, heap lazily backed). Panics if
+/// any point fails; [`fig13_supervised`] is the fault-tolerant form.
 pub fn fig13(preset: Preset, sms: u32, interconnect: Interconnect) -> LocalHandlingFig {
-    local_handling_fig("13", &suite::halloc(preset), |w| w.heap_lazy_residency(), sms, interconnect)
+    expect_healthy(fig13_supervised(preset, sms, interconnect, &SweepOptions::default()))
+}
+
+/// [`fig13`] under sweep supervision (see [`fig10_supervised`]).
+pub fn fig13_supervised(
+    preset: Preset,
+    sms: u32,
+    interconnect: Interconnect,
+    opts: &SweepOptions,
+) -> Supervised<LocalHandlingFig> {
+    local_handling_fig(
+        "13",
+        preset,
+        &suite::halloc(preset),
+        |w| w.heap_lazy_residency(),
+        sms,
+        interconnect,
+        opts,
+    )
 }
 
 /// Figure 14: local handling of faults on kernel output pages (Parboil,
-/// outputs lazily backed).
+/// outputs lazily backed). Panics if any point fails;
+/// [`fig14_supervised`] is the fault-tolerant form.
 pub fn fig14(preset: Preset, sms: u32, interconnect: Interconnect) -> LocalHandlingFig {
+    expect_healthy(fig14_supervised(preset, sms, interconnect, &SweepOptions::default()))
+}
+
+/// [`fig14`] under sweep supervision (see [`fig10_supervised`]).
+pub fn fig14_supervised(
+    preset: Preset,
+    sms: u32,
+    interconnect: Interconnect,
+    opts: &SweepOptions,
+) -> Supervised<LocalHandlingFig> {
     local_handling_fig(
         "14",
+        preset,
         &suite::parboil(preset),
         |w| w.outputs_lazy_residency(),
         sms,
         interconnect,
+        opts,
     )
 }
 
@@ -517,8 +728,10 @@ mod tests {
     fn fig10_rows_are_in_unit_range() {
         // Tiny single-benchmark sanity: full sweeps run in the harness.
         let w = suite::by_name("histo", Preset::Test).unwrap();
-        let base = run_resident(&w, Scheme::Baseline, 2).cycles as f64;
-        let wd = run_resident(&w, Scheme::WdCommit, 2).cycles as f64;
+        let res = Residency::new();
+        let unlimited = RunBudget::none();
+        let base = run_resident(&w, Scheme::Baseline, 2, &res, &unlimited).unwrap().cycles as f64;
+        let wd = run_resident(&w, Scheme::WdCommit, 2, &res, &unlimited).unwrap().cycles as f64;
         assert!(base / wd <= 1.001 && base / wd > 0.3);
     }
 }

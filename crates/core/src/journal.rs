@@ -1,0 +1,268 @@
+//! Resumable campaign journals.
+//!
+//! A supervised sweep (see [`crate::supervise`]) can attach a journal: a
+//! JSON-lines file recording every successfully simulated point as it
+//! completes. Re-running the same campaign skips journaled points and
+//! re-simulates only the missing ones, reproducing byte-identical figures
+//! — the recorded value is the exact `u64` cycle count the simulator
+//! produced, and the simulator is deterministic.
+//!
+//! The first line is a header carrying a digest of the campaign
+//! configuration (figure, preset, SM count, the full ordered point grid).
+//! A journal whose digest does not match the campaign being run — stale
+//! grid, different preset, foreign file — is ignored and rebuilt from
+//! scratch, as is a file that fails to parse. A partial trailing line
+//! (the tail of a killed campaign's last write) is skipped; every fully
+//! written entry before it is honoured.
+//!
+//! The format is hand-rolled JSON (this workspace builds offline, with no
+//! serialization dependency): one object per line, string keys escaped
+//! minimally.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// FNV-1a over `input` — the campaign digest. Stable across runs and
+/// platforms, cheap, and collision-resistant enough for "is this journal
+/// talking about the same grid?".
+pub fn digest(input: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in input.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extract the string field `name` from a one-line JSON object, honouring
+/// escapes. Returns `None` if the field is absent or malformed.
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut end = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    Some(json_unescape(&rest[..end?]))
+}
+
+/// Extract the unsigned integer field `name` from a one-line JSON object.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let pat = format!("\"{name}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String =
+        line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// An append-only journal of completed sweep points, keyed by the
+/// campaign digest. Shared across worker threads: both maps and the file
+/// handle sit behind mutexes, and every [`CampaignJournal::record`] is
+/// appended and flushed immediately so a killed campaign keeps every
+/// point it finished.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    entries: Mutex<HashMap<String, u64>>,
+    file: Mutex<File>,
+    resumed: usize,
+}
+
+impl CampaignJournal {
+    /// Open (or create) the journal at `path` for the campaign identified
+    /// by `digest`. An existing file with a matching header is loaded for
+    /// resumption; a missing, corrupt or digest-mismatched file is
+    /// truncated and rebuilt.
+    pub fn open(path: &Path, digest: u64) -> io::Result<CampaignJournal> {
+        let digest_hex = format!("{digest:016x}");
+        let mut entries = HashMap::new();
+        let mut valid = false;
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            let mut lines = existing.lines();
+            if let Some(header) = lines.next() {
+                valid = field_u64(header, "gex_campaign") == Some(1)
+                    && field_str(header, "digest").as_deref() == Some(&digest_hex);
+            }
+            if valid {
+                for line in lines {
+                    // A partial trailing line (killed mid-write) simply
+                    // fails to parse and is skipped.
+                    if let (Some(key), Some(cycles)) =
+                        (field_str(line, "key"), field_u64(line, "cycles"))
+                    {
+                        entries.insert(key, cycles);
+                    }
+                }
+            }
+        }
+        let file = if valid {
+            OpenOptions::new().append(true).open(path)?
+        } else {
+            entries.clear();
+            let mut f = File::create(path)?;
+            writeln!(f, "{{\"gex_campaign\":1,\"digest\":\"{digest_hex}\"}}")?;
+            f.flush()?;
+            f
+        };
+        let resumed = entries.len();
+        Ok(CampaignJournal { entries: Mutex::new(entries), file: Mutex::new(file), resumed })
+    }
+
+    /// The journaled value for `key`, if the point already completed in a
+    /// previous (or the current) run.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.entries.lock().unwrap().get(key).copied()
+    }
+
+    /// Record a completed point. Appended to the file and flushed before
+    /// returning, so the entry survives a kill right after this call.
+    pub fn record(&self, key: &str, cycles: u64) {
+        self.entries.lock().unwrap().insert(key.to_string(), cycles);
+        let mut f = self.file.lock().unwrap();
+        let _ = writeln!(f, "{{\"key\":\"{}\",\"cycles\":{cycles}}}", json_escape(key));
+        let _ = f.flush();
+    }
+
+    /// Points loaded from disk at open time (i.e. completed by an earlier
+    /// run of the same campaign).
+    pub fn resumed_points(&self) -> usize {
+        self.resumed
+    }
+
+    /// Total points currently journaled (resumed plus newly recorded).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gex-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        assert_eq!(digest("fig10|Test|2"), digest("fig10|Test|2"));
+        assert_ne!(digest("fig10|Test|2"), digest("fig10|Test|4"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "with \"quotes\"", "back\\slash", "ctl\u{1}char", "sgemm/OperandLog { bytes: 8192 }"] {
+            let line = format!("{{\"key\":\"{}\",\"cycles\":7}}", json_escape(s));
+            assert_eq!(field_str(&line, "key").as_deref(), Some(s), "{line}");
+            assert_eq!(field_u64(&line, "cycles"), Some(7));
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_and_resumes() {
+        let path = tmp("roundtrip");
+        let d = digest("campaign-a");
+        {
+            let j = CampaignJournal::open(&path, d).unwrap();
+            assert_eq!(j.resumed_points(), 0);
+            j.record("histo/Baseline", 12_345);
+            j.record("lbm/ReplayQueue", 678);
+            assert_eq!(j.get("histo/Baseline"), Some(12_345));
+        }
+        let j = CampaignJournal::open(&path, d).unwrap();
+        assert_eq!(j.resumed_points(), 2);
+        assert_eq!(j.get("lbm/ReplayQueue"), Some(678));
+        assert_eq!(j.get("missing"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_digest_discards_the_journal() {
+        let path = tmp("stale");
+        {
+            let j = CampaignJournal::open(&path, digest("old-grid")).unwrap();
+            j.record("a", 1);
+        }
+        let j = CampaignJournal::open(&path, digest("new-grid")).unwrap();
+        assert_eq!(j.resumed_points(), 0, "mismatched digest must be ignored");
+        assert!(j.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_and_partial_tail_are_tolerated() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not json at all\n").unwrap();
+        let d = digest("grid");
+        let j = CampaignJournal::open(&path, d).unwrap();
+        assert_eq!(j.resumed_points(), 0);
+        j.record("a", 1);
+        drop(j);
+        // Simulate a kill mid-write: a dangling partial line.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"key\":\"b\",\"cyc");
+        std::fs::write(&path, content).unwrap();
+        let j = CampaignJournal::open(&path, d).unwrap();
+        assert_eq!(j.get("a"), Some(1), "complete entries before the tear survive");
+        assert_eq!(j.get("b"), None, "the torn entry is skipped");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod journal;
 pub mod session;
+pub mod supervise;
 
 pub use gex_exec as exec;
 pub use gex_isa as isa;
@@ -46,12 +48,18 @@ pub use gex_sm as sm;
 pub use gex_workloads as workloads;
 
 pub use gex_sim::{
-    geomean, set_default_max_cycles, BlockSwitchConfig, Gpu, GpuConfig, GpuRunReport,
-    InjectionPlan, InjectionStats, Interconnect, LocalFaultConfig, PagingMode, Residency,
-    SimError, WatchdogDiagnostic,
+    geomean, set_default_max_cycles, BlockSwitchConfig, BudgetExceeded, CancelToken,
+    DeadlineDiagnostic, Gpu, GpuConfig, GpuRunReport, InjectionPlan, InjectionStats,
+    Interconnect, LocalFaultConfig, PagingMode, Residency, RunBudget, SimError,
+    WatchdogDiagnostic,
 };
 pub use gex_sm::Scheme;
+pub use journal::CampaignJournal;
 pub use session::Session;
+pub use supervise::{
+    run_supervised, FailureKind, QuarantineRecord, QuarantineReport, SupervisePolicy,
+    SweepOptions, SweepOutcome,
+};
 pub use gex_workloads::{Preset, Workload};
 
 /// Run `workload` on a `sms`-SM GPU under `scheme` and `paging`.

@@ -5,30 +5,40 @@
 //! differential keystone test all sweep that grid. Each point is a pure
 //! function of its inputs (the simulator is deterministic and shares no
 //! state between runs), so the sweep is embarrassingly parallel. This
-//! crate provides the one primitive everything routes through:
-//! [`par_map`], a scoped work-stealing map that preserves input order.
+//! crate provides the primitive everything routes through: [`par_map`], a
+//! pooled map that preserves input order, plus its supervised form
+//! [`try_par_map`], which isolates per-job panics as typed [`JobError`]s
+//! instead of letting one poisoned point abort the whole sweep.
 //!
 //! Design constraints, in order:
 //!
-//! 1. **Determinism.** Results are collected as `(index, value)` pairs and
-//!    merged back in index order, so the output of `par_map(items, f)` is
+//! 1. **Determinism.** Results are written into per-index slots and
+//!    collected in input order, so the output of `par_map(items, f)` is
 //!    byte-identical to `items.into_iter().map(f).collect()` regardless of
 //!    thread count or scheduling. The differential tests assert this.
 //! 2. **Std only.** The workspace builds offline; no rayon/crossbeam. The
-//!    pool is `std::thread::scope` plus per-worker `Mutex<VecDeque>`
-//!    deques with steal-from-the-back, which is plenty for jobs that each
-//!    run millions of simulated cycles.
-//! 3. **Observable.** [`threads`] reports the effective worker count so
-//!    `perfstat` can record it in `BENCH_*.json`, and [`set_threads`]
-//!    lets the same process time serial and parallel sweeps back to back.
+//!    pool is plain threads parked on a condvar plus an atomic next-index
+//!    counter per sweep, which is plenty for jobs that each run millions
+//!    of simulated cycles.
+//! 3. **Persistent.** Workers are spawned once (lazily) and reused across
+//!    sweeps, so the many small grids in the test suite stop paying
+//!    thread-spawn cost per call; the serial fast path (1 worker or 1
+//!    job) never touches the pool at all.
+//! 4. **Observable.** [`threads`] reports the effective worker count so
+//!    `perfstat` can record it in `BENCH_*.json`, [`set_threads`] lets the
+//!    same process time serial and parallel sweeps back to back, and
+//!    [`pooled_workers`] exposes the persistent pool's size.
 //!
 //! Thread-count resolution order: [`set_threads`] override, then the
 //! `GEX_THREADS` environment variable, then
 //! [`std::thread::available_parallelism`].
 
-use std::collections::VecDeque;
+mod pool;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Process-wide override set by [`set_threads`]; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -61,14 +71,61 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
-/// Map `f` over `items` on a scoped work-stealing pool, returning results
-/// in input order.
+/// Worker threads alive in the persistent pool. Workers are spawned on
+/// first parallel use, grow to the largest concurrency any sweep asked
+/// for, and are parked (not joined) between sweeps.
+pub fn pooled_workers() -> usize {
+    pool::Pool::global().spawned_workers()
+}
+
+/// One sweep job panicked. The panic was caught at the job boundary —
+/// sibling jobs of the same sweep run to completion — and is reported
+/// with enough identity for a supervisor to quarantine the point.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// Index of the job in the sweep's input order.
+    pub index: usize,
+    /// The panic payload, stringified (`String` and `&str` payloads are
+    /// preserved verbatim).
+    pub payload: String,
+    /// Wall-clock time the job ran before panicking.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep job {} panicked after {:.3}s: {}",
+            self.index,
+            self.elapsed.as_secs_f64(),
+            self.payload
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Map `f` over `items` on the persistent pool, returning results in
+/// input order with every job's panic isolated as a [`JobError`].
 ///
-/// With one worker (or one item) this runs serially on the caller's
-/// thread — same code path, same result order, no pool — which is the
-/// determinism anchor: the parallel path must and does reproduce it
-/// byte for byte. A panic in `f` propagates to the caller.
-pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+/// This is the supervised primitive: a panicking job never takes down its
+/// siblings or the caller — the caller decides what a poisoned point
+/// means (the campaign supervisor quarantines it). With one worker (or at
+/// most one item) jobs run serially on the caller's thread — same code
+/// path, same result order, no pool — which is the determinism anchor:
+/// the parallel path must and does reproduce it byte for byte.
+pub fn try_par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<Result<T, JobError>>
 where
     I: Send,
     T: Send,
@@ -76,86 +133,79 @@ where
 {
     let n_jobs = items.len();
     let n_workers = threads().min(n_jobs.max(1));
-    if n_workers <= 1 || n_jobs <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Jobs move into per-worker option slots so workers can `take` them
-    // by index without cloning; the deques hold only indices.
-    let jobs: Vec<Mutex<Option<I>>> =
-        items.into_iter().map(|i| Mutex::new(Some(i))).collect();
-
-    // Seed worker w with the contiguous index chunk [w*chunk, ...): a
-    // cache-friendly initial split; stealing rebalances the tail.
-    let chunk = n_jobs.div_ceil(n_workers);
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..n_workers)
-        .map(|w| {
-            let lo = w * chunk;
-            let hi = (lo + chunk).min(n_jobs);
-            Mutex::new((lo..hi).collect())
+    let run_one = |index: usize, item: I| -> Result<T, JobError> {
+        let start = Instant::now();
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| JobError {
+            index,
+            payload: panic_message(p),
+            elapsed: start.elapsed(),
         })
-        .collect();
-
-    let mut out: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
-    let results: Vec<Mutex<Vec<(usize, T)>>> =
-        (0..n_workers).map(|_| Mutex::new(Vec::new())).collect();
-
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(n_workers);
-        for w in 0..n_workers {
-            let queues = &queues;
-            let jobs = &jobs;
-            let f = &f;
-            let sink = &results[w];
-            handles.push(s.spawn(move || {
-                loop {
-                    // Own queue first (front), then steal from the back
-                    // of the busiest-looking victim.
-                    let idx = pop_own(&queues[w]).or_else(|| steal(queues, w));
-                    let Some(idx) = idx else { break };
-                    let job = jobs[idx]
-                        .lock()
-                        .unwrap()
-                        .take()
-                        .expect("job index dequeued twice");
-                    let val = f(job);
-                    sink.lock().unwrap().push((idx, val));
-                }
-            }));
-        }
-        // Join explicitly so a worker panic propagates as a panic here
-        // rather than aborting via an implicit scope unwind mid-collect.
-        for h in handles {
-            if let Err(p) = h.join() {
-                std::panic::resume_unwind(p);
-            }
-        }
-    });
-
-    for sink in results {
-        for (idx, val) in sink.into_inner().unwrap() {
-            debug_assert!(out[idx].is_none(), "job {idx} produced twice");
-            out[idx] = Some(val);
-        }
+    };
+    if n_workers <= 1 || n_jobs <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| run_one(i, item)).collect();
     }
-    out.into_iter()
-        .map(|slot| slot.expect("every job index produced exactly one result"))
+
+    // Jobs move into per-index option slots so runners can `take` them
+    // without cloning; results land in per-index slots, so output order
+    // is input order no matter which thread ran what.
+    let jobs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<Result<T, JobError>>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    // Each runner (pooled helpers + the caller) claims indices from the
+    // shared counter until the sweep is drained. `run_one` catches the
+    // job's panic, so the runner itself never unwinds — a guarantee
+    // `pool::scope_run`'s safety argument relies on.
+    let runner = || loop {
+        let idx = next.fetch_add(1, Ordering::Relaxed);
+        if idx >= n_jobs {
+            break;
+        }
+        let item = jobs[idx].lock().unwrap().take().expect("job index claimed twice");
+        let out = run_one(idx, item);
+        *slots[idx].lock().unwrap() = Some(out);
+    };
+    pool::scope_run(n_workers - 1, &runner);
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap().expect("every job index produced exactly one result")
+        })
         .collect()
 }
 
-fn pop_own(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    queue.lock().unwrap().pop_front()
-}
-
-fn steal(queues: &[Mutex<VecDeque<usize>>], thief: usize) -> Option<usize> {
-    let n = queues.len();
-    for off in 1..n {
-        let victim = (thief + off) % n;
-        if let Some(idx) = queues[victim].lock().unwrap().pop_back() {
-            return Some(idx);
-        }
+/// Map `f` over `items` on the persistent pool, returning results in
+/// input order.
+///
+/// A panic in `f` propagates to the caller (after every other job of the
+/// sweep has finished); use [`try_par_map`] to supervise panics instead.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let mut first_panic: Option<JobError> = None;
+    let out: Vec<Option<T>> = try_par_map(items, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Some(v),
+            Err(e) => {
+                if first_panic.is_none() {
+                    first_panic = Some(e);
+                }
+                None
+            }
+        })
+        .collect();
+    if let Some(e) = first_panic {
+        // Re-raise with the original message so assertion failures inside
+        // sweeps read the same as they would single-threaded.
+        std::panic::panic_any(e.payload);
     }
-    None
+    out.into_iter().map(|v| v.expect("no panic implies every slot filled")).collect()
 }
 
 #[cfg(test)]
@@ -221,5 +271,58 @@ mod tests {
         });
         set_threads(0);
         assert!(res.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_job() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(4);
+        let out = try_par_map((0..64).collect::<Vec<u32>>(), |x| {
+            if x % 13 == 5 {
+                panic!("poisoned point {x}");
+            }
+            x * 2
+        });
+        set_threads(0);
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let e = r.as_ref().expect_err("injected panic must surface");
+                assert_eq!(e.index, i);
+                assert!(e.payload.contains(&format!("poisoned point {i}")), "{}", e.payload);
+                assert!(e.to_string().contains("panicked"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_persistent_across_sweeps() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(4);
+        let _ = par_map((0..32).collect::<Vec<u32>>(), |x| x + 1);
+        let after_first = pooled_workers();
+        assert!(after_first >= 3, "a 4-worker sweep keeps >= 3 pooled helpers");
+        for _ in 0..5 {
+            let _ = par_map((0..32).collect::<Vec<u32>>(), |x| x + 1);
+        }
+        set_threads(0);
+        // Re-running at the same concurrency reuses the parked workers
+        // rather than spawning fresh threads per sweep.
+        assert_eq!(pooled_workers(), after_first, "same concurrency must not respawn");
+    }
+
+    #[test]
+    fn nested_sweeps_cannot_deadlock() {
+        let _g = OVERRIDE_GUARD.lock().unwrap();
+        set_threads(2);
+        // Outer jobs each run an inner sweep; the caller-participates rule
+        // guarantees progress even with every pooled worker occupied.
+        let out = par_map(vec![10u32, 20, 30], |base| {
+            par_map((0..4u32).collect::<Vec<_>>(), move |i| base + i).into_iter().sum::<u32>()
+        });
+        set_threads(0);
+        assert_eq!(out, vec![46, 86, 126]);
     }
 }

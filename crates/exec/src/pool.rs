@@ -1,0 +1,189 @@
+//! The persistent worker pool behind [`par_map`](crate::par_map).
+//!
+//! Workers are spawned once (lazily, on first parallel sweep) and parked
+//! on a condvar between sweeps, so the many small grids in the test suite
+//! stop paying thread-spawn cost on every call. The pool grows to the
+//! largest worker count any sweep has asked for and never shrinks; parked
+//! threads cost nothing but a stack.
+//!
+//! Submitted tasks are `'static` boxed closures. Scoped borrows (the
+//! caller's items, its result slots) are handled one level up in
+//! [`scope_run`]: the submitting thread blocks on a completion latch until
+//! every task it enqueued has finished, so lifetime erasure is sound — no
+//! borrow outlives the call that created it, even if a task panics (the
+//! latch is signalled from a drop guard).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    /// Worker threads spawned so far (the pool never shrinks).
+    spawned: usize,
+}
+
+/// The process-wide pool: a shared injector queue plus parked workers.
+pub(crate) struct Pool {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), spawned: 0 }),
+            work_available: Condvar::new(),
+        })
+    }
+
+    /// Worker threads alive in the pool (they persist across sweeps).
+    pub(crate) fn spawned_workers(&self) -> usize {
+        self.state.lock().unwrap().spawned
+    }
+
+    /// Enqueue `task`, first making sure at least `workers` threads exist
+    /// to drain the queue.
+    pub(crate) fn submit(&'static self, workers: usize, task: Task) {
+        let mut st = self.state.lock().unwrap();
+        while st.spawned < workers {
+            st.spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("gex-exec-{}", st.spawned - 1))
+                .spawn(move || self.worker_loop())
+                .expect("spawn sweep worker");
+        }
+        st.queue.push_back(task);
+        drop(st);
+        self.work_available.notify_one();
+    }
+
+    /// Pop and execute one queued task, if any. Called by threads waiting
+    /// on a latch so a blocked sweep drains the queue instead of sleeping
+    /// — the guarantee that makes nested sweeps deadlock-free.
+    fn try_run_one(&self) -> bool {
+        let task = self.state.lock().unwrap().queue.pop_front();
+        match task {
+            Some(t) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(t) = st.queue.pop_front() {
+                        break t;
+                    }
+                    st = self.work_available.wait(st).unwrap();
+                }
+            };
+            // Tasks catch their own panics (per-job isolation happens in
+            // `par_map`'s runner); this is a second line of defence so an
+            // infrastructure panic never kills a pooled worker.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        }
+    }
+}
+
+/// Counts outstanding tasks of one `scope_run` call; the submitter blocks
+/// until every task has signalled.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch { remaining: Mutex::new(n), all_done: Condvar::new() }
+    }
+
+    fn signal(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap() == 0
+    }
+
+    /// Block until done or a short timeout elapses; the caller re-checks
+    /// the pool queue between waits (see [`scope_run`]'s help loop).
+    fn wait_briefly(&self) {
+        let left = self.remaining.lock().unwrap();
+        if *left > 0 {
+            let _ = self.all_done.wait_timeout(left, std::time::Duration::from_millis(1)).unwrap();
+        }
+    }
+}
+
+/// Signals its latch when dropped, so a panicking task still releases the
+/// submitter (and the borrows the task captured stay sound).
+struct SignalOnDrop<'a>(&'a Latch);
+
+impl Drop for SignalOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.signal();
+    }
+}
+
+/// Run `runner` on `helpers` pooled threads plus the calling thread, and
+/// return once every copy has finished.
+///
+/// `runner` must not panic: per-job panics are caught inside it. The
+/// calling thread always executes one copy itself, and while waiting for
+/// its pooled copies it *helps*: it drains queued tasks instead of
+/// sleeping. Helping is what makes nested sweeps deadlock-free — a worker
+/// blocked on an inner sweep's latch executes the queue's pending runners
+/// (its own inner tasks included) rather than holding its thread hostage.
+///
+/// # Safety argument
+///
+/// The borrow in `runner` is transmuted to `'static` to cross into the
+/// persistent pool. This is sound because this function does not return
+/// until the latch confirms every submitted task has completed (the latch
+/// is signalled from a drop guard, so panics cannot leak a task), and the
+/// referent therefore outlives every use.
+pub(crate) fn scope_run(helpers: usize, runner: &(dyn Fn() + Sync)) {
+    if helpers == 0 {
+        runner();
+        return;
+    }
+    let latch = std::sync::Arc::new(Latch::new(helpers));
+    // SAFETY: see the function-level safety argument — the help loop
+    // below keeps `runner`'s borrows alive past the last task.
+    let eternal: &'static (dyn Fn() + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(runner)
+    };
+    for _ in 0..helpers {
+        let latch = latch.clone();
+        Pool::global().submit(
+            helpers,
+            Box::new(move || {
+                let _signal = SignalOnDrop(&latch);
+                eternal();
+            }),
+        );
+    }
+    runner();
+    // Help-while-waiting: some of this sweep's tasks may still sit in the
+    // queue (every worker busy), or a popped foreign task may itself be
+    // waiting on a nested latch. Executing queued tasks here guarantees
+    // global progress; the timed wait bounds the window of a lost wakeup.
+    while !latch.is_done() {
+        if !Pool::global().try_run_one() {
+            latch.wait_briefly();
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! regions, and what the fault queue still holds.
 
 use gex_mem::{Cycle, FaultEntry, MemError};
-use gex_sm::{SmError, WarpDiag, WarpState};
+use gex_sm::{BudgetExceeded, SmError, WarpDiag, WarpState};
 
 /// Diagnostic snapshot taken when the forward-progress watchdog fires.
 #[derive(Debug, Clone)]
@@ -91,12 +91,43 @@ impl std::fmt::Display for WatchdogDiagnostic {
     }
 }
 
+/// Diagnostic snapshot taken when a cooperative [`RunBudget`]
+/// (see [`gex_sm::RunBudget`]) trips mid-run.
+#[derive(Debug, Clone)]
+pub struct DeadlineDiagnostic {
+    /// Cycle at which the budget check fired.
+    pub cycle: Cycle,
+    /// Which limit tripped (cycle deadline, wall clock, cancellation).
+    pub cause: BudgetExceeded,
+    /// Blocks completed out of the launch total when the budget tripped.
+    pub completed_blocks: u64,
+    /// Total blocks in the launch.
+    pub total_blocks: u64,
+    /// Warp instructions committed before the budget tripped.
+    pub committed: u64,
+}
+
+impl std::fmt::Display for DeadlineDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at cycle {} ({}/{} blocks done, {} instructions committed)",
+            self.cause, self.cycle, self.completed_blocks, self.total_blocks, self.committed
+        )
+    }
+}
+
 /// Why a whole-GPU run aborted.
 #[derive(Debug, Clone)]
 pub enum SimError {
     /// The forward-progress watchdog fired: no warp committed, no fault
     /// resolved and no block dispatched for the configured window.
     Watchdog(Box<WatchdogDiagnostic>),
+    /// The run blew its cooperative budget (cycle deadline, wall-clock
+    /// limit or cancellation) — supervision policy, distinct from the
+    /// `CycleLimit` runaway guard: a deadline is retryable with an
+    /// escalated budget, a cycle-cap overrun usually means a wedge.
+    Deadline(Box<DeadlineDiagnostic>),
     /// The run exceeded the configured cycle cap.
     CycleLimit {
         /// The configured cap.
@@ -123,6 +154,7 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Watchdog(d) => write!(f, "watchdog: {d}"),
+            SimError::Deadline(d) => write!(f, "deadline: {d}"),
             SimError::CycleLimit { limit, completed_blocks, total_blocks } => write!(
                 f,
                 "GPU run exceeded {limit} cycles ({completed_blocks}/{total_blocks} blocks \
@@ -136,6 +168,15 @@ impl std::fmt::Display for SimError {
             SimError::Sm(e) => write!(f, "{e}"),
             SimError::Mem(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl SimError {
+    /// True for budget overruns — the class of error a campaign
+    /// supervisor retries with an escalated budget (everything else is
+    /// quarantined immediately).
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, SimError::Deadline(_))
     }
 }
 

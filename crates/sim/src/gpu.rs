@@ -11,7 +11,7 @@
 
 use crate::block_switch::{BlockSwitchConfig, LocalScheduler};
 use crate::config::{GpuConfig, PagingMode};
-use crate::error::{SimError, WatchdogDiagnostic};
+use crate::error::{DeadlineDiagnostic, SimError, WatchdogDiagnostic};
 use crate::inject::InjectionPlan;
 use crate::local_fault::LocalFaultState;
 use crate::paging::CpuHandler;
@@ -21,7 +21,7 @@ use gex_isa::trace::{BlockTrace, KernelTrace};
 use gex_mem::phys::PhysAllocator;
 use gex_mem::system::{FaultMode, MemSystem};
 use gex_mem::{Cycle, PageState};
-use gex_sm::{KernelSetup, Scheme, Sm, SmStats, WarpDiag};
+use gex_sm::{KernelSetup, RunBudget, Scheme, Sm, SmStats, WarpDiag};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -32,13 +32,14 @@ pub struct Gpu {
     scheme: Scheme,
     paging: PagingMode,
     inject: Option<InjectionPlan>,
+    budget: RunBudget,
 }
 
 impl Gpu {
     /// A GPU with the given configuration, SM exception scheme and paging
     /// mode. The cycle cap and watchdog window come from `cfg`.
     pub fn new(cfg: GpuConfig, scheme: Scheme, paging: PagingMode) -> Self {
-        Gpu { cfg, scheme, paging, inject: None }
+        Gpu { cfg, scheme, paging, inject: None, budget: RunBudget::none() }
     }
 
     /// Override the runaway guard (the run aborts past this many cycles).
@@ -52,6 +53,16 @@ impl Gpu {
     /// ignored under [`PagingMode::AllResident`].
     pub fn inject(mut self, plan: InjectionPlan) -> Self {
         self.inject = Some(plan);
+        self
+    }
+
+    /// Attach a cooperative [`RunBudget`] (cycle deadline, wall-clock
+    /// limit, cancellation token). Checked every iteration of the engine
+    /// loop; a blown budget surfaces as [`SimError::Deadline`] rather
+    /// than a hang. Supervision policy, distinct from
+    /// [`Gpu::max_cycles`]'s runaway guard.
+    pub fn budget(mut self, b: RunBudget) -> Self {
+        self.budget = b;
         self
     }
 
@@ -103,6 +114,7 @@ struct Engine {
     dispatch_rr: usize,
     max_cycles: Cycle,
     watchdog_cycles: Cycle,
+    budget: RunBudget,
 }
 
 impl Engine {
@@ -184,6 +196,7 @@ impl Engine {
             dispatch_rr: 0,
             max_cycles: gpu.cfg.max_cycles,
             watchdog_cycles: gpu.cfg.watchdog_cycles,
+            budget: gpu.budget.clone(),
         }
     }
 
@@ -214,7 +227,17 @@ impl Engine {
         // fault resolution, block completion or block dispatch.
         let mut last_progress: Cycle = 0;
         let mut last_committed: u64 = 0;
+        let mut meter = self.budget.start();
         loop {
+            if let Some(cause) = meter.check(now) {
+                return Err(SimError::Deadline(Box::new(DeadlineDiagnostic {
+                    cycle: now,
+                    cause,
+                    completed_blocks: self.completed,
+                    total_blocks: self.total_blocks,
+                    committed: self.committed_total(),
+                })));
+            }
             self.mem.tick(now);
             if let Some(e) = self.mem.take_error() {
                 return Err(e.into());
@@ -294,10 +317,14 @@ impl Engine {
                 let next = self.next_event_cycle();
                 if let Some(next) = next {
                     if next > now + 1 {
-                        // Never jump past the watchdog deadline or the
-                        // cycle cap: both must fire at their exact cycle.
-                        let deadline = (last_progress + self.watchdog_cycles)
+                        // Never jump past the watchdog deadline, the
+                        // cycle cap or the budget's cycle deadline: each
+                        // must fire at its exact cycle.
+                        let mut deadline = (last_progress + self.watchdog_cycles)
                             .min(self.max_cycles);
+                        if let Some(d) = meter.deadline_cycles() {
+                            deadline = deadline.min(d);
+                        }
                         let target = next.min(deadline);
                         if target > now {
                             now = target;

@@ -296,6 +296,15 @@ impl Injector {
         true
     }
 
+    /// True while `region` is parked waiting out a NACK backoff. A
+    /// duplicated round trip of a NACKed service carries the same failed
+    /// response, so its resolution must be suppressed too — otherwise a
+    /// duplicate would resolve the region behind the NACK and mask a
+    /// wedged handler from the watchdog.
+    pub fn is_parked(&self, region: u64) -> bool {
+        self.deferred.iter().any(|(_, e)| e.region == region)
+    }
+
     /// Earliest deferred re-enqueue or stall expiry, for idle skip-ahead.
     pub fn next_event_cycle(&self) -> Option<Cycle> {
         let due = self.deferred.iter().map(|(c, _)| *c).min();

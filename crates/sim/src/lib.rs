@@ -31,7 +31,8 @@ pub mod residency;
 
 pub use block_switch::BlockSwitchConfig;
 pub use config::{set_default_max_cycles, GpuConfig, PagingMode};
-pub use error::{SimError, WatchdogDiagnostic};
+pub use error::{DeadlineDiagnostic, SimError, WatchdogDiagnostic};
+pub use gex_sm::{BudgetExceeded, CancelToken, RunBudget};
 pub use gpu::Gpu;
 pub use inject::{InjectionPlan, InjectionStats, Injector};
 pub use interconnect::{Interconnect, CYCLES_PER_US};

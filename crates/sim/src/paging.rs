@@ -153,11 +153,19 @@ impl CpuHandler {
                 // A spurious "retry later" NACK: the round trip completed
                 // but resolved nothing. The entry parks for its backoff and
                 // the faulted warps keep waiting.
-                if !f.dup {
-                    if let Some(inj) = &mut self.injector {
-                        if inj.try_nack(now, &f.entry) {
+                if let Some(inj) = &mut self.injector {
+                    if f.dup {
+                        // A duplicate of a NACKed service carries the same
+                        // failed response; letting it resolve the region
+                        // would mask the NACK (and hide a wedge from the
+                        // watchdog).
+                        if inj.is_parked(f.entry.region) {
                             continue;
                         }
+                    } else if inj.try_nack(now, &f.entry) {
+                        let region = f.entry.region;
+                        self.in_flight.retain(|g| !(g.dup && g.entry.region == region));
+                        continue;
                     }
                 }
                 if f.entry.kind == FaultKind::Migration {

@@ -130,6 +130,65 @@ fn healthy_runs_are_untouched_by_the_guards() {
 }
 
 #[test]
+fn duplicated_service_and_nack_backoff_on_one_warp_complete_under_the_watchdog() {
+    // Every fault service is both issued twice (duplicate_prob 1.0) and
+    // NACKed twice with exponential backoff before resolving, so the same
+    // warp sits through duplicated completions *and* NACK retries in one
+    // run. A tight (but fair) watchdog window stays armed throughout: the
+    // backoff stalls must not read as a wedge, the duplicate resolutions
+    // must not corrupt architectural state, and the run must finish.
+    let (trace, res) = faulting_kernel(2);
+    let plan = InjectionPlan {
+        seed: 7,
+        duplicate_prob: 1.0,
+        nack_prob: 1.0,
+        max_nacks_per_region: 2,
+        nack_backoff: 1_500,
+        ..InjectionPlan::none()
+    };
+    let cfg = GpuConfig::kepler_k20().with_sms(1).with_watchdog_cycles(200_000);
+    let clean = demand_gpu(Scheme::ReplayQueue, cfg.clone()).run(&trace, &res);
+    let report = demand_gpu(Scheme::ReplayQueue, cfg)
+        .inject(plan)
+        .try_run(&trace, &res)
+        .expect("duplicate + bounded-NACK service must still finish");
+    let inj = report.injection.expect("stats present");
+    assert!(inj.duplicates > 0, "duplicated fault service must fire: {inj:?}");
+    assert!(inj.nacks > 0, "NACK backoff must fire in the same run: {inj:?}");
+    assert_eq!(report.sm.committed, trace.dyn_instrs());
+    assert_eq!(
+        report.warp_retired, clean.warp_retired,
+        "perturbed timing must not change per-warp retirement"
+    );
+    assert!(
+        report.cycles > clean.cycles,
+        "duplicates + backoff must cost simulated time ({} vs {})",
+        report.cycles,
+        clean.cycles
+    );
+}
+
+#[test]
+fn wedged_duplicates_still_trip_the_watchdog() {
+    // Duplicated services must not mask a wedge: with every resolution
+    // NACKed forever, the extra duplicate round trips keep the fault
+    // pipeline busy without ever making progress, and the watchdog must
+    // still classify the launch as stuck rather than spin.
+    let (trace, res) = faulting_kernel(2);
+    let plan = InjectionPlan { duplicate_prob: 1.0, ..InjectionPlan::wedge(9) };
+    let cfg = GpuConfig::kepler_k20().with_sms(2).with_watchdog_cycles(300_000);
+    let err = demand_gpu(Scheme::ReplayQueue, cfg)
+        .inject(plan)
+        .try_run(&trace, &res)
+        .expect_err("a wedge stays a wedge under duplication");
+    let SimError::Watchdog(d) = err else {
+        panic!("expected a watchdog abort, got: {err}");
+    };
+    assert!(d.completed_blocks < d.total_blocks);
+    assert!(!d.stuck_warps().is_empty(), "the stuck warps must still be identified");
+}
+
+#[test]
 fn bounded_nacks_recover_and_finish() {
     // With a finite NACK budget the run limps through retries, then
     // completes with full architectural results and nack accounting.

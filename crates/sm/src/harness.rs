@@ -12,6 +12,7 @@
 //! propagation from the SM pipeline and the memory system, surfaced via
 //! [`SingleSmHarness::try_run`].
 
+use crate::budget::{BudgetExceeded, RunBudget};
 use crate::config::SmConfig;
 use crate::error::SmError;
 use crate::scheme::Scheme;
@@ -58,6 +59,16 @@ pub enum HarnessError {
         /// The configured limit.
         limit: Cycle,
     },
+    /// The run blew its cooperative [`RunBudget`] (deadline, wall limit
+    /// or cancellation).
+    Budget {
+        /// Which limit tripped.
+        cause: BudgetExceeded,
+        /// Cycle at which the budget check fired.
+        cycle: Cycle,
+        /// Instructions committed before the budget tripped.
+        committed: u64,
+    },
     /// The SM pipeline hit a fatal invariant violation.
     Sm(SmError),
     /// The memory system hit a fatal condition.
@@ -78,6 +89,9 @@ impl std::fmt::Display for HarnessError {
             HarnessError::CycleLimit { limit } => {
                 write!(f, "single-SM run exceeded {limit} cycles")
             }
+            HarnessError::Budget { cause, cycle, committed } => {
+                write!(f, "single-SM budget: {cause} (at cycle {cycle}, {committed} committed)")
+            }
             HarnessError::Sm(e) => write!(f, "{e}"),
             HarnessError::Mem(e) => write!(f, "{e}"),
         }
@@ -95,6 +109,7 @@ pub struct SingleSmHarness {
     probe: bool,
     max_cycles: Cycle,
     watchdog_cycles: Cycle,
+    budget: RunBudget,
 }
 
 impl SingleSmHarness {
@@ -107,6 +122,7 @@ impl SingleSmHarness {
             probe: false,
             max_cycles: 50_000_000,
             watchdog_cycles: 5_000_000,
+            budget: RunBudget::none(),
         }
     }
 
@@ -132,6 +148,13 @@ impl SingleSmHarness {
     /// while work is still resident (forward-progress watchdog).
     pub fn watchdog_cycles(mut self, c: Cycle) -> Self {
         self.watchdog_cycles = c;
+        self
+    }
+
+    /// Attach a cooperative [`RunBudget`] (cycle deadline, wall limit,
+    /// cancellation token), checked every iteration of the tick loop.
+    pub fn budget(mut self, b: RunBudget) -> Self {
+        self.budget = b;
         self
     }
 
@@ -185,7 +208,15 @@ impl SingleSmHarness {
         let mut now: Cycle = 0;
         let mut last_progress: Cycle = 0;
         let mut last_committed: u64 = 0;
+        let mut meter = self.budget.start();
         loop {
+            if let Some(cause) = meter.check(now) {
+                return Err(HarnessError::Budget {
+                    cause,
+                    cycle: now,
+                    committed: sm.stats().committed,
+                });
+            }
             while sm.free_slot().is_some() && !pending.is_empty() {
                 let b = pending.pop_front().expect("non-empty pending");
                 sm.assign_block(b);

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod config;
 pub mod error;
 pub mod exec;
@@ -33,6 +34,7 @@ pub mod scoreboard;
 pub mod sm;
 pub mod stats;
 
+pub use budget::{BudgetExceeded, BudgetMeter, CancelToken, RunBudget};
 pub use config::SmConfig;
 pub use error::{SmError, SmStage};
 pub use harness::{HarnessError, SingleSmHarness, SingleSmRun};
