@@ -1,12 +1,31 @@
 //! Section 5.5 scalability sweep over the SM count.
+//!
+//! Runs under sweep supervision: `--deadline N` budgets each point,
+//! `--resume` / `--journal PATH` make the campaign resumable (one journal
+//! file per inner figure sweep), and failed points are quarantined
+//! (reported below the table) instead of taking the run down. Exits 2 if
+//! anything was quarantined.
+
+use gex_bench::BenchArgs;
 
 fn main() {
-    gex_bench::apply_max_cycles_from_args();
-    let preset = gex_bench::preset_from_args();
-    let rows = gex::experiments::scalability(preset, &[4, 8, 16, 32]);
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sweep = gex::experiments::scalability_supervised(preset, &[4, 8, 16, 32], &|panel| {
+        args.sweep_options_panel("scalability", panel)
+    });
     println!("Section 5.5: scalability with SM count");
     println!("{:<6} {:>14} {:>16}", "SMs", "replay-queue", "local-handling");
-    for r in &rows {
-        println!("{:<6} {:>14.3} {:>16.3}", r.sms, r.replay_queue, r.local_handling);
+    for r in &sweep.fig {
+        println!("{r}");
+    }
+    println!(
+        "sweep: {} point(s) simulated ({} from result cache), {} resumed from journal",
+        sweep.simulated, sweep.cache.hits, sweep.resumed
+    );
+    if !sweep.quarantine.is_empty() {
+        print!("{}", sweep.quarantine);
+        std::process::exit(2);
     }
 }

@@ -1,0 +1,30 @@
+//! Regenerates the golden figure renders under `crates/core/tests/golden/`.
+//!
+//! The golden files pin the exact byte-level output of the fig10/fig11
+//! drivers on the `Test` preset so scheduler or cache changes that drift
+//! the simulation are caught by `cargo test` (see
+//! `crates/core/tests/golden_figures.rs`). Run this only when a figure
+//! change is *intentional*, then review the diff like any other code:
+//!
+//! ```sh
+//! cargo run --release --example golden_gen
+//! ```
+
+use gex::experiments;
+use gex::workloads::Preset;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+
+    let fig10 = experiments::fig10(Preset::Test, 4).to_string();
+    let fig11 = experiments::fig11(Preset::Test, 4).to_string();
+
+    std::fs::write(dir.join("fig10_test_4sm.txt"), &fig10).expect("write fig10 golden");
+    std::fs::write(dir.join("fig11_test_4sm.txt"), &fig11).expect("write fig11 golden");
+
+    println!("wrote {}", dir.display());
+    print!("{fig10}");
+    print!("{fig11}");
+}

@@ -1,0 +1,321 @@
+//! Cross-sweep simulation result cache.
+//!
+//! Figure campaigns share simulation points: every operand-log point in
+//! fig11 normalizes against the same stall-on-fault baseline fig10
+//! already simulated, `normalized_performance` re-runs the baseline per
+//! call, and a scalability sweep replays whole grids per SM count. The
+//! simulator is deterministic — a `(workload, scheme, GPU config, paging,
+//! residency, injection plan)` tuple always produces the same
+//! [`GpuRunReport`] — so this module memoizes completed runs
+//! process-wide and hands out shared [`Arc`]s instead of re-simulating.
+//!
+//! Design points:
+//!
+//! * **Keyed by simulation identity only.** The key digests everything
+//!   that determines the report and nothing that doesn't: run budgets
+//!   (wall clocks, deadlines, cancel tokens) are supervision policy, not
+//!   physics, so a point simulated under one budget answers every later
+//!   budget. Under [`PagingMode::AllResident`] the engine pre-maps every
+//!   touched page and ignores the residency argument, so the key omits
+//!   it there — the drivers' shared empty residency and the facade's
+//!   per-workload residency hit the same entry.
+//! * **Only successful runs are cached.** Errors depend on the budget
+//!   (deadlines) or wall clock and must re-run.
+//! * **Concurrent-builder coalescing.** The cache is shared through the
+//!   `gex-exec` pool; when two workers want the same uncached point, one
+//!   simulates and the other waits on the entry instead of duplicating
+//!   the work. A failed build wakes waiters to try themselves.
+//! * **Observable.** Global [`stats`] counters (hits, misses, stores,
+//!   coalesced waits) let sweeps report how much simulation the cache
+//!   saved; the supervised figure drivers surface the per-campaign delta.
+//! * **A/B switchable.** `GEX_SIM_CACHE=0` (or [`set_enabled`]`(false)`)
+//!   bypasses the cache entirely for equivalence testing; results must
+//!   be byte-identical either way.
+
+use crate::journal::digest;
+use gex_sim::{Gpu, GpuRunReport, PagingMode, Residency, SimError};
+use gex_workloads::Workload;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One entry's lifecycle inside a shard.
+enum Slot {
+    /// A worker is simulating this point right now.
+    Building,
+    /// The finished report.
+    Ready(Arc<GpuRunReport>),
+}
+
+/// One lock-sharded slice of the cache. Waiters for in-flight builds
+/// park on the shard's condvar (builds are long; shard-granular wakeups
+/// are plenty).
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<String, Slot>>,
+    ready: Condvar,
+}
+
+const SHARDS: usize = 16;
+
+struct Cache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Cache {
+        shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        stores: AtomicU64::new(0),
+        coalesced: AtomicU64::new(0),
+    })
+}
+
+/// 0 = unset (consult `GEX_SIM_CACHE`), 1 = forced on, 2 = forced off.
+static ENABLED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force the cache on or off for this process, overriding
+/// `GEX_SIM_CACHE`. The A/B switch for equivalence tests.
+pub fn set_enabled(on: bool) {
+    ENABLED_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// True if [`run_cached`] consults the cache: on by default, disabled by
+/// `GEX_SIM_CACHE=0` in the environment or [`set_enabled`]`(false)`.
+pub fn enabled() -> bool {
+    match ENABLED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => std::env::var("GEX_SIM_CACHE").map_or(true, |v| v != "0"),
+    }
+}
+
+/// Monotonic process-wide cache counters; snapshot via [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a finished entry.
+    pub hits: u64,
+    /// Lookups that had to simulate.
+    pub misses: u64,
+    /// Reports inserted (misses that simulated successfully).
+    pub stores: u64,
+    /// Hits that waited for a concurrent builder instead of finding the
+    /// entry already finished (a subset of `hits`).
+    pub coalesced: u64,
+}
+
+impl CacheStats {
+    /// Counter increase from `earlier` to `self` — the per-campaign view
+    /// the supervised drivers report.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stores: self.stores - earlier.stores,
+            coalesced: self.coalesced - earlier.coalesced,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s) ({} coalesced), {} miss(es), {} stored",
+            self.hits, self.coalesced, self.misses, self.stores
+        )
+    }
+}
+
+/// Snapshot the process-wide cache counters.
+pub fn stats() -> CacheStats {
+    let c = cache();
+    CacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+        stores: c.stores.load(Ordering::Relaxed),
+        coalesced: c.coalesced.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of finished reports currently held.
+pub fn len() -> usize {
+    cache().shards.iter().map(|s| s.map.lock().unwrap().len()).sum()
+}
+
+/// Drop every cached report (counters keep running). Long multi-preset
+/// campaigns can call this between phases to bound memory.
+pub fn clear() {
+    for s in &cache().shards {
+        s.map.lock().unwrap().clear();
+    }
+}
+
+/// The simulation-identity key: everything that determines the report,
+/// nothing that doesn't. The workload is pinned by name + functional
+/// image digest + launch geometry (construction is deterministic, so
+/// these pin the exact trace); budgets are deliberately absent.
+fn key_of(gpu: &Gpu, w: &Workload, residency: &Residency) -> String {
+    use std::fmt::Write;
+    let t = &w.trace;
+    let mut k = String::with_capacity(192);
+    let _ = write!(
+        k,
+        "w={}|img={:016x}|di={}|b={}|tpb={}|r={}|sh={}|s={:?}|cfg={:?}|p={:?}",
+        w.name,
+        w.image_digest,
+        t.dyn_instrs(),
+        t.blocks.len(),
+        t.threads_per_block,
+        t.regs_per_thread,
+        t.shared_bytes,
+        gpu.scheme(),
+        gpu.config(),
+        gpu.paging(),
+    );
+    // AllResident pre-maps every touched page and never reads the
+    // residency; keying it would split identical simulations.
+    if !matches!(gpu.paging(), PagingMode::AllResident) {
+        let _ = write!(k, "|res={residency:?}");
+    }
+    if let Some(plan) = gpu.injection() {
+        let _ = write!(k, "|inj={plan:?}");
+    }
+    k
+}
+
+/// Removes a `Building` placeholder if the builder unwinds or errors, so
+/// waiters retry instead of deadlocking on a corpse.
+struct BuildGuard<'a> {
+    shard: &'a Shard,
+    key: String,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shard.map.lock().unwrap().remove(&self.key);
+            self.shard.ready.notify_all();
+        }
+    }
+}
+
+/// Run `gpu` on `w`'s trace with `residency`, answering from the cache
+/// when an identical point has already simulated. On a miss the caller's
+/// thread simulates (under its own budget) and publishes the report for
+/// everyone else. Errors are returned, never cached.
+pub fn run_cached(
+    gpu: &Gpu,
+    w: &Workload,
+    residency: &Residency,
+) -> Result<Arc<GpuRunReport>, SimError> {
+    if !enabled() {
+        return gpu.try_run(&w.trace, residency).map(Arc::new);
+    }
+    let c = cache();
+    let key = key_of(gpu, w, residency);
+    let shard = &c.shards[(digest(&key) as usize) % SHARDS];
+    {
+        let mut map = shard.map.lock().unwrap();
+        let mut waited = false;
+        loop {
+            match map.get(&key) {
+                Some(Slot::Ready(r)) => {
+                    c.hits.fetch_add(1, Ordering::Relaxed);
+                    if waited {
+                        c.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(Arc::clone(r));
+                }
+                Some(Slot::Building) => {
+                    // Park until the builder publishes or gives up; if
+                    // the build fails we fall through to the `None` arm
+                    // and simulate ourselves.
+                    waited = true;
+                    map = shard.ready.wait(map).unwrap();
+                }
+                None => {
+                    map.insert(key.clone(), Slot::Building);
+                    break;
+                }
+            }
+        }
+    }
+    c.misses.fetch_add(1, Ordering::Relaxed);
+    let mut guard = BuildGuard { shard, key: key.clone(), armed: true };
+    let report = gpu.try_run(&w.trace, residency)?;
+    let report = Arc::new(report);
+    guard.armed = false;
+    shard.map.lock().unwrap().insert(key, Slot::Ready(Arc::clone(&report)));
+    shard.ready.notify_all();
+    c.stores.fetch_add(1, Ordering::Relaxed);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gex_sim::GpuConfig;
+    use gex_sm::Scheme;
+    use gex_workloads::{suite, Preset};
+
+    // Unit tests share the process-global cache with each other, so they
+    // assert via counter deltas and distinct keys only; the end-to-end
+    // behaviour (hit identity, figure equivalence, fig11 baseline
+    // sharing) lives in `tests/cache_equivalence.rs`, its own process.
+
+    #[test]
+    fn identical_points_share_one_simulation() {
+        let w = suite::by_name("histo", Preset::Test).unwrap();
+        let gpu =
+            Gpu::new(GpuConfig::kepler_k20().with_sms(2), Scheme::WdCommit, PagingMode::AllResident);
+        let res = Residency::new();
+        let before = stats();
+        let a = run_cached(&gpu, &w, &res).unwrap();
+        let b = run_cached(&gpu, &w, &res).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "a hit must share the stored report");
+        let d = stats().since(&before);
+        assert_eq!((d.hits, d.misses, d.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn all_resident_key_ignores_the_residency_argument() {
+        let w = suite::by_name("sad", Preset::Test).unwrap();
+        let gpu =
+            Gpu::new(GpuConfig::kepler_k20().with_sms(2), Scheme::Baseline, PagingMode::AllResident);
+        assert_eq!(key_of(&gpu, &w, &Residency::new()), key_of(&gpu, &w, &w.demand_residency()));
+    }
+
+    #[test]
+    fn key_separates_scheme_config_and_injection() {
+        let w = suite::by_name("sad", Preset::Test).unwrap();
+        let res = Residency::new();
+        let base =
+            Gpu::new(GpuConfig::kepler_k20().with_sms(2), Scheme::Baseline, PagingMode::AllResident);
+        let other_scheme =
+            Gpu::new(GpuConfig::kepler_k20().with_sms(2), Scheme::WdCommit, PagingMode::AllResident);
+        let other_sms =
+            Gpu::new(GpuConfig::kepler_k20().with_sms(4), Scheme::Baseline, PagingMode::AllResident);
+        let injected = base.clone().inject(gex_sim::InjectionPlan::light(7));
+        let k = key_of(&base, &w, &res);
+        assert_ne!(k, key_of(&other_scheme, &w, &res));
+        assert_ne!(k, key_of(&other_sms, &w, &res));
+        assert_ne!(k, key_of(&injected, &w, &res));
+    }
+
+    #[test]
+    fn stats_since_subtracts_fieldwise() {
+        let a = CacheStats { hits: 5, misses: 3, stores: 2, coalesced: 1 };
+        let b = CacheStats { hits: 7, misses: 4, stores: 3, coalesced: 1 };
+        assert_eq!(b.since(&a), CacheStats { hits: 2, misses: 1, stores: 1, coalesced: 0 });
+        assert!(b.to_string().contains("7 hit(s)"));
+    }
+}

@@ -10,6 +10,7 @@
 //! escalation, a quarantine report rendered into the figure output, and
 //! journal-backed resumption via [`SweepOptions::journal`]).
 
+use crate::cache::{self, CacheStats};
 use crate::journal::{digest, CampaignJournal};
 use crate::supervise::{run_supervised, QuarantineReport, SweepOptions};
 use crate::{
@@ -19,6 +20,7 @@ use crate::{
 use gex_sim::{BlockSwitchConfig, LocalFaultConfig};
 use gex_workloads::{suite, Preset, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// A small ASCII bar for terminal figures: `width` columns represent
 /// `full` (values above `full` saturate).
@@ -43,10 +45,10 @@ fn run_resident(
     sms: u32,
     residency: &Residency,
     budget: &RunBudget,
-) -> Result<GpuRunReport, SimError> {
-    Gpu::new(GpuConfig::kepler_k20().with_sms(sms), scheme, PagingMode::AllResident)
-        .budget(budget.clone())
-        .try_run(&w.trace, residency)
+) -> Result<Arc<GpuRunReport>, SimError> {
+    let gpu = Gpu::new(GpuConfig::kepler_k20().with_sms(sms), scheme, PagingMode::AllResident)
+        .budget(budget.clone());
+    cache::run_cached(&gpu, w, residency)
 }
 
 /// A figure plus the supervision diagnostics of the sweep that produced
@@ -62,6 +64,11 @@ pub struct Supervised<F> {
     pub resumed: usize,
     /// Points simulated by this run.
     pub simulated: usize,
+    /// Result-cache counter delta over the sweep (see [`crate::cache`]):
+    /// `cache.hits` is how many of this campaign's points were answered
+    /// from an earlier identical simulation. Process-global counters, so
+    /// concurrent unrelated sweeps inflate each other's deltas.
+    pub cache: CacheStats,
 }
 
 impl<F: fmt::Display> fmt::Display for Supervised<F> {
@@ -69,8 +76,8 @@ impl<F: fmt::Display> fmt::Display for Supervised<F> {
         write!(f, "{}", self.fig)?;
         writeln!(
             f,
-            "sweep: {} point(s) simulated, {} resumed from journal",
-            self.simulated, self.resumed
+            "sweep: {} point(s) simulated ({} from result cache), {} resumed from journal",
+            self.simulated, self.cache.hits, self.resumed
         )?;
         if !self.quarantine.is_empty() {
             write!(f, "{}", self.quarantine)?;
@@ -177,6 +184,7 @@ pub fn fig10_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Superv
         .collect();
     let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
     let journal = campaign_journal(opts, &format!("fig10|{preset:?}|sms={sms}"), &keys);
+    let cache_before = cache::stats();
     let out = run_supervised(points, &opts.policy, journal.as_ref(), |(w, s), budget| {
         run_resident(w, *s, sms, &shared, budget).map(|r| r.cycles)
     });
@@ -198,6 +206,7 @@ pub fn fig10_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Superv
         quarantine: out.quarantine,
         resumed: out.resumed,
         simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
     }
 }
 
@@ -277,6 +286,7 @@ pub fn fig11_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Superv
         .collect();
     let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
     let journal = campaign_journal(opts, &format!("fig11|{preset:?}|sms={sms}"), &keys);
+    let cache_before = cache::stats();
     let out = run_supervised(points, &opts.policy, journal.as_ref(), |(w, s), budget| {
         run_resident(w, *s, sms, &shared, budget).map(|r| r.cycles)
     });
@@ -295,6 +305,7 @@ pub fn fig11_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Superv
         quarantine: out.quarantine,
         resumed: out.resumed,
         simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
     }
 }
 
@@ -385,15 +396,15 @@ pub fn fig12_supervised(
         &format!("fig12|{preset:?}|sms={sms}|{interconnect}"),
         &keys,
     );
+    let cache_before = cache::stats();
     let out = run_supervised(points, &opts.policy, journal.as_ref(), |&(i, block_switch), budget| {
-        Gpu::new(
+        let gpu = Gpu::new(
             cfg.clone(),
             Scheme::ReplayQueue,
             PagingMode::Demand { interconnect, block_switch, local_handling: None },
         )
-        .budget(budget.clone())
-        .try_run(&ws[i].trace, &ress[i])
-        .map(|r| r.cycles)
+        .budget(budget.clone());
+        cache::run_cached(&gpu, &ws[i], &ress[i]).map(|r| r.cycles)
     });
     let rows = ws
         .iter()
@@ -409,6 +420,7 @@ pub fn fig12_supervised(
         quarantine: out.quarantine,
         resumed: out.resumed,
         simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
     }
 }
 
@@ -497,15 +509,15 @@ fn local_handling_fig(
         &format!("fig{figure}|{preset:?}|sms={sms}|{interconnect}"),
         &keys,
     );
+    let cache_before = cache::stats();
     let out = run_supervised(points, &opts.policy, journal.as_ref(), |&(i, local_handling), budget| {
-        Gpu::new(
+        let gpu = Gpu::new(
             cfg.clone(),
             Scheme::ReplayQueue,
             PagingMode::Demand { interconnect, block_switch: None, local_handling },
         )
-        .budget(budget.clone())
-        .try_run(&workloads[i].trace, &ress[i])
-        .map(|r| r.cycles)
+        .budget(budget.clone());
+        cache::run_cached(&gpu, &workloads[i], &ress[i]).map(|r| r.cycles)
     });
     let rows = workloads
         .iter()
@@ -520,6 +532,7 @@ fn local_handling_fig(
         quarantine: out.quarantine,
         resumed: out.resumed,
         simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
     }
 }
 
@@ -690,17 +703,70 @@ pub struct ScalabilityRow {
 }
 
 /// Section 5.5: sweep the SM count and observe that local handling gains
-/// grow with it while the pipeline-scheme ordering is preserved.
+/// grow with it while the pipeline-scheme ordering is preserved. Panics if
+/// any point fails; [`scalability_supervised`] is the fault-tolerant form.
 pub fn scalability(preset: Preset, sm_counts: &[u32]) -> Vec<ScalabilityRow> {
-    sm_counts
-        .iter()
-        .map(|&sms| {
-            let f10 = fig10(preset, sms);
-            let (_, _, rq) = f10.geomeans();
-            let f13 = fig13(preset, sms, Interconnect::nvlink());
-            ScalabilityRow { sms, replay_queue: rq, local_handling: f13.geomean() }
-        })
-        .collect()
+    let s = scalability_supervised(preset, sm_counts, &|_| SweepOptions::default());
+    if !s.quarantine.is_empty() {
+        panic!(
+            "scalability sweep quarantined {} point(s):\n{}",
+            s.quarantine.records.len(),
+            s.quarantine
+        );
+    }
+    s.fig
+}
+
+/// [`scalability`] under sweep supervision. Each SM count runs one
+/// Figure 10 and one Figure 13 campaign; `opts` maps a panel name
+/// (`"4sm-fig10"`, `"4sm-fig13"`, ...) to that campaign's
+/// [`SweepOptions`], so journal-backed runs give every inner sweep its own
+/// file (journals are digest-keyed per campaign and cannot be shared).
+/// Quarantined points are reported with their panel prefixed to the key;
+/// rows over quarantined points render as `NaN`.
+pub fn scalability_supervised(
+    preset: Preset,
+    sm_counts: &[u32],
+    opts: &dyn Fn(&str) -> SweepOptions,
+) -> Supervised<Vec<ScalabilityRow>> {
+    let cache_before = cache::stats();
+    let mut rows = Vec::with_capacity(sm_counts.len());
+    let mut quarantine = QuarantineReport::default();
+    let (mut resumed, mut simulated) = (0, 0);
+    let mut absorb = |panel: String, q: QuarantineReport| {
+        for mut r in q.records {
+            r.key = format!("{panel}/{}", r.key);
+            quarantine.records.push(r);
+        }
+    };
+    for &sms in sm_counts {
+        let f10 = fig10_supervised(preset, sms, &opts(&format!("{sms}sm-fig10")));
+        let f13 =
+            fig13_supervised(preset, sms, Interconnect::nvlink(), &opts(&format!("{sms}sm-fig13")));
+        let (_, _, rq) = f10.fig.geomeans();
+        rows.push(ScalabilityRow {
+            sms,
+            replay_queue: rq,
+            local_handling: f13.fig.geomean(),
+        });
+        absorb(format!("{sms}sm/fig10"), f10.quarantine);
+        absorb(format!("{sms}sm/fig13"), f13.quarantine);
+        resumed += f10.resumed + f13.resumed;
+        simulated += f10.simulated + f13.simulated;
+    }
+    Supervised {
+        fig: rows,
+        quarantine,
+        resumed,
+        simulated,
+        cache: cache::stats().since(&cache_before),
+    }
+}
+
+impl fmt::Display for ScalabilityRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<6} {:>14.3} {:>16.3}", self.sms, self.replay_queue, self.local_handling)
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
 pub mod journal;
 pub mod session;
@@ -67,6 +68,9 @@ pub use gex_workloads::{Preset, Workload};
 /// For [`PagingMode::AllResident`] every touched page is pre-mapped; demand
 /// modes use the workload's Figure 12 residency (inputs dirty on the CPU,
 /// outputs CPU-clean, heap lazy).
+///
+/// Answers from the process-wide [`cache`] when an identical point has
+/// already simulated (set `GEX_SIM_CACHE=0` to disable).
 pub fn run_workload(
     workload: &Workload,
     scheme: Scheme,
@@ -74,12 +78,19 @@ pub fn run_workload(
     sms: u32,
 ) -> GpuRunReport {
     let gpu = Gpu::new(GpuConfig::kepler_k20().with_sms(sms), scheme, paging);
-    gpu.run(&workload.trace, &workload.demand_residency())
+    match cache::run_cached(&gpu, workload, &workload.demand_residency()) {
+        Ok(report) => (*report).clone(),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Normalized performance of `scheme` on `workload`: baseline (stall on
 /// fault) cycles divided by `scheme` cycles in the fault-free
 /// configuration — the y-axis of Figures 10 and 11 (1.0 = baseline speed).
+///
+/// The baseline run is shared through the [`cache`] across calls (and
+/// with any figure campaign in the same process) instead of being
+/// re-simulated per invocation.
 pub fn normalized_performance(workload: &Workload, scheme: Scheme, sms: u32) -> f64 {
     let base = run_workload(workload, Scheme::Baseline, PagingMode::AllResident, sms);
     let this = run_workload(workload, scheme, PagingMode::AllResident, sms);

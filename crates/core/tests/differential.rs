@@ -17,9 +17,15 @@
 //!   fully deterministic, so any failure reproduces from `(plan, seed)`.
 //!
 //! One test per scheme so the suite parallelizes across test threads.
+//! Each scheme's workload grid runs under [`gex::run_supervised`]: a
+//! failing workload (assertion or simulator fatal) is quarantined instead
+//! of aborting the fan-out, so one report lists *every* violating
+//! workload with its diagnostics rather than just the first panic.
 
 use gex::workloads::{suite, Preset, Workload};
-use gex::{Gpu, GpuConfig, InjectionPlan, Interconnect, PagingMode, Scheme};
+use gex::{
+    Gpu, GpuConfig, InjectionPlan, Interconnect, PagingMode, Scheme, SupervisePolicy,
+};
 
 const SEEDS: [u64; 3] = [1, 2, 3];
 const SMS: u32 = 4;
@@ -39,11 +45,13 @@ fn gpu(scheme: Scheme) -> Gpu {
 }
 
 fn check_scheme(scheme: Scheme) {
-    // The workload loop fans out through the parallel sweep engine — this
-    // keystone test is itself a consumer of `gex::exec`, so worker-thread
-    // panics (assertion failures) must propagate; `par_map` re-raises
-    // them on the caller.
-    gex::exec::par_map(every_test_workload(), |w| {
+    // The workload grid fans out through the supervised sweep runner —
+    // this keystone test is itself a consumer of `gex::run_supervised`,
+    // so a worker panic (assertion failure) lands in quarantine with its
+    // payload and the remaining workloads still get checked.
+    let points: Vec<(String, Workload)> =
+        every_test_workload().into_iter().map(|w| (w.name.clone(), w)).collect();
+    let out = gex::run_supervised(points, &SupervisePolicy::default(), None, |w, _budget| {
         let res = w.demand_residency();
         let base = gpu(scheme);
         let clean = base.run(&w.trace, &res);
@@ -94,7 +102,15 @@ fn check_scheme(scheme: Scheme) {
             "{}: same seed must reproduce the same cycle count",
             w.name
         );
+        Ok(clean.cycles)
     });
+    assert!(
+        out.quarantine.is_empty(),
+        "{scheme}: {} workload(s) violated the differential contract:\n{}",
+        out.quarantine.records.len(),
+        out.quarantine
+    );
+    assert_eq!(out.simulated, every_test_workload().len(), "every workload must be checked");
 }
 
 #[test]

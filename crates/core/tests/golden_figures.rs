@@ -1,0 +1,33 @@
+//! Golden-figure regression tests.
+//!
+//! The reference renders under `tests/golden/` were produced by the
+//! simulator *before* the next-event heap scheduler and the cross-sweep
+//! result cache landed (`cargo run --release --example golden_gen`).
+//! Asserting byte-identity here means any scheduler, cache, or driver
+//! change that drifts figure output — even by one cycle — fails
+//! `cargo test` instead of silently corrupting the reproduction.
+
+use gex::experiments;
+use gex::workloads::Preset;
+
+#[test]
+fn fig10_render_is_byte_identical_to_golden() {
+    let golden = include_str!("golden/fig10_test_4sm.txt");
+    assert_eq!(
+        experiments::fig10(Preset::Test, 4).to_string(),
+        golden,
+        "fig10 render drifted from the committed golden; if the change is \
+         intentional, regenerate with `cargo run --release --example golden_gen`"
+    );
+}
+
+#[test]
+fn fig11_render_is_byte_identical_to_golden() {
+    let golden = include_str!("golden/fig11_test_4sm.txt");
+    assert_eq!(
+        experiments::fig11(Preset::Test, 4).to_string(),
+        golden,
+        "fig11 render drifted from the committed golden; if the change is \
+         intentional, regenerate with `cargo run --release --example golden_gen`"
+    );
+}

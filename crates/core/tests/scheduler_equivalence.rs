@@ -1,0 +1,171 @@
+//! Scheduler-equivalence keystone: the next-event-cycle heap must be
+//! indistinguishable from the linear-scan reference.
+//!
+//! The heap ([`gex::sm::NextEventHeap`]) replaces the per-idle-iteration
+//! linear scan in both tick loops. Its contract is *bit-identity*: the
+//! same jump targets, hence the same tick sequence, hence byte-identical
+//! reports — stats, retirement maps (`warp_retired`), fault timelines
+//! (`resident_regions`, in resolution-mapping order) and error
+//! diagnostics — across every scheme, SM count, paging mode and chaos
+//! seed. These properties run each point twice, once per
+//! [`NextEventMode`], and assert full [`gex::GpuRunReport`] equality
+//! (the report derives `PartialEq` over every field).
+
+use gex::sm::{NextEventMode, Scheme, SingleSmHarness};
+use gex::workloads::{suite, Preset};
+use gex::{
+    BlockSwitchConfig, Gpu, GpuConfig, InjectionPlan, Interconnect, LocalFaultConfig, PagingMode,
+    Residency, RunBudget,
+};
+use gex_testkit::prelude::*;
+
+/// Run one point under both next-event modes and assert byte-identity of
+/// the whole outcome (report or error diagnostic).
+fn assert_modes_agree(gpu: Gpu, trace: &gex::isa::trace::KernelTrace, res: &Residency) {
+    let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(trace, res);
+    let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(trace, res);
+    match (&heap, &scan) {
+        (Ok(h), Ok(s)) => assert_eq!(h, s, "heap and scan reports diverged"),
+        _ => assert_eq!(
+            format!("{heap:?}"),
+            format!("{scan:?}"),
+            "heap and scan outcomes diverged"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whole-GPU engine: randomized workload x scheme x SM count x paging
+    /// x chaos seed, byte-identical under both schedulers.
+    #[test]
+    fn gpu_heap_matches_scan(
+        name in prop_oneof![
+            Just("histo"), Just("sad"), Just("spmv"), Just("bfs"), Just("stencil")
+        ],
+        sms in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        scheme in prop_oneof![
+            Just(Scheme::Baseline),
+            Just(Scheme::WdCommit),
+            Just(Scheme::WdLastCheck),
+            Just(Scheme::ReplayQueue),
+            Just(Scheme::operand_log_kib(16)),
+        ],
+        flavor in 0u8..4,
+        seed in 0u64..1_000,
+    ) {
+        let w = suite::by_name(name, Preset::Test).expect("known benchmark");
+        let cfg = GpuConfig::kepler_k20().with_sms(sms);
+        // Flavors walk the paging/handler space: fault-free, plain demand
+        // paging, demand + block switching, demand + GPU-local handling
+        // (which needs a preemptible scheme), so every heap source — SMs,
+        // CPU handler, local handler, per-SM schedulers — gets exercised.
+        let (scheme, paging) = match flavor {
+            0 => (scheme, PagingMode::AllResident),
+            1 => (
+                scheme,
+                PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: None,
+                    local_handling: None,
+                },
+            ),
+            2 => (
+                scheme,
+                PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: Some(BlockSwitchConfig::default()),
+                    local_handling: None,
+                },
+            ),
+            _ => (
+                Scheme::ReplayQueue,
+                PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: None,
+                    local_handling: Some(LocalFaultConfig::default()),
+                },
+            ),
+        };
+        let mut gpu = Gpu::new(cfg, scheme, paging);
+        if flavor != 0 && seed % 3 != 0 {
+            // Chaos only perturbs demand paging; a third of the demand
+            // cases stay clean.
+            gpu = gpu.inject(InjectionPlan::chaos(seed));
+        }
+        let res =
+            if flavor == 3 { w.outputs_lazy_residency() } else { w.demand_residency() };
+        assert_modes_agree(gpu, &w.trace, &res);
+    }
+
+    /// Single-SM harness: both schedulers agree on cycles and every
+    /// counter.
+    #[test]
+    fn harness_heap_matches_scan(
+        name in prop_oneof![Just("histo"), Just("sad"), Just("sgemm"), Just("cutcp")],
+        scheme in prop_oneof![
+            Just(Scheme::Baseline),
+            Just(Scheme::WdLastCheck),
+            Just(Scheme::ReplayQueue),
+            Just(Scheme::operand_log_kib(8)),
+        ],
+    ) {
+        let w = suite::by_name(name, Preset::Test).expect("known benchmark");
+        let heap = SingleSmHarness::new(scheme)
+            .next_event_mode(NextEventMode::Heap)
+            .run(&w.trace);
+        let scan = SingleSmHarness::new(scheme)
+            .next_event_mode(NextEventMode::Scan)
+            .run(&w.trace);
+        prop_assert_eq!(heap.cycles, scan.cycles);
+        prop_assert_eq!(heap.sm_stats, scan.sm_stats);
+        prop_assert_eq!(heap.mem_stats, scan.mem_stats);
+    }
+}
+
+/// Budget deadlines fire at the same cycle with identical diagnostics in
+/// both modes (the jump clamps to the deadline rather than skipping it).
+#[test]
+fn deadline_diagnostics_identical_across_modes() {
+    let w = suite::by_name("lbm", Preset::Test).unwrap();
+    let gpu = Gpu::new(
+        GpuConfig::kepler_k20().with_sms(2),
+        Scheme::ReplayQueue,
+        PagingMode::Demand {
+            interconnect: Interconnect::pcie(),
+            block_switch: None,
+            local_handling: None,
+        },
+    )
+    .budget(RunBudget::cycles(40_000));
+    let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(&w.trace, &w.demand_residency());
+    let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(&w.trace, &w.demand_residency());
+    let (Err(h), Err(s)) = (&heap, &scan) else {
+        panic!("a 40k-cycle budget must trip on lbm under PCIe demand paging");
+    };
+    assert_eq!(format!("{h:?}"), format!("{s:?}"));
+}
+
+/// The watchdog fires at the same cycle in both modes when a wedge plan
+/// NACKs every fault forever.
+#[test]
+fn watchdog_diagnostics_identical_across_modes() {
+    let w = suite::by_name("histo", Preset::Test).unwrap();
+    let gpu = Gpu::new(
+        GpuConfig::kepler_k20().with_sms(2).with_watchdog_cycles(200_000),
+        Scheme::ReplayQueue,
+        PagingMode::Demand {
+            interconnect: Interconnect::nvlink(),
+            block_switch: None,
+            local_handling: None,
+        },
+    )
+    .inject(InjectionPlan::wedge(3));
+    let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(&w.trace, &w.demand_residency());
+    let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(&w.trace, &w.demand_residency());
+    let (Err(h), Err(s)) = (&heap, &scan) else {
+        panic!("a wedge plan must trip the watchdog");
+    };
+    assert_eq!(format!("{h:?}"), format!("{s:?}"));
+}

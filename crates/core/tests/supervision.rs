@@ -148,6 +148,50 @@ fn killed_campaign_resumes_byte_identically_simulating_only_missing_points() {
 }
 
 #[test]
+fn scalability_sweep_supervises_and_resumes_each_panel() {
+    // The Section 5.5 driver is a composite campaign: per SM count it runs
+    // a Figure 10 and a Figure 13 sweep, each with its own journal (files
+    // are digest-keyed per campaign). The composite must aggregate
+    // supervision counters across panels and resume them independently.
+    let opts = |panel: &str| SweepOptions {
+        journal: Some(journal_path(&format!("scalability-{panel}"))),
+        ..SweepOptions::default()
+    };
+    let first = gex::experiments::scalability_supervised(Preset::Test, &[2], &opts);
+    assert!(first.quarantine.is_empty(), "{}", first.quarantine);
+    assert_eq!(first.resumed, 0);
+    assert!(
+        first.simulated > 44,
+        "fig10's 44-point grid plus fig13's points all simulate: {}",
+        first.simulated
+    );
+    assert_eq!(first.fig.len(), 1, "one row per SM count");
+    let row = &first.fig[0];
+    assert_eq!(row.sms, 2);
+    assert!(
+        row.replay_queue > 0.3 && row.replay_queue <= 1.001,
+        "replay-queue geomean out of range: {}",
+        row.replay_queue
+    );
+    assert!(row.local_handling > 0.5, "local-handling geomean: {}", row.local_handling);
+
+    // Both panels fully journaled: a re-run simulates nothing and
+    // reproduces the row byte-identically.
+    let second = gex::experiments::scalability_supervised(Preset::Test, &[2], &opts);
+    assert_eq!(
+        (second.resumed, second.simulated),
+        (first.simulated, 0),
+        "every panel point must resume from its journal"
+    );
+    assert!(second.quarantine.is_empty(), "{}", second.quarantine);
+    assert_eq!(second.fig[0].to_string(), row.to_string(), "resumed row must be byte-identical");
+
+    for panel in ["2sm-fig10", "2sm-fig13"] {
+        let _ = std::fs::remove_file(journal_path(&format!("scalability-{panel}")));
+    }
+}
+
+#[test]
 fn a_stale_journal_from_a_different_grid_is_rebuilt_not_reused() {
     let path = journal_path("stale");
     let ws: Vec<Workload> = suite::parboil(Preset::Test).into_iter().take(2).collect();

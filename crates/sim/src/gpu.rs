@@ -21,7 +21,7 @@ use gex_isa::trace::{BlockTrace, KernelTrace};
 use gex_mem::phys::PhysAllocator;
 use gex_mem::system::{FaultMode, MemSystem};
 use gex_mem::{Cycle, PageState};
-use gex_sm::{KernelSetup, RunBudget, Scheme, Sm, SmStats, WarpDiag};
+use gex_sm::{KernelSetup, NextEventHeap, NextEventMode, RunBudget, Scheme, Sm, SmStats, WarpDiag};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -33,13 +33,21 @@ pub struct Gpu {
     paging: PagingMode,
     inject: Option<InjectionPlan>,
     budget: RunBudget,
+    next_event: NextEventMode,
 }
 
 impl Gpu {
     /// A GPU with the given configuration, SM exception scheme and paging
     /// mode. The cycle cap and watchdog window come from `cfg`.
     pub fn new(cfg: GpuConfig, scheme: Scheme, paging: PagingMode) -> Self {
-        Gpu { cfg, scheme, paging, inject: None, budget: RunBudget::none() }
+        Gpu {
+            cfg,
+            scheme,
+            paging,
+            inject: None,
+            budget: RunBudget::none(),
+            next_event: NextEventMode::from_env(),
+        }
     }
 
     /// Override the runaway guard (the run aborts past this many cycles).
@@ -69,6 +77,30 @@ impl Gpu {
     /// The configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// The SM exception scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The paging mode.
+    pub fn paging(&self) -> PagingMode {
+        self.paging
+    }
+
+    /// The attached fault-injection schedule, if any.
+    pub fn injection(&self) -> Option<&InjectionPlan> {
+        self.inject.as_ref()
+    }
+
+    /// Select how idle windows find the next event cycle: the
+    /// [`NextEventMode::Heap`] scheduler (default) or the original
+    /// [`NextEventMode::Scan`]. Both produce byte-identical simulations;
+    /// the knob exists for A/B comparison and the equivalence suite.
+    pub fn next_event_mode(mut self, mode: NextEventMode) -> Self {
+        self.next_event = mode;
+        self
     }
 
     /// Execute `trace` with the given initial data placement.
@@ -115,7 +147,18 @@ struct Engine {
     max_cycles: Cycle,
     watchdog_cycles: Cycle,
     budget: RunBudget,
+    next_event: NextEventMode,
+    /// Next-event cycles per component under [`NextEventMode::Heap`]:
+    /// source 0 is the memory system, 1 the CPU handler, 2 the GPU-local
+    /// handler, `3 + i` SM `i`, `3 + num_sms + i` local scheduler `i`.
+    heap: NextEventHeap,
 }
+
+/// Heap source indices (see [`Engine::heap`]).
+const SRC_MEM: usize = 0;
+const SRC_CPU: usize = 1;
+const SRC_LOCAL: usize = 2;
+const SRC_SM: usize = 3;
 
 impl Engine {
     fn new(gpu: &Gpu, trace: &KernelTrace, residency: &Residency) -> Self {
@@ -197,16 +240,49 @@ impl Engine {
             max_cycles: gpu.cfg.max_cycles,
             watchdog_cycles: gpu.cfg.watchdog_cycles,
             budget: gpu.budget.clone(),
+            next_event: gpu.next_event,
+            heap: NextEventHeap::new(SRC_SM + 2 * num_sms as usize),
         }
     }
 
+    #[inline]
+    fn sched_src(&self, i: usize) -> usize {
+        SRC_SM + self.sms.len() + i
+    }
+
     fn broadcast_resolved(&mut self, region: u64) {
-        for sm in &mut self.sms {
+        for (i, sm) in self.sms.iter_mut().enumerate() {
             sm.on_region_resolved(region);
+            self.heap.mark_dirty(SRC_SM + i);
         }
-        for sched in &mut self.scheds {
+        let base = SRC_SM + self.sms.len();
+        for (i, sched) in self.scheds.iter_mut().enumerate() {
             sched.resolve_region(region);
+            self.heap.mark_dirty(base + i);
         }
+    }
+
+    /// [`Engine::next_event_cycle`] via the lazy-invalidation heap. The
+    /// handlers and the memory system mutate on every engine iteration,
+    /// so they re-poll unconditionally; SMs and schedulers re-poll only
+    /// when something marked them dirty since the last query.
+    fn heap_next_event(&mut self) -> Option<Cycle> {
+        self.heap.mark_dirty(SRC_MEM);
+        if self.cpu.is_some() {
+            self.heap.mark_dirty(SRC_CPU);
+        }
+        if self.local.is_some() {
+            self.heap.mark_dirty(SRC_LOCAL);
+        }
+        let n = self.sms.len();
+        let Engine { heap, mem, cpu, local, sms, scheds, .. } = self;
+        heap.earliest(|s| match s as usize {
+            SRC_MEM => mem.next_event_cycle(),
+            SRC_CPU => cpu.as_ref().and_then(|c| c.next_event_cycle()),
+            SRC_LOCAL => local.as_ref().and_then(|l| l.next_event_cycle()),
+            s if s < SRC_SM + n => sms[s - SRC_SM].next_event_cycle(),
+            s => scheds[s - SRC_SM - n].next_event_cycle(),
+        })
     }
 
     fn committed_total(&self) -> u64 {
@@ -268,6 +344,7 @@ impl Engine {
                     continue;
                 }
                 self.sms[i].tick(now, &mut self.mem);
+                self.heap.mark_dirty(SRC_SM + i);
                 if let Some(e) = self.sms[i].take_error() {
                     return Err(e.into());
                 }
@@ -314,7 +391,10 @@ impl Engine {
             // the next one (fault resolutions are tens of microseconds).
             let all_stalled = self.sms.iter().all(|s| s.is_stalled());
             if all_stalled {
-                let next = self.next_event_cycle();
+                let next = match self.next_event {
+                    NextEventMode::Heap => self.heap_next_event(),
+                    NextEventMode::Scan => self.next_event_cycle(),
+                };
                 if let Some(next) = next {
                     if next > now + 1 {
                         // Never jump past the watchdog deadline, the
@@ -400,6 +480,7 @@ impl Engine {
                         && self.sms[i].block_has_pending_fault(n.slot)
                     {
                         self.sms[i].begin_drain(n.slot);
+                        self.heap.mark_dirty(SRC_SM + i);
                         self.scheds[i].draining.push(n.slot);
                     }
                 }
@@ -420,6 +501,7 @@ impl Engine {
             for slot in drained {
                 self.scheds[i].draining.retain(|&s| s != slot);
                 let saved = self.sms[i].take_block(slot);
+                self.heap.mark_dirty(SRC_SM + i);
                 let done = if cfg.ideal {
                     now + 1
                 } else {
@@ -427,16 +509,27 @@ impl Engine {
                 };
                 self.switches += 1;
                 self.scheds[i].saving.push((done, saved));
+                let src = self.sched_src(i);
+                self.heap.mark_dirty(src);
             }
             // Finished saves park off-chip.
             let (parked, still_saving): (Vec<_>, Vec<_>) =
                 self.scheds[i].saving.drain(..).partition(|(when, _)| *when <= now);
             self.scheds[i].saving = still_saving;
+            if !parked.is_empty() {
+                let src = self.sched_src(i);
+                self.heap.mark_dirty(src);
+            }
             self.scheds[i].off_chip.extend(parked.into_iter().map(|(_, b)| b));
             // Finished restores re-enter the SM.
             let (ready, still_restoring): (Vec<_>, Vec<_>) =
                 self.scheds[i].restoring.drain(..).partition(|(when, _)| *when <= now);
             self.scheds[i].restoring = still_restoring;
+            if !ready.is_empty() {
+                let src = self.sched_src(i);
+                self.heap.mark_dirty(src);
+                self.heap.mark_dirty(SRC_SM + i);
+            }
             for (_, saved) in ready {
                 self.sms[i].restore_block(saved);
             }
@@ -454,6 +547,8 @@ impl Engine {
                     self.mem.dram_mut().bulk_transfer(now, saved.context_bytes())
                 };
                 self.scheds[i].restoring.push((done, saved));
+                let src = self.sched_src(i);
+                self.heap.mark_dirty(src);
             }
         }
     }
@@ -489,6 +584,7 @@ impl Engine {
                 }
                 let b = self.queue.pop_front().expect("checked non-empty");
                 self.sms[i].assign_block(b);
+                self.heap.mark_dirty(SRC_SM + i);
                 assigned_any = true;
             }
             self.dispatch_rr = self.dispatch_rr.wrapping_add(1);
@@ -502,6 +598,10 @@ impl Engine {
         self.completed == self.total_blocks
     }
 
+    /// The [`NextEventMode::Scan`] reference: a full linear scan over
+    /// every component. [`Engine::heap_next_event`] must return exactly
+    /// this value; the equivalence suite compares whole campaigns run in
+    /// both modes.
     fn next_event_cycle(&self) -> Option<Cycle> {
         let mut next: Option<Cycle> = None;
         let mut consider = |c: Option<Cycle>| {

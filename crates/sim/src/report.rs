@@ -8,7 +8,11 @@ use gex_sm::SmStats;
 use std::collections::BTreeMap;
 
 /// Aggregated outcome of one kernel execution on the GPU.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so equivalence suites (scheduler modes, cache hit
+/// vs. fresh run) can assert two simulations agree on *every* observable
+/// — stats, fault timeline, retirement map — not just `cycles`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GpuRunReport {
     /// Kernel name.
     pub kernel: String,

@@ -11,10 +11,20 @@
 //! with per-warp diagnostics instead of spinning) and typed error
 //! propagation from the SM pipeline and the memory system, surfaced via
 //! [`SingleSmHarness::try_run`].
+//!
+//! It also shares the engine's idle-skip machinery: when every resident
+//! warp is waiting on an in-flight memory response, the loop skips the
+//! SM tick and jumps the clock to the next event (see
+//! [`crate::event_heap`]), clamped so the watchdog, cycle cap and budget
+//! deadline still fire at their exact cycles. End-to-end `cycles` and
+//! all architectural results are unchanged by the skip; `SmStats.cycles`
+//! and `idle_issue_cycles` now count only *ticked* cycles, matching the
+//! multi-SM engine's long-standing accounting.
 
 use crate::budget::{BudgetExceeded, RunBudget};
 use crate::config::SmConfig;
 use crate::error::SmError;
+use crate::event_heap::{NextEventHeap, NextEventMode};
 use crate::scheme::Scheme;
 use crate::sm::{KernelSetup, ProbeEvent, Sm, WarpDiag};
 use crate::stats::SmStats;
@@ -110,6 +120,7 @@ pub struct SingleSmHarness {
     max_cycles: Cycle,
     watchdog_cycles: Cycle,
     budget: RunBudget,
+    next_event: NextEventMode,
 }
 
 impl SingleSmHarness {
@@ -123,6 +134,7 @@ impl SingleSmHarness {
             max_cycles: 50_000_000,
             watchdog_cycles: 5_000_000,
             budget: RunBudget::none(),
+            next_event: NextEventMode::from_env(),
         }
     }
 
@@ -155,6 +167,13 @@ impl SingleSmHarness {
     /// cancellation token), checked every iteration of the tick loop.
     pub fn budget(mut self, b: RunBudget) -> Self {
         self.budget = b;
+        self
+    }
+
+    /// Select how idle windows find the next event cycle (see
+    /// [`NextEventMode`]); both modes simulate byte-identically.
+    pub fn next_event_mode(mut self, mode: NextEventMode) -> Self {
+        self.next_event = mode;
         self
     }
 
@@ -209,6 +228,9 @@ impl SingleSmHarness {
         let mut last_progress: Cycle = 0;
         let mut last_committed: u64 = 0;
         let mut meter = self.budget.start();
+        // Heap sources: 0 the memory system, 1 the SM (the engine-style
+        // next-event machinery, scaled down to one SM).
+        let mut heap = NextEventHeap::new(2);
         loop {
             if let Some(cause) = meter.check(now) {
                 return Err(HarnessError::Budget {
@@ -220,17 +242,24 @@ impl SingleSmHarness {
             while sm.free_slot().is_some() && !pending.is_empty() {
                 let b = pending.pop_front().expect("non-empty pending");
                 sm.assign_block(b);
+                heap.mark_dirty(1);
                 last_progress = now;
             }
             mem.tick(now);
             if let Some(e) = mem.take_error() {
                 return Err(HarnessError::Mem(e));
             }
-            sm.tick(now, &mut mem);
-            if let Some(e) = sm.take_error() {
-                return Err(HarnessError::Sm(e));
+            // Same gate as the multi-SM engine: a stalled SM with no
+            // events to deliver cannot change state this cycle.
+            let stalled = sm.is_stalled() && !mem.has_pending_events(0);
+            if !stalled {
+                sm.tick(now, &mut mem);
+                heap.mark_dirty(1);
+                if let Some(e) = sm.take_error() {
+                    return Err(HarnessError::Sm(e));
+                }
+                sm.take_completed();
             }
-            sm.take_completed();
             if sm.is_empty() && pending.is_empty() {
                 break;
             }
@@ -246,6 +275,44 @@ impl SingleSmHarness {
                     warps: sm.warp_diagnostics(),
                     pending_faults: mem.fault_queue.len(),
                 });
+            }
+            // Idle skip: every warp is waiting on an in-flight memory
+            // response, so jump to its arrival — clamped so the watchdog,
+            // the cycle cap and the budget deadline each fire at their
+            // exact cycle (the engine's contract).
+            if stalled {
+                let next = match self.next_event {
+                    NextEventMode::Heap => {
+                        heap.mark_dirty(0);
+                        let (m, s) = (&mem, &sm);
+                        heap.earliest(|src| {
+                            if src == 0 {
+                                m.next_event_cycle()
+                            } else {
+                                s.next_event_cycle()
+                            }
+                        })
+                    }
+                    NextEventMode::Scan => match (mem.next_event_cycle(), sm.next_event_cycle())
+                    {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
+                };
+                if let Some(next) = next {
+                    if next > now + 1 {
+                        let mut deadline =
+                            (last_progress + self.watchdog_cycles).min(self.max_cycles);
+                        if let Some(d) = meter.deadline_cycles() {
+                            deadline = deadline.min(d);
+                        }
+                        let target = next.min(deadline);
+                        if target > now {
+                            now = target;
+                            continue;
+                        }
+                    }
+                }
             }
             now += 1;
             if now >= self.max_cycles {

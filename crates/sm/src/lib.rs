@@ -26,6 +26,7 @@
 pub mod budget;
 pub mod config;
 pub mod error;
+pub mod event_heap;
 pub mod exec;
 pub mod harness;
 pub mod operand_log;
@@ -37,6 +38,7 @@ pub mod stats;
 pub use budget::{BudgetExceeded, BudgetMeter, CancelToken, RunBudget};
 pub use config::SmConfig;
 pub use error::{SmError, SmStage};
+pub use event_heap::{NextEventHeap, NextEventMode};
 pub use harness::{HarnessError, SingleSmHarness, SingleSmRun};
 pub use scheme::Scheme;
 pub use sm::{FaultNotice, KernelSetup, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpDiag, WarpState};
