@@ -9,19 +9,33 @@
 //! With two explicit paths, compares them directly. With none, compares
 //! the two newest `BENCH_<n>.json` in the output directory (default `.`),
 //! i.e. "did the snapshot I just recorded regress against the previous
-//! baseline?". Exits 1 if any group's `sim_cycles_per_sec` fell by more
-//! than the gate factor (default 2x; override with `GEX_BENCHDIFF_GATE`).
+//! baseline?". Exits 1 if any group's throughput fell by more than the
+//! gate factor (default 2x; override with `GEX_BENCHDIFF_GATE`).
+//!
+//! The comparison is thread-count aware: when both snapshots were
+//! recorded with the same worker count the threaded `sim_cycles_per_sec`
+//! columns are compared, otherwise the serial columns (always one
+//! worker, hence always an equal-thread-count basis) are used, derived
+//! from `sim_cycles / serial_ms` for snapshots that predate the explicit
+//! field.
+//!
+//! `GEX_BENCHDIFF_MIN=R` additionally *requires* an improvement: any
+//! gated group whose ratio falls below `R` fails the diff. Restrict the
+//! requirement to specific groups with a comma-separated
+//! `GEX_BENCHDIFF_MIN_GROUPS=fig10,fig11` (default: all groups). CI uses
+//! this to pin optimization PRs to their claimed speedup.
+//!
 //! Groups present in only one snapshot are reported but never gate — a
 //! renamed or added figure must not fail CI. Exits 0 with a notice when
 //! fewer than two snapshots exist (first run of a fresh repo).
 
-use gex_bench::perfstat::{parse_snapshot, snapshot_files, GroupSnapshot};
+use gex_bench::perfstat::{parse_snapshot, parse_snapshot_threads, snapshot_files, GroupSnapshot};
 use gex_bench::BenchArgs;
 use std::path::PathBuf;
 
-fn load(path: &PathBuf) -> Vec<GroupSnapshot> {
+fn load(path: &PathBuf) -> (Vec<GroupSnapshot>, Option<u64>) {
     match std::fs::read_to_string(path) {
-        Ok(s) => parse_snapshot(&s),
+        Ok(s) => (parse_snapshot(&s), parse_snapshot_threads(&s)),
         Err(e) => {
             eprintln!("benchdiff: cannot read {}: {e}", path.display());
             std::process::exit(1);
@@ -59,34 +73,65 @@ fn main() {
         (files[files.len() - 2].1.clone(), files[files.len() - 1].1.clone())
     };
 
-    let old = load(&old_path);
-    let new = load(&new_path);
+    let min_ratio: Option<f64> =
+        std::env::var("GEX_BENCHDIFF_MIN").ok().and_then(|v| v.parse().ok());
+    let min_groups: Vec<String> = std::env::var("GEX_BENCHDIFF_MIN_GROUPS")
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default();
+
+    let (old, old_threads) = load(&old_path);
+    let (new, new_threads) = load(&new_path);
+    // Equal recorded worker counts → compare the threaded columns;
+    // otherwise fall back to the serial columns, which are always a
+    // one-worker-vs-one-worker comparison.
+    let use_serial = match (old_threads, new_threads) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
     println!(
-        "benchdiff: {} -> {} (gate: fail below 1/{gate:.1}x)",
+        "benchdiff: {} -> {} (gate: fail below 1/{gate:.1}x{}; {} basis)",
         old_path.display(),
-        new_path.display()
+        new_path.display(),
+        min_ratio.map_or(String::new(), |m| format!(", require >= {m:.2}x")),
+        if use_serial { "serial (thread counts differ)" } else { "threaded" },
     );
+
+    let col = |g: &GroupSnapshot| {
+        if use_serial {
+            g.serial_sim_cycles_per_sec.unwrap_or(g.sim_cycles_per_sec)
+        } else {
+            g.sim_cycles_per_sec
+        }
+    };
 
     let mut failed = false;
     for n in &new {
         let Some(o) = old.iter().find(|o| o.id == n.id) else {
-            println!("{:<8} new group ({:>12.0} sim-cyc/s), not gated", n.id, n.sim_cycles_per_sec);
+            println!("{:<8} new group ({:>12.0} sim-cyc/s), not gated", n.id, col(n));
             continue;
         };
-        if o.sim_cycles_per_sec <= 0.0 {
+        if col(o) <= 0.0 {
             println!("{:<8} old throughput is zero, not gated", n.id);
             continue;
         }
-        let ratio = n.sim_cycles_per_sec / o.sim_cycles_per_sec;
+        let ratio = col(n) / col(o);
+        let min_applies =
+            min_ratio.is_some() && (min_groups.is_empty() || min_groups.iter().any(|g| g == &n.id));
         let verdict = if ratio * gate < 1.0 {
             failed = true;
             "REGRESSION"
+        } else if min_applies && ratio < min_ratio.unwrap() {
+            failed = true;
+            "BELOW REQUIRED MINIMUM"
         } else {
             "ok"
         };
         println!(
             "{:<8} {:>12.0} -> {:>12.0} sim-cyc/s ({:>6.2}x)  {verdict}",
-            n.id, o.sim_cycles_per_sec, n.sim_cycles_per_sec, ratio
+            n.id,
+            col(o),
+            col(n),
+            ratio
         );
     }
     for o in &old {
@@ -95,7 +140,7 @@ fn main() {
         }
     }
     if failed {
-        eprintln!("benchdiff: throughput regressed by more than {gate:.1}x");
+        eprintln!("benchdiff: throughput gate failed");
         std::process::exit(1);
     }
 }

@@ -6,11 +6,14 @@
 //!
 //! ```text
 //! cargo run -p gex-bench --release --bin perfstat -- [test|bench|paper] \
-//!     [--samples N] [--out DIR] [--max-cycles N]
+//!     [--samples N] [--out DIR] [--threads N] [--max-cycles N]
 //! ```
 //!
 //! Defaults: `test` preset, 3 samples, output to the current directory.
-//! `GEX_SMS` / `GEX_THREADS` override the SM count and worker count.
+//! Each group is timed twice — a serial column (one worker, the
+//! thread-count-independent basis `benchdiff` falls back to) and a
+//! threaded column (`--threads N`, else `GEX_SMS` / `GEX_THREADS` /
+//! the machine's parallelism).
 
 use gex_bench::{perfstat, sms_from_env, BenchArgs};
 
@@ -27,28 +30,29 @@ fn main() {
     let samples = args.samples.unwrap_or(3).max(1);
     let out_dir = std::path::PathBuf::from(args.out.as_deref().unwrap_or("."));
     let sms = sms_from_env();
+    // Worker count for the threaded column: the flag wins, otherwise the
+    // ambient count (GEX_THREADS / machine parallelism).
+    let threads = args.threads.filter(|&t| t > 0).unwrap_or_else(gex_exec::threads);
 
-    println!(
-        "perfstat: preset={preset:?} sms={sms} samples={samples} threads={}",
-        gex_exec::threads()
-    );
+    println!("perfstat: preset={preset:?} sms={sms} samples={samples} threads={threads}");
     let groups = perfstat::standard_groups(preset);
     let mut stats = Vec::with_capacity(groups.len());
     for g in &groups {
-        let st = perfstat::time_group(g, sms, samples);
+        let st = perfstat::time_group(g, sms, samples, threads);
         println!(
-            "{:<8} {:>3} points  serial {:>9.3} ms  parallel {:>9.3} ms  speedup {:>5.2}x  {:>12.0} sim-cyc/s",
+            "{:<8} {:>3} points  serial {:>9.3} ms ({:>12.0} sim-cyc/s)  threaded {:>9.3} ms ({:>12.0} sim-cyc/s)  speedup {:>5.2}x",
             st.id,
             st.points,
             st.serial.as_secs_f64() * 1e3,
+            st.serial_sim_cycles_per_sec(),
             st.parallel.as_secs_f64() * 1e3,
-            st.speedup(),
             st.sim_cycles_per_sec(),
+            st.speedup(),
         );
         stats.push(st);
     }
 
-    let json = perfstat::to_json(preset, sms, samples, &stats);
+    let json = perfstat::to_json(preset, sms, samples, threads, &stats);
     std::fs::create_dir_all(&out_dir).expect("create perfstat output directory");
     let path = out_dir.join(format!("BENCH_{}.json", perfstat::next_bench_index(&out_dir)));
     std::fs::write(&path, &json).expect("write perfstat snapshot");

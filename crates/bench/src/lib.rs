@@ -34,6 +34,10 @@ pub struct BenchArgs {
     pub samples: Option<usize>,
     /// `--out DIR` / `--out=DIR`: output directory (`perfstat`).
     pub out: Option<String>,
+    /// `--threads N` / `--threads=N`: worker count for the threaded
+    /// timing column (`perfstat`); 0 or absent means the ambient count
+    /// (`GEX_THREADS` or the machine's parallelism).
+    pub threads: Option<usize>,
     /// `--deadline N` / `--deadline=N`: per-point cycle budget for
     /// supervised figure sweeps (retried with escalation, then
     /// quarantined).
@@ -71,6 +75,10 @@ impl BenchArgs {
                 out.out = it.next();
             } else if let Some(v) = a.strip_prefix("--out=") {
                 out.out = Some(v.to_string());
+            } else if a == "--threads" {
+                out.threads = it.next().and_then(|v| v.parse().ok());
+            } else if let Some(v) = a.strip_prefix("--threads=") {
+                out.threads = v.parse().ok();
             } else if a == "--deadline" {
                 out.deadline = it.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--deadline=") {
@@ -189,12 +197,24 @@ mod tests {
 
     #[test]
     fn one_pass_parse_covers_all_consumers() {
-        let a = parse(&["test", "--max-cycles", "5000", "--samples=3", "--out", "bench-out"]);
+        let a = parse(&[
+            "test",
+            "--max-cycles",
+            "5000",
+            "--samples=3",
+            "--out",
+            "bench-out",
+            "--threads",
+            "4",
+        ]);
         assert_eq!(a.preset(), Preset::Test);
         assert_eq!(a.max_cycles, Some(5000));
         assert_eq!(a.samples, Some(3));
         assert_eq!(a.out.as_deref(), Some("bench-out"));
+        assert_eq!(a.threads, Some(4));
         assert_eq!(a.positional, vec!["test"]);
+        assert_eq!(parse(&["--threads=2"]).threads, Some(2));
+        assert_eq!(parse(&[]).threads, None);
     }
 
     #[test]

@@ -160,16 +160,23 @@ impl GroupStat {
         self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-12)
     }
 
-    /// Simulated cycles per wall-clock second on the parallel path.
+    /// Simulated cycles per wall-clock second on the threaded path.
     pub fn sim_cycles_per_sec(&self) -> f64 {
         self.sim_cycles as f64 / self.parallel.as_secs_f64().max(1e-12)
+    }
+
+    /// Simulated cycles per wall-clock second on the serial path — the
+    /// thread-count-independent column snapshots are compared on when
+    /// they were recorded with different worker counts.
+    pub fn serial_sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.serial.as_secs_f64().max(1e-12)
     }
 }
 
 /// Time `group` `samples` times on each path, keeping the best sample.
-/// The serial path forces one worker; the parallel path restores the
-/// ambient thread count.
-pub fn time_group(group: &Group, sms: u32, samples: usize) -> GroupStat {
+/// The serial path forces one worker; the threaded path uses `threads`
+/// workers (0 = the ambient count from `GEX_THREADS` / the machine).
+pub fn time_group(group: &Group, sms: u32, samples: usize, threads: usize) -> GroupStat {
     let mut sim_cycles = 0;
     let mut best = |threads: usize| {
         gex_exec::set_threads(threads);
@@ -182,7 +189,7 @@ pub fn time_group(group: &Group, sms: u32, samples: usize) -> GroupStat {
         best
     };
     let serial = best(1);
-    let parallel = best(0);
+    let parallel = best(threads);
     gex_exec::set_threads(0);
     GroupStat {
         id: group.id.to_string(),
@@ -194,9 +201,11 @@ pub fn time_group(group: &Group, sms: u32, samples: usize) -> GroupStat {
 }
 
 /// Render the whole snapshot as JSON (hand-rolled: offline build, no
-/// serde).
-pub fn to_json(preset: Preset, sms: u32, samples: usize, stats: &[GroupStat]) -> String {
-    let threads = gex_exec::threads();
+/// serde). `threads` is the worker count the threaded column ran with;
+/// the serial column is always one worker, and both throughputs are
+/// recorded per group so `benchdiff` can compare snapshots taken at
+/// different worker counts on the serial basis.
+pub fn to_json(preset: Preset, sms: u32, samples: usize, threads: usize, stats: &[GroupStat]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"perfstat\",\n");
@@ -209,6 +218,7 @@ pub fn to_json(preset: Preset, sms: u32, samples: usize, stats: &[GroupStat]) ->
         s.push_str(&format!(
             "    {{\"id\": \"{}\", \"points\": {}, \"sim_cycles\": {}, \
              \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"serial_sim_cycles_per_sec\": {:.0}, \
              \"sim_cycles_per_sec\": {:.0}}}{}\n",
             g.id,
             g.points,
@@ -216,6 +226,7 @@ pub fn to_json(preset: Preset, sms: u32, samples: usize, stats: &[GroupStat]) ->
             g.serial.as_secs_f64() * 1e3,
             g.parallel.as_secs_f64() * 1e3,
             g.speedup(),
+            g.serial_sim_cycles_per_sec(),
             g.sim_cycles_per_sec(),
             if i + 1 == stats.len() { "" } else { "," },
         ));
@@ -248,8 +259,12 @@ pub struct GroupSnapshot {
     pub id: String,
     /// Simulation points in the grid.
     pub points: u64,
-    /// Recorded parallel-path throughput.
+    /// Recorded threaded-path throughput.
     pub sim_cycles_per_sec: f64,
+    /// Serial-path throughput: the explicit field when the snapshot
+    /// records one, otherwise derived from `sim_cycles / serial_ms`
+    /// (older snapshots), otherwise `None`.
+    pub serial_sim_cycles_per_sec: Option<f64>,
 }
 
 /// Extract the field `name` (string or number, colon optionally followed
@@ -273,9 +288,30 @@ pub fn parse_snapshot(json: &str) -> Vec<GroupSnapshot> {
             let points = snapshot_field(line, "points")?.parse().ok()?;
             let sim_cycles_per_sec =
                 snapshot_field(line, "sim_cycles_per_sec")?.parse().ok()?;
-            Some(GroupSnapshot { id, points, sim_cycles_per_sec })
+            let serial_sim_cycles_per_sec = snapshot_field(line, "serial_sim_cycles_per_sec")
+                .and_then(|v| v.parse().ok())
+                .or_else(|| {
+                    // Older snapshots carry the raw columns instead.
+                    let cycles: f64 = snapshot_field(line, "sim_cycles")?.parse().ok()?;
+                    let serial_ms: f64 = snapshot_field(line, "serial_ms")?.parse().ok()?;
+                    (serial_ms > 0.0).then(|| cycles / (serial_ms * 1e-3))
+                });
+            Some(GroupSnapshot { id, points, sim_cycles_per_sec, serial_sim_cycles_per_sec })
         })
         .collect()
+}
+
+/// The worker count a snapshot's threaded column was recorded with (the
+/// top-level `threads` field); `None` for malformed snapshots.
+pub fn parse_snapshot_threads(json: &str) -> Option<u64> {
+    json.lines().find_map(|line| {
+        // Only the header line carries a bare `threads` field; group rows
+        // are distinguished by their `id`.
+        if snapshot_field(line, "id").is_some() {
+            return None;
+        }
+        snapshot_field(line, "threads")?.parse().ok()
+    })
 }
 
 /// The `BENCH_<n>.json` files in `dir`, sorted by index (oldest first).
@@ -341,10 +377,12 @@ mod tests {
             serial: Duration::from_millis(10),
             parallel: Duration::from_millis(5),
         }];
-        let j = to_json(Preset::Test, 8, 3, &stats);
+        let j = to_json(Preset::Test, 8, 3, 1, &stats);
         assert!(j.contains("\"preset\": \"test\""));
+        assert!(j.contains("\"threads\": 1"));
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"sim_cycles\": 123456"));
+        assert!(j.contains("\"serial_sim_cycles_per_sec\": 12345600"));
         assert!(j.trim_end().ends_with('}'));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
@@ -367,13 +405,32 @@ mod tests {
                 parallel: Duration::from_millis(1),
             },
         ];
-        let parsed = parse_snapshot(&to_json(Preset::Test, 8, 3, &stats));
+        let json = to_json(Preset::Test, 8, 3, 2, &stats);
+        let parsed = parse_snapshot(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].id, "fig10");
         assert_eq!(parsed[0].points, 44);
         assert_eq!(parsed[0].sim_cycles_per_sec, 500_000_000.0);
+        assert_eq!(parsed[0].serial_sim_cycles_per_sec, Some(200_000_000.0));
         assert_eq!(parsed[1].id, "fig13");
+        assert_eq!(parse_snapshot_threads(&json), Some(2));
         assert!(parse_snapshot("not json").is_empty());
+        assert!(parse_snapshot_threads("not json").is_none());
+    }
+
+    #[test]
+    fn serial_column_derives_from_raw_fields_in_old_snapshots() {
+        // BENCH_1-era rows carry sim_cycles + serial_ms but no explicit
+        // serial throughput; the parser reconstructs it.
+        let old = r#"{"id": "fig10", "points": 44, "sim_cycles": 1000000, "serial_ms": 2000.000, "parallel_ms": 1000.000, "speedup": 2.000, "sim_cycles_per_sec": 1000000}"#;
+        let parsed = parse_snapshot(old);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].serial_sim_cycles_per_sec, Some(500_000.0));
+        // Rows with neither column still parse, with no serial basis.
+        let bare = r#"{"id": "fig10", "points": 44, "sim_cycles_per_sec": 1000000}"#;
+        let parsed = parse_snapshot(bare);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].serial_sim_cycles_per_sec, None);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //! * **A/B switchable.** `GEX_SIM_CACHE=0` (or [`set_enabled`]`(false)`)
 //!   bypasses the cache entirely for equivalence testing; results must
 //!   be byte-identical either way.
+//! * **Bounded.** At most [`DEFAULT_CAP`] finished reports process-wide
+//!   (sliced evenly across the shards), least-recently-used entries
+//!   evicted first; `GEX_SIM_CACHE_CAP` / [`set_cap`] tune it (0 =
+//!   unbounded). The default is far above a full figure campaign, so
+//!   exactly-once behaviour is unchanged there; it exists to bound long
+//!   multi-grid sweeps. Evictions show up in [`stats`].
 
 use crate::journal::digest;
 use gex_sim::{Gpu, GpuRunReport, PagingMode, Residency, SimError};
@@ -44,8 +50,9 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 enum Slot {
     /// A worker is simulating this point right now.
     Building,
-    /// The finished report.
-    Ready(Arc<GpuRunReport>),
+    /// The finished report, stamped with its last-used tick (the LRU
+    /// eviction order).
+    Ready(Arc<GpuRunReport>, u64),
 }
 
 /// One lock-sharded slice of the cache. Waiters for in-flight builds
@@ -65,6 +72,9 @@ struct Cache {
     misses: AtomicU64,
     stores: AtomicU64,
     coalesced: AtomicU64,
+    evictions: AtomicU64,
+    /// Monotonic last-used clock for LRU stamps.
+    tick: AtomicU64,
 }
 
 fn cache() -> &'static Cache {
@@ -75,6 +85,8 @@ fn cache() -> &'static Cache {
         misses: AtomicU64::new(0),
         stores: AtomicU64::new(0),
         coalesced: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
+        tick: AtomicU64::new(0),
     })
 }
 
@@ -97,6 +109,63 @@ pub fn enabled() -> bool {
     }
 }
 
+/// Default total capacity in finished reports. A full fig10+fig11 grid is
+/// a few hundred points, so campaigns still hit exactly-once well below
+/// this; it exists to bound very long scalability sweeps.
+pub const DEFAULT_CAP: usize = 8192;
+
+/// `u64::MAX` = unset (consult `GEX_SIM_CACHE_CAP`), otherwise the total
+/// entry cap (0 = unbounded).
+static CAP_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Set the total cache capacity in finished reports for this process,
+/// overriding `GEX_SIM_CACHE_CAP`. `0` means unbounded.
+pub fn set_cap(cap: usize) {
+    CAP_OVERRIDE.store(cap as u64, Ordering::Relaxed);
+}
+
+/// Total entry cap: [`set_cap`] override, else `GEX_SIM_CACHE_CAP`, else
+/// [`DEFAULT_CAP`]. `0` means unbounded.
+pub fn cap() -> usize {
+    match CAP_OVERRIDE.load(Ordering::Relaxed) {
+        u64::MAX => std::env::var("GEX_SIM_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAP),
+        v => v as usize,
+    }
+}
+
+/// Per-shard slice of `total` entries; `None` when unbounded.
+fn per_shard_cap(total: usize) -> Option<usize> {
+    (total > 0).then(|| total.div_ceil(SHARDS).max(1))
+}
+
+/// Evict least-recently-used `Ready` entries until fewer than `cap`
+/// remain (making room for one insert). `Building` placeholders are never
+/// evicted — a waiter parked on one would retry a simulation that is
+/// already running. Returns the number of entries evicted.
+fn evict_to_cap(map: &mut HashMap<String, Slot>, cap: usize) -> u64 {
+    let mut evicted = 0;
+    loop {
+        let ready = map.values().filter(|s| matches!(s, Slot::Ready(..))).count();
+        if ready < cap {
+            break;
+        }
+        let victim = map
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready(_, stamp) => Some((*stamp, k.clone())),
+                Slot::Building => None,
+            })
+            .min();
+        let Some((_, key)) = victim else { break };
+        map.remove(&key);
+        evicted += 1;
+    }
+    evicted
+}
+
 /// Monotonic process-wide cache counters; snapshot via [`stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -109,6 +178,8 @@ pub struct CacheStats {
     /// Hits that waited for a concurrent builder instead of finding the
     /// entry already finished (a subset of `hits`).
     pub coalesced: u64,
+    /// Least-recently-used entries dropped to stay under the capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -120,6 +191,7 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             stores: self.stores - earlier.stores,
             coalesced: self.coalesced - earlier.coalesced,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -128,8 +200,8 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hit(s) ({} coalesced), {} miss(es), {} stored",
-            self.hits, self.coalesced, self.misses, self.stores
+            "{} hit(s) ({} coalesced), {} miss(es), {} stored, {} evicted",
+            self.hits, self.coalesced, self.misses, self.stores, self.evictions
         )
     }
 }
@@ -142,6 +214,7 @@ pub fn stats() -> CacheStats {
         misses: c.misses.load(Ordering::Relaxed),
         stores: c.stores.load(Ordering::Relaxed),
         coalesced: c.coalesced.load(Ordering::Relaxed),
+        evictions: c.evictions.load(Ordering::Relaxed),
     }
 }
 
@@ -227,8 +300,9 @@ pub fn run_cached(
         let mut map = shard.map.lock().unwrap();
         let mut waited = false;
         loop {
-            match map.get(&key) {
-                Some(Slot::Ready(r)) => {
+            match map.get_mut(&key) {
+                Some(Slot::Ready(r, stamp)) => {
+                    *stamp = c.tick.fetch_add(1, Ordering::Relaxed);
                     c.hits.fetch_add(1, Ordering::Relaxed);
                     if waited {
                         c.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -254,7 +328,17 @@ pub fn run_cached(
     let report = gpu.try_run(&w.trace, residency)?;
     let report = Arc::new(report);
     guard.armed = false;
-    shard.map.lock().unwrap().insert(key, Slot::Ready(Arc::clone(&report)));
+    {
+        let mut map = shard.map.lock().unwrap();
+        if let Some(cap) = per_shard_cap(cap()) {
+            let evicted = evict_to_cap(&mut map, cap);
+            if evicted > 0 {
+                c.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        let stamp = c.tick.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Slot::Ready(Arc::clone(&report), stamp));
+    }
     shard.ready.notify_all();
     c.stores.fetch_add(1, Ordering::Relaxed);
     Ok(report)
@@ -313,9 +397,53 @@ mod tests {
 
     #[test]
     fn stats_since_subtracts_fieldwise() {
-        let a = CacheStats { hits: 5, misses: 3, stores: 2, coalesced: 1 };
-        let b = CacheStats { hits: 7, misses: 4, stores: 3, coalesced: 1 };
-        assert_eq!(b.since(&a), CacheStats { hits: 2, misses: 1, stores: 1, coalesced: 0 });
+        let a = CacheStats { hits: 5, misses: 3, stores: 2, coalesced: 1, evictions: 0 };
+        let b = CacheStats { hits: 7, misses: 4, stores: 3, coalesced: 1, evictions: 2 };
+        assert_eq!(
+            b.since(&a),
+            CacheStats { hits: 2, misses: 1, stores: 1, coalesced: 0, evictions: 2 }
+        );
         assert!(b.to_string().contains("7 hit(s)"));
+        assert!(b.to_string().contains("2 evicted"));
+    }
+
+    #[test]
+    fn shard_cap_slices_the_total() {
+        assert_eq!(per_shard_cap(0), None, "0 means unbounded");
+        assert_eq!(per_shard_cap(1), Some(1));
+        assert_eq!(per_shard_cap(8), Some(1));
+        assert_eq!(per_shard_cap(DEFAULT_CAP), Some(DEFAULT_CAP / SHARDS));
+    }
+
+    // Eviction is tested on a hand-built map: the process-global cache is
+    // shared with every other test in this binary, so temporarily
+    // shrinking its cap here could evict their entries mid-assertion.
+    #[test]
+    fn evicts_least_recently_used_ready_entries_only() {
+        let dummy = || {
+            let w = suite::by_name("histo", Preset::Test).unwrap();
+            let gpu = Gpu::new(
+                GpuConfig::kepler_k20().with_sms(1),
+                Scheme::Baseline,
+                PagingMode::AllResident,
+            );
+            Arc::new(gpu.try_run(&w.trace, &Residency::new()).unwrap())
+        };
+        let report = dummy();
+        let mut map = HashMap::new();
+        map.insert("old".to_string(), Slot::Ready(Arc::clone(&report), 1));
+        map.insert("new".to_string(), Slot::Ready(Arc::clone(&report), 9));
+        map.insert("building".to_string(), Slot::Building);
+        // Cap of 1: room for one more Ready entry means both existing
+        // Ready entries go, oldest stamp first — but never the builder.
+        assert_eq!(evict_to_cap(&mut map, 2), 1);
+        assert!(!map.contains_key("old"), "stamp 1 is the LRU victim");
+        assert!(map.contains_key("new"));
+        assert!(map.contains_key("building"));
+        assert_eq!(evict_to_cap(&mut map, 1), 1);
+        assert!(!map.contains_key("new"));
+        assert!(map.contains_key("building"), "builders are never evicted");
+        // Only a builder left: nothing evictable, must not loop forever.
+        assert_eq!(evict_to_cap(&mut map, 1), 0);
     }
 }

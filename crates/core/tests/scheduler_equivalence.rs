@@ -1,15 +1,18 @@
-//! Scheduler-equivalence keystone: the next-event-cycle heap must be
-//! indistinguishable from the linear-scan reference.
+//! Scheduler-equivalence keystone: the push wake queue and the
+//! next-event-cycle heap must both be indistinguishable from the
+//! linear-scan reference.
 //!
-//! The heap ([`gex::sm::NextEventHeap`]) replaces the per-idle-iteration
-//! linear scan in both tick loops. Its contract is *bit-identity*: the
-//! same jump targets, hence the same tick sequence, hence byte-identical
-//! reports — stats, retirement maps (`warp_retired`), fault timelines
+//! Three [`NextEventMode`]s compute the idle-skip jump target: the
+//! push-based wake queue ([`gex::sm::WakeQueue`], the default), the
+//! lazy-invalidation heap ([`gex::sm::NextEventHeap`]) and the original
+//! linear scan. The contract is *bit-identity*: the same jump targets,
+//! hence the same tick sequence, hence byte-identical reports — stats,
+//! retirement maps (`warp_retired`), fault timelines
 //! (`resident_regions`, in resolution-mapping order) and error
 //! diagnostics — across every scheme, SM count, paging mode and chaos
-//! seed. These properties run each point twice, once per
-//! [`NextEventMode`], and assert full [`gex::GpuRunReport`] equality
-//! (the report derives `PartialEq` over every field).
+//! seed. These properties run each point three times, once per mode, and
+//! assert full [`gex::GpuRunReport`] equality (the report derives
+//! `PartialEq` over every field).
 
 use gex::sm::{NextEventMode, Scheme, SingleSmHarness};
 use gex::workloads::{suite, Preset};
@@ -19,18 +22,29 @@ use gex::{
 };
 use gex_testkit::prelude::*;
 
-/// Run one point under both next-event modes and assert byte-identity of
-/// the whole outcome (report or error diagnostic).
+/// Run one point under all three next-event modes and assert
+/// byte-identity of the whole outcome (report or error diagnostic).
 fn assert_modes_agree(gpu: Gpu, trace: &gex::isa::trace::KernelTrace, res: &Residency) {
+    let push = gpu.clone().next_event_mode(NextEventMode::Push).try_run(trace, res);
     let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(trace, res);
     let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(trace, res);
-    match (&heap, &scan) {
-        (Ok(h), Ok(s)) => assert_eq!(h, s, "heap and scan reports diverged"),
-        _ => assert_eq!(
-            format!("{heap:?}"),
-            format!("{scan:?}"),
-            "heap and scan outcomes diverged"
-        ),
+    match (&push, &heap, &scan) {
+        (Ok(p), Ok(h), Ok(s)) => {
+            assert_eq!(p, s, "push and scan reports diverged");
+            assert_eq!(h, s, "heap and scan reports diverged");
+        }
+        _ => {
+            assert_eq!(
+                format!("{push:?}"),
+                format!("{scan:?}"),
+                "push and scan outcomes diverged"
+            );
+            assert_eq!(
+                format!("{heap:?}"),
+                format!("{scan:?}"),
+                "heap and scan outcomes diverged"
+            );
+        }
     }
 }
 
@@ -99,7 +113,7 @@ proptest! {
         assert_modes_agree(gpu, &w.trace, &res);
     }
 
-    /// Single-SM harness: both schedulers agree on cycles and every
+    /// Single-SM harness: all three schedulers agree on cycles and every
     /// counter.
     #[test]
     fn harness_heap_matches_scan(
@@ -112,12 +126,18 @@ proptest! {
         ],
     ) {
         let w = suite::by_name(name, Preset::Test).expect("known benchmark");
+        let push = SingleSmHarness::new(scheme)
+            .next_event_mode(NextEventMode::Push)
+            .run(&w.trace);
         let heap = SingleSmHarness::new(scheme)
             .next_event_mode(NextEventMode::Heap)
             .run(&w.trace);
         let scan = SingleSmHarness::new(scheme)
             .next_event_mode(NextEventMode::Scan)
             .run(&w.trace);
+        prop_assert_eq!(push.cycles, scan.cycles);
+        prop_assert_eq!(&push.sm_stats, &scan.sm_stats);
+        prop_assert_eq!(&push.mem_stats, &scan.mem_stats);
         prop_assert_eq!(heap.cycles, scan.cycles);
         prop_assert_eq!(heap.sm_stats, scan.sm_stats);
         prop_assert_eq!(heap.mem_stats, scan.mem_stats);
@@ -125,7 +145,7 @@ proptest! {
 }
 
 /// Budget deadlines fire at the same cycle with identical diagnostics in
-/// both modes (the jump clamps to the deadline rather than skipping it).
+/// all modes (the jump clamps to the deadline rather than skipping it).
 #[test]
 fn deadline_diagnostics_identical_across_modes() {
     let w = suite::by_name("lbm", Preset::Test).unwrap();
@@ -139,15 +159,23 @@ fn deadline_diagnostics_identical_across_modes() {
         },
     )
     .budget(RunBudget::cycles(40_000));
-    let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(&w.trace, &w.demand_residency());
+    let push = gpu
+        .clone()
+        .next_event_mode(NextEventMode::Push)
+        .try_run(&w.trace, &w.demand_residency());
+    let heap = gpu
+        .clone()
+        .next_event_mode(NextEventMode::Heap)
+        .try_run(&w.trace, &w.demand_residency());
     let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(&w.trace, &w.demand_residency());
-    let (Err(h), Err(s)) = (&heap, &scan) else {
+    let (Err(p), Err(h), Err(s)) = (&push, &heap, &scan) else {
         panic!("a 40k-cycle budget must trip on lbm under PCIe demand paging");
     };
+    assert_eq!(format!("{p:?}"), format!("{s:?}"));
     assert_eq!(format!("{h:?}"), format!("{s:?}"));
 }
 
-/// The watchdog fires at the same cycle in both modes when a wedge plan
+/// The watchdog fires at the same cycle in all modes when a wedge plan
 /// NACKs every fault forever.
 #[test]
 fn watchdog_diagnostics_identical_across_modes() {
@@ -162,10 +190,18 @@ fn watchdog_diagnostics_identical_across_modes() {
         },
     )
     .inject(InjectionPlan::wedge(3));
-    let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(&w.trace, &w.demand_residency());
+    let push = gpu
+        .clone()
+        .next_event_mode(NextEventMode::Push)
+        .try_run(&w.trace, &w.demand_residency());
+    let heap = gpu
+        .clone()
+        .next_event_mode(NextEventMode::Heap)
+        .try_run(&w.trace, &w.demand_residency());
     let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(&w.trace, &w.demand_residency());
-    let (Err(h), Err(s)) = (&heap, &scan) else {
+    let (Err(p), Err(h), Err(s)) = (&push, &heap, &scan) else {
         panic!("a wedge plan must trip the watchdog");
     };
+    assert_eq!(format!("{p:?}"), format!("{s:?}"));
     assert_eq!(format!("{h:?}"), format!("{s:?}"));
 }

@@ -192,10 +192,10 @@ impl FuncSim {
             // a round either releases a barrier or retires warps.
         }
 
-        Ok(BlockTrace {
+        Ok(BlockTrace::new(
             block_id,
-            warps: warps.into_iter().map(|w| WarpTrace { instrs: w.trace }).collect(),
-        })
+            warps.into_iter().map(|w| WarpTrace { instrs: w.trace }).collect(),
+        ))
     }
 
     /// Run one warp until it executes a barrier or finishes.
@@ -736,8 +736,8 @@ mod tests {
         a.exit();
         let (k, mut mem) = launch(a, 1, 32, vec![0x2000]);
         let run = FuncSim::new().run(&k, &mut mem).unwrap();
-        let w = &run.trace.blocks[0].warps[0];
-        let st = w.instrs.iter().find(|i| i.mem.as_ref().is_some_and(|m| m.is_store)).unwrap();
+        let w = run.trace.blocks[0].warp(0);
+        let st = w.iter().find(|i| i.mem.as_ref().is_some_and(|m| m.is_store)).unwrap();
         assert_eq!(st.mem.as_ref().unwrap().lines, vec![0x2000]);
         assert_eq!(mem.read_u32(0x2000 + 4 * 31), 31);
     }
@@ -753,8 +753,8 @@ mod tests {
         a.exit();
         let (k, mut mem) = launch(a, 1, 32, vec![0x4000]);
         let run = FuncSim::new().run(&k, &mut mem).unwrap();
-        let ld = run.trace.blocks[0].warps[0]
-            .instrs
+        let ld = run.trace.blocks[0]
+            .warp(0)
             .iter()
             .find(|i| i.mem.as_ref().is_some_and(|m| !m.is_store))
             .unwrap();
@@ -894,8 +894,8 @@ mod tests {
             assert_eq!(mem.read_u32(0x9000 + 4 * i), expect, "lane {i}");
         }
         // the store still appears once in the trace with the full mask active
-        let st = run.trace.blocks[0].warps[0]
-            .instrs
+        let st = run.trace.blocks[0]
+            .warp(0)
             .iter()
             .find(|i| i.mem.as_ref().is_some_and(|m| m.is_store))
             .unwrap();
@@ -940,8 +940,8 @@ mod tests {
         a.exit();
         let (k, mut mem) = launch(a, 1, 40, vec![0xa000]); // 1 full + 1 partial warp
         let run = FuncSim::new().run(&k, &mut mem).unwrap();
-        let w1 = &run.trace.blocks[0].warps[1];
-        assert_eq!(w1.instrs[0].active.count_ones(), 8);
+        let w1 = run.trace.blocks[0].warp(1);
+        assert_eq!(w1[0].active.count_ones(), 8);
         assert_eq!(mem.read_u32(0xa000 + 4 * 39), 39);
         assert_eq!(mem.read_u32(0xa000 + 4 * 40), 0);
     }
@@ -955,7 +955,7 @@ mod tests {
         let k = KernelBuilder::new("t", a.assemble().unwrap()).block(Dim3::x(32)).build().unwrap();
         let mut mem = MemImage::new();
         let run = FuncSim::new().run(&k, &mut mem).unwrap();
-        let instrs = &run.trace.blocks[0].warps[0].instrs;
+        let instrs = run.trace.blocks[0].warp(0);
         assert_eq!(instrs[0].unit, Unit::Sfu);
         assert_eq!(instrs[1].kind, DynKind::Barrier);
         assert_eq!(instrs[2].kind, DynKind::Exit);

@@ -105,19 +105,65 @@ pub struct WarpTrace {
     pub instrs: Vec<DynInstr>,
 }
 
-/// Trace of one thread block.
+/// Trace of one thread block, flattened for the timing hot path.
+///
+/// All warps' dynamic instructions live in *one* contiguous array with a
+/// fencepost table delimiting each warp's slice (warp `w` owns
+/// `instrs[starts[w]..starts[w + 1]]`). The SM pipeline walks warps with
+/// index-based cursors into this array every cycle, so the layout keeps
+/// the walk on a single allocation instead of hopping nested `Vec`s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockTrace {
     /// Flattened block id within the grid.
     pub block_id: u32,
-    /// Per-warp traces (warp 0 holds threads 0..32, etc.).
-    pub warps: Vec<WarpTrace>,
+    /// Every warp's dynamic instructions, concatenated in warp order.
+    instrs: Vec<DynInstr>,
+    /// Fenceposts into `instrs`: `num_warps + 1` entries, first 0, last
+    /// `instrs.len()`.
+    starts: Vec<u32>,
 }
 
 impl BlockTrace {
+    /// Flatten per-warp traces (warp 0 holds threads 0..32, etc.) into
+    /// one contiguous block trace.
+    pub fn new(block_id: u32, warps: Vec<WarpTrace>) -> Self {
+        let total: usize = warps.iter().map(|w| w.instrs.len()).sum();
+        let mut instrs = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(warps.len() + 1);
+        starts.push(0u32);
+        for w in warps {
+            instrs.extend(w.instrs);
+            starts.push(instrs.len() as u32);
+        }
+        BlockTrace { block_id, instrs, starts }
+    }
+
+    /// Number of warps in the block.
+    pub fn num_warps(&self) -> u32 {
+        (self.starts.len() - 1) as u32
+    }
+
+    /// Warp `w`'s dynamic instructions in program order.
+    #[inline]
+    pub fn warp(&self, w: u32) -> &[DynInstr] {
+        let lo = self.starts[w as usize] as usize;
+        let hi = self.starts[w as usize + 1] as usize;
+        &self.instrs[lo..hi]
+    }
+
+    /// Per-warp instruction slices, in warp order.
+    pub fn warps(&self) -> impl ExactSizeIterator<Item = &[DynInstr]> + '_ {
+        self.starts.windows(2).map(|w| &self.instrs[w[0] as usize..w[1] as usize])
+    }
+
+    /// The whole block's instructions as one flat slice (warp order).
+    pub fn instrs(&self) -> &[DynInstr] {
+        &self.instrs
+    }
+
     /// Total dynamic instructions across the block's warps.
     pub fn dyn_instrs(&self) -> u64 {
-        self.warps.iter().map(|w| w.instrs.len() as u64).sum()
+        self.instrs.len() as u64
     }
 }
 
@@ -193,8 +239,7 @@ impl KernelTrace {
             let mut pages: Vec<u64> = self
                 .blocks
                 .iter()
-                .flat_map(|b| &b.warps)
-                .flat_map(|w| &w.instrs)
+                .flat_map(|b| b.instrs().iter())
                 .filter_map(|i| i.mem.as_ref())
                 .filter(|m| m.space == Space::Global)
                 .flat_map(|m| m.lines.iter().map(|l| crate::page_of(*l)))
@@ -261,7 +306,7 @@ mod tests {
         let d = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![8192], false, Space::Global);
         let kt = KernelTrace::new(
             "t".into(),
-            vec![BlockTrace { block_id: 0, warps: vec![WarpTrace { instrs: vec![d] }] }],
+            vec![BlockTrace::new(0, vec![WarpTrace { instrs: vec![d] }])],
             32,
             1,
             16,
@@ -271,5 +316,30 @@ mod tests {
         assert_eq!(kt.touched_pages(), vec![8192]);
         // The second query returns the memoized slice.
         assert_eq!(kt.touched_pages().as_ptr(), kt.touched_pages().as_ptr());
+    }
+
+    #[test]
+    fn block_trace_flattening_preserves_warp_slices() {
+        let a = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![0], false, Space::Global);
+        let b = mk_mem(Opcode::St(Space::Global, Width::B4), vec![128], true, Space::Global);
+        let c = mk_mem(Opcode::Ld(Space::Global, Width::B4), vec![4096], false, Space::Global);
+        let warps = vec![
+            WarpTrace { instrs: vec![a.clone(), b.clone()] },
+            WarpTrace { instrs: vec![] },
+            WarpTrace { instrs: vec![c.clone()] },
+        ];
+        let bt = BlockTrace::new(7, warps);
+        assert_eq!(bt.block_id, 7);
+        assert_eq!(bt.num_warps(), 3);
+        assert_eq!(bt.dyn_instrs(), 3);
+        assert_eq!(bt.warp(0), &[a.clone(), b.clone()][..]);
+        assert_eq!(bt.warp(1), &[][..]);
+        assert_eq!(bt.warp(2), &[c.clone()][..]);
+        let collected: Vec<_> = bt.warps().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[0], bt.warp(0));
+        assert_eq!(collected[2], bt.warp(2));
+        // The flat view is the concatenation in warp order.
+        assert_eq!(bt.instrs(), &[a, b, c][..]);
     }
 }

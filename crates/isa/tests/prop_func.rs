@@ -142,9 +142,9 @@ proptest! {
     ) {
         let (run, _) = build_and_run(&ops, 2, 64);
         for b in &run.trace.blocks {
-            for w in &b.warps {
-                prop_assert!(!w.instrs.is_empty());
-                prop_assert_eq!(w.instrs.last().unwrap().kind, DynKind::Exit);
+            for w in b.warps() {
+                prop_assert!(!w.is_empty());
+                prop_assert_eq!(w.last().unwrap().kind, DynKind::Exit);
             }
         }
     }
@@ -154,7 +154,7 @@ proptest! {
         ops in gex_testkit::collection::vec(op_strategy(), 1..12),
     ) {
         let (run, _) = build_and_run(&ops, 2, 64);
-        for d in run.trace.blocks.iter().flat_map(|b| &b.warps).flat_map(|w| &w.instrs) {
+        for d in run.trace.blocks.iter().flat_map(|b| b.instrs().iter()) {
             if let Some(m) = &d.mem {
                 let mut sorted = m.lines.clone();
                 sorted.sort_unstable();

@@ -30,8 +30,10 @@ pub mod phys;
 pub mod setassoc;
 pub mod system;
 pub mod tlb;
+pub mod wake;
 
 pub use config::{CacheConfig, Cycle, MemConfig, TlbConfig};
+pub use wake::WakeMemo;
 pub use fault::{FaultEntry, FaultKind, FaultQueue};
 pub use page_table::{region_of, PageState, PageTable, REGION_BYTES, REGION_PAGES};
 pub use system::{AccessEvent, AccessKind, AccessToken, FaultMode, MemError, MemStats, MemSystem};

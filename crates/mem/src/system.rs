@@ -254,6 +254,11 @@ pub struct MemSystem {
     reqs: Vec<Req>,
     free_reqs: Vec<u32>,
     outbox: Vec<Vec<AccessEvent>>,
+    /// Set whenever the internal event heap changes shape (a schedule or
+    /// a pop); cleared by [`MemSystem::take_wake_update`]. Keeps the push
+    /// wake path O(1) on quiet queries.
+    wake_dirty: bool,
+    wake_memo: crate::wake::WakeMemo,
     /// Stall-mode: faulted requests parked per 64 KB region.
     parked: HashMap<u64, Vec<u32>>,
     stats: MemStats,
@@ -284,6 +289,8 @@ impl MemSystem {
             reqs: Vec::new(),
             free_reqs: Vec::new(),
             outbox: vec![Vec::new(); n],
+            wake_dirty: true,
+            wake_memo: crate::wake::WakeMemo::new(),
             parked: HashMap::new(),
             stats: MemStats::default(),
             error: None,
@@ -322,6 +329,7 @@ impl MemSystem {
 
     fn schedule(&mut self, cycle: Cycle, ev: Ev) {
         self.seq += 1;
+        self.wake_dirty = true;
         self.events.push(std::cmp::Reverse((cycle, self.seq, ev)));
     }
 
@@ -329,6 +337,19 @@ impl MemSystem {
     /// top-level simulator skip idle stretches.
     pub fn next_event_cycle(&self) -> Option<Cycle> {
         self.events.peek().map(|std::cmp::Reverse((c, _, _))| *c)
+    }
+
+    /// Push-mode wake hook: the current [`MemSystem::next_event_cycle`]
+    /// when it changed since the last take, `None` otherwise. The caller
+    /// pushes the returned cycle into its wake queue; the fast path (no
+    /// schedule or pop since last take) is a single flag test.
+    pub fn take_wake_update(&mut self) -> Option<Cycle> {
+        if !self.wake_dirty {
+            return None;
+        }
+        self.wake_dirty = false;
+        let current = self.next_event_cycle();
+        self.wake_memo.update(current)
     }
 
     /// True if no requests are in flight anywhere in the hierarchy.
@@ -402,6 +423,14 @@ impl MemSystem {
         std::mem::take(&mut self.outbox[sm as usize])
     }
 
+    /// Drain the pending notifications for SM `sm` into `buf` without
+    /// allocating: `buf` is cleared and swapped with the outbox, so both
+    /// vectors' capacities are recycled across ticks.
+    pub fn drain_events_into(&mut self, sm: u32, buf: &mut Vec<AccessEvent>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.outbox[sm as usize]);
+    }
+
     /// True if SM `sm` has undelivered events waiting in its outbox. Lets
     /// the engine skip ticking a stalled SM with nothing to deliver.
     pub fn has_pending_events(&self, sm: u32) -> bool {
@@ -451,6 +480,7 @@ impl MemSystem {
                 break;
             }
             let std::cmp::Reverse((t, _, ev)) = self.events.pop().expect("peeked event");
+            self.wake_dirty = true;
             self.dispatch(t, ev);
         }
     }

@@ -21,7 +21,10 @@ use gex_isa::trace::{BlockTrace, KernelTrace};
 use gex_mem::phys::PhysAllocator;
 use gex_mem::system::{FaultMode, MemSystem};
 use gex_mem::{Cycle, PageState};
-use gex_sm::{KernelSetup, NextEventHeap, NextEventMode, RunBudget, Scheme, Sm, SmStats, WarpDiag};
+use gex_sm::{
+    FaultNotice, KernelSetup, NextEventHeap, NextEventMode, RunBudget, Scheme, Sm, SmStats,
+    WakeQueue, WarpDiag,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -94,10 +97,12 @@ impl Gpu {
         self.inject.as_ref()
     }
 
-    /// Select how idle windows find the next event cycle: the
-    /// [`NextEventMode::Heap`] scheduler (default) or the original
-    /// [`NextEventMode::Scan`]. Both produce byte-identical simulations;
-    /// the knob exists for A/B comparison and the equivalence suite.
+    /// Select how idle windows find the next event cycle: push-based wake
+    /// events ([`NextEventMode::Push`], the default), the
+    /// lazy-invalidation [`NextEventMode::Heap`], or the original
+    /// [`NextEventMode::Scan`]. All three produce byte-identical
+    /// simulations; the knob exists for A/B comparison and the
+    /// equivalence suite.
     pub fn next_event_mode(mut self, mode: NextEventMode) -> Self {
         self.next_event = mode;
         self
@@ -152,6 +157,18 @@ struct Engine {
     /// source 0 is the memory system, 1 the CPU handler, 2 the GPU-local
     /// handler, `3 + i` SM `i`, `3 + num_sms + i` local scheduler `i`.
     heap: NextEventHeap,
+    /// Wake-event queue under [`NextEventMode::Push`]: the memory system,
+    /// the CPU handler and the GPU-local handler publish their next wake
+    /// cycle through memoized [`gex_mem::WakeMemo`] hooks right after
+    /// their last mutation each iteration, and the per-SM schedulers push
+    /// save/restore completion cycles at the moment the transfer is
+    /// scheduled. SMs are deliberately *not* wake sources: the queue is
+    /// only consulted when every SM is stalled, and a stalled SM has an
+    /// empty internal event heap (`is_stalled` ⇒ `next_event_cycle() ==
+    /// None`), so the scan reference gets nothing from them either.
+    wake: WakeQueue,
+    /// Reused scratch for draining SM fault notices without allocating.
+    notice_buf: Vec<FaultNotice>,
 }
 
 /// Heap source indices (see [`Engine::heap`]).
@@ -242,6 +259,8 @@ impl Engine {
             budget: gpu.budget.clone(),
             next_event: gpu.next_event,
             heap: NextEventHeap::new(SRC_SM + 2 * num_sms as usize),
+            wake: WakeQueue::new(),
+            notice_buf: Vec::new(),
         }
     }
 
@@ -286,7 +305,7 @@ impl Engine {
     }
 
     fn committed_total(&self) -> u64 {
-        self.sms.iter().map(|s| s.stats().committed).sum()
+        self.sms.iter().map(|s| s.committed()).sum()
     }
 
     fn warp_diagnostics(&self) -> Vec<WarpDiag> {
@@ -304,6 +323,7 @@ impl Engine {
         let mut last_progress: Cycle = 0;
         let mut last_committed: u64 = 0;
         let mut meter = self.budget.start();
+        let push = self.next_event == NextEventMode::Push;
         loop {
             if let Some(cause) = meter.check(now) {
                 return Err(SimError::Deadline(Box::new(DeadlineDiagnostic {
@@ -322,6 +342,13 @@ impl Engine {
                 for region in cpu.tick(now, &mut self.mem, &mut self.phys) {
                     self.broadcast_resolved(region);
                     last_progress = now;
+                }
+            }
+            if push {
+                // Harvest the CPU handler's wake right after its tick —
+                // nothing later in the iteration mutates it.
+                if let Some(c) = self.cpu.as_mut().and_then(|c| c.take_wake_update()) {
+                    self.wake.push(c);
                 }
             }
             let local_done = self
@@ -351,6 +378,13 @@ impl Engine {
             }
 
             self.handle_notices(now);
+            if push {
+                // The local handler's last mutators are its tick (above)
+                // and the claims made in `handle_notices`; harvest here.
+                if let Some(c) = self.local.as_mut().and_then(|l| l.take_wake_update()) {
+                    self.wake.push(c);
+                }
+            }
             self.pump_switching(now);
             let before_dispatch = self.queue.len();
             self.dispatch_blocks();
@@ -359,10 +393,19 @@ impl Engine {
             }
             let before_completed = self.completed;
             for sm in &mut self.sms {
-                self.completed += sm.take_completed().len() as u64;
+                self.completed += sm.drain_completed();
             }
             if self.completed != before_completed {
                 last_progress = now;
+            }
+            if push {
+                // Single memory-system harvest per iteration, after its
+                // last mutator (its own tick, the handlers' resolves and
+                // the SM ticks all schedule into it earlier); the no-op
+                // path is one flag test.
+                if let Some(c) = self.mem.take_wake_update() {
+                    self.wake.push(c);
+                }
             }
 
             if self.finished() {
@@ -392,6 +435,19 @@ impl Engine {
             let all_stalled = self.sms.iter().all(|s| s.is_stalled());
             if all_stalled {
                 let next = match self.next_event {
+                    NextEventMode::Push => {
+                        let next = self.wake.earliest_after(now);
+                        // Exactness contract, checked in debug builds:
+                        // every pushed wake at or before `now` has been
+                        // consumed, so the queue minimum is the scan
+                        // minimum (see the WakeQueue docs).
+                        debug_assert_eq!(
+                            next,
+                            self.next_event_cycle(),
+                            "push wake queue diverged from the scan reference at cycle {now}"
+                        );
+                        next
+                    }
                     NextEventMode::Heap => self.heap_next_event(),
                     NextEventMode::Scan => self.next_event_cycle(),
                 };
@@ -457,9 +513,11 @@ impl Engine {
     }
 
     fn handle_notices(&mut self, now: Cycle) {
+        let mut notices = std::mem::take(&mut self.notice_buf);
         for i in 0..self.sms.len() {
-            let notices = self.sms[i].take_fault_notices();
-            for n in notices {
+            notices.clear();
+            self.sms[i].drain_fault_notices(&mut notices);
+            for n in &notices {
                 // Use case 2: claim first-touch faults for GPU-local
                 // handling.
                 if let Some(local) = &mut self.local {
@@ -486,6 +544,7 @@ impl Engine {
                 }
             }
         }
+        self.notice_buf = notices;
     }
 
     fn pump_switching(&mut self, now: Cycle) {
@@ -509,6 +568,11 @@ impl Engine {
                 };
                 self.switches += 1;
                 self.scheds[i].saving.push((done, saved));
+                if self.next_event == NextEventMode::Push {
+                    // Push the exact save-completion cycle at the moment
+                    // the transfer is scheduled.
+                    self.wake.push(done);
+                }
                 let src = self.sched_src(i);
                 self.heap.mark_dirty(src);
             }
@@ -547,6 +611,9 @@ impl Engine {
                     self.mem.dram_mut().bulk_transfer(now, saved.context_bytes())
                 };
                 self.scheds[i].restoring.push((done, saved));
+                if self.next_event == NextEventMode::Push {
+                    self.wake.push(done);
+                }
                 let src = self.sched_src(i);
                 self.heap.mark_dirty(src);
             }

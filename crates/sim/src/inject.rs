@@ -195,8 +195,16 @@ impl Injector {
     }
 
     /// Start-of-tick: NACKed entries whose backoff elapsed re-enqueue (at
-    /// the back of the queue, retry count bumped).
+    /// the back of the queue, retry count bumped). An expired stall burst
+    /// is also retired here so [`Injector::next_event_cycle`] stops
+    /// reporting a past cycle — a stale minimum pins the idle scan to
+    /// `now` and suppresses jumps the machine is actually free to take.
     pub fn requeue_due(&mut self, now: Cycle, queue: &mut FaultQueue) {
+        if self.stall_until != 0 && self.stall_until <= now {
+            // `admission_blocked` only honours `stall_until > now`, so
+            // clearing an expired burst cannot change admission decisions.
+            self.stall_until = 0;
+        }
         let mut i = 0;
         while i < self.deferred.len() {
             if self.deferred[i].0 <= now {

@@ -68,6 +68,13 @@ struct InFlight {
     /// An injected duplicate round trip: its resolution must be harmless,
     /// and it is never NACKed (the original carries the retry state).
     dup: bool,
+    /// A duplicate whose original was NACKed: it completes its round trip
+    /// (so `next_event_cycle` keeps reporting only live-or-past cycles)
+    /// but resolves nothing. Removing it early instead would delete a
+    /// *future* completion out from under the idle scan, violating the
+    /// push-mode invariant that a recorded wake at or before `now` has
+    /// always been consumed.
+    dead: bool,
 }
 
 /// Pipelined CPU-side servicing of the global pending-fault queue.
@@ -83,6 +90,7 @@ pub struct CpuHandler {
     /// Fault-injection state; `None` means exact, unperturbed timing.
     injector: Option<Injector>,
     stats: CpuHandlerStats,
+    wake_memo: gex_mem::WakeMemo,
 }
 
 impl CpuHandler {
@@ -96,6 +104,7 @@ impl CpuHandler {
             in_flight: Vec::new(),
             injector: None,
             stats: CpuHandlerStats::default(),
+            wake_memo: gex_mem::WakeMemo::new(),
         }
     }
 
@@ -150,6 +159,11 @@ impl CpuHandler {
         while i < self.in_flight.len() {
             if self.in_flight[i].done_at <= now {
                 let f = self.in_flight.swap_remove(i);
+                if f.dead {
+                    // The duplicate of a NACKed service: its round trip
+                    // ends here with nothing to deliver.
+                    continue;
+                }
                 // A spurious "retry later" NACK: the round trip completed
                 // but resolved nothing. The entry parks for its backoff and
                 // the faulted warps keep waiting.
@@ -164,7 +178,11 @@ impl CpuHandler {
                         }
                     } else if inj.try_nack(now, &f.entry) {
                         let region = f.entry.region;
-                        self.in_flight.retain(|g| !(g.dup && g.entry.region == region));
+                        for g in &mut self.in_flight {
+                            if g.dup && g.entry.region == region {
+                                g.dead = true;
+                            }
+                        }
                         continue;
                     }
                 }
@@ -265,9 +283,10 @@ impl CpuHandler {
                     entry: entry.clone(),
                     done_at: done + 500,
                     dup: true,
+                    dead: false,
                 });
             }
-            self.in_flight.push(InFlight { entry, done_at: done, dup: false });
+            self.in_flight.push(InFlight { entry, done_at: done, dup: false, dead: false });
             self.stats.peak_in_flight =
                 self.stats.peak_in_flight.max(self.in_flight.len() as u64);
         }
@@ -290,6 +309,15 @@ impl CpuHandler {
             };
         }
         next
+    }
+
+    /// Push-mode wake hook: the current [`CpuHandler::next_event_cycle`]
+    /// when it moved since the last take (the in-flight and deferred sets
+    /// are a handful of entries, so the recompute is cheap). Harvested by
+    /// the engine right after [`CpuHandler::tick`], the only mutator.
+    pub fn take_wake_update(&mut self) -> Option<Cycle> {
+        let current = self.next_event_cycle();
+        self.wake_memo.update(current)
     }
 }
 

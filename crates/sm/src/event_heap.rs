@@ -39,8 +39,13 @@ use std::collections::BinaryHeap;
 /// How the tick loops find the next event cycle during idle windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NextEventMode {
-    /// Lazy-invalidation priority queue ([`NextEventHeap`]); the default.
+    /// Push-based wake events ([`WakeQueue`]); the default. Components
+    /// push their exact next wake cycle at the moment they schedule
+    /// work, so an idle query is a heap peek with zero re-polls.
     #[default]
+    Push,
+    /// Lazy-invalidation priority queue ([`NextEventHeap`]): dirty
+    /// sources are re-polled per idle query (`GEX_NEXT_EVENT=heap`).
     Heap,
     /// The original linear scan over every component per idle iteration.
     /// The reference implementation for equivalence tests, and the A/B
@@ -49,14 +54,77 @@ pub enum NextEventMode {
 }
 
 impl NextEventMode {
-    /// The process default: [`NextEventMode::Heap`] unless the
-    /// environment says `GEX_NEXT_EVENT=scan`.
+    /// The process default: [`NextEventMode::Push`] unless the
+    /// environment says `GEX_NEXT_EVENT=heap` or `GEX_NEXT_EVENT=scan`.
     pub fn from_env() -> Self {
         static MODE: std::sync::OnceLock<NextEventMode> = std::sync::OnceLock::new();
         *MODE.get_or_init(|| match std::env::var("GEX_NEXT_EVENT") {
             Ok(v) if v.eq_ignore_ascii_case("scan") => NextEventMode::Scan,
-            _ => NextEventMode::Heap,
+            Ok(v) if v.eq_ignore_ascii_case("heap") => NextEventMode::Heap,
+            _ => NextEventMode::Push,
         })
+    }
+}
+
+/// A push-based wake-event queue: the zero-re-poll counterpart of
+/// [`NextEventHeap`].
+///
+/// Components push their *exact* next wake cycle at the moment they
+/// schedule work (a DRAM transfer completing, a fault service finishing,
+/// an injector retry coming due), instead of being polled during idle
+/// windows. The idle query, [`WakeQueue::earliest_after`], pops entries
+/// that are already in the past and peeks the rest — O(log n) per stale
+/// entry, O(1) when the front is live.
+///
+/// Correctness rests on one invariant the tick loops uphold: **at query
+/// time, every event at or before `now` has already been consumed** (the
+/// components were ticked this cycle, and components only schedule
+/// strictly-future events). Under that invariant an entry `<= now` is
+/// necessarily stale — its event fired and was handled — so popping it
+/// cannot lose a wake. Duplicate pushes for the same event are harmless:
+/// the extras surface later as stale entries and are popped the same way.
+#[derive(Debug, Clone, Default)]
+pub struct WakeQueue {
+    heap: BinaryHeap<Reverse<Cycle>>,
+    /// Heap length after the last compaction; growth beyond 2x triggers
+    /// the next one.
+    compacted_len: usize,
+}
+
+impl WakeQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WakeQueue { heap: BinaryHeap::new(), compacted_len: 0 }
+    }
+
+    /// Record that some component wakes at exactly `cycle`.
+    #[inline]
+    pub fn push(&mut self, cycle: Cycle) {
+        self.heap.push(Reverse(cycle));
+    }
+
+    /// The earliest recorded wake strictly after `now`, discarding stale
+    /// (already-consumed) entries on the way. `None` means no component
+    /// has any upcoming event — matching the linear scan's `None` as
+    /// long as every scheduled wake was pushed.
+    pub fn earliest_after(&mut self, now: Cycle) -> Option<Cycle> {
+        // Duplicate pushes can pile up future entries faster than pops
+        // retire them; dedup when the heap doubles since last compaction.
+        if self.heap.len() > 4096.max(self.compacted_len * 2) {
+            let mut entries = std::mem::take(&mut self.heap).into_vec();
+            entries.sort_unstable();
+            entries.dedup();
+            entries.retain(|&Reverse(c)| c > now);
+            self.heap = entries.into();
+            self.compacted_len = self.heap.len();
+        }
+        while let Some(&Reverse(c)) = self.heap.peek() {
+            if c > now {
+                return Some(c);
+            }
+            self.heap.pop();
+        }
+        None
     }
 }
 
@@ -205,7 +273,58 @@ mod tests {
     }
 
     #[test]
-    fn mode_default_is_heap() {
-        assert_eq!(NextEventMode::default(), NextEventMode::Heap);
+    fn mode_default_is_push() {
+        assert_eq!(NextEventMode::default(), NextEventMode::Push);
+    }
+
+    #[test]
+    fn wake_queue_pops_stale_and_keeps_future() {
+        let mut q = WakeQueue::new();
+        q.push(5);
+        q.push(12);
+        q.push(9);
+        assert_eq!(q.earliest_after(0), Some(5));
+        // The cycle-5 event fires and is consumed; at now=5 its entry is
+        // stale and must be skipped, not returned.
+        assert_eq!(q.earliest_after(5), Some(9));
+        assert_eq!(q.earliest_after(11), Some(12));
+        assert_eq!(q.earliest_after(12), None);
+        assert_eq!(q.earliest_after(100), None, "drained queue stays empty");
+    }
+
+    #[test]
+    fn wake_queue_duplicates_are_harmless() {
+        let mut q = WakeQueue::new();
+        for _ in 0..10 {
+            q.push(7);
+        }
+        q.push(3);
+        assert_eq!(q.earliest_after(2), Some(3));
+        assert_eq!(q.earliest_after(3), Some(7));
+        assert_eq!(q.earliest_after(7), None);
+    }
+
+    #[test]
+    fn wake_queue_entry_at_now_plus_one_is_live() {
+        // An event scheduled for the very next cycle must be reported:
+        // the tick loops jump only when `next > now + 1`, but the value
+        // itself still participates in the min.
+        let mut q = WakeQueue::new();
+        q.push(43);
+        assert_eq!(q.earliest_after(42), Some(43));
+    }
+
+    #[test]
+    fn wake_queue_compaction_preserves_order() {
+        let mut q = WakeQueue::new();
+        // Flood with duplicates well past the compaction threshold, then
+        // confirm the queue still reports the exact minimum.
+        for i in 0..6_000u64 {
+            q.push(1_000_000 + (i % 17));
+        }
+        q.push(999_999);
+        assert_eq!(q.earliest_after(500_000), Some(999_999));
+        assert_eq!(q.earliest_after(999_999), Some(1_000_000));
+        assert_eq!(q.earliest_after(1_000_016), None);
     }
 }

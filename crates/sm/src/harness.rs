@@ -24,7 +24,7 @@
 use crate::budget::{BudgetExceeded, RunBudget};
 use crate::config::SmConfig;
 use crate::error::SmError;
-use crate::event_heap::{NextEventHeap, NextEventMode};
+use crate::event_heap::{NextEventHeap, NextEventMode, WakeQueue};
 use crate::scheme::Scheme;
 use crate::sm::{KernelSetup, ProbeEvent, Sm, WarpDiag};
 use crate::stats::SmStats;
@@ -231,6 +231,12 @@ impl SingleSmHarness {
         // Heap sources: 0 the memory system, 1 the SM (the engine-style
         // next-event machinery, scaled down to one SM).
         let mut heap = NextEventHeap::new(2);
+        // Push mode: the memory system is the only wake source — the
+        // queue is consulted only while the SM is stalled, and a stalled
+        // SM's internal event heap is empty (`next_event_cycle() ==
+        // None`), exactly what the scan reference sees.
+        let mut wake = WakeQueue::new();
+        let push = self.next_event == NextEventMode::Push;
         loop {
             if let Some(cause) = meter.check(now) {
                 return Err(HarnessError::Budget {
@@ -258,7 +264,14 @@ impl SingleSmHarness {
                 if let Some(e) = sm.take_error() {
                     return Err(HarnessError::Sm(e));
                 }
-                sm.take_completed();
+                sm.drain_completed();
+            }
+            if push {
+                // Harvest after the last memory mutator of the iteration
+                // (its own tick above, plus any accesses the SM started).
+                if let Some(c) = mem.take_wake_update() {
+                    wake.push(c);
+                }
             }
             if sm.is_empty() && pending.is_empty() {
                 break;
@@ -282,6 +295,18 @@ impl SingleSmHarness {
             // exact cycle (the engine's contract).
             if stalled {
                 let next = match self.next_event {
+                    NextEventMode::Push => {
+                        let next = wake.earliest_after(now);
+                        debug_assert_eq!(
+                            next,
+                            match (mem.next_event_cycle(), sm.next_event_cycle()) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            },
+                            "push wake queue diverged from the scan reference at cycle {now}"
+                        );
+                        next
+                    }
                     NextEventMode::Heap => {
                         heap.mark_dirty(0);
                         let (m, s) = (&mem, &sm);

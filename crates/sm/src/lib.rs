@@ -38,7 +38,7 @@ pub mod stats;
 pub use budget::{BudgetExceeded, BudgetMeter, CancelToken, RunBudget};
 pub use config::SmConfig;
 pub use error::{SmError, SmStage};
-pub use event_heap::{NextEventHeap, NextEventMode};
+pub use event_heap::{NextEventHeap, NextEventMode, WakeQueue};
 pub use harness::{HarnessError, SingleSmHarness, SingleSmRun};
 pub use scheme::Scheme;
 pub use sm::{FaultNotice, KernelSetup, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpDiag, WarpState};

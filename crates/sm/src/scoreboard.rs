@@ -14,6 +14,18 @@
 
 use gex_isa::reg::{RegId, NUM_SCOREBOARD};
 
+/// Why an instruction cannot issue this cycle (or that it can).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hazard {
+    /// No hazard; the instruction may issue.
+    None,
+    /// A source register has a pending write.
+    Raw,
+    /// The destination has a pending write (WAW) or live source holds
+    /// (WAR) — the stall-accounting bucket groups both.
+    War,
+}
+
 /// Scoreboard state for one warp.
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
@@ -49,6 +61,27 @@ impl Scoreboard {
             }
         }
         true
+    }
+
+    /// Classify the hazard blocking an instruction reading `srcs` and
+    /// writing `dst`, in one pass. RAW wins when several apply — the same
+    /// priority the stall counters always used.
+    pub fn issue_hazard(
+        &self,
+        srcs: impl IntoIterator<Item = RegId>,
+        dst: Option<RegId>,
+    ) -> Hazard {
+        for s in srcs {
+            if self.pending_write[s.index()] {
+                return Hazard::Raw;
+            }
+        }
+        if let Some(d) = dst {
+            if self.pending_write[d.index()] || self.source_hold[d.index()] > 0 {
+                return Hazard::War;
+            }
+        }
+        Hazard::None
     }
 
     /// Record an issue: holds every source and marks the destination
@@ -125,6 +158,22 @@ mod tests {
         assert!(!sb.can_issue([], Some(r(5))));
         sb.release_dest(Some(r(5)));
         assert!(sb.can_issue([], Some(r(5))));
+    }
+
+    #[test]
+    fn issue_hazard_matches_can_issue_classification() {
+        let mut sb = Scoreboard::new();
+        sb.issue([r(4)], Some(r(3))); // R3 <- ld [R4]
+        assert_eq!(sb.issue_hazard([r(3)], Some(r(8))), Hazard::Raw);
+        assert_eq!(sb.issue_hazard([r(7)], Some(r(3))), Hazard::War, "WAW folds into War");
+        assert_eq!(sb.issue_hazard([r(7)], Some(r(4))), Hazard::War, "WAR before source release");
+        // RAW wins when both a source and the destination are blocked —
+        // the priority the stall counters have always used.
+        assert_eq!(sb.issue_hazard([r(3)], Some(r(3))), Hazard::Raw);
+        assert_eq!(sb.issue_hazard([r(7)], Some(r(8))), Hazard::None);
+        sb.release_sources([r(4)]);
+        sb.release_dest(Some(r(3)));
+        assert_eq!(sb.issue_hazard([r(3)], Some(r(4))), Hazard::None);
     }
 
     #[test]

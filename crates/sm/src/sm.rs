@@ -19,21 +19,48 @@
 //!   `Data`, commit out of order, and may instead *fault*: the instruction
 //!   is squashed, recorded for replay, and the warp parks until the fill
 //!   unit broadcasts the region resolution.
+//!
+//! # Hot-path data layout
+//!
+//! The per-cycle state is organised for cache locality rather than
+//! per-warp encapsulation:
+//!
+//! * Per-warp pipeline state lives in parallel arrays on [`BlockSlot`]
+//!   (struct-of-arrays): the scheduling state, the two stream cursors, the
+//!   fetch-block reason and the scoreboard are each one densely packed
+//!   `Vec` indexed by warp, so issue/fetch walk contiguous memory. Rarely
+//!   touched state (in-flight records, replay queues, fault bookkeeping)
+//!   is segregated into [`WarpCold`] so it never pollutes the hot lines.
+//! * There is no instruction-buffer container at all: because fetch
+//!   appends strictly sequential trace indices and issue consumes them
+//!   strictly in order, the buffered window is always exactly
+//!   `[next_issue, next_fetch)` — two cursors replace the old per-warp
+//!   `VecDeque`, and squashes just snap `next_fetch` back to `next_issue`.
+//! * The `(slot, warp)` scheduling order is persistent and rebuilt lazily
+//!   only when block residency changes (assign/restore/take/drain/
+//!   complete), instead of being re-enumerated every cycle.
+//! * The trace itself is one flat `DynInstr` array per block
+//!   ([`BlockTrace::warp`] returns a subslice), so the issue/fetch/commit
+//!   paths index into a single contiguous allocation.
+//! * Internal pipeline events (source release, fixed-latency completes,
+//!   trap returns) live in a timing wheel ([`EventWheel`]) instead of a
+//!   binary heap: every delay is bounded by a config latency, so
+//!   scheduling is a bucket push and a tick drains exactly the elapsed
+//!   buckets, in the same `(cycle, seq)` order a heap would produce.
 
 use crate::config::{SchedulerPolicy, SmConfig};
 use crate::error::{SmError, SmStage};
 use crate::exec::ExecUnits;
 use crate::operand_log::OperandLog;
 use crate::scheme::Scheme;
-use crate::scoreboard::Scoreboard;
+use crate::scoreboard::{Hazard, Scoreboard};
 use crate::stats::SmStats;
 use gex_isa::op::{Opcode, Space, Unit};
 use gex_isa::reg::RegId;
 use gex_isa::trace::{BlockTrace, DynInstr, DynKind};
 use gex_mem::system::{AccessEvent, AccessKind, AccessToken, MemSystem};
 use gex_mem::{region_of, Cycle};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Scheduling state of one warp.
@@ -72,12 +99,40 @@ struct Inflight {
     log_slots: u32,
 }
 
-#[derive(Debug)]
-struct Warp {
-    state: WarpState,
-    next_issue: usize,
-    next_fetch: usize,
-    ibuffer: VecDeque<usize>,
+/// Multiply-xorshift hasher for the in-flight token map. [`AccessToken`]
+/// is two `u32`s; the default SipHash is measurable on the issue/commit
+/// paths, and a 64-bit multiplicative mix is ample for keys that are a
+/// slot index plus a generation counter.
+#[derive(Default)]
+struct TokenHasher(u64);
+
+impl std::hash::Hasher for TokenHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let x = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+type TokenMap<V> = HashMap<AccessToken, V, std::hash::BuildHasherDefault<TokenHasher>>;
+
+/// Per-warp state that is only touched on faults, replays, traps and
+/// context switches — kept out of the hot arrays.
+#[derive(Debug, Default)]
+struct WarpCold {
     inflight: Vec<Inflight>,
     /// Squashed global-memory instructions pending replay, program order.
     replay: VecDeque<usize>,
@@ -85,8 +140,6 @@ struct Warp {
     /// Trace indices whose arithmetic exception was already handled (their
     /// replay must commit, not re-trap).
     trap_handled: Vec<usize>,
-    sb: Scoreboard,
-    fetch_block: FetchBlock,
 }
 
 /// Adjust the SM's Running-block active-warp count for one warp's state
@@ -109,23 +162,6 @@ fn count_transition(
     }
 }
 
-impl Warp {
-    fn fresh(next_issue: usize, replay: VecDeque<usize>, state: WarpState) -> Self {
-        Warp {
-            state,
-            next_issue,
-            next_fetch: next_issue,
-            ibuffer: VecDeque::new(),
-            inflight: Vec::new(),
-            replay,
-            waiting_regions: Vec::new(),
-            trap_handled: Vec::new(),
-            sb: Scoreboard::new(),
-            fetch_block: FetchBlock::None,
-        }
-    }
-}
-
 /// Run state of a resident block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockState {
@@ -136,13 +172,50 @@ pub enum BlockState {
     Draining,
 }
 
+/// One resident block. Per-warp pipeline state is struct-of-arrays: each
+/// field below marked "by warp" is a dense array indexed by warp id, so
+/// the per-cycle issue/fetch loops touch contiguous memory.
 #[derive(Debug)]
 struct BlockSlot {
     block_id: u32,
     trace: Arc<BlockTrace>,
-    warps: Vec<Warp>,
+    run_state: BlockState,
     barrier_arrived: u32,
-    state: BlockState,
+    /// Scheduling state, by warp.
+    state: Vec<WarpState>,
+    /// Next trace index to issue, by warp. The instruction buffer is the
+    /// window `[next_issue, next_fetch)` — see the module docs.
+    next_issue: Vec<u32>,
+    /// Next trace index to fetch, by warp.
+    next_fetch: Vec<u32>,
+    /// Why fetch is disabled, by warp.
+    fetch_block: Vec<FetchBlock>,
+    /// Pending replay entries, by warp — a hot mirror of
+    /// `cold[w].replay.len()` so the issue path never touches the cold
+    /// array for the (overwhelmingly common) no-replay case.
+    replay_len: Vec<u32>,
+    /// Dynamic trace length, by warp — caches `trace.warp(w).len()` so
+    /// the fetch/progress checks skip the subslice computation.
+    trace_len: Vec<u32>,
+    /// Register scoreboard, by warp.
+    sb: Vec<Scoreboard>,
+    /// Instructions committed this residency, by warp; folded into the
+    /// SM-lifetime map when the block completes or is switched out.
+    retired: Vec<u64>,
+    /// Cold per-warp state (faults, replays, in-flight records), by warp.
+    cold: Vec<WarpCold>,
+}
+
+impl BlockSlot {
+    fn num_warps(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Instructions fetched but not yet issued for `w`.
+    #[inline]
+    fn buffered(&self, w: usize) -> u32 {
+        self.next_fetch[w] - self.next_issue[w]
+    }
 }
 
 /// Kernel-wide parameters an SM needs before blocks arrive.
@@ -283,6 +356,101 @@ enum SmEv {
     TrapDone { slot: u32, warp: u32 },
 }
 
+/// Timing wheel holding the SM's internal pipeline events.
+///
+/// Every event an SM schedules lands a small, config-bounded number of
+/// cycles ahead — source release at `+1`, completes at one pipeline
+/// latency, the trap handler the furthest — so a power-of-two ring of
+/// per-cycle buckets replaces a binary heap: scheduling is a `Vec` push
+/// and a tick drains exactly the buckets of the elapsed cycles.
+/// Equivalence with a heap's `(cycle, seq)` order is structural: buckets
+/// are visited in cycle order and each bucket preserves insertion order.
+#[derive(Debug)]
+struct EventWheel {
+    /// One bucket per cycle residue; the length is a power of two sized
+    /// from the largest configured latency.
+    buckets: Vec<Vec<(Cycle, SmEv)>>,
+    mask: u64,
+    /// Every cycle `<= drained` has been dispatched; pending events lie
+    /// in `(drained, drained + buckets.len()]`.
+    drained: Cycle,
+    pending: usize,
+    /// Lower bound on the earliest pending cycle (never above the true
+    /// minimum), so drains and queries skip empty stretches.
+    min_hint: Cycle,
+}
+
+impl EventWheel {
+    fn new(max_delay: Cycle) -> Self {
+        let len = max_delay.max(1).next_power_of_two() as usize;
+        EventWheel {
+            buckets: vec![Vec::new(); len],
+            mask: len as u64 - 1,
+            drained: 0,
+            pending: 0,
+            min_hint: Cycle::MAX,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Schedule `ev` at `cycle` (strictly after the drain point). Delays
+    /// beyond the horizon grow the wheel; that never happens in practice
+    /// because the horizon is sized from the largest config latency.
+    fn push(&mut self, cycle: Cycle, ev: SmEv) {
+        debug_assert!(cycle > self.drained);
+        if cycle - self.drained > self.buckets.len() as u64 {
+            self.grow(cycle);
+        }
+        self.buckets[(cycle & self.mask) as usize].push((cycle, ev));
+        self.pending += 1;
+        if cycle < self.min_hint {
+            self.min_hint = cycle;
+        }
+    }
+
+    /// Double the wheel until `cycle` fits the horizon, re-bucketing the
+    /// pending events. Per-cycle order is preserved: a cycle's events all
+    /// live in one bucket, and the move keeps each bucket's order.
+    #[cold]
+    fn grow(&mut self, cycle: Cycle) {
+        let mut len = self.buckets.len();
+        while cycle - self.drained > len as u64 {
+            len *= 2;
+        }
+        let mask = len as u64 - 1;
+        let mut buckets = vec![Vec::new(); len];
+        for b in &mut self.buckets {
+            for (c, ev) in b.drain(..) {
+                buckets[(c & mask) as usize].push((c, ev));
+            }
+        }
+        self.buckets = buckets;
+        self.mask = mask;
+    }
+
+    /// Earliest pending cycle. O(wheel size) in the worst case, but only
+    /// consulted on idle-skip paths, where the wheel is usually empty
+    /// (O(1) via the pending count).
+    fn next_cycle(&self) -> Option<Cycle> {
+        if self.pending == 0 {
+            return None;
+        }
+        let start = (self.drained + 1).max(self.min_hint);
+        for c in start..=self.drained + self.buckets.len() as u64 {
+            // The pending window is one wheel turn wide, so a bucket
+            // holds exactly one pending cycle: its head entry's.
+            if let Some(&(cycle, _)) = self.buckets[(c & self.mask) as usize].first() {
+                debug_assert_eq!(cycle, c);
+                return Some(cycle);
+            }
+        }
+        unreachable!("pending events, but no bucket within the horizon")
+    }
+}
+
 /// One streaming multiprocessor. See the [module docs](self).
 #[derive(Debug)]
 pub struct Sm {
@@ -294,9 +462,8 @@ pub struct Sm {
     slots: Vec<Option<BlockSlot>>,
     log: Option<OperandLog>,
     exec: ExecUnits,
-    events: BinaryHeap<Reverse<(Cycle, u64, SmEv)>>,
-    seq: u64,
-    tokens: HashMap<AccessToken, (u32, u32, usize)>,
+    events: EventWheel,
+    tokens: TokenMap<(u32, u32, usize)>,
     completed: Vec<u32>,
     notices: Vec<FaultNotice>,
     fetch_rr: usize,
@@ -306,15 +473,21 @@ pub struct Sm {
     stats: SmStats,
     probe_on: bool,
     probe: Vec<ProbeEvent>,
-    /// Reused per-cycle scheduling scratch (allocation-free ticks).
-    order_buf: Vec<(u32, u32)>,
+    /// Persistent `(slot, warp)` scheduling order over Running blocks, in
+    /// slot-then-warp order. Rebuilt lazily (via `order_dirty`) only when
+    /// block residency changes, not every cycle.
+    order: Vec<(u32, u32)>,
+    order_dirty: bool,
+    /// Reused scratch for draining memory events without allocating.
+    mem_evt_buf: Vec<AccessEvent>,
     /// Warps in [`WarpState::Active`] within [`BlockState::Running`]
     /// blocks, maintained incrementally at every state transition so
     /// [`Sm::is_stalled`] is O(1) instead of a per-cycle all-slot scan.
     active_warps: u32,
     /// Committed instructions per (block id, warp index) — survives block
     /// completion and context switches, so differential runs can compare
-    /// exactly what every warp retired.
+    /// exactly what every warp retired. Updated in bulk from the per-slot
+    /// counters when a block completes or is switched out.
     retired: HashMap<(u32, u32), u64>,
     /// First fatal pipeline error (the run must abort).
     error: Option<SmError>,
@@ -324,6 +497,18 @@ impl Sm {
     /// A new SM with the given id, configuration and exception scheme.
     pub fn new(sm_id: u32, cfg: SmConfig, scheme: Scheme) -> Self {
         let exec = ExecUnits::new(cfg.math_units, cfg.sfu_units, cfg.ldst_units, cfg.branch_units);
+        // The wheel horizon must cover every delay `schedule` can see:
+        // completes land at `now + 1 + fixed_latency`, the trap handler
+        // at `now + trap_handler_cycles`.
+        let max_delay = cfg.trap_handler_cycles.max(
+            1 + cfg
+                .alu_latency
+                .max(cfg.sfu_latency)
+                .max(cfg.branch_latency)
+                .max(cfg.shared_latency)
+                .max(cfg.malloc_latency)
+                .max(1),
+        );
         Sm {
             sm_id,
             cfg,
@@ -332,9 +517,8 @@ impl Sm {
             slots: Vec::new(),
             log: None,
             exec,
-            events: BinaryHeap::new(),
-            seq: 0,
-            tokens: HashMap::new(),
+            events: EventWheel::new(max_delay),
+            tokens: TokenMap::default(),
             completed: Vec::new(),
             notices: Vec::new(),
             fetch_rr: 0,
@@ -343,7 +527,9 @@ impl Sm {
             stats: SmStats::default(),
             probe_on: false,
             probe: Vec::new(),
-            order_buf: Vec::new(),
+            order: Vec::new(),
+            order_dirty: true,
+            mem_evt_buf: Vec::new(),
             active_warps: 0,
             retired: HashMap::new(),
             error: None,
@@ -377,7 +563,18 @@ impl Sm {
         self.stats
     }
 
+    /// Instructions committed so far — the engine's per-cycle progress
+    /// probe, kept separate from [`Sm::stats`] so the hot loop reads one
+    /// counter instead of copying the whole stats block.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
     /// Committed instruction counts per (block id, warp index).
+    ///
+    /// Counts for still-resident blocks are folded in only when the block
+    /// completes or is switched out; once no blocks are resident the map is
+    /// complete.
     pub fn warp_retired(&self) -> &HashMap<(u32, u32), u64> {
         &self.retired
     }
@@ -397,7 +594,7 @@ impl Sm {
     /// one output vector.
     pub fn warp_diagnostics(&self) -> Vec<WarpDiag> {
         let mut out =
-            Vec::with_capacity(self.slots.iter().flatten().map(|b| b.warps.len()).sum());
+            Vec::with_capacity(self.slots.iter().flatten().map(|b| b.num_warps()).sum());
         self.append_warp_diagnostics(&mut out);
         out
     }
@@ -406,16 +603,16 @@ impl Sm {
     /// per SM when the engine snapshots the whole GPU).
     pub fn append_warp_diagnostics(&self, out: &mut Vec<WarpDiag>) {
         for b in self.slots.iter().flatten() {
-            for (wi, w) in b.warps.iter().enumerate() {
+            for w in 0..b.num_warps() {
                 out.push(WarpDiag {
                     sm: self.sm_id,
                     block_id: b.block_id,
-                    warp: wi as u32,
-                    state: w.state,
-                    waiting_regions: w.waiting_regions.clone(),
-                    replay_len: w.replay.len(),
-                    next_issue: w.next_issue,
-                    trace_len: b.trace.warps[wi].instrs.len(),
+                    warp: w as u32,
+                    state: b.state[w],
+                    waiting_regions: b.cold[w].waiting_regions.clone(),
+                    replay_len: b.cold[w].replay.len(),
+                    next_issue: b.next_issue[w] as usize,
+                    trace_len: b.trace.warp(w as u32).len(),
                 });
             }
         }
@@ -434,6 +631,7 @@ impl Sm {
         self.slots = (0..setup.occupancy_blocks).map(|_| None).collect();
         self.log = self.scheme.log_slots().map(|s| OperandLog::new(s, setup.occupancy_blocks));
         self.setup = Some(setup);
+        self.order_dirty = true;
     }
 
     /// Index of a free block slot, if any.
@@ -453,16 +651,25 @@ impl Sm {
     /// Panics if no slot is free or the kernel was not configured.
     pub fn assign_block(&mut self, trace: Arc<BlockTrace>) -> u32 {
         let slot = self.free_slot().expect("no free block slot");
-        let warps: Vec<Warp> =
-            trace.warps.iter().map(|_| Warp::fresh(0, VecDeque::new(), WarpState::Active)).collect();
-        self.active_warps += warps.len() as u32;
+        let n = trace.num_warps() as usize;
+        self.active_warps += n as u32;
+        let trace_len = (0..n).map(|w| trace.warp(w as u32).len() as u32).collect();
         self.slots[slot as usize] = Some(BlockSlot {
             block_id: trace.block_id,
             trace,
-            warps,
+            run_state: BlockState::Running,
             barrier_arrived: 0,
-            state: BlockState::Running,
+            state: vec![WarpState::Active; n],
+            next_issue: vec![0; n],
+            next_fetch: vec![0; n],
+            fetch_block: vec![FetchBlock::None; n],
+            replay_len: vec![0; n],
+            trace_len,
+            sb: vec![Scoreboard::new(); n],
+            retired: vec![0; n],
+            cold: (0..n).map(|_| WarpCold::default()).collect(),
         });
+        self.order_dirty = true;
         slot
     }
 
@@ -471,10 +678,25 @@ impl Sm {
         std::mem::take(&mut self.completed)
     }
 
+    /// Count and forget the blocks that finished since the last call —
+    /// the allocation-free variant of [`Sm::take_completed`] for callers
+    /// that only tally completions.
+    pub fn drain_completed(&mut self) -> u64 {
+        let n = self.completed.len() as u64;
+        self.completed.clear();
+        n
+    }
+
     /// Fault notifications since the last call (drives the local scheduler
     /// of use case 1 and the GPU-local handler of use case 2).
     pub fn take_fault_notices(&mut self) -> Vec<FaultNotice> {
         std::mem::take(&mut self.notices)
+    }
+
+    /// Move pending fault notifications into `out` without giving up the
+    /// internal buffer's capacity (allocation-free in steady state).
+    pub fn drain_fault_notices(&mut self, out: &mut Vec<FaultNotice>) {
+        out.append(&mut self.notices);
     }
 
     /// True if no blocks are resident.
@@ -503,15 +725,15 @@ impl Sm {
         self.slots
             .iter()
             .flatten()
-            .filter(|b| b.state == BlockState::Running)
-            .flat_map(|b| &b.warps)
-            .filter(|w| w.state == WarpState::Active)
+            .filter(|b| b.run_state == BlockState::Running)
+            .flat_map(|b| &b.state)
+            .filter(|&&s| s == WarpState::Active)
             .count() as u32
     }
 
     /// Earliest pending internal completion, for idle skip-ahead.
     pub fn next_event_cycle(&self) -> Option<Cycle> {
-        self.events.peek().map(|Reverse((c, _, _))| *c)
+        self.events.next_cycle()
     }
 
     // ------------------------------------------------- context switching
@@ -520,14 +742,12 @@ impl Sm {
     /// in-flight instructions complete.
     pub fn begin_drain(&mut self, slot: u32) {
         if let Some(b) = self.slots[slot as usize].as_mut() {
-            if b.state == BlockState::Running {
-                self.active_warps -= b
-                    .warps
-                    .iter()
-                    .filter(|w| w.state == WarpState::Active)
-                    .count() as u32;
+            if b.run_state == BlockState::Running {
+                self.active_warps -=
+                    b.state.iter().filter(|&&s| s == WarpState::Active).count() as u32;
             }
-            b.state = BlockState::Draining;
+            b.run_state = BlockState::Draining;
+            self.order_dirty = true;
         }
     }
 
@@ -535,7 +755,7 @@ impl Sm {
     pub fn drained(&self, slot: u32) -> bool {
         self.slots[slot as usize]
             .as_ref()
-            .is_some_and(|b| b.warps.iter().all(|w| w.inflight.is_empty()))
+            .is_some_and(|b| b.cold.iter().all(|c| c.inflight.is_empty()))
     }
 
     /// Extract the architectural state of a drained block, freeing the
@@ -546,40 +766,50 @@ impl Sm {
     /// Panics if the slot is empty or not drained.
     pub fn take_block(&mut self, slot: u32) -> SavedBlock {
         assert!(self.drained(slot), "taking a block with in-flight instructions");
-        let b = self.slots[slot as usize].take().expect("empty slot");
-        if b.state == BlockState::Running {
+        let mut b = self.slots[slot as usize].take().expect("empty slot");
+        if b.run_state == BlockState::Running {
             self.active_warps -=
-                b.warps.iter().filter(|w| w.state == WarpState::Active).count() as u32;
+                b.state.iter().filter(|&&s| s == WarpState::Active).count() as u32;
         }
+        self.order_dirty = true;
         if let Some(log) = &mut self.log {
             log.reset_partition(slot);
         }
         let setup = self.setup.expect("kernel not configured");
-        let threads = b.trace.warps.len() as u64 * 32;
+        let nwarps = b.trace.num_warps() as u64;
+        let threads = nwarps * 32;
         let mut context = threads * setup.regs_per_thread as u64 * 4
             + setup.shared_bytes as u64
-            + b.trace.warps.len() as u64 * self.cfg.warp_control_bytes as u64;
-        for w in &b.warps {
-            context += w.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
+            + nwarps * self.cfg.warp_control_bytes as u64;
+        for c in &b.cold {
+            context += c.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
         }
         if let Some(log) = &self.log {
             context += log.slots_per_partition() as u64 * crate::scheme::LOG_SLOT_BYTES as u64;
         }
         self.stats.blocks_switched_out += 1;
+        // Fold this residency's commit counts into the SM-lifetime map; a
+        // later restore starts its per-slot counters from zero again.
+        for (w, &n) in b.retired.iter().enumerate() {
+            if n > 0 {
+                *self.retired.entry((b.block_id, w as u32)).or_insert(0) += n;
+            }
+        }
+        let mut warps = Vec::with_capacity(b.num_warps());
+        for w in 0..b.num_warps() {
+            let c = std::mem::take(&mut b.cold[w]);
+            warps.push(SavedWarp {
+                state: b.state[w],
+                next_issue: b.next_issue[w] as usize,
+                replay: c.replay,
+                waiting_regions: c.waiting_regions,
+                trap_handled: c.trap_handled,
+            });
+        }
         SavedBlock {
             block_id: b.block_id,
             trace: b.trace,
-            warps: b
-                .warps
-                .into_iter()
-                .map(|w| SavedWarp {
-                    state: w.state,
-                    next_issue: w.next_issue,
-                    replay: w.replay,
-                    waiting_regions: w.waiting_regions,
-                    trap_handled: w.trap_handled,
-                })
-                .collect(),
+            warps,
             barrier_arrived: b.barrier_arrived,
             context_bytes: context,
         }
@@ -592,26 +822,42 @@ impl Sm {
     /// Panics if no slot is free.
     pub fn restore_block(&mut self, saved: SavedBlock) -> u32 {
         let slot = self.free_slot().expect("no free slot for restore");
-        let warps: Vec<Warp> = saved
-            .warps
-            .into_iter()
-            .map(|s| {
-                let state = if s.state == WarpState::Trapped { WarpState::Active } else { s.state };
-                let mut w = Warp::fresh(s.next_issue, s.replay, state);
-                w.waiting_regions = s.waiting_regions;
-                w.trap_handled = s.trap_handled;
-                w
-            })
-            .collect();
-        self.active_warps +=
-            warps.iter().filter(|w| w.state == WarpState::Active).count() as u32;
+        let n = saved.warps.len();
+        let mut state = Vec::with_capacity(n);
+        let mut next_issue = Vec::with_capacity(n);
+        let mut next_fetch = Vec::with_capacity(n);
+        let mut cold = Vec::with_capacity(n);
+        for s in saved.warps {
+            let st = if s.state == WarpState::Trapped { WarpState::Active } else { s.state };
+            state.push(st);
+            next_issue.push(s.next_issue as u32);
+            next_fetch.push(s.next_issue as u32);
+            cold.push(WarpCold {
+                inflight: Vec::new(),
+                replay: s.replay,
+                waiting_regions: s.waiting_regions,
+                trap_handled: s.trap_handled,
+            });
+        }
+        self.active_warps += state.iter().filter(|&&s| s == WarpState::Active).count() as u32;
+        let replay_len = cold.iter().map(|c| c.replay.len() as u32).collect();
+        let trace_len = (0..n).map(|w| saved.trace.warp(w as u32).len() as u32).collect();
         self.slots[slot as usize] = Some(BlockSlot {
             block_id: saved.block_id,
             trace: saved.trace,
-            warps,
+            run_state: BlockState::Running,
             barrier_arrived: saved.barrier_arrived,
-            state: BlockState::Running,
+            state,
+            next_issue,
+            next_fetch,
+            fetch_block: vec![FetchBlock::None; n],
+            replay_len,
+            trace_len,
+            sb: vec![Scoreboard::new(); n],
+            retired: vec![0; n],
+            cold,
         });
+        self.order_dirty = true;
         self.stats.blocks_restored += 1;
         slot
     }
@@ -620,12 +866,13 @@ impl Sm {
     pub fn context_bytes(&self, slot: u32) -> u64 {
         let setup = self.setup.expect("kernel not configured");
         let b = self.slots[slot as usize].as_ref().expect("empty slot");
-        let threads = b.trace.warps.len() as u64 * 32;
+        let nwarps = b.trace.num_warps() as u64;
+        let threads = nwarps * 32;
         let mut context = threads * setup.regs_per_thread as u64 * 4
             + setup.shared_bytes as u64
-            + b.trace.warps.len() as u64 * self.cfg.warp_control_bytes as u64;
-        for w in &b.warps {
-            context += w.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
+            + nwarps * self.cfg.warp_control_bytes as u64;
+        for c in &b.cold {
+            context += c.replay.len() as u64 * self.cfg.replay_entry_bytes as u64;
         }
         if let Some(log) = &self.log {
             context += log.slots_per_partition() as u64 * crate::scheme::LOG_SLOT_BYTES as u64;
@@ -637,7 +884,7 @@ impl Sm {
     pub fn block_has_pending_fault(&self, slot: u32) -> bool {
         self.slots[slot as usize]
             .as_ref()
-            .is_some_and(|b| b.warps.iter().any(|w| w.state == WarpState::Faulted))
+            .is_some_and(|b| b.state.contains(&WarpState::Faulted))
     }
 
     /// Fill-unit broadcast: the 64 KB region containing `region` resolved.
@@ -645,16 +892,16 @@ impl Sm {
     /// replay their squashed instructions.
     pub fn on_region_resolved(&mut self, region: u64) {
         for b in self.slots.iter_mut().flatten() {
-            for w in &mut b.warps {
-                w.waiting_regions.retain(|&r| r != region);
-                if w.state == WarpState::Faulted && w.waiting_regions.is_empty() {
+            for w in 0..b.num_warps() {
+                b.cold[w].waiting_regions.retain(|&r| r != region);
+                if b.state[w] == WarpState::Faulted && b.cold[w].waiting_regions.is_empty() {
                     count_transition(
                         &mut self.active_warps,
-                        b.state,
-                        w.state,
+                        b.run_state,
+                        b.state[w],
                         WarpState::Active,
                     );
-                    w.state = WarpState::Active;
+                    b.state[w] = WarpState::Active;
                 }
             }
         }
@@ -672,31 +919,73 @@ impl Sm {
     }
 
     fn schedule(&mut self, cycle: Cycle, ev: SmEv) {
-        self.seq += 1;
-        self.events.push(Reverse((cycle, self.seq, ev)));
+        self.events.push(cycle, ev);
     }
 
     fn drain_internal(&mut self, now: Cycle) {
-        while let Some(Reverse((c, _, _))) = self.events.peek() {
-            if *c > now {
-                break;
+        if self.events.pending == 0 {
+            self.events.drained = now;
+            self.events.min_hint = Cycle::MAX;
+            return;
+        }
+        let from = self.events.drained;
+        // Advance the drain point up front: handlers schedule relative to
+        // `now`, so the wheel's horizon check must be against `now` even
+        // while older buckets are still being dispatched.
+        self.events.drained = now;
+        // Pending events never lie beyond one wheel turn from the old
+        // drain point, so the walk is bounded even across an idle jump.
+        let last = now.min(from + self.events.buckets.len() as u64);
+        let mut cur = (from + 1).max(self.events.min_hint);
+        while cur <= last && self.events.pending > 0 {
+            let idx = (cur & self.events.mask) as usize;
+            if self.events.buckets[idx].is_empty() {
+                cur += 1;
+                continue;
             }
-            let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
-            match ev {
-                SmEv::Complete { slot, warp, idx } => self.commit(now, slot, warp, idx),
-                SmEv::SrcRelease { slot, warp, idx } => self.release_sources(slot, warp, idx),
-                SmEv::TrapDone { slot, warp } => {
-                    if let Some(b) = self.slots[slot as usize].as_mut() {
-                        let w = &mut b.warps[warp as usize];
-                        if w.state == WarpState::Trapped {
-                            count_transition(
-                                &mut self.active_warps,
-                                b.state,
-                                w.state,
-                                WarpState::Active,
-                            );
-                            w.state = WarpState::Active;
-                        }
+            let mut bucket = std::mem::take(&mut self.events.buckets[idx]);
+            let mut i = 0;
+            while i < bucket.len() && bucket[i].0 <= now {
+                debug_assert_eq!(bucket[i].0, cur);
+                let ev = bucket[i].1;
+                self.events.pending -= 1;
+                self.dispatch_ev(now, ev);
+                i += 1;
+            }
+            if i < bucket.len() {
+                // The tail is a future lap of this bucket; it stays ahead
+                // of anything a handler pushed while it was detached.
+                bucket.drain(..i);
+                let appended = std::mem::replace(&mut self.events.buckets[idx], bucket);
+                self.events.buckets[idx].extend(appended);
+            } else if self.events.buckets[idx].capacity() == 0 {
+                bucket.clear();
+                self.events.buckets[idx] = bucket;
+            }
+            cur += 1;
+        }
+        self.events.min_hint = if self.events.pending == 0 {
+            Cycle::MAX
+        } else {
+            self.events.min_hint.max(now + 1)
+        };
+    }
+
+    fn dispatch_ev(&mut self, now: Cycle, ev: SmEv) {
+        match ev {
+            SmEv::Complete { slot, warp, idx } => self.commit(now, slot, warp, idx),
+            SmEv::SrcRelease { slot, warp, idx } => self.release_sources(slot, warp, idx),
+            SmEv::TrapDone { slot, warp } => {
+                if let Some(b) = self.slots[slot as usize].as_mut() {
+                    let w = warp as usize;
+                    if b.state[w] == WarpState::Trapped {
+                        count_transition(
+                            &mut self.active_warps,
+                            b.run_state,
+                            b.state[w],
+                            WarpState::Active,
+                        );
+                        b.state[w] = WarpState::Active;
                     }
                 }
             }
@@ -704,7 +993,11 @@ impl Sm {
     }
 
     fn drain_memory(&mut self, now: Cycle, mem: &mut MemSystem) {
-        for ev in mem.drain_events(self.sm_id) {
+        // Swap the outbox into a reused scratch vector so the drain
+        // allocates nothing in steady state.
+        let mut buf = std::mem::take(&mut self.mem_evt_buf);
+        mem.drain_events_into(self.sm_id, &mut buf);
+        for ev in buf.drain(..) {
             match ev {
                 AccessEvent::LastTlbCheck { token } => self.on_last_check(now, token),
                 AccessEvent::Data { token } => {
@@ -717,15 +1010,16 @@ impl Sm {
                 }
             }
         }
+        self.mem_evt_buf = buf;
     }
 
     fn release_sources(&mut self, slot: u32, warp: u32, idx: usize) {
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
-        let w = &mut b.warps[warp as usize];
-        if let Some(e) = w.inflight.iter_mut().find(|e| e.idx == idx) {
+        let w = warp as usize;
+        if let Some(e) = b.cold[w].inflight.iter_mut().find(|e| e.idx == idx) {
             if !e.srcs_released {
                 e.srcs_released = true;
-                w.sb.release_sources(e.srcs.iter().flatten().copied());
+                b.sb[w].release_sources(e.srcs.iter().flatten().copied());
             }
         }
     }
@@ -736,9 +1030,9 @@ impl Sm {
         // Replay queue: delayed source release happens here.
         self.release_sources(slot, warp, idx);
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
-        let w = &mut b.warps[warp as usize];
+        let w = warp as usize;
         // Operand log entries release once the instruction cannot fault.
-        if let Some(e) = w.inflight.iter_mut().find(|e| e.idx == idx) {
+        if let Some(e) = b.cold[w].inflight.iter_mut().find(|e| e.idx == idx) {
             if e.log_slots > 0 {
                 if let Some(log) = &mut self.log {
                     log.release(slot, e.log_slots);
@@ -747,8 +1041,8 @@ impl Sm {
             }
         }
         // WD-lastcheck: fetch re-enables at the last TLB check.
-        if self.scheme == Scheme::WdLastCheck && w.fetch_block == FetchBlock::Wd(idx) {
-            w.fetch_block = FetchBlock::None;
+        if self.scheme == Scheme::WdLastCheck && b.fetch_block[w] == FetchBlock::Wd(idx) {
+            b.fetch_block[w] = FetchBlock::None;
         }
     }
 
@@ -758,10 +1052,10 @@ impl Sm {
         self.stats.faults += 1;
         self.stats.squashed += 1;
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
-        let w = &mut b.warps[warp as usize];
+        let w = warp as usize;
         // Squash: undo the instruction's scoreboard effects and remember it
         // for replay.
-        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+        let Some(pos) = b.cold[w].inflight.iter().position(|e| e.idx == idx) else {
             let sm = self.sm_id;
             self.fail(SmError::InflightMissing {
                 stage: SmStage::FaultSquash,
@@ -773,33 +1067,35 @@ impl Sm {
             });
             return;
         };
-        let e = w.inflight.remove(pos);
+        let e = b.cold[w].inflight.remove(pos);
         if !e.srcs_released {
-            w.sb.release_sources(e.srcs.iter().flatten().copied());
+            b.sb[w].release_sources(e.srcs.iter().flatten().copied());
         }
-        w.sb.release_dest(e.dst);
+        b.sb[w].release_dest(e.dst);
         if e.log_slots > 0 {
             if let Some(log) = &mut self.log {
                 log.release(slot, e.log_slots);
             }
         }
         // Insert in program order (multiple instructions can fault).
-        let at = w.replay.iter().position(|&r| r > idx).unwrap_or(w.replay.len());
-        w.replay.insert(at, idx);
-        self.stats.peak_replay_entries = self.stats.peak_replay_entries.max(w.replay.len() as u64);
+        let at =
+            b.cold[w].replay.iter().position(|&r| r > idx).unwrap_or(b.cold[w].replay.len());
+        b.cold[w].replay.insert(at, idx);
+        b.replay_len[w] += 1;
+        self.stats.peak_replay_entries =
+            self.stats.peak_replay_entries.max(b.cold[w].replay.len() as u64);
         // The warp parks; younger fetched-but-unissued instructions flush
         // and will re-fetch after the replay drains.
-        count_transition(&mut self.active_warps, b.state, w.state, WarpState::Faulted);
-        w.state = WarpState::Faulted;
-        w.ibuffer.clear();
-        w.next_fetch = w.next_issue;
-        w.fetch_block = FetchBlock::None;
+        count_transition(&mut self.active_warps, b.run_state, b.state[w], WarpState::Faulted);
+        b.state[w] = WarpState::Faulted;
+        b.next_fetch[w] = b.next_issue[w];
+        b.fetch_block[w] = FetchBlock::None;
         let mut regions: Vec<u64> = pages.iter().map(|&p| region_of(p)).collect();
         regions.sort_unstable();
         regions.dedup();
         for &r in &regions {
-            if !w.waiting_regions.contains(&r) {
-                w.waiting_regions.push(r);
+            if !b.cold[w].waiting_regions.contains(&r) {
+                b.cold[w].waiting_regions.push(r);
             }
         }
         self.notices.push(FaultNotice { slot, warp, queue_pos, regions });
@@ -817,8 +1113,8 @@ impl Sm {
         }
         self.record(slot, warp, idx, ProbeStage::Commit, now);
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
-        let w = &mut b.warps[warp as usize];
-        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+        let w = warp as usize;
+        let Some(pos) = b.cold[w].inflight.iter().position(|e| e.idx == idx) else {
             let sm = self.sm_id;
             self.fail(SmError::InflightMissing {
                 stage: SmStage::Commit,
@@ -830,11 +1126,11 @@ impl Sm {
             });
             return;
         };
-        let e = w.inflight.remove(pos);
+        let e = b.cold[w].inflight.remove(pos);
         if !e.srcs_released {
-            w.sb.release_sources(e.srcs.iter().flatten().copied());
+            b.sb[w].release_sources(e.srcs.iter().flatten().copied());
         }
-        w.sb.release_dest(e.dst);
+        b.sb[w].release_dest(e.dst);
         if e.log_slots > 0 {
             if let Some(log) = &mut self.log {
                 log.release(slot, e.log_slots);
@@ -846,15 +1142,14 @@ impl Sm {
         // Fetch re-enable points: branches at commit (baseline), WD at
         // commit (WD-commit; WD-lastcheck normally re-enabled earlier, but
         // commit also clears it as a safety net).
-        match w.fetch_block {
-            FetchBlock::Branch(i) if i == idx => w.fetch_block = FetchBlock::None,
-            FetchBlock::Wd(i) if i == idx => w.fetch_block = FetchBlock::None,
+        match b.fetch_block[w] {
+            FetchBlock::Branch(i) if i == idx => b.fetch_block[w] = FetchBlock::None,
+            FetchBlock::Wd(i) if i == idx => b.fetch_block[w] = FetchBlock::None,
             _ => {}
         }
         self.stats.committed += 1;
-        *self.retired.entry((b.block_id, warp)).or_insert(0) += 1;
-        let instr = &b.trace.warps[warp as usize].instrs[idx];
-        if instr.kind == DynKind::Barrier {
+        b.retired[w] += 1;
+        if b.trace.warp(warp)[idx].kind == DynKind::Barrier {
             b.barrier_arrived += 1;
         }
         self.after_progress(slot, warp);
@@ -865,15 +1160,14 @@ impl Sm {
     /// the replay commits normally).
     fn trap_if_needed(&mut self, now: Cycle, slot: u32, warp: u32, idx: usize) -> bool {
         let Some(b) = self.slots[slot as usize].as_mut() else { return false };
-        let instr = &b.trace.warps[warp as usize].instrs[idx];
-        if !instr.traps {
+        if !b.trace.warp(warp)[idx].traps {
             return false;
         }
-        let w = &mut b.warps[warp as usize];
-        if w.trap_handled.contains(&idx) {
+        let w = warp as usize;
+        if b.cold[w].trap_handled.contains(&idx) {
             return false; // replay after the handler: commit normally
         }
-        let Some(pos) = w.inflight.iter().position(|e| e.idx == idx) else {
+        let Some(pos) = b.cold[w].inflight.iter().position(|e| e.idx == idx) else {
             let sm = self.sm_id;
             self.fail(SmError::InflightMissing {
                 stage: SmStage::Trap,
@@ -885,19 +1179,20 @@ impl Sm {
             });
             return true;
         };
-        let e = w.inflight.remove(pos);
+        let e = b.cold[w].inflight.remove(pos);
         if !e.srcs_released {
-            w.sb.release_sources(e.srcs.iter().flatten().copied());
+            b.sb[w].release_sources(e.srcs.iter().flatten().copied());
         }
-        w.sb.release_dest(e.dst);
-        let at = w.replay.iter().position(|&r| r > idx).unwrap_or(w.replay.len());
-        w.replay.insert(at, idx);
-        w.trap_handled.push(idx);
-        count_transition(&mut self.active_warps, b.state, w.state, WarpState::Trapped);
-        w.state = WarpState::Trapped;
-        w.ibuffer.clear();
-        w.next_fetch = w.next_issue;
-        w.fetch_block = FetchBlock::None;
+        b.sb[w].release_dest(e.dst);
+        let at =
+            b.cold[w].replay.iter().position(|&r| r > idx).unwrap_or(b.cold[w].replay.len());
+        b.cold[w].replay.insert(at, idx);
+        b.replay_len[w] += 1;
+        b.cold[w].trap_handled.push(idx);
+        count_transition(&mut self.active_warps, b.run_state, b.state[w], WarpState::Trapped);
+        b.state[w] = WarpState::Trapped;
+        b.next_fetch[w] = b.next_issue[w];
+        b.fetch_block[w] = FetchBlock::None;
         self.record(slot, warp, idx, ProbeStage::Fault, now);
         self.stats.squashed += 1;
         self.stats.traps += 1;
@@ -908,40 +1203,46 @@ impl Sm {
     /// Check warp-done, barrier release and block completion for `slot`.
     fn after_progress(&mut self, slot: u32, warp: u32) {
         let Some(b) = self.slots[slot as usize].as_mut() else { return };
-        let trace_len = b.trace.warps[warp as usize].instrs.len();
+        let w = warp as usize;
+        let trace_len = b.trace_len[w];
+        if b.state[w] != WarpState::Done
+            && b.next_issue[w] >= trace_len
+            && b.cold[w].replay.is_empty()
+            && b.cold[w].inflight.is_empty()
         {
-            let w = &mut b.warps[warp as usize];
-            if w.state != WarpState::Done
-                && w.next_issue >= trace_len
-                && w.replay.is_empty()
-                && w.inflight.is_empty()
-            {
-                count_transition(&mut self.active_warps, b.state, w.state, WarpState::Done);
-                w.state = WarpState::Done;
-            }
+            count_transition(&mut self.active_warps, b.run_state, b.state[w], WarpState::Done);
+            b.state[w] = WarpState::Done;
         }
         // Barrier release: every non-done warp has arrived.
-        let total = b.warps.len() as u32;
-        let done = b.warps.iter().filter(|w| w.state == WarpState::Done).count() as u32;
-        let at_bar = b.warps.iter().filter(|w| w.state == WarpState::AtBarrier).count() as u32;
+        let total = b.num_warps() as u32;
+        let done = b.state.iter().filter(|&&s| s == WarpState::Done).count() as u32;
+        let at_bar = b.state.iter().filter(|&&s| s == WarpState::AtBarrier).count() as u32;
         if at_bar > 0 && b.barrier_arrived >= at_bar && at_bar + done == total {
             b.barrier_arrived = 0;
-            for w in &mut b.warps {
-                if w.state == WarpState::AtBarrier {
+            for i in 0..b.num_warps() {
+                if b.state[i] == WarpState::AtBarrier {
                     count_transition(
                         &mut self.active_warps,
-                        b.state,
-                        w.state,
+                        b.run_state,
+                        b.state[i],
                         WarpState::Active,
                     );
-                    w.state = WarpState::Active;
+                    b.state[i] = WarpState::Active;
                 }
             }
             self.stats.barriers += 1;
         }
         if done == total {
+            // Fold the block's per-warp commit counts into the SM-lifetime
+            // map before the slot is freed.
+            for (i, &n) in b.retired.iter().enumerate() {
+                if n > 0 {
+                    *self.retired.entry((b.block_id, i as u32)).or_insert(0) += n;
+                }
+            }
             let id = b.block_id;
             self.slots[slot as usize] = None;
+            self.order_dirty = true;
             if let Some(log) = &mut self.log {
                 log.reset_partition(slot);
             }
@@ -950,104 +1251,174 @@ impl Sm {
         }
     }
 
+    // -------------------------------------------------------- scheduling
+
+    /// Rebuild the persistent `(slot, warp)` order if block residency
+    /// changed since the last rebuild. Warp-state changes do not affect
+    /// membership (the order lists every warp of every Running block), so
+    /// in steady state this is a flag check.
+    fn ensure_order(&mut self) {
+        if !self.order_dirty {
+            return;
+        }
+        self.order_dirty = false;
+        self.order.clear();
+        for s in 0..self.slots.len() {
+            if let Some(b) = &self.slots[s] {
+                if b.run_state != BlockState::Running {
+                    continue;
+                }
+                for w in 0..b.num_warps() {
+                    self.order.push((s as u32, w as u32));
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------ issue
 
     fn issue(&mut self, now: Cycle, mem: &mut MemSystem) {
         let width = self.cfg.issue_width;
-        let nslots = self.slots.len();
-        if nslots == 0 {
+        if self.slots.is_empty() {
+            return;
+        }
+        self.ensure_order();
+        let len = self.order.len();
+        if len == 0 {
+            self.stats.idle_issue_cycles += 1;
             return;
         }
         let mut issued = 0u32;
         let mut warps_used: [(u32, u32); 2] = [(u32::MAX, u32::MAX); 2];
         let mut warps_used_n = 0usize;
-        // Enumerate (slot, warp) pairs in a loose round-robin.
-        let mut order = std::mem::take(&mut self.order_buf);
-        order.clear();
-        for s in 0..nslots {
-            if let Some(b) = &self.slots[s] {
-                if b.state != BlockState::Running {
-                    continue;
-                }
-                for w in 0..b.warps.len() {
-                    order.push((s as u32, w as u32));
-                }
-            }
-        }
-        if order.is_empty() {
-            self.order_buf = order;
-            self.stats.idle_issue_cycles += 1;
-            return;
-        }
         match self.cfg.scheduler {
             SchedulerPolicy::LooseRoundRobin => {
-                let start = self.issue_rr % order.len();
-                order.rotate_left(start);
+                let mut i = self.issue_rr % len;
                 self.issue_rr = self.issue_rr.wrapping_add(1);
+                for _ in 0..len {
+                    if issued >= width {
+                        break;
+                    }
+                    let (slot, warp) = self.order[i];
+                    i += 1;
+                    if i == len {
+                        i = 0;
+                    }
+                    self.issue_from_warp(
+                        now,
+                        mem,
+                        slot,
+                        warp,
+                        width,
+                        &mut issued,
+                        &mut warps_used,
+                        &mut warps_used_n,
+                    );
+                }
             }
             SchedulerPolicy::GreedyThenOldest => {
                 // The greedy warp goes first; the rest stay in age order
                 // (slot then warp index).
-                if let Some(g) = self.greedy_warp {
-                    if let Some(pos) = order.iter().position(|&w| w == g) {
-                        order.remove(pos);
-                        order.insert(0, g);
+                let greedy = match self.greedy_warp {
+                    Some(g) if self.order.contains(&g) => Some(g),
+                    _ => None,
+                };
+                if let Some((slot, warp)) = greedy {
+                    self.issue_from_warp(
+                        now,
+                        mem,
+                        slot,
+                        warp,
+                        width,
+                        &mut issued,
+                        &mut warps_used,
+                        &mut warps_used_n,
+                    );
+                }
+                for k in 0..len {
+                    if issued >= width {
+                        break;
                     }
+                    let (slot, warp) = self.order[k];
+                    if Some((slot, warp)) == greedy {
+                        continue;
+                    }
+                    self.issue_from_warp(
+                        now,
+                        mem,
+                        slot,
+                        warp,
+                        width,
+                        &mut issued,
+                        &mut warps_used,
+                        &mut warps_used_n,
+                    );
                 }
             }
         }
-
-        for &(slot, warp) in &order {
-            if issued >= width {
-                break;
-            }
-            if warps_used_n >= 2 && !warps_used[..warps_used_n].contains(&(slot, warp)) {
-                continue;
-            }
-            // Issue as many as allowed from this warp, in program order.
-            while issued < width {
-                if !self.try_issue_one(now, mem, slot, warp) {
-                    break;
-                }
-                issued += 1;
-                self.greedy_warp = Some((slot, warp));
-                if !warps_used[..warps_used_n].contains(&(slot, warp)) {
-                    warps_used[warps_used_n] = (slot, warp);
-                    warps_used_n += 1;
-                }
-            }
-        }
-        self.order_buf = order;
         if issued == 0 {
             self.stats.idle_issue_cycles += 1;
+        }
+    }
+
+    /// Issue as many instructions as allowed from one warp, in program
+    /// order, honouring the dual-issue limit of two distinct warps.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_from_warp(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemSystem,
+        slot: u32,
+        warp: u32,
+        width: u32,
+        issued: &mut u32,
+        warps_used: &mut [(u32, u32); 2],
+        warps_used_n: &mut usize,
+    ) {
+        if *warps_used_n >= 2 && !warps_used[..*warps_used_n].contains(&(slot, warp)) {
+            return;
+        }
+        while *issued < width {
+            if !self.try_issue_one(now, mem, slot, warp) {
+                break;
+            }
+            *issued += 1;
+            self.greedy_warp = Some((slot, warp));
+            if !warps_used[..*warps_used_n].contains(&(slot, warp)) {
+                warps_used[*warps_used_n] = (slot, warp);
+                *warps_used_n += 1;
+            }
         }
     }
 
     /// Try to issue the next instruction of `warp`; returns true on issue.
     fn try_issue_one(&mut self, now: Cycle, mem: &mut MemSystem, slot: u32, warp: u32) -> bool {
         let Some(b) = self.slots[slot as usize].as_ref() else { return false };
-        let w = &b.warps[warp as usize];
-        if w.state != WarpState::Active {
+        let w = warp as usize;
+        if b.state[w] != WarpState::Active {
             return false;
         }
-        // Next instruction: replay entries first, then the ibuffer.
-        let (idx, from_replay) = if let Some(&r) = w.replay.front() {
-            (r, true)
-        } else if let Some(&i) = w.ibuffer.front() {
-            (i, false)
+        // Next instruction: replay entries first, then the buffered window.
+        debug_assert_eq!(b.replay_len[w] as usize, b.cold[w].replay.len());
+        let (idx, from_replay) = if b.replay_len[w] > 0 {
+            (*b.cold[w].replay.front().expect("replay_len counted"), true)
+        } else if b.buffered(w) > 0 {
+            (b.next_issue[w] as usize, false)
         } else {
             return false;
         };
-        let instr = &b.trace.warps[warp as usize].instrs[idx];
-        // Scoreboard.
-        if !w.sb.can_issue(instr.src_iter(), instr.dst) {
-            let raw = instr.src_iter().any(|s| !w.sb.can_issue([s], None));
-            if raw {
+        let instr = &b.trace.warp(warp)[idx];
+        // Scoreboard: one pass classifies the hazard (or clears the way).
+        match b.sb[w].issue_hazard(instr.src_iter(), instr.dst) {
+            Hazard::Raw => {
                 self.stats.stall_raw += 1;
-            } else {
-                self.stats.stall_war += 1;
+                return false;
             }
-            return false;
+            Hazard::War => {
+                self.stats.stall_war += 1;
+                return false;
+            }
+            Hazard::None => {}
         }
         // Execution unit.
         let interval = self.initiation_interval(instr);
@@ -1095,23 +1466,34 @@ impl Sm {
         let fixed_done = (!is_global).then(|| now + 1 + self.fixed_latency(op, kind, lines));
         {
             let b = self.slots[slot as usize].as_mut().expect("slot checked above");
-            let w = &mut b.warps[warp as usize];
-            w.sb.issue(srcs.iter().flatten().copied(), dst);
+            b.sb[w].issue(srcs.iter().flatten().copied(), dst);
             if from_replay {
-                w.replay.pop_front();
+                b.cold[w].replay.pop_front();
+                b.replay_len[w] -= 1;
             } else {
-                w.ibuffer.pop_front();
-                w.next_issue = idx + 1;
+                b.next_issue[w] += 1;
             }
             // Warp-disable: the barrier semantics follow the instruction
             // through replay too.
             if is_global && warp_disable {
-                w.fetch_block = FetchBlock::Wd(idx);
+                b.fetch_block[w] = FetchBlock::Wd(idx);
             }
-            w.inflight.push(Inflight { idx, dst, srcs, token, srcs_released: false, log_slots });
+            b.cold[w].inflight.push(Inflight {
+                idx,
+                dst,
+                srcs,
+                token,
+                srcs_released: false,
+                log_slots,
+            });
             if kind == DynKind::Barrier {
-                count_transition(&mut self.active_warps, b.state, w.state, WarpState::AtBarrier);
-                w.state = WarpState::AtBarrier;
+                count_transition(
+                    &mut self.active_warps,
+                    b.run_state,
+                    b.state[w],
+                    WarpState::AtBarrier,
+                );
+                b.state[w] = WarpState::AtBarrier;
             }
         }
         let srcs_deferred = is_global && self.scheme.delayed_source_release();
@@ -1154,64 +1536,57 @@ impl Sm {
     // ------------------------------------------------------------ fetch
 
     fn fetch(&mut self, _now: Cycle) {
-        // One warp per cycle refills its ibuffer with up to fetch_width
-        // instructions.
-        let mut order = std::mem::take(&mut self.order_buf);
-        order.clear();
-        for s in 0..self.slots.len() {
-            if let Some(b) = &self.slots[s] {
-                if b.state != BlockState::Running {
-                    continue;
-                }
-                for w in 0..b.warps.len() {
-                    order.push((s as u32, w as u32));
-                }
-            }
-        }
-        if order.is_empty() {
-            self.order_buf = order;
+        // One warp per cycle refills its buffered window with up to
+        // fetch_width instructions.
+        self.ensure_order();
+        let len = self.order.len();
+        if len == 0 {
             return;
         }
-        let start = self.fetch_rr % order.len();
-        order.rotate_left(start);
+        let mut i = self.fetch_rr % len;
         self.fetch_rr = self.fetch_rr.wrapping_add(1);
-
-        for &(slot, warp) in &order {
+        for _ in 0..len {
+            let (slot, warp) = self.order[i];
+            i += 1;
+            if i == len {
+                i = 0;
+            }
             let b = self.slots[slot as usize].as_mut().expect("enumerated above");
-            let trace = &b.trace.warps[warp as usize].instrs;
-            let w = &mut b.warps[warp as usize];
-            if w.state != WarpState::Active && w.state != WarpState::AtBarrier {
+            let w = warp as usize;
+            if b.state[w] != WarpState::Active && b.state[w] != WarpState::AtBarrier {
                 continue;
             }
-            if w.fetch_block != FetchBlock::None {
+            if b.fetch_block[w] != FetchBlock::None {
                 self.stats.fetch_blocked += 1;
                 continue;
             }
-            if w.ibuffer.len() as u32 >= self.cfg.ibuffer_entries || w.next_fetch >= trace.len() {
+            let trace_len = b.trace_len[w];
+            if b.next_fetch[w] - b.next_issue[w] >= self.cfg.ibuffer_entries
+                || b.next_fetch[w] >= trace_len
+            {
                 continue;
             }
             // This warp fetches this cycle.
+            let trace = b.trace.warp(warp);
             for _ in 0..self.cfg.fetch_width {
-                if w.ibuffer.len() as u32 >= self.cfg.ibuffer_entries
-                    || w.next_fetch >= trace.len()
+                if b.next_fetch[w] - b.next_issue[w] >= self.cfg.ibuffer_entries
+                    || b.next_fetch[w] >= trace_len
                 {
                     break;
                 }
-                let idx = w.next_fetch;
-                w.ibuffer.push_back(idx);
-                w.next_fetch += 1;
+                let idx = b.next_fetch[w] as usize;
+                b.next_fetch[w] += 1;
                 let instr = &trace[idx];
                 if instr.op.is_control() {
-                    w.fetch_block = FetchBlock::Branch(idx);
+                    b.fetch_block[w] = FetchBlock::Branch(idx);
                     break;
                 }
                 if self.scheme.warp_disable() && instr.can_fault() {
-                    w.fetch_block = FetchBlock::Wd(idx);
+                    b.fetch_block[w] = FetchBlock::Wd(idx);
                     break;
                 }
             }
             break; // only one warp fetches per cycle
         }
-        self.order_buf = order;
     }
 }

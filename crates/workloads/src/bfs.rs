@@ -106,8 +106,7 @@ mod tests {
             .trace
             .blocks
             .iter()
-            .flat_map(|b| &b.warps)
-            .flat_map(|wp| &wp.instrs)
+            .flat_map(|b| b.instrs().iter())
             .filter(|d| d.active != gex_isa::FULL_MASK && d.active != 0)
             .count();
         assert!(partial > 0, "frontier check must diverge");
@@ -120,7 +119,7 @@ mod tests {
         // Edge relaxations run under the frontier mask: the average atomic
         // executes with far fewer than 32 active lanes.
         let (mut lanes, mut count) = (0u64, 0u64);
-        for d in w.trace.blocks.iter().flat_map(|b| &b.warps).flat_map(|wp| &wp.instrs) {
+        for d in w.trace.blocks.iter().flat_map(|b| b.instrs().iter()) {
             if matches!(d.op, gex_isa::op::Opcode::Atom(..)) {
                 lanes += d.active.count_ones() as u64;
                 count += 1;

@@ -134,8 +134,8 @@ mod tests {
     fn cutoff_guard_present() {
         let w = build(Preset::Test);
         // SFU rsqrt appears (inside the cutoff guard).
-        let sfu = w.trace.blocks[0].warps[0]
-            .instrs
+        let sfu = w.trace.blocks[0]
+            .warp(0)
             .iter()
             .filter(|d| d.unit == gex_isa::op::Unit::Sfu)
             .count();

@@ -106,14 +106,10 @@ mod tests {
     #[test]
     fn sfu_heavy_mix() {
         let w = build(Preset::Test);
-        let sfu = w.trace.blocks[0].warps[0]
-            .instrs
-            .iter()
-            .filter(|d| d.unit == Unit::Sfu)
-            .count();
-        let total = w.trace.blocks[0].warps[0].instrs.len();
+        let sfu = w.trace.blocks[0].warp(0).iter().filter(|d| d.unit == Unit::Sfu).count();
+        let total = w.trace.blocks[0].warp(0).len();
         assert!(sfu * 8 > total, "sin/cos per sample: {sfu} SFU of {total}");
-        assert!(w.trace.blocks[0].warps[0].instrs.iter().any(|d| d.op == Opcode::FSin));
+        assert!(w.trace.blocks[0].warp(0).iter().any(|d| d.op == Opcode::FSin));
     }
 
     #[test]

@@ -111,8 +111,7 @@ mod tests {
             .trace
             .blocks
             .iter()
-            .flat_map(|b| &b.warps)
-            .flat_map(|wp| &wp.instrs)
+            .flat_map(|b| b.instrs().iter())
             .filter(|d| d.active != gex_isa::FULL_MASK && d.active != 0)
             .count();
         assert!(partial > 0, "tree construction must diverge");

@@ -129,8 +129,7 @@ mod tests {
             .trace
             .blocks
             .iter()
-            .flat_map(|b| &b.warps)
-            .flat_map(|wp| &wp.instrs)
+            .flat_map(|b| b.instrs().iter())
             .filter_map(|d| d.mem.as_ref())
             .filter(|m| m.space == Space::Global && !m.is_store)
             .map(|m| m.lines.len())
@@ -147,8 +146,7 @@ mod tests {
             .trace
             .blocks
             .iter()
-            .flat_map(|b| &b.warps)
-            .flat_map(|wp| &wp.instrs)
+            .flat_map(|b| b.instrs().iter())
             .filter(|d| d.active != gex_isa::FULL_MASK)
             .count();
         assert!(partial > 0, "row-length divergence expected");
