@@ -1,0 +1,102 @@
+//! `gex-served` — the campaign server daemon.
+//!
+//! Binds a TCP listener, recovers any campaigns found in the journal
+//! directory, and serves the JSON-lines campaign protocol until a client
+//! sends `shutdown` (or the process is killed — which is safe: restart
+//! with the same `--journal-dir` and every accepted campaign resumes).
+//!
+//! ```text
+//! cargo run -p gex-bench --release --bin gex-served -- \
+//!     [--addr HOST:PORT] [--journal-dir DIR] [--batch N] \
+//!     [--max-pending N] [--max-campaigns N] [--fault-budget N] \
+//!     [--deadline-cycles N] [--retries N] [--idle-timeout-ms N] \
+//!     [--threads N]
+//! ```
+//!
+//! Defaults: `127.0.0.1:0` (a free port — the bound address is printed as
+//! the first stdout line, `gex-served listening on ADDR`, so wrappers and
+//! tests can scrape it), no journal directory (in-memory only), batch =
+//! one point per pool worker, 1024 queued points, 64 campaigns, tenant
+//! fault budget 4, unlimited per-point budget, 30 s socket timeout.
+
+use gex::{RunBudget, SupervisePolicy};
+use gex_serve::server::{self, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gex-served [--addr HOST:PORT] [--journal-dir DIR] [--batch N] \
+         [--max-pending N] [--max-campaigns N] [--fault-budget N] \
+         [--deadline-cycles N] [--retries N] [--idle-timeout-ms N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("gex-served: {flag} needs {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("an address"),
+            "--journal-dir" => cfg.journal_dir = Some(value("a directory").into()),
+            "--batch" => cfg.batch = value("a count").parse().unwrap_or_else(|_| usage()),
+            "--max-pending" => {
+                cfg.max_pending_points = value("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-campaigns" => {
+                cfg.max_campaigns = value("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--fault-budget" => {
+                cfg.tenant_fault_budget = value("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-cycles" => {
+                let n: u64 = value("a cycle count").parse().unwrap_or_else(|_| usage());
+                cfg.policy = SupervisePolicy { budget: RunBudget::cycles(n), ..cfg.policy };
+            }
+            "--retries" => {
+                cfg.policy.max_retries = value("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("milliseconds").parse().unwrap_or_else(|_| usage());
+                cfg.idle_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--threads" => {
+                gex_exec::set_threads(value("a count").parse().unwrap_or_else(|_| usage()))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gex-served: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    // Worker panics are an expected, supervised event (poisoned points
+    // are caught at the job boundary and quarantined); a full backtrace
+    // per panicking point would drown the log. One line each.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("gex-served: supervised panic: {info}");
+    }));
+
+    let handle = match server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gex-served: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The first stdout line is machine-readable: wrappers scrape the
+    // bound address from it (port 0 resolves to a free port).
+    println!("gex-served listening on {}", handle.addr());
+    handle.wait();
+    // Stdout may be a pipe whose reader stopped caring after the banner
+    // (wrappers scrape only the first line); the farewell must not panic.
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "gex-served stopped");
+}

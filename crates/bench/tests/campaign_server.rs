@@ -1,0 +1,179 @@
+//! The crash-safety keystone, end to end against the real daemon binary:
+//! start `gex-served`, submit two concurrent campaigns from different
+//! tenants (one healthy, one poisoned with a panicking injection plan),
+//! `SIGKILL` the daemon mid-run, restart it on the same journal
+//! directory, and assert that
+//!
+//! * the healthy campaign resumes and completes with results
+//!   byte-identical to a serial in-process reference run, and
+//! * the poisoned campaign is quarantined with its tenant still locked
+//!   out after the restart.
+
+use gex::workloads::suite;
+use gex::{PagingMode, Preset, Scheme};
+use gex_serve::wire::Inject;
+use gex_serve::{CampaignSpec, Client, ClientConfig, ClientError, PointResult};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Start the real `gex-served` binary on a free port and scrape the
+/// bound address from its first stdout line.
+fn start_daemon(journal_dir: &std::path::Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gex-served"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--journal-dir",
+            journal_dir.to_str().unwrap(),
+            "--batch",
+            "1",
+            "--fault-budget",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gex-served");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("daemon banner");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address in banner")
+        .to_string();
+    assert!(line.contains("listening"), "unexpected banner: {line}");
+    Daemon { child, addr }
+}
+
+fn client(addr: &str) -> Client {
+    Client::connect(
+        addr,
+        ClientConfig {
+            connect_retries: 20,
+            backoff: Duration::from_millis(25),
+            timeout: Duration::from_secs(60),
+        },
+    )
+    .expect("connect to daemon")
+}
+
+#[test]
+fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
+    let dir = std::env::temp_dir()
+        .join(format!("gex-campaign-sigkill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let schemes = [Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue];
+    let workloads = ["histo", "lbm", "sgemm", "spmv"];
+    let healthy = CampaignSpec::new(
+        Preset::Test,
+        2,
+        workloads.iter().map(|s| s.to_string()).collect(),
+        schemes.to_vec(),
+    );
+    let mut poisoned = CampaignSpec::new(
+        Preset::Test,
+        2,
+        vec!["histo".to_string()],
+        schemes.to_vec(),
+    );
+    poisoned.inject = Some(Inject::Panic);
+
+    // Phase 1: submit both campaigns, wait for partial progress, SIGKILL.
+    let first = start_daemon(&dir);
+    {
+        let mut c = client(&first.addr);
+        let admitted = c.submit("alice", "big", &healthy).expect("admit healthy");
+        assert_eq!(admitted.points, 12);
+        c.submit("chaos", "bomb", &poisoned).expect("admit poisoned");
+
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            assert!(Instant::now() < deadline, "no progress before the kill window");
+            let st = c.status("alice", "big").expect("status");
+            if st.done >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let mut child = first.child;
+    child.kill().expect("SIGKILL the daemon"); // Child::kill is SIGKILL on unix
+    child.wait().expect("reap");
+
+    // Phase 2: a fresh daemon on the same journal directory.
+    let second = start_daemon(&dir);
+    let mut c = client(&second.addr);
+
+    // The healthy campaign resumed without any client re-submit and runs
+    // to completion.
+    let done = c
+        .wait("alice", "big", Duration::from_millis(25))
+        .expect("healthy campaign finishes after restart");
+    assert_eq!(done.state, "done", "healthy campaign must complete: {done:?}");
+    assert_eq!(done.done, 12);
+    assert!(done.resumed >= 1, "restart must serve journaled points from disk");
+
+    // Byte-identical to a serial in-process reference: the daemon adds
+    // supervision, scheduling, a kill and a restart — never different
+    // numbers.
+    let (_, points) = c.results("alice", "big").expect("results");
+    assert_eq!(points.len(), 12);
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else {
+            panic!("healthy campaign must have no failed points: {p:?}")
+        };
+        let (wname, sdbg) = key.split_once('/').unwrap();
+        let scheme = *schemes.iter().find(|s| format!("{s:?}") == sdbg).unwrap();
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let reference = gex::run_workload(&w, scheme, PagingMode::AllResident, 2);
+        assert_eq!(
+            reference.cycles, *cycles,
+            "{key}: post-crash result must equal the serial reference"
+        );
+    }
+
+    // The poisoned campaign is terminal-quarantined, and its tenant's
+    // fault history survived the kill: new submits stay rejected.
+    let bomb = c
+        .wait("chaos", "bomb", Duration::from_millis(25))
+        .expect("poisoned campaign reaches a terminal state");
+    assert_eq!(bomb.state, "quarantined", "poisoned campaign: {bomb:?}");
+    assert_eq!(bomb.done, 0, "no poisoned point may report success");
+    assert_eq!(bomb.quarantined, 3);
+    match c.submit("chaos", "retry", &healthy) {
+        Err(ClientError::Rejected(m)) => {
+            assert!(m.contains("quarantined"), "tenant lockout survives restart: {m}")
+        }
+        other => panic!("quarantined tenant must stay locked out, got {other:?}"),
+    }
+
+    // Graceful stop this time.
+    c.shutdown().expect("shutdown op");
+    let mut child = second.child;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "clean daemon exit, got {status}");
+                break;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            None => {
+                let _ = child.kill();
+                panic!("daemon did not stop after the shutdown op");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -39,6 +39,7 @@
 //!   multi-grid sweeps. Evictions show up in [`stats`].
 
 use crate::journal::digest;
+use crate::poison;
 use gex_sim::{Gpu, GpuRunReport, PagingMode, Residency, SimError};
 use gex_workloads::Workload;
 use std::collections::HashMap;
@@ -220,14 +221,14 @@ pub fn stats() -> CacheStats {
 
 /// Number of finished reports currently held.
 pub fn len() -> usize {
-    cache().shards.iter().map(|s| s.map.lock().unwrap().len()).sum()
+    cache().shards.iter().map(|s| poison::lock(&s.map).len()).sum()
 }
 
 /// Drop every cached report (counters keep running). Long multi-preset
 /// campaigns can call this between phases to bound memory.
 pub fn clear() {
     for s in &cache().shards {
-        s.map.lock().unwrap().clear();
+        poison::lock(&s.map).clear();
     }
 }
 
@@ -275,7 +276,11 @@ struct BuildGuard<'a> {
 impl Drop for BuildGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.shard.map.lock().unwrap().remove(&self.key);
+            // This drop runs while unwinding from a panicking build;
+            // recovering from a poisoned lock (rather than double
+            // panicking and aborting) is what lets the supervisor
+            // quarantine the point and keep the shard usable.
+            poison::lock(&self.shard.map).remove(&self.key);
             self.shard.ready.notify_all();
         }
     }
@@ -297,7 +302,11 @@ pub fn run_cached(
     let key = key_of(gpu, w, residency);
     let shard = &c.shards[(digest(&key) as usize) % SHARDS];
     {
-        let mut map = shard.map.lock().unwrap();
+        // Poison-recovering locks throughout: a worker that panics near
+        // the cache must not wedge the shard for every other tenant (the
+        // map is consistent at every lock release; `BuildGuard` clears
+        // half-built entries).
+        let mut map = poison::lock(&shard.map);
         let mut waited = false;
         loop {
             match map.get_mut(&key) {
@@ -314,7 +323,7 @@ pub fn run_cached(
                     // the build fails we fall through to the `None` arm
                     // and simulate ourselves.
                     waited = true;
-                    map = shard.ready.wait(map).unwrap();
+                    map = poison::wait(&shard.ready, map);
                 }
                 None => {
                     map.insert(key.clone(), Slot::Building);
@@ -329,7 +338,7 @@ pub fn run_cached(
     let report = Arc::new(report);
     guard.armed = false;
     {
-        let mut map = shard.map.lock().unwrap();
+        let mut map = poison::lock(&shard.map);
         if let Some(cap) = per_shard_cap(cap()) {
             let evicted = evict_to_cap(&mut map, cap);
             if evicted > 0 {

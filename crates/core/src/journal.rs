@@ -19,10 +19,11 @@
 //! serialization dependency): one object per line, string keys escaped
 //! minimally.
 
+use crate::poison;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// FNV-1a over `input` — the campaign digest. Stable across runs and
@@ -37,7 +38,10 @@ pub fn digest(input: &str) -> u64 {
     h
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape `s` for embedding in a double-quoted JSON string: quotes,
+/// backslashes and control characters only (the journal and the campaign
+/// server's wire protocol both speak this minimal dialect).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -50,7 +54,8 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_unescape(s: &str) -> String {
+/// Undo [`json_escape`].
+pub fn json_unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -76,7 +81,7 @@ fn json_unescape(s: &str) -> String {
 
 /// Extract the string field `name` from a one-line JSON object, honouring
 /// escapes. Returns `None` if the field is absent or malformed.
-fn field_str(line: &str, name: &str) -> Option<String> {
+pub fn field_str(line: &str, name: &str) -> Option<String> {
     let pat = format!("\"{name}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -96,7 +101,7 @@ fn field_str(line: &str, name: &str) -> Option<String> {
 }
 
 /// Extract the unsigned integer field `name` from a one-line JSON object.
-fn field_u64(line: &str, name: &str) -> Option<u64> {
+pub fn field_u64(line: &str, name: &str) -> Option<u64> {
     let pat = format!("\"{name}\":");
     let start = line.find(&pat)? + pat.len();
     let digits: String =
@@ -128,16 +133,26 @@ impl CampaignJournal {
         let digest_hex = format!("{digest:016x}");
         let mut entries = HashMap::new();
         let mut valid = false;
+        let mut complete_len = 0u64;
         if let Ok(existing) = std::fs::read_to_string(path) {
-            let mut lines = existing.lines();
+            // Only bytes up to the last newline are trustworthy. The tail
+            // of a killed write can be a truncated record that *still
+            // parses* — `{"key":"b","cycles":42` cut from `...423}` would
+            // resume b with the wrong count — so a line counts only once
+            // its newline hit the disk.
+            let complete = match existing.rfind('\n') {
+                Some(i) => &existing[..=i],
+                None => "",
+            };
+            complete_len = complete.len() as u64;
+            let mut lines = complete.lines();
             if let Some(header) = lines.next() {
                 valid = field_u64(header, "gex_campaign") == Some(1)
                     && field_str(header, "digest").as_deref() == Some(&digest_hex);
             }
             if valid {
                 for line in lines {
-                    // A partial trailing line (killed mid-write) simply
-                    // fails to parse and is skipped.
+                    // A complete line that fails to parse is skipped.
                     if let (Some(key), Some(cycles)) =
                         (field_str(line, "key"), field_u64(line, "cycles"))
                     {
@@ -147,7 +162,11 @@ impl CampaignJournal {
             }
         }
         let file = if valid {
-            OpenOptions::new().append(true).open(path)?
+            let f = OpenOptions::new().append(true).open(path)?;
+            // Drop the torn tail before appending: writing after it would
+            // merge the next record into one corrupt line and lose it.
+            f.set_len(complete_len)?;
+            f
         } else {
             entries.clear();
             let mut f = File::create(path)?;
@@ -162,14 +181,19 @@ impl CampaignJournal {
     /// The journaled value for `key`, if the point already completed in a
     /// previous (or the current) run.
     pub fn get(&self, key: &str) -> Option<u64> {
-        self.entries.lock().unwrap().get(key).copied()
+        poison::lock(&self.entries).get(key).copied()
     }
 
     /// Record a completed point. Appended to the file and flushed before
     /// returning, so the entry survives a kill right after this call.
+    ///
+    /// Locks recover from poisoning: a worker thread that panicked while
+    /// journaling must not wedge the journal for every other tenant of
+    /// the process (each record is a single insert + whole-line append,
+    /// so the state behind a poisoned lock is still consistent).
     pub fn record(&self, key: &str, cycles: u64) {
-        self.entries.lock().unwrap().insert(key.to_string(), cycles);
-        let mut f = self.file.lock().unwrap();
+        poison::lock(&self.entries).insert(key.to_string(), cycles);
+        let mut f = poison::lock(&self.file);
         let _ = writeln!(f, "{{\"key\":\"{}\",\"cycles\":{cycles}}}", json_escape(key));
         let _ = f.flush();
     }
@@ -182,13 +206,111 @@ impl CampaignJournal {
 
     /// Total points currently journaled (resumed plus newly recorded).
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        poison::lock(&self.entries).len()
+    }
+
+    /// Snapshot of every journaled `(key, cycles)` pair, in unspecified
+    /// order. The campaign server uses this to rebuild completed points
+    /// after a restart.
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        poison::lock(&self.entries).iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// True when nothing is journaled yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+// -------------------------------------------------- campaign manifests
+
+/// The durable record of an accepted campaign: enough to rebuild the
+/// campaign after a crash of the process that accepted it.
+///
+/// A long-running campaign server writes one manifest per accepted
+/// campaign into its journal directory, next to the campaign's
+/// [`CampaignJournal`] (both named by the campaign digest). On restart it
+/// lists the manifests, reconstructs each campaign from the opaque `spec`
+/// string, and resumes from the journal — completed points are served
+/// from disk byte-identically, only missing ones re-simulate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignManifest {
+    /// Stable campaign identity (the server uses `tenant/campaign`).
+    pub id: String,
+    /// Owning tenant, for per-tenant scheduling and fault accounting.
+    pub tenant: String,
+    /// Campaign digest: keys the journal header and names both files.
+    pub digest: u64,
+    /// Opaque single-line serialized campaign spec; the writer defines
+    /// the format (newlines are escaped away by the manifest encoding).
+    pub spec: String,
+}
+
+impl CampaignManifest {
+    /// Write the manifest into `dir` as `<digest>.manifest`, atomically
+    /// (tempfile + rename), creating `dir` if needed. A kill between any
+    /// two instructions leaves either no manifest or a complete one.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = manifest_path(dir, self.digest);
+        let tmp = path.with_extension("manifest.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(
+                f,
+                "{{\"gex_manifest\":1,\"id\":\"{}\",\"tenant\":\"{}\",\"digest\":\"{:016x}\",\"spec\":\"{}\"}}",
+                json_escape(&self.id),
+                json_escape(&self.tenant),
+                self.digest,
+                json_escape(&self.spec),
+            )?;
+            f.flush()?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Parse a manifest file; `None` for files that are not (complete)
+    /// manifests — a torn or foreign file is skipped, never fatal.
+    pub fn load(path: &Path) -> Option<CampaignManifest> {
+        let content = std::fs::read_to_string(path).ok()?;
+        let line = content.lines().next()?;
+        if field_u64(line, "gex_manifest") != Some(1) {
+            return None;
+        }
+        let digest = u64::from_str_radix(&field_str(line, "digest")?, 16).ok()?;
+        Some(CampaignManifest {
+            id: field_str(line, "id")?,
+            tenant: field_str(line, "tenant")?,
+            digest,
+            spec: field_str(line, "spec")?,
+        })
+    }
+}
+
+/// The manifest path for a campaign digest inside `dir`.
+pub fn manifest_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("{digest:016x}.manifest"))
+}
+
+/// The journal path for a campaign digest inside `dir`.
+pub fn journal_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("{digest:016x}.jsonl"))
+}
+
+/// Every parseable manifest in `dir`, sorted by id for deterministic
+/// resume order. A missing directory is an empty campaign set, torn or
+/// foreign files are skipped — a crash-landed directory always loads.
+pub fn list_manifests(dir: &Path) -> Vec<CampaignManifest> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut out: Vec<CampaignManifest> = entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "manifest"))
+        .filter_map(|e| CampaignManifest::load(&e.path()))
+        .collect();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
 }
 
 #[cfg(test)]
@@ -245,6 +367,41 @@ mod tests {
         assert_eq!(j.resumed_points(), 0, "mismatched digest must be ignored");
         assert!(j.is_empty());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn manifests_round_trip_through_a_directory() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("gex-manifests-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = CampaignManifest {
+            id: "alice/fig10".to_string(),
+            tenant: "alice".to_string(),
+            digest: digest("alice/fig10|grid"),
+            spec: "preset=Test sms=2 \"quoted\"\nsecond line".to_string(),
+        };
+        let b = CampaignManifest {
+            id: "bob/fig13".to_string(),
+            tenant: "bob".to_string(),
+            digest: digest("bob/fig13|grid"),
+            spec: "preset=Paper".to_string(),
+        };
+        b.save(&dir).unwrap();
+        a.save(&dir).unwrap();
+        // Foreign and torn files are skipped, not fatal.
+        std::fs::write(dir.join("junk.manifest"), "not a manifest").unwrap();
+        std::fs::write(dir.join("readme.txt"), "ignore me").unwrap();
+        let listed = list_manifests(&dir);
+        assert_eq!(listed, vec![a.clone(), b], "sorted by id, junk skipped");
+        assert_eq!(CampaignManifest::load(&manifest_path(&dir, a.digest)), Some(a));
+        assert_ne!(manifest_path(&dir, 1), journal_path(&dir, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_directory_is_an_empty_set() {
+        let dir = std::env::temp_dir().join("gex-manifests-nonexistent-dir");
+        assert!(list_manifests(&dir).is_empty());
     }
 
     #[test]

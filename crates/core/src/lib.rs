@@ -37,6 +37,7 @@
 pub mod cache;
 pub mod experiments;
 pub mod journal;
+mod poison;
 pub mod session;
 pub mod supervise;
 
@@ -55,7 +56,7 @@ pub use gex_sim::{
     WatchdogDiagnostic,
 };
 pub use gex_sm::Scheme;
-pub use journal::CampaignJournal;
+pub use journal::{CampaignJournal, CampaignManifest};
 pub use session::Session;
 pub use supervise::{
     run_supervised, FailureKind, QuarantineRecord, QuarantineReport, SupervisePolicy,

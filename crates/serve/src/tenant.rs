@@ -1,0 +1,223 @@
+//! Weighted round-robin tenant scheduling.
+//!
+//! The server serializes every tenant's pending points into one dispatch
+//! order. Plain FIFO would let one tenant's thousand-point campaign
+//! starve everyone else's ten-point grid; strict alternation would ignore
+//! paid-for capacity differences. Credit-based weighted round-robin gives
+//! each tenant a share of the simulator pool proportional to its weight
+//! while staying O(tenants) per dequeue and fully deterministic — the
+//! dispatch order is a pure function of the enqueue history, which keeps
+//! the server's behaviour reproducible under test.
+
+use std::collections::VecDeque;
+
+/// One schedulable unit: point `index` of campaign `campaign`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Campaign id (`tenant/campaign`).
+    pub campaign: String,
+    /// Point index within the campaign grid.
+    pub index: usize,
+}
+
+#[derive(Debug)]
+struct TenantQueue {
+    name: String,
+    weight: u32,
+    credits: u32,
+    queue: VecDeque<Job>,
+}
+
+/// Credit-based weighted round-robin over per-tenant FIFO queues.
+///
+/// Each round, every tenant with pending work holds `weight` credits; the
+/// scheduler cycles through tenants, spending one credit per dequeued
+/// job, and refills everyone when no tenant with work has credits left.
+/// Over any window where tenants A (weight 1) and B (weight 2) both stay
+/// backlogged, B receives two dispatches for each of A's.
+#[derive(Debug, Default)]
+pub struct TenantScheduler {
+    tenants: Vec<TenantQueue>,
+    cursor: usize,
+}
+
+impl TenantScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        TenantScheduler::default()
+    }
+
+    /// Append `job` to `tenant`'s queue, (re-)registering the tenant at
+    /// `weight`. A tenant's weight is the maximum weight any of its live
+    /// campaigns asked for.
+    pub fn enqueue(&mut self, tenant: &str, weight: u32, job: Job) {
+        let weight = weight.max(1);
+        match self.tenants.iter_mut().find(|t| t.name == tenant) {
+            Some(t) => {
+                if weight > t.weight {
+                    t.weight = weight;
+                }
+                t.queue.push_back(job);
+            }
+            None => self.tenants.push(TenantQueue {
+                name: tenant.to_string(),
+                weight,
+                // Join mid-round with fresh credits so a new tenant is
+                // not frozen out until the next refill.
+                credits: weight,
+                queue: VecDeque::from([job]),
+            }),
+        }
+    }
+
+    /// The next job under weighted round-robin, or `None` when every
+    /// queue is empty.
+    pub fn dequeue(&mut self) -> Option<Job> {
+        if self.tenants.iter().all(|t| t.queue.is_empty()) {
+            return None;
+        }
+        loop {
+            // Refill when no tenant that still has work also has credits
+            // — that is the end of a round.
+            if !self.tenants.iter().any(|t| !t.queue.is_empty() && t.credits > 0) {
+                for t in &mut self.tenants {
+                    t.credits = t.weight;
+                }
+            }
+            let n = self.tenants.len();
+            for step in 0..n {
+                let i = (self.cursor + step) % n;
+                let t = &mut self.tenants[i];
+                if t.credits > 0 {
+                    if let Some(job) = t.queue.pop_front() {
+                        t.credits -= 1;
+                        // Advance past this tenant so equal-weight
+                        // tenants interleave instead of draining one by
+                        // one.
+                        self.cursor = (i + 1) % n;
+                        return Some(job);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total queued jobs across all tenants — the admission-control
+    /// quantity bounded by the server's `max_pending_points`.
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// Remove every queued job of campaign `id`, returning the dropped
+    /// jobs (cancellation and quarantine shed these without running
+    /// them).
+    pub fn drop_campaign(&mut self, id: &str) -> Vec<Job> {
+        let mut dropped = Vec::new();
+        for t in &mut self.tenants {
+            let mut kept = VecDeque::with_capacity(t.queue.len());
+            for job in t.queue.drain(..) {
+                if job.campaign == id {
+                    dropped.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            t.queue = kept;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(campaign: &str, index: usize) -> Job {
+        Job { campaign: campaign.to_string(), index }
+    }
+
+    fn fill(s: &mut TenantScheduler, tenant: &str, weight: u32, n: usize) {
+        for i in 0..n {
+            s.enqueue(tenant, weight, job(&format!("{tenant}/c"), i));
+        }
+    }
+
+    fn drain_owners(s: &mut TenantScheduler, n: usize) -> String {
+        (0..n)
+            .map(|_| s.dequeue().expect("job available").campaign.chars().next().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn empty_scheduler_yields_nothing() {
+        let mut s = TenantScheduler::new();
+        assert_eq!(s.dequeue(), None);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn equal_weights_alternate_fairly() {
+        let mut s = TenantScheduler::new();
+        fill(&mut s, "a", 1, 3);
+        fill(&mut s, "b", 1, 3);
+        assert_eq!(s.pending(), 6);
+        assert_eq!(drain_owners(&mut s, 6), "ababab");
+        assert_eq!(s.dequeue(), None);
+    }
+
+    #[test]
+    fn weights_skew_the_dispatch_ratio() {
+        let mut s = TenantScheduler::new();
+        fill(&mut s, "a", 1, 4);
+        fill(&mut s, "b", 2, 8);
+        let order = drain_owners(&mut s, 12);
+        // Every 3-dispatch window of a full round holds one a and two bs.
+        assert_eq!(order, "abbabbabbabb", "weight 2 tenant gets 2 of every 3 slots");
+    }
+
+    #[test]
+    fn an_idle_tenant_does_not_block_the_busy_one() {
+        let mut s = TenantScheduler::new();
+        fill(&mut s, "a", 1, 1);
+        fill(&mut s, "b", 1, 4);
+        assert_eq!(s.dequeue().unwrap().campaign, "a/c");
+        // a is now empty; b must keep flowing without stalls.
+        assert_eq!(drain_owners(&mut s, 4), "bbbb");
+        assert_eq!(s.dequeue(), None);
+    }
+
+    #[test]
+    fn jobs_within_a_tenant_stay_fifo() {
+        let mut s = TenantScheduler::new();
+        for i in 0..5 {
+            s.enqueue("t", 1, job("t/c", i));
+        }
+        let order: Vec<usize> = (0..5).map(|_| s.dequeue().unwrap().index).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn late_joining_tenants_get_served_promptly() {
+        let mut s = TenantScheduler::new();
+        fill(&mut s, "a", 1, 10);
+        assert_eq!(drain_owners(&mut s, 2), "aa");
+        fill(&mut s, "b", 1, 2);
+        let order = drain_owners(&mut s, 4);
+        assert!(order.contains('b'), "late tenant appears within the round: {order}");
+        assert_eq!(order.matches('b').count(), 2);
+    }
+
+    #[test]
+    fn drop_campaign_removes_only_that_campaign() {
+        let mut s = TenantScheduler::new();
+        s.enqueue("a", 1, job("a/keep", 0));
+        s.enqueue("a", 1, job("a/drop", 0));
+        s.enqueue("a", 1, job("a/drop", 1));
+        s.enqueue("b", 1, job("b/other", 0));
+        let dropped = s.drop_campaign("a/drop");
+        assert_eq!(dropped, vec![job("a/drop", 0), job("a/drop", 1)]);
+        assert_eq!(s.pending(), 2);
+        let rest: Vec<String> = (0..2).map(|_| s.dequeue().unwrap().campaign).collect();
+        assert!(rest.contains(&"a/keep".to_string()) && rest.contains(&"b/other".to_string()));
+    }
+}

@@ -1,0 +1,313 @@
+//! Integration tests for the campaign server: full TCP round trips
+//! against in-process server instances — admission, fairness-adjacent
+//! scheduling behaviour, tenant quarantine isolation, cancellation, and
+//! shutdown/restart resumption from the journal directory.
+
+use gex::workloads::suite;
+use gex::{PagingMode, Preset, Scheme};
+use gex_serve::server::{self, ServerConfig};
+use gex_serve::wire::Inject;
+use gex_serve::{CampaignSpec, Client, ClientConfig, ClientError, Event, PointResult};
+use std::time::Duration;
+
+fn fast_client(addr: &std::net::SocketAddr) -> Client {
+    Client::connect(
+        &addr.to_string(),
+        ClientConfig {
+            connect_retries: 8,
+            backoff: Duration::from_millis(20),
+            timeout: Duration::from_secs(60),
+        },
+    )
+    .expect("connect to in-process server")
+}
+
+fn spec(workloads: &[&str], schemes: &[Scheme]) -> CampaignSpec {
+    CampaignSpec::new(
+        Preset::Test,
+        2,
+        workloads.iter().map(|s| s.to_string()).collect(),
+        schemes.to_vec(),
+    )
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let p = std::env::temp_dir().join(format!("gex-serve-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+#[test]
+fn healthy_campaign_matches_direct_simulation() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut c = fast_client(&handle.addr());
+    c.ping().expect("server answers ping");
+
+    let schemes = [Scheme::Baseline, Scheme::ReplayQueue];
+    let s = spec(&["histo", "lbm"], &schemes);
+    let admitted = c.submit("alice", "grid", &s).expect("admit");
+    assert_eq!(admitted.points, 4);
+
+    let done = c.wait("alice", "grid", Duration::from_millis(20)).expect("finish");
+    assert_eq!(done.state, "done");
+    assert_eq!(done.done, 4);
+
+    let (_, points) = c.results("alice", "grid").expect("results");
+    assert_eq!(points.len(), 4);
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else { panic!("unexpected outcome {p:?}") };
+        let (wname, sdbg) = key.split_once('/').unwrap();
+        let scheme = *schemes.iter().find(|s| format!("{s:?}") == sdbg).unwrap();
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let direct = gex::run_workload(&w, scheme, PagingMode::AllResident, 2);
+        assert_eq!(direct.cycles, *cycles, "{key}: server must reproduce the simulator exactly");
+    }
+    handle.join();
+}
+
+#[test]
+fn resubmitting_the_same_spec_attaches_instead_of_duplicating() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut c = fast_client(&handle.addr());
+    let s = spec(&["histo"], &[Scheme::Baseline]);
+    c.submit("t", "c", &s).expect("first admit");
+    c.submit("t", "c", &s).expect("identical resubmit attaches");
+
+    // Same name, different grid: a hard error, not silent replacement.
+    let other = spec(&["lbm"], &[Scheme::Baseline]);
+    match c.submit("t", "c", &other) {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("different spec"), "{m}"),
+        other => panic!("conflicting spec must be rejected, got {other:?}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn admission_control_sheds_explicitly_past_the_queue_bound() {
+    let handle = server::start(ServerConfig {
+        max_pending_points: 3,
+        // No dispatch drain during the test: batch of 1 and a grid big
+        // enough that the queue stays over the bound.
+        batch: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = fast_client(&handle.addr());
+
+    let big = spec(&["histo", "lbm"], &[Scheme::Baseline, Scheme::WdCommit]);
+    match c.submit("greedy", "too-big", &big) {
+        Err(ClientError::Shed(m)) => {
+            assert!(m.contains("queue full"), "shed reply names the reason: {m}")
+        }
+        other => panic!("a 4-point grid past a 3-point bound must shed, got {other:?}"),
+    }
+    // Shedding is not an error state: a smaller campaign is admitted.
+    let small = spec(&["histo"], &[Scheme::Baseline]);
+    c.submit("greedy", "small", &small).expect("within bounds");
+    let done = c.wait("greedy", "small", Duration::from_millis(20)).expect("finish");
+    assert_eq!(done.state, "done");
+    handle.join();
+}
+
+#[test]
+fn campaign_count_bound_sheds_too() {
+    let handle = server::start(ServerConfig { max_campaigns: 1, ..ServerConfig::default() })
+        .unwrap();
+    let mut c = fast_client(&handle.addr());
+    c.submit("a", "one", &spec(&["histo"], &[Scheme::Baseline])).expect("first");
+    match c.submit("a", "two", &spec(&["lbm"], &[Scheme::Baseline])) {
+        Err(ClientError::Shed(m)) => assert!(m.contains("campaign limit"), "{m}"),
+        other => panic!("second campaign must shed, got {other:?}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn a_poisoned_tenant_is_quarantined_while_the_healthy_one_completes() {
+    // Serialize dispatch (batch 1) so the fault budget trips after
+    // exactly two failed points and the rest shed deterministically.
+    let handle = server::start(ServerConfig {
+        batch: 1,
+        tenant_fault_budget: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut evil = fast_client(&handle.addr());
+    let mut good = fast_client(&handle.addr());
+
+    let mut poisoned = spec(&["histo"], &[Scheme::Baseline, Scheme::WdCommit,
+                                          Scheme::WdLastCheck, Scheme::ReplayQueue]);
+    poisoned.inject = Some(Inject::Panic);
+    let healthy = spec(&["lbm"], &[Scheme::Baseline, Scheme::ReplayQueue]);
+
+    evil.submit("evil", "bomb", &poisoned).expect("admitted before any fault");
+    good.submit("good", "grid", &healthy).expect("admit");
+
+    let evil_final = evil.wait("evil", "bomb", Duration::from_millis(20)).expect("terminal");
+    assert_eq!(evil_final.state, "quarantined");
+    assert_eq!(evil_final.quarantined, 4, "every poisoned point ends quarantined or shed");
+
+    let (_, points) = evil.results("evil", "bomb").expect("results");
+    let kinds: Vec<String> = points
+        .iter()
+        .map(|p| match p {
+            PointResult::Quarantined { kind, .. } => kind.clone(),
+            other => panic!("unexpected outcome {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        kinds.iter().filter(|k| *k == "panic").count(),
+        2,
+        "exactly the fault budget's worth of points actually ran: {kinds:?}"
+    );
+    assert_eq!(
+        kinds.iter().filter(|k| *k == "shed").count(),
+        2,
+        "the rest shed without consuming simulator time: {kinds:?}"
+    );
+
+    // The tenant is now persona non grata...
+    match evil.submit("evil", "again", &healthy) {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("quarantined"), "{m}"),
+        other => panic!("quarantined tenant must be rejected, got {other:?}"),
+    }
+    // ...while the healthy tenant is untouched and exact.
+    let good_final = good.wait("good", "grid", Duration::from_millis(20)).expect("finish");
+    assert_eq!(good_final.state, "done");
+    assert_eq!(good_final.done, 2);
+    handle.join();
+}
+
+#[test]
+fn cancel_drops_queued_points_and_is_terminal() {
+    let handle = server::start(ServerConfig { batch: 1, ..ServerConfig::default() }).unwrap();
+    let mut c = fast_client(&handle.addr());
+    let s = spec(&["histo", "lbm", "sgemm"], &[Scheme::Baseline, Scheme::WdCommit]);
+    c.submit("t", "big", &s).expect("admit");
+    let after = c.cancel("t", "big").expect("cancel");
+    assert!(after.done + after.cancelled <= 6);
+    let final_ = c.wait("t", "big", Duration::from_millis(20)).expect("drain");
+    assert_eq!(final_.state, "cancelled");
+    assert_eq!(final_.done + final_.cancelled, 6, "every point resolves");
+
+    match c.cancel("t", "nonexistent") {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("unknown"), "{m}"),
+        other => panic!("cancelling an unknown campaign must be rejected, got {other:?}"),
+    }
+
+    // Cancelling a campaign that already finished is an idempotent no-op:
+    // the state stays `done`, not `cancelled`.
+    let s2 = spec(&["histo"], &[Scheme::Baseline]);
+    c.submit("t", "small", &s2).expect("admit small");
+    let done = c.wait("t", "small", Duration::from_millis(20)).expect("finish");
+    assert_eq!(done.state, "done");
+    let after = c.cancel("t", "small").expect("cancel finished campaign");
+    assert_eq!(after.state, "done", "cancel must not re-label a finished campaign");
+    assert_eq!(after.done, 1);
+    handle.join();
+}
+
+#[test]
+fn watch_replays_history_and_streams_to_terminal() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut c = fast_client(&handle.addr());
+    let s = spec(&["histo"], &[Scheme::Baseline, Scheme::ReplayQueue]);
+    c.submit("w", "obs", &s).expect("admit");
+    c.wait("w", "obs", Duration::from_millis(20)).expect("finish first");
+
+    // A watcher attaching after the fact still sees every point (replay)
+    // and the terminal state.
+    let mut watcher = fast_client(&handle.addr());
+    let mut seen = Vec::new();
+    let terminal = watcher
+        .watch("w", "obs", |e| seen.push(e.clone()))
+        .expect("watch terminal campaign");
+    assert_eq!(terminal, "done");
+    let point_keys: Vec<&str> = seen
+        .iter()
+        .filter_map(|e| match e {
+            Event::Point { key, .. } => Some(key.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(point_keys, vec!["histo/Baseline", "histo/ReplayQueue"]);
+    handle.join();
+}
+
+#[test]
+fn shutdown_and_restart_resume_from_the_journal_byte_identically() {
+    let dir = temp_dir("restart");
+    let schemes = [Scheme::Baseline, Scheme::WdCommit, Scheme::ReplayQueue];
+    let s = spec(&["histo", "lbm"], &schemes);
+
+    // Phase 1: admit, let at least one point finish, stop the server.
+    let first = server::start(ServerConfig {
+        journal_dir: Some(dir.clone()),
+        batch: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    {
+        let mut c = fast_client(&first.addr());
+        c.submit("alice", "resume-me", &s).expect("admit");
+        loop {
+            let st = c.status("alice", "resume-me").expect("status");
+            if st.done >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    first.join();
+
+    // Phase 2: a fresh server on the same directory resumes the campaign
+    // without any client action and completes it.
+    let second = server::start(ServerConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = fast_client(&second.addr());
+    let done = c.wait("alice", "resume-me", Duration::from_millis(20)).expect("finish");
+    assert_eq!(done.state, "done");
+    assert_eq!(done.points, 6);
+    assert!(done.resumed >= 1, "journaled points must be served from disk");
+
+    // Byte-identical to direct simulation, resumed and fresh points alike.
+    let (_, points) = c.results("alice", "resume-me").expect("results");
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else { panic!("unexpected {p:?}") };
+        let (wname, sdbg) = key.split_once('/').unwrap();
+        let scheme = *schemes.iter().find(|s| format!("{s:?}") == sdbg).unwrap();
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let direct = gex::run_workload(&w, scheme, PagingMode::AllResident, 2);
+        assert_eq!(direct.cycles, *cycles, "{key} must survive the restart bit-for-bit");
+    }
+
+    // Cancellation is durable too: cancel an in-flight campaign, restart,
+    // still cancelled — while the finished campaign stays `done` (cancel
+    // after completion is a no-op and must not write a marker).
+    // A distinct seed keeps these points out of the result cache (the
+    // first campaign's identical points would otherwise answer
+    // instantly, racing the cancel).
+    let mut slow = s.clone();
+    slow.seed = Some(7);
+    c.submit("alice", "kill-me", &slow).expect("admit second campaign");
+    let mid = c.cancel("alice", "kill-me").expect("cancel in flight");
+    assert!(mid.done < 6, "cancel must land before the campaign finishes");
+    let post = c.cancel("alice", "resume-me").expect("cancel post-completion is fine");
+    assert_eq!(post.state, "done", "a finished campaign cannot be re-labelled");
+    second.join();
+    let third = server::start(ServerConfig {
+        journal_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = fast_client(&third.addr());
+    let st = c.status("alice", "kill-me").expect("status");
+    assert_eq!(st.state, "cancelled", "the cancel marker survives restarts");
+    let st = c.status("alice", "resume-me").expect("status");
+    assert_eq!(st.state, "done", "no stray cancel marker on the finished campaign");
+    third.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

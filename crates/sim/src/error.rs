@@ -178,6 +178,18 @@ impl SimError {
     pub fn is_deadline(&self) -> bool {
         matches!(self, SimError::Deadline(_))
     }
+
+    /// True when the budget tripped because its [`CancelToken`]
+    /// (see [`gex_sm::CancelToken`]) was cancelled. Cancellation is a
+    /// request to stop, not a resource overrun: escalating the budget and
+    /// retrying cannot succeed, so supervisors treat it as terminal
+    /// rather than retryable.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            SimError::Deadline(d) if matches!(d.cause, BudgetExceeded::Cancelled)
+        )
+    }
 }
 
 impl std::error::Error for SimError {}
