@@ -36,8 +36,13 @@ pub struct BenchArgs {
     pub out: Option<String>,
     /// `--threads N` / `--threads=N`: worker count for the threaded
     /// timing column (`perfstat`); 0 or absent means the ambient count
-    /// (`GEX_THREADS` or the machine's parallelism).
+    /// (`GEX_THREADS` or the machine's parallelism). A comma list
+    /// (`--threads 1,2,4,8`) sweeps several counts in one run; this field
+    /// keeps the first entry and [`BenchArgs::threads_list`] the rest.
     pub threads: Option<usize>,
+    /// Every worker count from `--threads` in order (one entry for the
+    /// plain single-count form).
+    pub threads_list: Vec<usize>,
     /// `--deadline N` / `--deadline=N`: per-point cycle budget for
     /// supervised figure sweeps (retried with escalation, then
     /// quarantined).
@@ -76,9 +81,11 @@ impl BenchArgs {
             } else if let Some(v) = a.strip_prefix("--out=") {
                 out.out = Some(v.to_string());
             } else if a == "--threads" {
-                out.threads = it.next().and_then(|v| v.parse().ok());
+                if let Some(v) = it.next() {
+                    out.set_threads_arg(&v);
+                }
             } else if let Some(v) = a.strip_prefix("--threads=") {
-                out.threads = v.parse().ok();
+                out.set_threads_arg(v);
             } else if a == "--deadline" {
                 out.deadline = it.next().and_then(|v| v.parse().ok());
             } else if let Some(v) = a.strip_prefix("--deadline=") {
@@ -95,6 +102,15 @@ impl BenchArgs {
             // Unknown flags (cargo's --bench/--test etc.) are ignored.
         }
         out
+    }
+
+    /// Record a `--threads` value: a single count or a comma list.
+    /// Malformed entries are dropped (matching the lenient parse of the
+    /// other numeric flags).
+    fn set_threads_arg(&mut self, v: &str) {
+        self.threads_list =
+            v.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+        self.threads = self.threads_list.first().copied();
     }
 
     /// The preset named by the first positional argument; harness
@@ -215,6 +231,20 @@ mod tests {
         assert_eq!(a.positional, vec!["test"]);
         assert_eq!(parse(&["--threads=2"]).threads, Some(2));
         assert_eq!(parse(&[]).threads, None);
+    }
+
+    #[test]
+    fn threads_accepts_a_comma_list() {
+        let a = parse(&["--threads", "1,2,4,8"]);
+        assert_eq!(a.threads, Some(1));
+        assert_eq!(a.threads_list, vec![1, 2, 4, 8]);
+        let single = parse(&["--threads=4"]);
+        assert_eq!(single.threads, Some(4));
+        assert_eq!(single.threads_list, vec![4]);
+        // Malformed entries drop out rather than aborting the parse.
+        let messy = parse(&["--threads", "2, x,8"]);
+        assert_eq!(messy.threads_list, vec![2, 8]);
+        assert!(parse(&[]).threads_list.is_empty());
     }
 
     #[test]

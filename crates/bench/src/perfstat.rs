@@ -150,19 +150,34 @@ pub struct GroupStat {
     pub sim_cycles: u64,
     /// Best serial wall-clock across samples.
     pub serial: Duration,
-    /// Best parallel wall-clock across samples.
-    pub parallel: Duration,
+    /// Best wall-clock per swept worker count, in the order requested on
+    /// the command line. The first entry is the *primary* threaded column
+    /// recorded as `parallel_ms`/`speedup`/`sim_cycles_per_sec`; the rest
+    /// become `t<n>_ms`/`t<n>_speedup` scaling columns.
+    pub threaded: Vec<(usize, Duration)>,
 }
 
 impl GroupStat {
-    /// Serial over parallel wall-clock.
-    pub fn speedup(&self) -> f64 {
-        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-12)
+    /// Primary threaded wall-clock (the first swept worker count).
+    pub fn parallel(&self) -> Duration {
+        self.threaded.first().map_or(self.serial, |&(_, d)| d)
     }
 
-    /// Simulated cycles per wall-clock second on the threaded path.
+    /// Serial over primary-threaded wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel().as_secs_f64().max(1e-12)
+    }
+
+    /// Serial-over-threaded speedup per swept worker count.
+    pub fn scaling(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let serial = self.serial.as_secs_f64();
+        self.threaded.iter().map(move |&(t, d)| (t, serial / d.as_secs_f64().max(1e-12)))
+    }
+
+    /// Simulated cycles per wall-clock second on the primary threaded
+    /// path.
     pub fn sim_cycles_per_sec(&self) -> f64 {
-        self.sim_cycles as f64 / self.parallel.as_secs_f64().max(1e-12)
+        self.sim_cycles as f64 / self.parallel().as_secs_f64().max(1e-12)
     }
 
     /// Simulated cycles per wall-clock second on the serial path — the
@@ -174,9 +189,10 @@ impl GroupStat {
 }
 
 /// Time `group` `samples` times on each path, keeping the best sample.
-/// The serial path forces one worker; the threaded path uses `threads`
-/// workers (0 = the ambient count from `GEX_THREADS` / the machine).
-pub fn time_group(group: &Group, sms: u32, samples: usize, threads: usize) -> GroupStat {
+/// The serial path forces one worker; each entry of `threads` then times
+/// the sweep at that worker count (0 = the ambient count from
+/// `GEX_THREADS` / the machine).
+pub fn time_group(group: &Group, sms: u32, samples: usize, threads: &[usize]) -> GroupStat {
     let mut sim_cycles = 0;
     let mut best = |threads: usize| {
         gex_exec::set_threads(threads);
@@ -189,51 +205,84 @@ pub fn time_group(group: &Group, sms: u32, samples: usize, threads: usize) -> Gr
         best
     };
     let serial = best(1);
-    let parallel = best(threads);
+    let threaded = threads.iter().map(|&t| (t, best(t))).collect();
     gex_exec::set_threads(0);
     GroupStat {
         id: group.id.to_string(),
         points: group.len(),
         sim_cycles,
         serial,
-        parallel,
+        threaded,
     }
 }
 
+/// The host's logical core count (1 if it cannot be determined) — stamped
+/// into every snapshot so scaling gates can tell "threading is broken"
+/// from "this box has one core".
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Render the whole snapshot as JSON (hand-rolled: offline build, no
-/// serde). `threads` is the worker count the threaded column ran with;
-/// the serial column is always one worker, and both throughputs are
-/// recorded per group so `benchdiff` can compare snapshots taken at
-/// different worker counts on the serial basis.
-pub fn to_json(preset: Preset, sms: u32, samples: usize, threads: usize, stats: &[GroupStat]) -> String {
+/// serde). `threads` is the swept worker-count list; its first entry is
+/// the primary threaded column. The serial column is always one worker,
+/// and both throughputs are recorded per group so `benchdiff` can compare
+/// snapshots taken at different worker counts on the serial basis. The
+/// header also stamps the host's core count and the result-cache state,
+/// without which a recorded speedup is uninterpretable.
+pub fn to_json(
+    preset: Preset,
+    sms: u32,
+    samples: usize,
+    threads: &[usize],
+    stats: &[GroupStat],
+) -> String {
+    let primary = threads.first().copied().unwrap_or(1);
+    let list =
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"perfstat\",\n");
     s.push_str(&format!("  \"preset\": \"{}\",\n", preset_name(preset)));
     s.push_str(&format!("  \"sms\": {sms},\n"));
-    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!("  \"threads\": {primary},\n"));
+    s.push_str(&format!("  \"thread_counts\": [{list}],\n"));
+    s.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    s.push_str(&format!("  \"sim_cache\": {},\n", gex::cache::enabled()));
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"groups\": [\n");
     for (i, g) in stats.iter().enumerate() {
+        let scaling: String = g
+            .scaling()
+            .map(|(t, sp)| {
+                let ms = g
+                    .threaded
+                    .iter()
+                    .find(|&&(tt, _)| tt == t)
+                    .map_or(0.0, |&(_, d)| d.as_secs_f64() * 1e3);
+                format!(", \"t{t}_ms\": {ms:.3}, \"t{t}_speedup\": {sp:.3}")
+            })
+            .collect();
         s.push_str(&format!(
             "    {{\"id\": \"{}\", \"points\": {}, \"sim_cycles\": {}, \
              \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \
              \"serial_sim_cycles_per_sec\": {:.0}, \
-             \"sim_cycles_per_sec\": {:.0}}}{}\n",
+             \"sim_cycles_per_sec\": {:.0}{}}}{}\n",
             g.id,
             g.points,
             g.sim_cycles,
             g.serial.as_secs_f64() * 1e3,
-            g.parallel.as_secs_f64() * 1e3,
+            g.parallel().as_secs_f64() * 1e3,
             g.speedup(),
             g.serial_sim_cycles_per_sec(),
             g.sim_cycles_per_sec(),
+            scaling,
             if i + 1 == stats.len() { "" } else { "," },
         ));
     }
     s.push_str("  ],\n");
     let serial: f64 = stats.iter().map(|g| g.serial.as_secs_f64()).sum();
-    let parallel: f64 = stats.iter().map(|g| g.parallel.as_secs_f64()).sum();
+    let parallel: f64 = stats.iter().map(|g| g.parallel().as_secs_f64()).sum();
     s.push_str(&format!(
         "  \"total\": {{\"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}}}\n",
         serial * 1e3,
@@ -265,6 +314,9 @@ pub struct GroupSnapshot {
     /// records one, otherwise derived from `sim_cycles / serial_ms`
     /// (older snapshots), otherwise `None`.
     pub serial_sim_cycles_per_sec: Option<f64>,
+    /// `(worker count, serial-over-threaded speedup)` per swept count —
+    /// the `t<n>_speedup` columns; empty for single-count snapshots.
+    pub scaling: Vec<(u64, f64)>,
 }
 
 /// Extract the field `name` (string or number, colon optionally followed
@@ -275,6 +327,26 @@ fn snapshot_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
     let rest = line[start..].trim_start();
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Every `t<n>_speedup` scaling column on a group line, in order.
+fn parse_scaling(line: &str) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("\"t") {
+        rest = &rest[pos + 2..];
+        let digits = rest.chars().take_while(char::is_ascii_digit).count();
+        if digits == 0 {
+            continue;
+        }
+        let Some(value) = rest[digits..].strip_prefix("_speedup\":") else { continue };
+        let value = value.trim_start();
+        let end = value.find([',', '}']).unwrap_or(value.len());
+        if let (Ok(t), Ok(sp)) = (rest[..digits].parse(), value[..end].trim().parse()) {
+            out.push((t, sp));
+        }
+    }
+    out
 }
 
 /// Parse the group rows of a perfstat snapshot (the inverse of
@@ -296,7 +368,13 @@ pub fn parse_snapshot(json: &str) -> Vec<GroupSnapshot> {
                     let serial_ms: f64 = snapshot_field(line, "serial_ms")?.parse().ok()?;
                     (serial_ms > 0.0).then(|| cycles / (serial_ms * 1e-3))
                 });
-            Some(GroupSnapshot { id, points, sim_cycles_per_sec, serial_sim_cycles_per_sec })
+            Some(GroupSnapshot {
+                id,
+                points,
+                sim_cycles_per_sec,
+                serial_sim_cycles_per_sec,
+                scaling: parse_scaling(line),
+            })
         })
         .collect()
 }
@@ -304,13 +382,23 @@ pub fn parse_snapshot(json: &str) -> Vec<GroupSnapshot> {
 /// The worker count a snapshot's threaded column was recorded with (the
 /// top-level `threads` field); `None` for malformed snapshots.
 pub fn parse_snapshot_threads(json: &str) -> Option<u64> {
+    parse_header_u64(json, "threads")
+}
+
+/// The host core count stamped into a snapshot's header; `None` for
+/// snapshots that predate the field.
+pub fn parse_snapshot_host_cores(json: &str) -> Option<u64> {
+    parse_header_u64(json, "host_cores")
+}
+
+/// A numeric field from the snapshot header (group rows, distinguished by
+/// their `id` field, are skipped).
+fn parse_header_u64(json: &str, name: &str) -> Option<u64> {
     json.lines().find_map(|line| {
-        // Only the header line carries a bare `threads` field; group rows
-        // are distinguished by their `id`.
         if snapshot_field(line, "id").is_some() {
             return None;
         }
-        snapshot_field(line, "threads")?.parse().ok()
+        snapshot_field(line, name)?.parse().ok()
     })
 }
 
@@ -375,16 +463,40 @@ mod tests {
             points: 44,
             sim_cycles: 123_456,
             serial: Duration::from_millis(10),
-            parallel: Duration::from_millis(5),
+            threaded: vec![(1, Duration::from_millis(5))],
         }];
-        let j = to_json(Preset::Test, 8, 3, 1, &stats);
+        let j = to_json(Preset::Test, 8, 3, &[1], &stats);
         assert!(j.contains("\"preset\": \"test\""));
         assert!(j.contains("\"threads\": 1"));
+        assert!(j.contains("\"thread_counts\": [1]"));
+        assert!(j.contains("\"host_cores\": "));
+        assert!(j.contains("\"sim_cache\": "));
         assert!(j.contains("\"speedup\": 2.000"));
         assert!(j.contains("\"sim_cycles\": 123456"));
         assert!(j.contains("\"serial_sim_cycles_per_sec\": 12345600"));
         assert!(j.trim_end().ends_with('}'));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn multi_count_sweeps_record_scaling_columns() {
+        let stats = vec![GroupStat {
+            id: "fig11".into(),
+            points: 10,
+            sim_cycles: 1_000_000,
+            serial: Duration::from_millis(10),
+            threaded: vec![(2, Duration::from_millis(5)), (4, Duration::from_micros(2500))],
+        }];
+        let j = to_json(Preset::Test, 8, 3, &[2, 4], &stats);
+        assert!(j.contains("\"threads\": 2"), "primary column is the first swept count");
+        assert!(j.contains("\"thread_counts\": [2, 4]"));
+        assert!(j.contains("\"t2_speedup\": 2.000"));
+        assert!(j.contains("\"t4_speedup\": 4.000"));
+        let parsed = parse_snapshot(&j);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].scaling, vec![(2, 2.0), (4, 4.0)]);
+        assert_eq!(parse_snapshot_host_cores(&j), Some(host_cores() as u64));
+        assert!(parse_snapshot_host_cores("not json").is_none());
     }
 
     #[test]
@@ -395,17 +507,17 @@ mod tests {
                 points: 44,
                 sim_cycles: 2_000_000,
                 serial: Duration::from_millis(10),
-                parallel: Duration::from_millis(4),
+                threaded: vec![(2, Duration::from_millis(4))],
             },
             GroupStat {
                 id: "fig13".into(),
                 points: 10,
                 sim_cycles: 500_000,
                 serial: Duration::from_millis(2),
-                parallel: Duration::from_millis(1),
+                threaded: vec![(2, Duration::from_millis(1))],
             },
         ];
-        let json = to_json(Preset::Test, 8, 3, 2, &stats);
+        let json = to_json(Preset::Test, 8, 3, &[2], &stats);
         let parsed = parse_snapshot(&json);
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].id, "fig10");

@@ -21,13 +21,22 @@
 //!   per-workload residency hit the same entry.
 //! * **Only successful runs are cached.** Errors depend on the budget
 //!   (deadlines) or wall clock and must re-run.
-//! * **Concurrent-builder coalescing.** The cache is shared through the
-//!   `gex-exec` pool; when two workers want the same uncached point, one
-//!   simulates and the other waits on the entry instead of duplicating
-//!   the work. A failed build wakes waiters to try themselves.
-//! * **Observable.** Global [`stats`] counters (hits, misses, stores,
-//!   coalesced waits) let sweeps report how much simulation the cache
-//!   saved; the supervised figure drivers surface the per-campaign delta.
+//! * **Contention-free hits.** Each shard is a read-mostly
+//!   `RwLock<HashMap>`: lookups that find a finished report take the
+//!   shard *shared*, bump the LRU stamp with a relaxed atomic store, and
+//!   clone the `Arc` — concurrent hits on the same shard (even the same
+//!   key) never serialize. Only misses (insert a placeholder, publish a
+//!   report, evict) take the lock exclusive, and a build's simulation
+//!   always runs outside it.
+//! * **Concurrent-builder coalescing, per key.** When two workers want
+//!   the same uncached point, one simulates and the other parks on that
+//!   *entry's own* condvar — distinct keys that happen to share a shard
+//!   no longer wake or wait on each other. A failed build wakes its
+//!   waiters to try themselves.
+//! * **Observable without locking.** Global [`stats`] counters (hits,
+//!   misses, stores, coalesced waits, evictions) and the entry count
+//!   behind [`len`] are relaxed atomics, so `Supervised.cache` delta
+//!   printing never contends with in-flight builds.
 //! * **A/B switchable.** `GEX_SIM_CACHE=0` (or [`set_enabled`]`(false)`)
 //!   bypasses the cache entirely for equivalence testing; results must
 //!   be byte-identical either way.
@@ -45,24 +54,59 @@ use gex_workloads::Workload;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+
+/// A finished report plus its last-used tick. The stamp is an atomic so
+/// hits can refresh it under the shard's *read* lock.
+struct Entry {
+    report: Arc<GpuRunReport>,
+    stamp: AtomicU64,
+}
+
+/// Per-key rendezvous for one in-flight build. Waiters park here — on
+/// the entry, not the shard — so builds of distinct keys never wake each
+/// other.
+#[derive(Default)]
+struct Build {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Build {
+    /// Park until the builder publishes or gives up.
+    fn block(&self) {
+        let mut done = poison::lock(&self.done);
+        while !*done {
+            done = poison::wait(&self.cv, done);
+        }
+    }
+
+    /// Wake every waiter; they re-run the lookup and find either the
+    /// published report or (after a failed build) an empty slot.
+    fn finish(&self) {
+        *poison::lock(&self.done) = true;
+        self.cv.notify_all();
+    }
+}
 
 /// One entry's lifecycle inside a shard.
 enum Slot {
     /// A worker is simulating this point right now.
-    Building,
+    Building(Arc<Build>),
     /// The finished report, stamped with its last-used tick (the LRU
     /// eviction order).
-    Ready(Arc<GpuRunReport>, u64),
+    Ready(Entry),
 }
 
-/// One lock-sharded slice of the cache. Waiters for in-flight builds
-/// park on the shard's condvar (builds are long; shard-granular wakeups
-/// are plenty).
+/// One lock-sharded slice of the cache. Read-mostly: hits take `map`
+/// shared; only placeholder inserts, publishes, and evictions take it
+/// exclusive.
 #[derive(Default)]
 struct Shard {
-    map: Mutex<HashMap<String, Slot>>,
-    ready: Condvar,
+    map: RwLock<HashMap<String, Slot>>,
+    /// Finished (`Ready`) entries currently in `map`; keeps [`len`]
+    /// lock-free.
+    ready_count: AtomicU64,
 }
 
 const SHARDS: usize = 16;
@@ -76,6 +120,19 @@ struct Cache {
     evictions: AtomicU64,
     /// Monotonic last-used clock for LRU stamps.
     tick: AtomicU64,
+}
+
+impl Cache {
+    /// Hit bookkeeping: refresh the LRU stamp and clone the report —
+    /// relaxed atomics only, callable under a read guard.
+    fn hit(&self, e: &Entry, waited: bool) -> Arc<GpuRunReport> {
+        e.stamp.store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if waited {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(&e.report)
+    }
 }
 
 fn cache() -> &'static Cache {
@@ -156,8 +213,8 @@ fn evict_to_cap(map: &mut HashMap<String, Slot>, cap: usize) -> u64 {
         let victim = map
             .iter()
             .filter_map(|(k, s)| match s {
-                Slot::Ready(_, stamp) => Some((*stamp, k.clone())),
-                Slot::Building => None,
+                Slot::Ready(e) => Some((e.stamp.load(Ordering::Relaxed), k.clone())),
+                Slot::Building(_) => None,
             })
             .min();
         let Some((_, key)) = victim else { break };
@@ -207,7 +264,8 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// Snapshot the process-wide cache counters.
+/// Snapshot the process-wide cache counters. Relaxed atomic loads only —
+/// never contends with in-flight builds.
 pub fn stats() -> CacheStats {
     let c = cache();
     CacheStats {
@@ -219,16 +277,21 @@ pub fn stats() -> CacheStats {
     }
 }
 
-/// Number of finished reports currently held.
+/// Number of finished reports currently held. Sums the per-shard atomic
+/// counters — takes no locks, so progress printing never stalls a build.
 pub fn len() -> usize {
-    cache().shards.iter().map(|s| poison::lock(&s.map).len()).sum()
+    cache().shards.iter().map(|s| s.ready_count.load(Ordering::Relaxed) as usize).sum()
 }
 
 /// Drop every cached report (counters keep running). Long multi-preset
-/// campaigns can call this between phases to bound memory.
+/// campaigns can call this between phases to bound memory. In-flight
+/// `Building` placeholders are kept — their waiters stay parked on a
+/// build that is still running.
 pub fn clear() {
     for s in &cache().shards {
-        poison::lock(&s.map).clear();
+        let mut map = poison::write(&s.map);
+        map.retain(|_, slot| matches!(slot, Slot::Building(_)));
+        s.ready_count.store(0, Ordering::Relaxed);
     }
 }
 
@@ -265,11 +328,12 @@ fn key_of(gpu: &Gpu, w: &Workload, residency: &Residency) -> String {
     k
 }
 
-/// Removes a `Building` placeholder if the builder unwinds or errors, so
-/// waiters retry instead of deadlocking on a corpse.
+/// Removes a `Building` placeholder if the builder unwinds or errors, and
+/// wakes its waiters so they retry instead of deadlocking on a corpse.
 struct BuildGuard<'a> {
     shard: &'a Shard,
     key: String,
+    build: Arc<Build>,
     armed: bool,
 }
 
@@ -280,8 +344,17 @@ impl Drop for BuildGuard<'_> {
             // recovering from a poisoned lock (rather than double
             // panicking and aborting) is what lets the supervisor
             // quarantine the point and keep the shard usable.
-            poison::lock(&self.shard.map).remove(&self.key);
-            self.shard.ready.notify_all();
+            {
+                let mut map = poison::write(&self.shard.map);
+                // Only remove our own placeholder: `clear`-then-rebuild
+                // races could have put someone else's slot here.
+                if let Some(Slot::Building(b)) = map.get(&self.key) {
+                    if Arc::ptr_eq(b, &self.build) {
+                        map.remove(&self.key);
+                    }
+                }
+            }
+            self.build.finish();
         }
     }
 }
@@ -301,54 +374,68 @@ pub fn run_cached(
     let c = cache();
     let key = key_of(gpu, w, residency);
     let shard = &c.shards[(digest(&key) as usize) % SHARDS];
-    {
-        // Poison-recovering locks throughout: a worker that panics near
-        // the cache must not wedge the shard for every other tenant (the
-        // map is consistent at every lock release; `BuildGuard` clears
-        // half-built entries).
-        let mut map = poison::lock(&shard.map);
-        let mut waited = false;
-        loop {
-            match map.get_mut(&key) {
-                Some(Slot::Ready(r, stamp)) => {
-                    *stamp = c.tick.fetch_add(1, Ordering::Relaxed);
-                    c.hits.fetch_add(1, Ordering::Relaxed);
-                    if waited {
-                        c.coalesced.fetch_add(1, Ordering::Relaxed);
-                    }
-                    return Ok(Arc::clone(r));
-                }
-                Some(Slot::Building) => {
-                    // Park until the builder publishes or gives up; if
-                    // the build fails we fall through to the `None` arm
-                    // and simulate ourselves.
-                    waited = true;
-                    map = poison::wait(&shard.ready, map);
-                }
-                None => {
-                    map.insert(key.clone(), Slot::Building);
-                    break;
-                }
+    let mut waited = false;
+    let build = loop {
+        // Fast path: a shared read and relaxed atomics. Concurrent hits
+        // — the common case once a campaign warms up — never serialize.
+        let in_flight = {
+            let map = poison::read(&shard.map);
+            match map.get(&key) {
+                Some(Slot::Ready(e)) => return Ok(c.hit(e, waited)),
+                Some(Slot::Building(b)) => Some(Arc::clone(b)),
+                None => None,
+            }
+        };
+        if let Some(b) = in_flight {
+            // Park on the entry's own rendezvous — not the shard — so
+            // builds of other keys neither wake us nor wait on us.
+            waited = true;
+            b.block();
+            continue;
+        }
+        // Slow path: claim the builder slot, double-checking under the
+        // exclusive lock (another thread can publish or claim between
+        // our read unlock and here).
+        let mut map = poison::write(&shard.map);
+        match map.get(&key) {
+            Some(Slot::Ready(e)) => return Ok(c.hit(e, waited)),
+            Some(Slot::Building(b)) => {
+                let b = Arc::clone(b);
+                drop(map);
+                waited = true;
+                b.block();
+            }
+            None => {
+                let b = Arc::new(Build::default());
+                map.insert(key.clone(), Slot::Building(Arc::clone(&b)));
+                break b;
             }
         }
-    }
+    };
     c.misses.fetch_add(1, Ordering::Relaxed);
-    let mut guard = BuildGuard { shard, key: key.clone(), armed: true };
+    let mut guard =
+        BuildGuard { shard, key: key.clone(), build: Arc::clone(&build), armed: true };
+    // The simulation itself runs outside every lock.
     let report = gpu.try_run(&w.trace, residency)?;
     let report = Arc::new(report);
     guard.armed = false;
     {
-        let mut map = poison::lock(&shard.map);
+        let mut map = poison::write(&shard.map);
         if let Some(cap) = per_shard_cap(cap()) {
             let evicted = evict_to_cap(&mut map, cap);
             if evicted > 0 {
                 c.evictions.fetch_add(evicted, Ordering::Relaxed);
+                shard.ready_count.fetch_sub(evicted, Ordering::Relaxed);
             }
         }
-        let stamp = c.tick.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, Slot::Ready(Arc::clone(&report), stamp));
+        let stamp = AtomicU64::new(c.tick.fetch_add(1, Ordering::Relaxed));
+        let prev = map.insert(key, Slot::Ready(Entry { report: Arc::clone(&report), stamp }));
+        // We owned the Building placeholder, so the slot we replace is
+        // never a Ready entry; the shard gains exactly one report.
+        debug_assert!(matches!(prev, None | Some(Slot::Building(_))));
+        shard.ready_count.fetch_add(1, Ordering::Relaxed);
     }
-    shard.ready.notify_all();
+    build.finish();
     c.stores.fetch_add(1, Ordering::Relaxed);
     Ok(report)
 }
@@ -377,6 +464,50 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "a hit must share the stored report");
         let d = stats().since(&before);
         assert_eq!((d.hits, d.misses, d.stores), (1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_and_count_one_store_per_key() {
+        // Hammer one shared key plus a distinct key per thread through
+        // the read-mostly path. Every thread must see the same Arc for
+        // the shared key, and the counters must record exactly one store
+        // per distinct key (coalescing, not duplicate simulation).
+        let gpu = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2),
+            Scheme::ReplayQueue,
+            PagingMode::AllResident,
+        );
+        let before = stats();
+        let shared = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let gpu = &gpu;
+                    s.spawn(move || {
+                        let shared = suite::by_name("spmv", Preset::Test).unwrap();
+                        let own = suite::by_name("bfs", Preset::Test).unwrap();
+                        let own_gpu = Gpu::new(
+                            GpuConfig::kepler_k20().with_sms(2 + i as u32),
+                            Scheme::ReplayQueue,
+                            PagingMode::AllResident,
+                        );
+                        let a = run_cached(gpu, &shared, &Residency::new()).unwrap();
+                        let b = run_cached(&own_gpu, &own, &Residency::new()).unwrap();
+                        (a, b)
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            let first = Arc::clone(&results[0].0);
+            for (a, _) in &results {
+                assert!(Arc::ptr_eq(a, &first), "all threads share one stored report");
+            }
+            first
+        });
+        let d = stats().since(&before);
+        // 1 store for the shared key + 4 for the per-thread keys.
+        assert_eq!(d.stores, 5, "each distinct key simulates exactly once");
+        assert_eq!(d.hits + d.misses, 8, "every lookup is either a hit or a miss");
+        assert!(Arc::strong_count(&shared) >= 1);
     }
 
     #[test]
@@ -439,10 +570,13 @@ mod tests {
             Arc::new(gpu.try_run(&w.trace, &Residency::new()).unwrap())
         };
         let report = dummy();
+        let ready = |stamp: u64| {
+            Slot::Ready(Entry { report: Arc::clone(&report), stamp: AtomicU64::new(stamp) })
+        };
         let mut map = HashMap::new();
-        map.insert("old".to_string(), Slot::Ready(Arc::clone(&report), 1));
-        map.insert("new".to_string(), Slot::Ready(Arc::clone(&report), 9));
-        map.insert("building".to_string(), Slot::Building);
+        map.insert("old".to_string(), ready(1));
+        map.insert("new".to_string(), ready(9));
+        map.insert("building".to_string(), Slot::Building(Arc::new(Build::default())));
         // Cap of 1: room for one more Ready entry means both existing
         // Ready entries go, oldest stamp first — but never the builder.
         assert_eq!(evict_to_cap(&mut map, 2), 1);

@@ -1,0 +1,127 @@
+//! Arena-reuse determinism through the persistent worker pool.
+//!
+//! The sweep engine's workers keep a per-thread simulation arena (SMs,
+//! event wheels, wake queues, dispatch queues) that is recycled between
+//! points. The contract: running the *same point list twice* through the
+//! persistent pool — the first pass on cold arenas, the second on arenas
+//! warmed by the first, with the scheduling order shuffled — yields
+//! byte-identical [`GpuRunReport`]s, and identical figure renders. The
+//! result cache is disabled throughout so every pass actually simulates
+//! (cached replies would trivially match without exercising the arenas).
+
+use gex::workloads::{suite, Preset};
+use gex::{cache, Gpu, GpuConfig, GpuRunReport, Interconnect, PagingMode, Scheme};
+use gex_testkit::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip process-global knobs (thread override,
+/// cache enable, arena enable).
+static GLOBALS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    gex::exec::set_threads(n);
+    let out = f();
+    gex::exec::set_threads(0);
+    out
+}
+
+/// Restores the cache on drop so a failing assert can't poison later
+/// tests in this binary.
+struct CacheOff;
+impl CacheOff {
+    fn new() -> Self {
+        cache::set_enabled(false);
+        CacheOff
+    }
+}
+impl Drop for CacheOff {
+    fn drop(&mut self) {
+        cache::set_enabled(true);
+    }
+}
+
+/// Deterministic Fisher-Yates permutation of `0..n` from an xorshift
+/// stream — scheduling-order shuffle without a rand dependency.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        idx.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    idx
+}
+
+fn run_point(wi: usize, scheme: Scheme, sms: u32, arena: bool) -> GpuRunReport {
+    let ws = suite::parboil(Preset::Test);
+    Gpu::new(
+        GpuConfig::kepler_k20().with_sms(sms),
+        scheme,
+        PagingMode::demand(Interconnect::nvlink()),
+    )
+    .arena(arena)
+    .run(&ws[wi].trace, &ws[wi].demand_residency())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Same point list, twice through the pool: cold arenas, then warmed
+    /// arenas under a shuffled scheduling order, both equal to fresh
+    /// (arena-disabled) serial runs.
+    #[test]
+    fn pool_reuse_with_shuffled_order_is_byte_identical(
+        sms in prop_oneof![Just(1u32), Just(2), Just(4)],
+        shuffle_seed in 1u64..10_000,
+    ) {
+        let _g = GLOBALS_LOCK.lock().unwrap();
+        let _cache_off = CacheOff::new();
+        let jobs: Vec<(usize, Scheme)> = (0..3usize)
+            .flat_map(|i| [(i, Scheme::Baseline), (i, Scheme::ReplayQueue)])
+            .collect();
+        // Reference: fresh state per run, no pool, no arena.
+        let fresh: Vec<GpuRunReport> =
+            jobs.iter().map(|&(wi, s)| run_point(wi, s, sms, false)).collect();
+        // Pass 1: cold worker arenas, natural order.
+        let cold = with_threads(4, || {
+            gex::exec::par_map(jobs.clone(), |(wi, s)| run_point(wi, s, sms, true))
+        });
+        // Pass 2: arenas warmed by pass 1, scheduling order shuffled.
+        let perm = permutation(jobs.len(), shuffle_seed);
+        let shuffled: Vec<(usize, Scheme)> = perm.iter().map(|&i| jobs[i]).collect();
+        let warm_shuffled = with_threads(4, || {
+            gex::exec::par_map(shuffled, |(wi, s)| run_point(wi, s, sms, true))
+        });
+        let mut warm: Vec<Option<GpuRunReport>> = vec![None; jobs.len()];
+        for (k, &i) in perm.iter().enumerate() {
+            warm[i] = Some(warm_shuffled[k].clone());
+        }
+        for (i, f) in fresh.iter().enumerate() {
+            prop_assert_eq!(&cold[i], f, "cold-arena pool run diverged at job {}", i);
+            prop_assert_eq!(
+                warm[i].as_ref().unwrap(),
+                f,
+                "warmed-arena shuffled pool run diverged at job {}",
+                i
+            );
+        }
+    }
+}
+
+/// Figure renders are identical across pool reuse and with arena reuse
+/// globally disabled — the user-visible form of the same contract.
+#[test]
+fn figure_renders_survive_pool_and_arena_reuse() {
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let _cache_off = CacheOff::new();
+    let first = with_threads(4, || gex::experiments::fig10(Preset::Test, 2).to_string());
+    // The pool's worker arenas are warm now; render again.
+    let second = with_threads(4, || gex::experiments::fig10(Preset::Test, 2).to_string());
+    assert_eq!(first, second, "warmed arenas changed a figure render");
+    gex::sim::set_arena_enabled(false);
+    let fresh = with_threads(4, || gex::experiments::fig10(Preset::Test, 2).to_string());
+    gex::sim::set_arena_enabled(true);
+    assert_eq!(first, fresh, "arena reuse changed a figure render");
+    assert!(!first.is_empty());
+}

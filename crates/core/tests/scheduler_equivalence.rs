@@ -24,10 +24,15 @@ use gex_testkit::prelude::*;
 
 /// Run one point under all three next-event modes and assert
 /// byte-identity of the whole outcome (report or error diagnostic).
+///
+/// The three runs execute back to back on one thread, so the second and
+/// third reuse the arena the first one populated — this function also
+/// locks fresh-vs-recycled arena equivalence: the scan leg runs with
+/// arena reuse disabled and must still match.
 fn assert_modes_agree(gpu: Gpu, trace: &gex::isa::trace::KernelTrace, res: &Residency) {
     let push = gpu.clone().next_event_mode(NextEventMode::Push).try_run(trace, res);
     let heap = gpu.clone().next_event_mode(NextEventMode::Heap).try_run(trace, res);
-    let scan = gpu.next_event_mode(NextEventMode::Scan).try_run(trace, res);
+    let scan = gpu.arena(false).next_event_mode(NextEventMode::Scan).try_run(trace, res);
     match (&push, &heap, &scan) {
         (Ok(p), Ok(h), Ok(s)) => {
             assert_eq!(p, s, "push and scan reports diverged");

@@ -6,31 +6,69 @@
 //! largest worker count any sweep has asked for and never shrinks; parked
 //! threads cost nothing but a stack.
 //!
-//! Submitted tasks are `'static` boxed closures. Scoped borrows (the
-//! caller's items, its result slots) are handled one level up in
-//! [`scope_run`]: the submitting thread blocks on a completion latch until
-//! every task it enqueued has finished, so lifetime erasure is sound — no
-//! borrow outlives the call that created it, even if a task panics (the
-//! latch is signalled from a drop guard).
+//! A sweep is submitted as **one** shared [`SweepJob`] carrying a ticket
+//! count, not one boxed closure per helper: enqueueing takes the pool
+//! lock once per sweep, allocates a single `Arc`, and each helper claims
+//! a ticket from the queue head. The job's runner is a `'static`-erased
+//! borrow of the caller's closure; lifetime erasure is sound because the
+//! submitting thread blocks on the job's completion latch until every
+//! ticket has finished, so no borrow outlives the call that created it,
+//! even if a ticket panics (the latch is signalled from a drop guard).
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// One parallel sweep's shared descriptor: every helper ticket runs the
+/// same `runner` (a claim-indices-until-drained loop) and signals the
+/// latch when done.
+struct SweepJob {
+    runner: &'static (dyn Fn() + Sync),
+    latch: Latch,
+}
+
+/// A queued sweep plus the helper tickets not yet claimed.
+struct QueuedSweep {
+    job: Arc<SweepJob>,
+    tickets: usize,
+}
 
 struct PoolState {
-    queue: VecDeque<Task>,
+    queue: VecDeque<QueuedSweep>,
     /// Worker threads spawned so far (the pool never shrinks).
     spawned: usize,
 }
 
-/// The process-wide pool: a shared injector queue plus parked workers.
+impl PoolState {
+    /// Claim one ticket from the queue head, dropping the sweep from the
+    /// queue once its last ticket is taken.
+    fn claim(&mut self) -> Option<Arc<SweepJob>> {
+        let front = self.queue.front_mut()?;
+        let job = Arc::clone(&front.job);
+        front.tickets -= 1;
+        if front.tickets == 0 {
+            self.queue.pop_front();
+        }
+        Some(job)
+    }
+}
+
+/// The process-wide pool: a shared sweep queue plus parked workers.
 pub(crate) struct Pool {
     state: Mutex<PoolState>,
     work_available: Condvar,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Run one claimed ticket. The latch is signalled from a drop guard so a
+/// panicking runner (never expected — `par_map` catches per-job panics
+/// inside it) still releases the submitter and its borrows.
+fn run_ticket(job: Arc<SweepJob>) {
+    let _signal = SignalOnDrop(&job.latch);
+    let _ = catch_unwind(AssertUnwindSafe(|| (job.runner)()));
+}
 
 impl Pool {
     pub(crate) fn global() -> &'static Pool {
@@ -45,9 +83,10 @@ impl Pool {
         self.state.lock().unwrap().spawned
     }
 
-    /// Enqueue `task`, first making sure at least `workers` threads exist
-    /// to drain the queue.
-    pub(crate) fn submit(&'static self, workers: usize, task: Task) {
+    /// Enqueue one sweep with `tickets` helper tickets, first making sure
+    /// at least `workers` threads exist to drain the queue. One lock, one
+    /// queue slot, however many helpers.
+    fn submit_sweep(&'static self, workers: usize, job: Arc<SweepJob>, tickets: usize) {
         let mut st = self.state.lock().unwrap();
         while st.spawned < workers {
             st.spawned += 1;
@@ -56,19 +95,23 @@ impl Pool {
                 .spawn(move || self.worker_loop())
                 .expect("spawn sweep worker");
         }
-        st.queue.push_back(task);
+        st.queue.push_back(QueuedSweep { job, tickets });
         drop(st);
-        self.work_available.notify_one();
+        if tickets > 1 {
+            self.work_available.notify_all();
+        } else {
+            self.work_available.notify_one();
+        }
     }
 
-    /// Pop and execute one queued task, if any. Called by threads waiting
-    /// on a latch so a blocked sweep drains the queue instead of sleeping
-    /// — the guarantee that makes nested sweeps deadlock-free.
+    /// Claim and execute one ticket, if any. Called by threads waiting on
+    /// a latch so a blocked sweep drains the queue instead of sleeping —
+    /// the guarantee that makes nested sweeps deadlock-free.
     fn try_run_one(&self) -> bool {
-        let task = self.state.lock().unwrap().queue.pop_front();
-        match task {
-            Some(t) => {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t));
+        let job = self.state.lock().unwrap().claim();
+        match job {
+            Some(j) => {
+                run_ticket(j);
                 true
             }
             None => false,
@@ -77,59 +120,63 @@ impl Pool {
 
     fn worker_loop(&self) {
         loop {
-            let task = {
+            let job = {
                 let mut st = self.state.lock().unwrap();
                 loop {
-                    if let Some(t) = st.queue.pop_front() {
-                        break t;
+                    if let Some(j) = st.claim() {
+                        break j;
                     }
                     st = self.work_available.wait(st).unwrap();
                 }
             };
-            // Tasks catch their own panics (per-job isolation happens in
-            // `par_map`'s runner); this is a second line of defence so an
-            // infrastructure panic never kills a pooled worker.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            run_ticket(job);
         }
     }
 }
 
-/// Counts outstanding tasks of one `scope_run` call; the submitter blocks
-/// until every task has signalled.
+/// Counts outstanding tickets of one `scope_run` call; the submitter
+/// blocks until every ticket has signalled.
+///
+/// The count is an atomic so signalling is lock-free; `signal` uses
+/// release ordering and `is_done` acquire, which is the happens-before
+/// edge `try_par_map` relies on to read result slots written by helpers
+/// without per-slot locks.
 struct Latch {
-    remaining: Mutex<usize>,
+    remaining: AtomicUsize,
+    sleep: Mutex<()>,
     all_done: Condvar,
 }
 
 impl Latch {
     fn new(n: usize) -> Self {
-        Latch { remaining: Mutex::new(n), all_done: Condvar::new() }
+        Latch { remaining: AtomicUsize::new(n), sleep: Mutex::new(()), all_done: Condvar::new() }
     }
 
     fn signal(&self) {
-        let mut left = self.remaining.lock().unwrap();
-        *left -= 1;
-        if *left == 0 {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Taking the sleep mutex orders this notify after any waiter's
+            // is_done check, closing the lost-wakeup window.
+            let _g = self.sleep.lock().unwrap();
             self.all_done.notify_all();
         }
     }
 
     fn is_done(&self) -> bool {
-        *self.remaining.lock().unwrap() == 0
+        self.remaining.load(Ordering::Acquire) == 0
     }
 
     /// Block until done or a short timeout elapses; the caller re-checks
     /// the pool queue between waits (see [`scope_run`]'s help loop).
     fn wait_briefly(&self) {
-        let left = self.remaining.lock().unwrap();
-        if *left > 0 {
-            let _ = self.all_done.wait_timeout(left, std::time::Duration::from_millis(1)).unwrap();
+        let g = self.sleep.lock().unwrap();
+        if !self.is_done() {
+            let _ = self.all_done.wait_timeout(g, std::time::Duration::from_millis(1)).unwrap();
         }
     }
 }
 
-/// Signals its latch when dropped, so a panicking task still releases the
-/// submitter (and the borrows the task captured stay sound).
+/// Signals its latch when dropped, so a panicking ticket still releases
+/// the submitter (and the borrows the runner captured stay sound).
 struct SignalOnDrop<'a>(&'a Latch);
 
 impl Drop for SignalOnDrop<'_> {
@@ -143,47 +190,40 @@ impl Drop for SignalOnDrop<'_> {
 ///
 /// `runner` must not panic: per-job panics are caught inside it. The
 /// calling thread always executes one copy itself, and while waiting for
-/// its pooled copies it *helps*: it drains queued tasks instead of
+/// its pooled copies it *helps*: it drains queued tickets instead of
 /// sleeping. Helping is what makes nested sweeps deadlock-free — a worker
 /// blocked on an inner sweep's latch executes the queue's pending runners
-/// (its own inner tasks included) rather than holding its thread hostage.
+/// (its own inner tickets included) rather than holding its thread
+/// hostage.
 ///
 /// # Safety argument
 ///
 /// The borrow in `runner` is transmuted to `'static` to cross into the
 /// persistent pool. This is sound because this function does not return
-/// until the latch confirms every submitted task has completed (the latch
-/// is signalled from a drop guard, so panics cannot leak a task), and the
-/// referent therefore outlives every use.
+/// until the latch confirms every submitted ticket has completed (the
+/// latch is signalled from a drop guard, so panics cannot leak a ticket),
+/// and the referent therefore outlives every use.
 pub(crate) fn scope_run(helpers: usize, runner: &(dyn Fn() + Sync)) {
     if helpers == 0 {
         runner();
         return;
     }
-    let latch = std::sync::Arc::new(Latch::new(helpers));
     // SAFETY: see the function-level safety argument — the help loop
-    // below keeps `runner`'s borrows alive past the last task.
+    // below keeps `runner`'s borrows alive past the last use.
     let eternal: &'static (dyn Fn() + Sync) = unsafe {
         std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(runner)
     };
-    for _ in 0..helpers {
-        let latch = latch.clone();
-        Pool::global().submit(
-            helpers,
-            Box::new(move || {
-                let _signal = SignalOnDrop(&latch);
-                eternal();
-            }),
-        );
-    }
+    let job = Arc::new(SweepJob { runner: eternal, latch: Latch::new(helpers) });
+    Pool::global().submit_sweep(helpers, Arc::clone(&job), helpers);
     runner();
-    // Help-while-waiting: some of this sweep's tasks may still sit in the
-    // queue (every worker busy), or a popped foreign task may itself be
-    // waiting on a nested latch. Executing queued tasks here guarantees
-    // global progress; the timed wait bounds the window of a lost wakeup.
-    while !latch.is_done() {
+    // Help-while-waiting: some of this sweep's tickets may still sit in
+    // the queue (every worker busy), or a claimed foreign ticket may
+    // itself be waiting on a nested latch. Executing queued tickets here
+    // guarantees global progress; the timed wait bounds the window of a
+    // lost wakeup.
+    while !job.latch.is_done() {
         if !Pool::global().try_run_one() {
-            latch.wait_briefly();
+            job.latch.wait_briefly();
         }
     }
 }

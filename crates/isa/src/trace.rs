@@ -189,6 +189,9 @@ pub struct KernelTrace {
     /// Memoized [`KernelTrace::touched_pages`] result (derived data, not
     /// part of the trace's identity).
     pages_cache: std::sync::OnceLock<Vec<u64>>,
+    /// Memoized [`KernelTrace::arc_blocks`] result (derived data, not
+    /// part of the trace's identity).
+    arc_blocks_cache: std::sync::OnceLock<Vec<std::sync::Arc<BlockTrace>>>,
 }
 
 impl PartialEq for KernelTrace {
@@ -224,6 +227,7 @@ impl KernelTrace {
             regs_per_thread,
             shared_bytes,
             pages_cache: std::sync::OnceLock::new(),
+            arc_blocks_cache: std::sync::OnceLock::new(),
         }
     }
 
@@ -248,6 +252,15 @@ impl KernelTrace {
             pages.dedup();
             pages
         })
+    }
+
+    /// The block traces wrapped in `Arc`s, in block-id order, deep-copied
+    /// once and cached. Every timing run of the kernel shares these
+    /// handles instead of cloning the full instruction vectors per run —
+    /// the dominant allocation cost of repeated sweeps over one trace.
+    pub fn arc_blocks(&self) -> &[std::sync::Arc<BlockTrace>] {
+        self.arc_blocks_cache
+            .get_or_init(|| self.blocks.iter().cloned().map(std::sync::Arc::new).collect())
     }
 }
 

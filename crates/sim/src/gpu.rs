@@ -25,8 +25,78 @@ use gex_sm::{
     FaultNotice, KernelSetup, NextEventHeap, NextEventMode, RunBudget, Scheme, Sm, SmStats,
     WakeQueue, WarpDiag,
 };
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Count of full linear next-event scans executed by
+/// [`NextEventMode::Scan`]'s reference path (including the debug-build
+/// cross-checks of the other modes). Exposed via [`scan_probe_count`] so
+/// tests can assert that push mode does *zero* scan work in release
+/// builds. Relaxed: a monotonic telemetry counter, not a synchronizer.
+static SCAN_PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of full next-event scans so far (see
+/// [`NextEventMode`]): the O(components) fallback that push-based wake
+/// scheduling exists to avoid. In release builds a [`NextEventMode::Push`]
+/// run leaves this counter untouched.
+pub fn scan_probe_count() -> u64 {
+    SCAN_PROBES.load(Ordering::Relaxed)
+}
+
+/// Reusable per-thread simulation state: every buffer a run grows once
+/// and a later run can reuse instead of reallocating — SMs (event wheels,
+/// token maps, scratch vectors), local schedulers, the next-event heap,
+/// the wake queue and the dispatch queue. Sweeps run thousands of points
+/// per worker thread; recycling these is what makes the per-point cost
+/// allocation-free in steady state.
+///
+/// Reuse is *observably* equivalent to fresh state: every component is
+/// reset through its `recycle`/`reset`/`clear` path before a run touches
+/// it, and the equivalence suite locks byte-identical reports between
+/// fresh and reused arenas.
+#[derive(Debug, Default)]
+struct SimArena {
+    sms: Vec<Sm>,
+    scheds: Vec<LocalScheduler>,
+    heap: NextEventHeap,
+    wake: WakeQueue,
+    notice_buf: Vec<FaultNotice>,
+    queue: VecDeque<Arc<BlockTrace>>,
+}
+
+thread_local! {
+    /// One arena per worker thread, taken for the duration of a run and
+    /// put back afterwards. The take/replace pattern (instead of a held
+    /// `RefCell` borrow) means a reentrant run — e.g. a simulation started
+    /// from inside a panic hook or a nested helper — simply sees an empty
+    /// arena instead of a borrow panic.
+    static ARENA: RefCell<SimArena> = RefCell::new(SimArena::default());
+}
+
+/// 0 = unset (consult `GEX_SIM_ARENA`), 1 = forced on, 2 = forced off.
+static ARENA_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Force arena reuse on or off for subsequently constructed [`Gpu`]s,
+/// overriding `GEX_SIM_ARENA` — the A/B switch for equivalence tests.
+/// [`Gpu::arena`] still overrides per instance.
+pub fn set_arena_enabled(on: bool) {
+    ARENA_OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Arena reuse default for new [`Gpu`]s: the [`set_arena_enabled`]
+/// override if set, else on unless `GEX_SIM_ARENA=0`.
+fn arena_default() -> bool {
+    match ARENA_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => match std::env::var("GEX_SIM_ARENA") {
+            Ok(v) => v != "0",
+            Err(_) => true,
+        },
+    }
+}
 
 /// The GPU simulator front end. Construct once, [`Gpu::run`] per launch.
 #[derive(Debug, Clone)]
@@ -37,6 +107,7 @@ pub struct Gpu {
     inject: Option<InjectionPlan>,
     budget: RunBudget,
     next_event: NextEventMode,
+    use_arena: bool,
 }
 
 impl Gpu {
@@ -50,6 +121,7 @@ impl Gpu {
             inject: None,
             budget: RunBudget::none(),
             next_event: NextEventMode::from_env(),
+            use_arena: arena_default(),
         }
     }
 
@@ -108,6 +180,15 @@ impl Gpu {
         self
     }
 
+    /// Enable or disable per-thread arena reuse for this GPU's runs
+    /// (default: on, unless `GEX_SIM_ARENA=0`). Reused and fresh state
+    /// are observably equivalent; the knob exists for A/B comparison and
+    /// the equivalence suite.
+    pub fn arena(mut self, on: bool) -> Self {
+        self.use_arena = on;
+        self
+    }
+
     /// Execute `trace` with the given initial data placement.
     ///
     /// # Panics
@@ -130,7 +211,19 @@ impl Gpu {
         trace: &KernelTrace,
         residency: &Residency,
     ) -> Result<GpuRunReport, SimError> {
-        Engine::new(self, trace, residency).run(trace)
+        if !self.use_arena {
+            let mut engine = Engine::new(self, trace, residency, SimArena::default());
+            return engine.run(trace);
+        }
+        // Take the thread's arena for the run's duration, put it back
+        // afterwards (grown buffers and all). A panicking run drops the
+        // arena with the unwinding engine; the slot's replacement default
+        // means the next run on this thread just starts cold.
+        let arena = ARENA.with(|slot| slot.take());
+        let mut engine = Engine::new(self, trace, residency, arena);
+        let result = engine.run(trace);
+        ARENA.with(|slot| slot.replace(engine.into_arena()));
+        result
     }
 }
 
@@ -178,7 +271,7 @@ const SRC_LOCAL: usize = 2;
 const SRC_SM: usize = 3;
 
 impl Engine {
-    fn new(gpu: &Gpu, trace: &KernelTrace, residency: &Residency) -> Self {
+    fn new(gpu: &Gpu, trace: &KernelTrace, residency: &Residency, arena: SimArena) -> Self {
         let num_sms = gpu.cfg.num_sms();
         let (fault_mode, cpu, local, block_cfg) = match gpu.paging {
             PagingMode::AllResident => {
@@ -230,20 +323,39 @@ impl Engine {
             shared_bytes: trace.shared_bytes,
             occupancy_blocks: occupancy,
         };
-        let sms: Vec<Sm> = (0..num_sms)
-            .map(|i| {
-                let mut sm = Sm::new(i, gpu.cfg.sm.clone(), gpu.scheme);
-                sm.configure_kernel(setup);
-                sm
-            })
-            .collect();
-        let queue: VecDeque<Arc<BlockTrace>> =
-            trace.blocks.iter().cloned().map(Arc::new).collect();
+        // Recycle the arena's state in place of building it fresh: every
+        // component goes through its reset path, so a reused arena is
+        // observably identical to `SimArena::default()`.
+        let SimArena { mut sms, mut scheds, mut heap, mut wake, mut notice_buf, mut queue } =
+            arena;
+        sms.truncate(num_sms as usize);
+        for (i, sm) in sms.iter_mut().enumerate() {
+            sm.recycle(i as u32, gpu.cfg.sm.clone(), gpu.scheme);
+        }
+        for i in sms.len() as u32..num_sms {
+            sms.push(Sm::new(i, gpu.cfg.sm.clone(), gpu.scheme));
+        }
+        for sm in &mut sms {
+            sm.configure_kernel(setup);
+        }
+        scheds.truncate(num_sms as usize);
+        for s in &mut scheds {
+            s.reset();
+        }
+        scheds.resize_with(num_sms as usize, LocalScheduler::new);
+        heap.reset(SRC_SM + 2 * num_sms as usize);
+        wake.clear();
+        notice_buf.clear();
+        queue.clear();
+        // The trace memoizes its Arc-wrapped blocks, so refilling the
+        // dispatch queue is `blocks` cheap Arc clones, not a deep copy of
+        // every instruction vector.
+        queue.extend(trace.arc_blocks().iter().cloned());
         Engine {
             scheme_fault_mode: fault_mode,
             mem,
             sms,
-            scheds: (0..num_sms).map(|_| LocalScheduler::new()).collect(),
+            scheds,
             cpu,
             local,
             block_cfg,
@@ -258,9 +370,23 @@ impl Engine {
             watchdog_cycles: gpu.cfg.watchdog_cycles,
             budget: gpu.budget.clone(),
             next_event: gpu.next_event,
-            heap: NextEventHeap::new(SRC_SM + 2 * num_sms as usize),
-            wake: WakeQueue::new(),
-            notice_buf: Vec::new(),
+            heap,
+            wake,
+            notice_buf,
+        }
+    }
+
+    /// Return the reusable state to an arena once the run is over (the
+    /// non-arena fields — memory system, handlers, allocator — are
+    /// rebuilt per run and simply dropped).
+    fn into_arena(self) -> SimArena {
+        SimArena {
+            sms: self.sms,
+            scheds: self.scheds,
+            heap: self.heap,
+            wake: self.wake,
+            notice_buf: self.notice_buf,
+            queue: self.queue,
         }
     }
 
@@ -316,7 +442,7 @@ impl Engine {
         out
     }
 
-    fn run(mut self, trace: &KernelTrace) -> Result<GpuRunReport, SimError> {
+    fn run(&mut self, trace: &KernelTrace) -> Result<GpuRunReport, SimError> {
         let mut now: Cycle = 0;
         // Forward-progress watchdog state: the cycle of the last commit,
         // fault resolution, block completion or block dispatch.
@@ -440,12 +566,22 @@ impl Engine {
                         // Exactness contract, checked in debug builds:
                         // every pushed wake at or before `now` has been
                         // consumed, so the queue minimum is the scan
-                        // minimum (see the WakeQueue docs).
-                        debug_assert_eq!(
-                            next,
-                            self.next_event_cycle(),
-                            "push wake queue diverged from the scan reference at cycle {now}"
-                        );
+                        // minimum (see the WakeQueue docs). The whole
+                        // cross-check — scan included — is compiled out
+                        // of release builds (`#[cfg]`, not just
+                        // `debug_assert!`): the O(components) scan per
+                        // idle window is the very cost push mode exists
+                        // to avoid, and `release_push_mode_is_scan_free`
+                        // pins that it stays gone.
+                        #[cfg(debug_assertions)]
+                        {
+                            let scan = self.next_event_cycle();
+                            assert_eq!(
+                                next, scan,
+                                "push wake queue diverged from the scan reference \
+                                 at cycle {now}"
+                            );
+                        }
                         next
                     }
                     NextEventMode::Heap => self.heap_next_event(),
@@ -670,6 +806,7 @@ impl Engine {
     /// this value; the equivalence suite compares whole campaigns run in
     /// both modes.
     fn next_event_cycle(&self) -> Option<Cycle> {
+        SCAN_PROBES.fetch_add(1, Ordering::Relaxed);
         let mut next: Option<Cycle> = None;
         let mut consider = |c: Option<Cycle>| {
             if let Some(c) = c {

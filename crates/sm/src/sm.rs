@@ -431,6 +431,28 @@ impl EventWheel {
         self.mask = mask;
     }
 
+    /// Reset to empty at cycle 0, keeping the bucket allocation — the
+    /// arena-reuse path between simulation points. The wheel re-sizes
+    /// only if the new horizon exceeds the current one: a wheel longer
+    /// than needed assigns different bucket residues but dispatches in
+    /// the same `(cycle, insertion)` order, so results are unchanged.
+    fn reset(&mut self, max_delay: Cycle) {
+        let len = max_delay.max(1).next_power_of_two() as usize;
+        if len > self.buckets.len() {
+            self.buckets = vec![Vec::new(); len];
+            self.mask = len as u64 - 1;
+        } else if self.pending > 0 {
+            // Only a run abandoned mid-flight (error paths) leaves
+            // events behind; a finished run drained everything.
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        self.drained = 0;
+        self.pending = 0;
+        self.min_hint = Cycle::MAX;
+    }
+
     /// Earliest pending cycle. O(wheel size) in the worst case, but only
     /// consulted on idle-skip paths, where the wheel is usually empty
     /// (O(1) via the pending count).
@@ -494,13 +516,11 @@ pub struct Sm {
 }
 
 impl Sm {
-    /// A new SM with the given id, configuration and exception scheme.
-    pub fn new(sm_id: u32, cfg: SmConfig, scheme: Scheme) -> Self {
-        let exec = ExecUnits::new(cfg.math_units, cfg.sfu_units, cfg.ldst_units, cfg.branch_units);
-        // The wheel horizon must cover every delay `schedule` can see:
-        // completes land at `now + 1 + fixed_latency`, the trap handler
-        // at `now + trap_handler_cycles`.
-        let max_delay = cfg.trap_handler_cycles.max(
+    /// The event-wheel horizon must cover every delay `schedule` can
+    /// see: completes land at `now + 1 + fixed_latency`, the trap
+    /// handler at `now + trap_handler_cycles`.
+    fn wheel_horizon(cfg: &SmConfig) -> Cycle {
+        cfg.trap_handler_cycles.max(
             1 + cfg
                 .alu_latency
                 .max(cfg.sfu_latency)
@@ -508,7 +528,13 @@ impl Sm {
                 .max(cfg.shared_latency)
                 .max(cfg.malloc_latency)
                 .max(1),
-        );
+        )
+    }
+
+    /// A new SM with the given id, configuration and exception scheme.
+    pub fn new(sm_id: u32, cfg: SmConfig, scheme: Scheme) -> Self {
+        let exec = ExecUnits::new(cfg.math_units, cfg.sfu_units, cfg.ldst_units, cfg.branch_units);
+        let max_delay = Self::wheel_horizon(&cfg);
         Sm {
             sm_id,
             cfg,
@@ -534,6 +560,67 @@ impl Sm {
             retired: HashMap::new(),
             error: None,
         }
+    }
+
+    /// Reset this SM to the observable state of a fresh [`Sm::new`] while
+    /// keeping its heap allocations (event-wheel buckets, token map,
+    /// scratch buffers) — the arena-reuse path between sweep points.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a field to `Sm`
+    /// without deciding its recycle story becomes a compile error.
+    pub fn recycle(&mut self, sm_id: u32, cfg: SmConfig, scheme: Scheme) {
+        let max_delay = Self::wheel_horizon(&cfg);
+        let new_exec =
+            ExecUnits::new(cfg.math_units, cfg.sfu_units, cfg.ldst_units, cfg.branch_units);
+        let Sm {
+            sm_id: id,
+            cfg: c,
+            scheme: s,
+            setup,
+            slots,
+            log,
+            exec,
+            events,
+            tokens,
+            completed,
+            notices,
+            fetch_rr,
+            issue_rr,
+            greedy_warp,
+            stats,
+            probe_on,
+            probe,
+            order,
+            order_dirty,
+            mem_evt_buf,
+            active_warps,
+            retired,
+            error,
+        } = self;
+        *id = sm_id;
+        *c = cfg;
+        *s = scheme;
+        *setup = None;
+        // `configure_kernel` rebuilds the slot vector and operand log.
+        slots.clear();
+        *log = None;
+        *exec = new_exec;
+        events.reset(max_delay);
+        tokens.clear();
+        completed.clear();
+        notices.clear();
+        *fetch_rr = 0;
+        *issue_rr = 0;
+        *greedy_warp = None;
+        *stats = SmStats::default();
+        *probe_on = false;
+        probe.clear();
+        order.clear();
+        *order_dirty = true;
+        mem_evt_buf.clear();
+        *active_warps = 0;
+        retired.clear();
+        *error = None;
     }
 
     /// Record per-instruction stage transitions (issue, last TLB check,
