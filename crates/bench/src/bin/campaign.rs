@@ -3,7 +3,8 @@
 //! ```text
 //! gex-campaign ADDR submit TENANT NAME --workloads a,b --schemes S,S \
 //!     [--preset test|bench|paper] [--sms N] [--weight N] [--seed N] \
-//!     [--inject panic|deadline] [--watch]
+//!     [--inject panic|deadline] [--partition shared|static|quarantine] \
+//!     [--watch]
 //! gex-campaign ADDR status  TENANT NAME
 //! gex-campaign ADDR results TENANT NAME
 //! gex-campaign ADDR watch   TENANT NAME
@@ -29,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gex-campaign ADDR submit TENANT NAME --workloads a,b --schemes S,S\n\
          \x20          [--preset test|bench|paper] [--sms N] [--weight N] [--seed N]\n\
-         \x20          [--inject panic|deadline] [--watch]\n\
+         \x20          [--inject panic|deadline] [--partition shared|static|quarantine]\n\
+         \x20          [--watch]\n\
          \x20      gex-campaign ADDR status|results|watch|cancel TENANT NAME\n\
          \x20      gex-campaign ADDR ping|shutdown"
     );
@@ -158,6 +160,16 @@ fn main() {
                             "deadline" => Inject::Deadline,
                             other => fail(format!("unknown inject mode {other:?}")),
                         })
+                    }
+                    "--partition" => {
+                        let v = value("a policy");
+                        spec.partition = Some(
+                            gex::PartitionPolicy::parse(v).unwrap_or_else(|| {
+                                fail(format!(
+                                    "unknown partition policy {v:?} (shared|static|quarantine)"
+                                ))
+                            }),
+                        )
                     }
                     "--watch" => watch = true,
                     other => fail(format!("unknown flag {other}")),

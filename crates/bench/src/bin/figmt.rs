@@ -1,0 +1,22 @@
+//! Regenerate Figure MT: victim slowdown and noisy-neighbor containment
+//! across the five exception schemes and the three SM-partitioning
+//! policies (shared, static, quarantine).
+//!
+//! Runs under sweep supervision: `--deadline N` budgets each point,
+//! `--resume` / `--journal PATH` make the campaign resumable, and failed
+//! points are quarantined (reported below the figure) instead of taking
+//! the run down. Exits 2 if anything was quarantined.
+
+use gex_bench::{sms_from_env, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    args.apply_max_cycles();
+    let preset = args.preset();
+    let sms = sms_from_env();
+    let fig = gex::experiments::fig_mt_supervised(preset, sms, &args.sweep_options("figmt"));
+    println!("{fig}");
+    if !fig.quarantine.is_empty() {
+        std::process::exit(2);
+    }
+}

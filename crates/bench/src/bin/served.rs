@@ -9,15 +9,16 @@
 //! cargo run -p gex-bench --release --bin gex-served -- \
 //!     [--addr HOST:PORT] [--journal-dir DIR] [--batch N] \
 //!     [--max-pending N] [--max-campaigns N] [--fault-budget N] \
-//!     [--deadline-cycles N] [--retries N] [--idle-timeout-ms N] \
-//!     [--threads N]
+//!     [--stream-fault-budget N] [--deadline-cycles N] [--retries N] \
+//!     [--idle-timeout-ms N] [--threads N]
 //! ```
 //!
 //! Defaults: `127.0.0.1:0` (a free port — the bound address is printed as
 //! the first stdout line, `gex-served listening on ADDR`, so wrappers and
 //! tests can scrape it), no journal directory (in-memory only), batch =
 //! one point per pool worker, 1024 queued points, 64 campaigns, tenant
-//! fault budget 4, unlimited per-point budget, 30 s socket timeout.
+//! fault budget 4, in-run stream fault budget 64 (partitioned points),
+//! unlimited per-point budget, 30 s socket timeout.
 
 use gex::{RunBudget, SupervisePolicy};
 use gex_serve::server::{self, ServerConfig};
@@ -27,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gex-served [--addr HOST:PORT] [--journal-dir DIR] [--batch N] \
          [--max-pending N] [--max-campaigns N] [--fault-budget N] \
-         [--deadline-cycles N] [--retries N] [--idle-timeout-ms N] [--threads N]"
+         [--stream-fault-budget N] [--deadline-cycles N] [--retries N] \
+         [--idle-timeout-ms N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -54,6 +56,9 @@ fn main() {
             }
             "--fault-budget" => {
                 cfg.tenant_fault_budget = value("a count").parse().unwrap_or_else(|_| usage())
+            }
+            "--stream-fault-budget" => {
+                cfg.stream_fault_budget = value("a count").parse().unwrap_or_else(|_| usage())
             }
             "--deadline-cycles" => {
                 let n: u64 = value("a cycle count").parse().unwrap_or_else(|_| usage());

@@ -5,12 +5,18 @@
 //! directory, and assert that
 //!
 //! * the healthy campaign resumes and completes with results
-//!   byte-identical to a serial in-process reference run, and
+//!   byte-identical to a serial in-process reference run,
 //! * the poisoned campaign is quarantined with its tenant still locked
-//!   out after the restart.
+//!   out after the restart, and
+//! * a partitioned (two-tenant shared-GPU) campaign resumes and reports
+//!   cycles byte-identical to a direct shared simulation — the packed
+//!   journal values decode the same on both sides of the kill.
 
 use gex::workloads::suite;
-use gex::{PagingMode, Preset, Scheme};
+use gex::{
+    Gpu, GpuConfig, Interconnect, PagingMode, PartitionPolicy, Preset, Scheme, TenantId,
+    TenantWorkload,
+};
 use gex_serve::wire::Inject;
 use gex_serve::{CampaignSpec, Client, ClientConfig, ClientError, PointResult};
 use std::io::{BufRead, BufReader};
@@ -88,14 +94,26 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         schemes.to_vec(),
     );
     poisoned.inject = Some(Inject::Panic);
+    // A third tenant shares the simulated GPU: every point runs as a
+    // two-tenant shared simulation next to the server's background
+    // neighbor under the quarantine policy.
+    let mut shared = CampaignSpec::new(
+        Preset::Test,
+        2,
+        vec!["histo".to_string()],
+        vec![Scheme::Baseline, Scheme::ReplayQueue],
+    );
+    shared.partition = Some(PartitionPolicy::Quarantine);
 
-    // Phase 1: submit both campaigns, wait for partial progress, SIGKILL.
+    // Phase 1: submit all three campaigns, wait for partial progress,
+    // SIGKILL.
     let first = start_daemon(&dir);
     {
         let mut c = client(&first.addr);
         let admitted = c.submit("alice", "big", &healthy).expect("admit healthy");
         assert_eq!(admitted.points, 12);
         c.submit("chaos", "bomb", &poisoned).expect("admit poisoned");
+        c.submit("bob", "shared", &shared).expect("admit partitioned");
 
         let deadline = Instant::now() + Duration::from_secs(120);
         loop {
@@ -140,6 +158,49 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         assert_eq!(
             reference.cycles, *cycles,
             "{key}: post-crash result must equal the serial reference"
+        );
+    }
+
+    // The partitioned campaign resumed too, and its reported cycles —
+    // packed with the storm flag in the journal, decoded on the wire —
+    // equal a direct two-tenant shared simulation.
+    let shared_done = c
+        .wait("bob", "shared", Duration::from_millis(25))
+        .expect("partitioned campaign finishes after restart");
+    assert_eq!(shared_done.state, "done", "partitioned campaign: {shared_done:?}");
+    assert_eq!(shared_done.done, 2);
+    let (_, points) = c.results("bob", "shared").expect("shared results");
+    let bg = suite::by_name("histo", Preset::Test).unwrap();
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else {
+            panic!("partitioned campaign must have no failed points: {p:?}")
+        };
+        let sdbg = key.split_once('/').unwrap().1;
+        let scheme = *[Scheme::Baseline, Scheme::ReplayQueue]
+            .iter()
+            .find(|s| format!("{s:?}") == sdbg)
+            .unwrap();
+        let w = suite::by_name("histo", Preset::Test).unwrap();
+        let tenants = [
+            TenantWorkload::new(TenantId::new("bob"), w.trace.clone(), w.demand_residency())
+                .fault_budget(64),
+            TenantWorkload::new(
+                TenantId::new("serve/background"),
+                bg.trace.clone(),
+                bg.demand_residency(),
+            ),
+        ];
+        let reference = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2),
+            scheme,
+            PagingMode::demand(Interconnect::nvlink()),
+        )
+        .try_run_multi(&tenants, PartitionPolicy::Quarantine)
+        .expect("reference shared run");
+        assert!(!reference.tenants[0].quarantined, "{key}: histo must not storm");
+        assert_eq!(
+            reference.tenants[0].cycles, *cycles,
+            "{key}: post-crash shared result must equal the direct shared simulation"
         );
     }
 

@@ -17,7 +17,10 @@ use crate::{
     geomean, Gpu, GpuConfig, GpuRunReport, Interconnect, PagingMode, Residency, RunBudget,
     Scheme, SimError,
 };
-use gex_sim::{BlockSwitchConfig, LocalFaultConfig};
+use gex_sim::{
+    pack_outcome, unpack_outcome, BlockSwitchConfig, InjectionPlan, LocalFaultConfig,
+    PartitionPolicy, TenantId, TenantWorkload,
+};
 use gex_workloads::{suite, Preset, Workload};
 use std::fmt;
 use std::sync::Arc;
@@ -766,6 +769,218 @@ pub fn scalability_supervised(
 impl fmt::Display for ScalabilityRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:<6} {:>14.3} {:>16.3}", self.sms, self.replay_queue, self.local_handling)
+    }
+}
+
+// --------------------------------------------- Multi-tenant containment
+
+/// Fault budget granted to the noisy tenant of the containment figure:
+/// small enough that its chaos-injected fault storm exhausts it early
+/// under [`PartitionPolicy::Quarantine`] and
+/// [`PartitionPolicy::Static`].
+pub const MT_CHAOS_BUDGET: u32 = 6;
+
+/// Injection seed of the containment figure's noisy tenant.
+pub const MT_CHAOS_SEED: u64 = 0xC4A05;
+
+/// The noisy-neighbor tenant of the multi-tenant figure: `workload`
+/// running under the chaos injection plan (handler stalls, NACK floods,
+/// link spikes) with the tight [`MT_CHAOS_BUDGET`] fault budget.
+pub fn chaos_tenant(workload: &Workload) -> TenantWorkload {
+    TenantWorkload::new(
+        TenantId::new(format!("chaos-{}", workload.name)),
+        workload.trace.clone(),
+        workload.demand_residency(),
+    )
+    .inject(InjectionPlan::chaos(MT_CHAOS_SEED))
+    .fault_budget(MT_CHAOS_BUDGET)
+}
+
+/// Short human label for a scheme in figure rows (`Scheme`'s `Debug` form
+/// is too wide for the operand log).
+fn scheme_label(s: Scheme) -> String {
+    match s {
+        Scheme::OperandLog { bytes } => format!("OperandLog{}K", bytes / 1024),
+        other => format!("{other:?}"),
+    }
+}
+
+/// One scheme's row in the multi-tenant containment figure.
+#[derive(Debug, Clone)]
+pub struct FigMtRow {
+    /// Exception-scheme label.
+    pub scheme: String,
+    /// Victim cycles running alone on the full machine (demand paging).
+    pub solo_cycles: f64,
+    /// Victim slowdown vs the solo run under each policy, in
+    /// [`FigMt::POLICIES`] order (`NaN` over quarantined points).
+    pub slowdown: Vec<f64>,
+    /// Whether the noisy tenant ended the run locked out, per policy
+    /// (expected under `static`/`quarantine`, never under `shared`).
+    pub chaos_locked_out: Vec<bool>,
+}
+
+/// The multi-tenant containment figure: victim slowdown and noisy-tenant
+/// lockout across the five exception schemes × the three SM-partitioning
+/// policies, with a solo reference run per scheme.
+#[derive(Debug, Clone)]
+pub struct FigMt {
+    /// Per-scheme rows.
+    pub rows: Vec<FigMtRow>,
+}
+
+impl FigMt {
+    /// Policy order of [`FigMtRow::slowdown`] and
+    /// [`FigMtRow::chaos_locked_out`].
+    pub const POLICIES: [PartitionPolicy; 3] =
+        [PartitionPolicy::Shared, PartitionPolicy::Static, PartitionPolicy::Quarantine];
+}
+
+/// Run the multi-tenant containment sweep. `histo` is the victim, `lbm`
+/// (under [`chaos_tenant`]) the noisy neighbor; each scheme runs the pair
+/// under every [`FigMt::POLICIES`] entry plus a solo victim reference.
+/// Panics if any point fails; [`fig_mt_supervised`] is the fault-tolerant
+/// form.
+pub fn fig_mt(preset: Preset, sms: u32) -> FigMt {
+    expect_healthy(fig_mt_supervised(preset, sms, &SweepOptions::default()))
+}
+
+/// [`fig_mt`] under sweep supervision. Multi-tenant points bypass the
+/// result cache (it is keyed on single-stream runs) but still journal:
+/// each point's value packs the victim's cycles with the noisy tenant's
+/// lockout flag via [`pack_outcome`].
+pub fn fig_mt_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Supervised<FigMt> {
+    const SCHEMES: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::WdCommit,
+        Scheme::WdLastCheck,
+        Scheme::ReplayQueue,
+        Scheme::OperandLog { bytes: 8192 },
+    ];
+    /// Solo reference plus the three policies: the per-scheme mode grid.
+    const MODES: [Option<PartitionPolicy>; 4] = [
+        None,
+        Some(PartitionPolicy::Shared),
+        Some(PartitionPolicy::Static),
+        Some(PartitionPolicy::Quarantine),
+    ];
+    // histo is the fault-heaviest small workload (the victim that notices
+    // contention); lbm touches the most fault regions, so the chaos
+    // neighbor reliably blows through MT_CHAOS_BUDGET (budgets charge per
+    // fresh fault *region*, not per request).
+    let victim = suite::by_name("histo", preset).expect("histo in suite");
+    let neighbor = suite::by_name("lbm", preset).expect("lbm in suite");
+    let (victim, neighbor) = (&victim, &neighbor);
+    let victim_res = victim.demand_residency();
+    let points: Vec<(String, (Scheme, Option<PartitionPolicy>))> = SCHEMES
+        .iter()
+        .flat_map(|&s| {
+            MODES.iter().map(move |&m| {
+                (format!("{s:?}/{}", m.map_or("solo", PartitionPolicy::token)), (s, m))
+            })
+        })
+        .collect();
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(
+        opts,
+        &format!("figmt|{preset:?}|sms={sms}|{}+{}", victim.name, neighbor.name),
+        &keys,
+    );
+    let cache_before = cache::stats();
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |(s, mode), budget| {
+        let gpu = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(sms),
+            *s,
+            PagingMode::Demand {
+                interconnect: Interconnect::nvlink(),
+                block_switch: None,
+                local_handling: None,
+            },
+        )
+        .budget(budget.clone());
+        match mode {
+            None => cache::run_cached(&gpu, victim, &victim_res)
+                .map(|r| pack_outcome(r.cycles, false)),
+            Some(policy) => {
+                let tenants = [
+                    TenantWorkload::new(
+                        TenantId::new(victim.name.clone()),
+                        victim.trace.clone(),
+                        victim_res.clone(),
+                    ),
+                    chaos_tenant(neighbor),
+                ];
+                gpu.try_run_multi(&tenants, *policy)
+                    .map(|rep| pack_outcome(rep.tenants[0].cycles, rep.tenants[1].quarantined))
+            }
+        }
+    });
+    let rows = SCHEMES
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let solo = out.values[i * MODES.len()].map(|v| unpack_outcome(v).0);
+            let mut slowdown = Vec::with_capacity(MODES.len() - 1);
+            let mut locked = Vec::with_capacity(MODES.len() - 1);
+            for j in 1..MODES.len() {
+                let v = out.values[i * MODES.len() + j];
+                slowdown.push(ratio(v.map(|v| unpack_outcome(v).0), solo));
+                locked.push(v.map(|v| unpack_outcome(v).1).unwrap_or(false));
+            }
+            FigMtRow {
+                scheme: scheme_label(s),
+                solo_cycles: solo.map_or(f64::NAN, |c| c as f64),
+                slowdown,
+                chaos_locked_out: locked,
+            }
+        })
+        .collect();
+    Supervised {
+        fig: FigMt { rows },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
+    }
+}
+
+impl fmt::Display for FigMt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure MT: victim slowdown under a noisy neighbor (two tenants, chaos injection)"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>9} {:>9} {:>11}   locked out",
+            "scheme", "solo-cycles", "shared", "static", "quarantine"
+        )?;
+        for r in &self.rows {
+            let locked: Vec<&str> = FigMt::POLICIES
+                .iter()
+                .zip(&r.chaos_locked_out)
+                .filter(|&(_, &l)| l)
+                .map(|(p, _)| p.token())
+                .collect();
+            writeln!(
+                f,
+                "{:<14} {:>12.0} {:>8.2}x {:>8.2}x {:>10.2}x   {}",
+                r.scheme,
+                r.solo_cycles,
+                r.slowdown[0],
+                r.slowdown[1],
+                r.slowdown[2],
+                if locked.is_empty() { "-".to_string() } else { locked.join(",") }
+            )?;
+        }
+        writeln!(
+            f,
+            "victims under static partitioning are byte-identical to solo runs at their SM share;"
+        )?;
+        writeln!(
+            f,
+            "quarantine drains and locks out the noisy tenant once its fault budget is exhausted"
+        )
     }
 }
 

@@ -109,6 +109,50 @@ proptest! {
     }
 }
 
+/// Arena recycling across stream-count changes: alternating single-stream
+/// and two-tenant runs through the same thread-local arena yields reports
+/// byte-identical to arena-disabled runs. This locks the multi-tenant
+/// state (per-tenant dispatch queues, SM-ownership map, fault budgets)
+/// into the arena reset contract.
+#[test]
+fn arena_recycles_across_single_and_multi_tenant_runs() {
+    use gex::{PartitionPolicy, SharedRunReport, TenantId, TenantWorkload};
+    let _g = GLOBALS_LOCK.lock().unwrap();
+    let _cache_off = CacheOff::new();
+    let run_single = |arena: bool| run_point(2, Scheme::ReplayQueue, 4, arena);
+    let run_multi = |arena: bool| -> SharedRunReport {
+        let ws = suite::parboil(Preset::Test);
+        // ws[2] = histo (victim), ws[3] = lbm (budgeted noisy neighbor).
+        let tenants = [
+            TenantWorkload::new(
+                TenantId::new("a"),
+                ws[2].trace.clone(),
+                ws[2].demand_residency(),
+            ),
+            TenantWorkload::new(TenantId::new("b"), ws[3].trace.clone(), ws[3].demand_residency())
+                .fault_budget(4),
+        ];
+        Gpu::new(
+            GpuConfig::kepler_k20().with_sms(4),
+            Scheme::ReplayQueue,
+            PagingMode::demand(Interconnect::nvlink()),
+        )
+        .arena(arena)
+        .run_multi(&tenants, PartitionPolicy::Quarantine)
+    };
+    let fresh_single = run_single(false);
+    let fresh_multi = run_multi(false);
+    // Warm the arena with a multi-tenant run, then alternate shapes.
+    let m1 = run_multi(true);
+    let s1 = run_single(true);
+    let m2 = run_multi(true);
+    let s2 = run_single(true);
+    assert_eq!(m1, fresh_multi, "cold-arena multi-tenant run diverged");
+    assert_eq!(s1, fresh_single, "single-stream run on a multi-warmed arena diverged");
+    assert_eq!(m2, fresh_multi, "multi-tenant run on a single-warmed arena diverged");
+    assert_eq!(s2, fresh_single, "second single-stream run diverged");
+}
+
 /// Figure renders are identical across pool reuse and with arena reuse
 /// globally disabled — the user-visible form of the same contract.
 #[test]

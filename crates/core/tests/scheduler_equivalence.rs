@@ -149,6 +149,55 @@ proptest! {
     }
 }
 
+/// Multi-tenant engine: all three next-event modes produce byte-identical
+/// [`gex::SharedRunReport`]s — per-tenant cycles, fault/TLB attribution
+/// and quarantine decisions included — under every partitioning policy.
+#[test]
+fn multi_tenant_modes_agree_across_policies() {
+    use gex::{PartitionPolicy, TenantId, TenantWorkload};
+    let victim = suite::by_name("histo", Preset::Test).unwrap();
+    let noisy = suite::by_name("lbm", Preset::Test).unwrap();
+    let tenants = [
+        TenantWorkload::new(
+            TenantId::new("victim"),
+            victim.trace.clone(),
+            victim.demand_residency(),
+        ),
+        TenantWorkload::new(TenantId::new("noisy"), noisy.trace.clone(), noisy.demand_residency())
+            .inject(InjectionPlan::chaos(11))
+            .fault_budget(4),
+    ];
+    for policy in
+        [PartitionPolicy::Shared, PartitionPolicy::Quarantine, PartitionPolicy::Static]
+    {
+        let gpu = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(4),
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: Interconnect::nvlink(),
+                block_switch: None,
+                local_handling: None,
+            },
+        );
+        let push =
+            gpu.clone().next_event_mode(NextEventMode::Push).try_run_multi(&tenants, policy);
+        let heap =
+            gpu.clone().next_event_mode(NextEventMode::Heap).try_run_multi(&tenants, policy);
+        let scan =
+            gpu.arena(false).next_event_mode(NextEventMode::Scan).try_run_multi(&tenants, policy);
+        assert_eq!(
+            format!("{push:?}"),
+            format!("{scan:?}"),
+            "push and scan multi-tenant outcomes diverged under {policy}"
+        );
+        assert_eq!(
+            format!("{heap:?}"),
+            format!("{scan:?}"),
+            "heap and scan multi-tenant outcomes diverged under {policy}"
+        );
+    }
+}
+
 /// Budget deadlines fire at the same cycle with identical diagnostics in
 /// all modes (the jump clamps to the deadline rather than skipping it).
 #[test]

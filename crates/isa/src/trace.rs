@@ -161,6 +161,23 @@ impl BlockTrace {
         &self.instrs
     }
 
+    /// A copy of this block with every global-memory line address offset
+    /// by `offset` — multi-tenant runs rebase each tenant's trace into a
+    /// private address window so concurrent kernels cannot alias.
+    pub fn rebased(&self, offset: u64) -> BlockTrace {
+        let mut instrs = self.instrs.clone();
+        for i in &mut instrs {
+            if let Some(m) = &mut i.mem {
+                if m.space == Space::Global {
+                    for l in &mut m.lines {
+                        *l += offset;
+                    }
+                }
+            }
+        }
+        BlockTrace { block_id: self.block_id, instrs, starts: self.starts.clone() }
+    }
+
     /// Total dynamic instructions across the block's warps.
     pub fn dyn_instrs(&self) -> u64 {
         self.instrs.len() as u64
@@ -261,6 +278,20 @@ impl KernelTrace {
     pub fn arc_blocks(&self) -> &[std::sync::Arc<BlockTrace>] {
         self.arc_blocks_cache
             .get_or_init(|| self.blocks.iter().cloned().map(std::sync::Arc::new).collect())
+    }
+
+    /// A copy of this launch with every global-memory address offset by
+    /// `offset` (see [`BlockTrace::rebased`]). The copy memoizes its own
+    /// touched-page and `Arc`-block caches.
+    pub fn rebased(&self, offset: u64) -> KernelTrace {
+        KernelTrace::new(
+            self.name.clone(),
+            self.blocks.iter().map(|b| b.rebased(offset)).collect(),
+            self.threads_per_block,
+            self.warps_per_block,
+            self.regs_per_thread,
+            self.shared_bytes,
+        )
     }
 }
 

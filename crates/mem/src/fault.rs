@@ -10,7 +10,7 @@
 
 use crate::config::Cycle;
 use crate::page_table::region_of;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Why a region faulted — determines who can handle it and at what cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,11 +41,53 @@ pub struct FaultEntry {
     pub retries: u32,
 }
 
+/// Outcome of a budget-aware fault report (see
+/// [`FaultQueue::try_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAdmission {
+    /// A fresh entry enqueued at this queue position.
+    Enqueued(u32),
+    /// The report merged into an existing (or in-service) entry at this
+    /// position. Merges are free: they never charge a tenant's budget.
+    Merged(u32),
+    /// The reporting tenant's fault budget is exhausted: the fault was
+    /// refused and nothing was enqueued. The caller must treat the
+    /// request as permanently unserviceable — the denial NACKs only this
+    /// tenant's faults; every other tenant's entries keep their positions
+    /// and service order.
+    Denied,
+}
+
+impl FaultAdmission {
+    /// The queue position for admitted reports (`None` when denied).
+    pub fn position(&self) -> Option<u32> {
+        match self {
+            FaultAdmission::Enqueued(p) | FaultAdmission::Merged(p) => Some(*p),
+            FaultAdmission::Denied => None,
+        }
+    }
+}
+
 /// FIFO of pending fault regions with merge-on-duplicate.
 ///
 /// Regions currently being serviced by a handler are tracked separately so
 /// that late fault reports on them merge (position 0) instead of enqueuing
 /// a redundant service request.
+///
+/// ## Multi-tenant budgets
+///
+/// Under MPS-style GPU sharing each tenant's kernel lives in its own
+/// address window, so the owning tenant of a fault is a pure function of
+/// the region address: `region >> tenant_shift`. With a shift configured
+/// ([`FaultQueue::set_tenant_shift`]) the queue keeps per-tenant
+/// charged/denied counters, and tenants given a finite budget
+/// ([`FaultQueue::set_budget`]) are charged one unit per *fresh enqueue*
+/// (merges and NACK re-enqueues are free — they add no new service work).
+/// A tenant whose budget hits zero has further reports
+/// [`FaultAdmission::Denied`], which contains its fault storm without
+/// touching any other tenant's entries. With no shift configured every
+/// address maps to tenant 0 and, with no budget set, behaviour is
+/// byte-identical to the single-tenant queue.
 #[derive(Debug, Clone, Default)]
 pub struct FaultQueue {
     queue: VecDeque<FaultEntry>,
@@ -53,6 +95,15 @@ pub struct FaultQueue {
     total_enqueued: u64,
     total_merged: u64,
     total_nacked: u64,
+    /// Region-address shift mapping a region to its owning tenant.
+    tenant_shift: Option<u32>,
+    /// Remaining budget per tenant; absent = unlimited.
+    budgets: BTreeMap<u32, u32>,
+    /// Fresh enqueues charged per tenant (only tracked once a shift or a
+    /// budget is configured).
+    charged: BTreeMap<u32, u64>,
+    /// Reports denied per tenant (budget exhausted).
+    denied: BTreeMap<u32, u64>,
 }
 
 impl FaultQueue {
@@ -64,17 +115,46 @@ impl FaultQueue {
     /// Report a fault on the region containing `addr`.
     ///
     /// Returns the entry's position in the queue (0 = head, i.e. next to be
-    /// serviced). Duplicate reports merge into the existing entry.
+    /// serviced). Duplicate reports merge into the existing entry. A report
+    /// denied by a tenant budget returns 0; budget-aware callers should use
+    /// [`FaultQueue::try_report`] instead to observe the denial.
     pub fn report(&mut self, addr: u64, kind: FaultKind, sm: u32, now: Cycle) -> u32 {
+        self.try_report(addr, kind, sm, now).position().unwrap_or(0)
+    }
+
+    /// Budget-aware fault report: like [`FaultQueue::report`] but returns
+    /// whether the report enqueued, merged, or was denied because the
+    /// owning tenant's fault budget is exhausted.
+    pub fn try_report(
+        &mut self,
+        addr: u64,
+        kind: FaultKind,
+        sm: u32,
+        now: Cycle,
+    ) -> FaultAdmission {
         let region = region_of(addr);
         if self.in_service.contains(&region) {
             self.total_merged += 1;
-            return 0;
+            return FaultAdmission::Merged(0);
         }
         if let Some(pos) = self.queue.iter().position(|e| e.region == region) {
             self.queue[pos].merged += 1;
             self.total_merged += 1;
-            return pos as u32;
+            return FaultAdmission::Merged(pos as u32);
+        }
+        // A fresh enqueue is the only thing that charges a budget: merges
+        // piggyback on service already paid for, and NACK re-enqueues
+        // re-submit an entry that was already charged.
+        if self.tenant_shift.is_some() || !self.budgets.is_empty() {
+            let tenant = self.tenant_of(region);
+            if let Some(remaining) = self.budgets.get_mut(&tenant) {
+                if *remaining == 0 {
+                    *self.denied.entry(tenant).or_insert(0) += 1;
+                    return FaultAdmission::Denied;
+                }
+                *remaining -= 1;
+            }
+            *self.charged.entry(tenant).or_insert(0) += 1;
         }
         self.queue.push_back(FaultEntry {
             region,
@@ -85,7 +165,58 @@ impl FaultQueue {
             retries: 0,
         });
         self.total_enqueued += 1;
-        (self.queue.len() - 1) as u32
+        FaultAdmission::Enqueued((self.queue.len() - 1) as u32)
+    }
+
+    /// Configure the region-address shift that maps a fault region to its
+    /// owning tenant (`region >> shift`). Unset = every region is tenant 0.
+    pub fn set_tenant_shift(&mut self, shift: u32) {
+        self.tenant_shift = Some(shift);
+    }
+
+    /// Give `tenant` a finite fresh-enqueue budget. Once it reaches zero,
+    /// further reports from that tenant are [`FaultAdmission::Denied`].
+    pub fn set_budget(&mut self, tenant: u32, budget: u32) {
+        self.budgets.insert(tenant, budget);
+    }
+
+    /// The tenant owning the region containing `addr` (0 when no shift is
+    /// configured).
+    pub fn tenant_of(&self, addr: u64) -> u32 {
+        match self.tenant_shift {
+            Some(s) => (region_of(addr) >> s) as u32,
+            None => 0,
+        }
+    }
+
+    /// Budget units remaining for `tenant`; `None` = unlimited.
+    pub fn remaining_budget(&self, tenant: u32) -> Option<u32> {
+        self.budgets.get(&tenant).copied()
+    }
+
+    /// Fresh enqueues charged to `tenant` so far.
+    pub fn charged(&self, tenant: u32) -> u64 {
+        self.charged.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Reports denied to `tenant` (budget exhausted) so far.
+    pub fn denied(&self, tenant: u32) -> u64 {
+        self.denied.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Drop every *pending* entry owned by `tenant` (differential
+    /// quarantine: the misbehaving tenant's backlog is drained so it stops
+    /// consuming handler service). In-service entries are left to complete
+    /// — a handler mid-round-trip cannot be recalled. Returns the number
+    /// of entries removed.
+    pub fn purge_tenant(&mut self, tenant: u32) -> usize {
+        let shift = self.tenant_shift;
+        let before = self.queue.len();
+        self.queue.retain(|e| match shift {
+            Some(s) => (e.region >> s) as u32 != tenant,
+            None => tenant != 0,
+        });
+        before - self.queue.len()
     }
 
     /// Take the fault at the head of the queue for servicing. The region is

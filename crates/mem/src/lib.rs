@@ -34,6 +34,6 @@ pub mod wake;
 
 pub use config::{CacheConfig, Cycle, MemConfig, TlbConfig};
 pub use wake::WakeMemo;
-pub use fault::{FaultEntry, FaultKind, FaultQueue};
+pub use fault::{FaultAdmission, FaultEntry, FaultKind, FaultQueue};
 pub use page_table::{region_of, PageState, PageTable, REGION_BYTES, REGION_PAGES};
 pub use system::{AccessEvent, AccessKind, AccessToken, FaultMode, MemError, MemStats, MemSystem};

@@ -170,6 +170,13 @@ impl PageTable {
         &self.region_order
     }
 
+    /// Regions currently resident that belong to `tenant` under the given
+    /// address shift (`tenant = region >> shift`) — per-tenant residency
+    /// accounting for multi-tenant runs.
+    pub fn tenant_resident_regions(&self, tenant: u32, shift: u32) -> usize {
+        self.region_order.iter().filter(|&&r| (r >> shift) as u32 == tenant).count()
+    }
+
     /// Number of present pages.
     pub fn present_pages(&self) -> usize {
         self.pages.values().filter(|&&s| s == PageState::Present).count()

@@ -32,7 +32,7 @@ use crate::page_table::{region_of, PageState, PageTable};
 use crate::setassoc::SetAssoc;
 use crate::tlb::Tlb;
 use gex_isa::{page_of, LINE_BYTES};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Identifies one in-flight warp access; unique while the access is live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,6 +160,9 @@ pub struct MemStats {
     pub faulted_accesses: u64,
     /// Retries caused by full MSHR tables.
     pub mshr_retries: u64,
+    /// Requests refused admission to the fault queue because the owning
+    /// tenant's fault budget was exhausted (always 0 without budgets).
+    pub denied_requests: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -262,6 +265,12 @@ pub struct MemSystem {
     /// Stall-mode: faulted requests parked per 64 KB region.
     parked: HashMap<u64, Vec<u32>>,
     stats: MemStats,
+    /// True once [`MemSystem::set_tenant_shift`] ran: per-tenant request
+    /// counters update on the fault path. Off (the default) the counters
+    /// stay empty and the fault path pays nothing.
+    tenant_accounting: bool,
+    /// Per-tenant `(faulted_requests, denied_requests)`.
+    tenant_fault_counts: BTreeMap<u32, (u64, u64)>,
     /// First fatal condition hit (the hierarchy stops making progress on
     /// the affected requests; the simulator must abort the run).
     error: Option<MemError>,
@@ -293,6 +302,8 @@ impl MemSystem {
             wake_memo: crate::wake::WakeMemo::new(),
             parked: HashMap::new(),
             stats: MemStats::default(),
+            tenant_accounting: false,
+            tenant_fault_counts: BTreeMap::new(),
             error: None,
             fault_mode,
             cfg,
@@ -325,6 +336,41 @@ impl MemSystem {
     /// its bandwidth).
     pub fn dram_mut(&mut self) -> &mut Dram {
         &mut self.dram
+    }
+
+    /// Enable multi-tenant accounting: a virtual address belongs to the
+    /// tenant in its high bits (`region >> shift` for the fault queue,
+    /// equivalently `page >> shift` for the TLBs). Propagates the shift to
+    /// the fault queue and every TLB so faults, denials, hits and misses
+    /// are attributed per tenant.
+    pub fn set_tenant_shift(&mut self, shift: u32) {
+        self.tenant_accounting = true;
+        self.fault_queue.set_tenant_shift(shift);
+        for tlb in &mut self.l1_tlb {
+            tlb.set_tenant_shift(shift);
+        }
+        self.l2_tlb.set_tenant_shift(shift);
+    }
+
+    /// Per-tenant fault-path request counters: `(faulted_requests,
+    /// denied_requests)` attributed to `tenant`. All zero unless
+    /// [`MemSystem::set_tenant_shift`] was called.
+    pub fn tenant_fault_stats(&self, tenant: u32) -> (u64, u64) {
+        self.tenant_fault_counts.get(&tenant).copied().unwrap_or((0, 0))
+    }
+
+    /// Per-tenant TLB accounting summed over the L1 TLBs and the L2 TLB:
+    /// `(hits, misses)` attributed to `tenant`. All zero unless
+    /// [`MemSystem::set_tenant_shift`] was called.
+    pub fn tenant_tlb_stats(&self, tenant: u32) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for tlb in self.l1_tlb.iter().chain(std::iter::once(&self.l2_tlb)) {
+            let (h, m) = tlb.tenant_stats(tenant);
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 
     fn schedule(&mut self, cycle: Cycle, ev: Ev) {
@@ -605,10 +651,41 @@ impl MemSystem {
                         self.retire_req(r);
                         continue;
                     }
-                    self.stats.faulted_requests += 1;
                     let a = self.reqs[r as usize].access;
                     let sm = self.accesses[a as usize].sm;
-                    self.fault_queue.report(page, kind, sm, t);
+                    let admission = self.fault_queue.try_report(page, kind, sm, t);
+                    if self.tenant_accounting {
+                        let tenant = self.fault_queue.tenant_of(page);
+                        let e = self.tenant_fault_counts.entry(tenant).or_insert((0, 0));
+                        if admission == crate::fault::FaultAdmission::Denied {
+                            e.1 += 1;
+                        } else {
+                            e.0 += 1;
+                        }
+                    }
+                    if admission == crate::fault::FaultAdmission::Denied {
+                        // Tenant fault budget exhausted: the fault is never
+                        // queued, so its region will never resolve. The
+                        // request dies here and the issuing warp stalls —
+                        // containment, not service. The driving simulator
+                        // observes the denial and quarantines the tenant.
+                        self.stats.denied_requests += 1;
+                        match self.fault_mode {
+                            FaultMode::StallReplay => {
+                                self.reqs[r as usize].dead = true;
+                                self.retire_req(r);
+                            }
+                            FaultMode::SquashNotify => {
+                                self.accesses[a as usize].faulted_pages.push(page);
+                                self.accesses[a as usize].pending_checks -= 1;
+                                self.reqs[r as usize].dead = true;
+                                self.retire_req(r);
+                                self.maybe_finish_checks(t, a);
+                            }
+                        }
+                        continue;
+                    }
+                    self.stats.faulted_requests += 1;
                     match self.fault_mode {
                         FaultMode::StallReplay => {
                             self.parked.entry(region_of(page)).or_default().push(r);

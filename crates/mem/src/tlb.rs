@@ -7,24 +7,58 @@
 
 use crate::config::TlbConfig;
 use crate::setassoc::SetAssoc;
+use std::collections::BTreeMap;
 
 /// One TLB level.
+///
+/// With a tenant shift configured (multi-tenant runs), hits and misses are
+/// additionally attributed to the owning tenant — the tenant id lives in
+/// the high bits of the virtual address, so for a virtual page number it
+/// is `vpn >> (shift - 12)`.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     tags: SetAssoc,
     hits: u64,
     misses: u64,
+    tenant_shift: Option<u32>,
+    per_tenant: BTreeMap<u32, (u64, u64)>,
 }
 
 impl Tlb {
     /// Build a TLB from its configuration.
     pub fn new(cfg: &TlbConfig) -> Self {
-        Tlb { tags: SetAssoc::new(cfg.sets() as u64, cfg.ways), hits: 0, misses: 0 }
+        Tlb {
+            tags: SetAssoc::new(cfg.sets() as u64, cfg.ways),
+            hits: 0,
+            misses: 0,
+            tenant_shift: None,
+            per_tenant: BTreeMap::new(),
+        }
+    }
+
+    /// Attribute future lookups to tenants: `shift` is the *address* shift
+    /// (tenant = address >> shift), shared with the fault queue.
+    pub fn set_tenant_shift(&mut self, shift: u32) {
+        self.tenant_shift = Some(shift.saturating_sub(12));
+    }
+
+    /// Per-tenant `(hits, misses)`; zero unless a tenant shift is set.
+    pub fn tenant_stats(&self, tenant: u32) -> (u64, u64) {
+        self.per_tenant.get(&tenant).copied().unwrap_or((0, 0))
     }
 
     /// Look up `vpn`, updating LRU and counters.
     pub fn lookup(&mut self, vpn: u64) -> bool {
-        if self.tags.access(vpn) {
+        let hit = self.tags.access(vpn);
+        if let Some(s) = self.tenant_shift {
+            let e = self.per_tenant.entry((vpn >> s) as u32).or_insert((0, 0));
+            if hit {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        if hit {
             self.hits += 1;
             true
         } else {

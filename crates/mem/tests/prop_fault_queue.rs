@@ -2,7 +2,7 @@
 //! interleavings of reports, in-order pops, out-of-order pops, NACK
 //! requeues and service completions, the queue's invariants hold.
 
-use gex_mem::{region_of, FaultEntry, FaultKind, FaultQueue, REGION_BYTES};
+use gex_mem::{region_of, FaultAdmission, FaultEntry, FaultKind, FaultQueue, REGION_BYTES};
 use gex_testkit::prelude::*;
 
 /// One random queue operation.
@@ -158,5 +158,124 @@ proptest! {
         let pending_plus_merged: u64 =
             q.len() as u64 + q.iter().map(|e| e.merged as u64).sum::<u64>();
         prop_assert_eq!(pending_plus_merged, dups.len() as u64);
+    }
+}
+
+// ----------------------- Multi-tenant budget accounting (ISSUE 8)
+
+/// Region-address shift for the budget properties: regions are 64 KB, so a
+/// 20-bit shift gives every tenant a 1 MB window of 16 regions.
+const SHIFT: u32 = 20;
+
+/// An address inside tenant `t`'s window, region index `r`.
+fn taddr(t: u32, r: u8) -> u64 {
+    ((t as u64) << SHIFT) + r as u64 * REGION_BYTES
+}
+
+/// Owning tenant of a queue entry under [`SHIFT`].
+fn owner(e: &FaultEntry) -> u32 {
+    (e.region >> SHIFT) as u32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// A budget is charged only by its own tenant's fresh enqueues:
+    /// merges are free, denial begins exactly at exhaustion, and a
+    /// denied report never touches another tenant's counters.
+    #[test]
+    fn budgets_charge_only_the_owning_tenant(
+        budget in 0u32..6,
+        reports in collection::vec((0u32..3, 0u8..8), 1..60),
+    ) {
+        let mut q = FaultQueue::new();
+        q.set_tenant_shift(SHIFT);
+        q.set_budget(1, budget); // tenant 1 is noisy; 0 and 2 unlimited
+        let mut charged = [0u64; 3];
+        let mut denied = [0u64; 3];
+        for (i, &(t, r)) in reports.iter().enumerate() {
+            let remaining = q.remaining_budget(1);
+            match q.try_report(taddr(t, r), FaultKind::Migration, 0, i as u64) {
+                FaultAdmission::Denied => {
+                    prop_assert_eq!(t, 1, "only the budgeted tenant can be denied");
+                    prop_assert_eq!(remaining, Some(0), "denial must follow exhaustion");
+                    denied[t as usize] += 1;
+                }
+                FaultAdmission::Enqueued(_) => charged[t as usize] += 1,
+                FaultAdmission::Merged(_) => {}
+            }
+            for t in 0..3u32 {
+                prop_assert_eq!(q.charged(t), charged[t as usize],
+                    "fresh-enqueue charge drifted for tenant {}", t);
+                prop_assert_eq!(q.denied(t), denied[t as usize],
+                    "denial count drifted for tenant {}", t);
+            }
+        }
+        // Conservation: what tenant 1 was charged plus what it has left
+        // is exactly its grant, and its backlog never exceeds the charge.
+        prop_assert_eq!(q.charged(1) + q.remaining_budget(1).unwrap() as u64, budget as u64);
+        prop_assert!(q.iter().filter(|e| owner(e) == 1).count() as u64 <= q.charged(1));
+        prop_assert_eq!(q.remaining_budget(0), None, "unbudgeted tenants stay unlimited");
+    }
+
+    /// A noisy tenant whose budget is exhausted leaves the victim's queue
+    /// *byte-identical* to a run where the noisy tenant never existed:
+    /// same admissions (hence the same position estimates the SMs see),
+    /// same entries, same service order.
+    #[test]
+    fn denied_storms_leave_victim_service_order_unchanged(
+        storm in collection::vec((any::<bool>(), 0u8..8), 1..80),
+    ) {
+        let mut shared = FaultQueue::new();
+        shared.set_tenant_shift(SHIFT);
+        shared.set_budget(1, 0); // the noisy tenant arrives pre-exhausted
+        let mut alone = FaultQueue::new();
+        alone.set_tenant_shift(SHIFT);
+        for (i, &(noisy, r)) in storm.iter().enumerate() {
+            if noisy {
+                prop_assert_eq!(
+                    shared.try_report(taddr(1, r), FaultKind::Migration, 1, i as u64),
+                    FaultAdmission::Denied
+                );
+            } else {
+                let s = shared.try_report(taddr(0, r), FaultKind::Migration, 0, i as u64);
+                let a = alone.try_report(taddr(0, r), FaultKind::Migration, 0, i as u64);
+                prop_assert_eq!(s, a, "victim admission diverged under the storm");
+            }
+        }
+        let s: Vec<FaultEntry> = shared.iter().cloned().collect();
+        let a: Vec<FaultEntry> = alone.iter().cloned().collect();
+        prop_assert_eq!(s, a, "victim backlog diverged under the storm");
+        loop {
+            match (shared.pop(), alone.pop()) {
+                (Some(x), Some(y)) => prop_assert_eq!(x, y, "service order diverged"),
+                (None, None) => break,
+                _ => prop_assert!(false, "queue lengths diverged"),
+            }
+        }
+    }
+
+    /// Quarantine's drain: `purge_tenant` removes exactly the noisy
+    /// tenant's backlog and leaves the victim's entries — and their
+    /// relative order — untouched.
+    #[test]
+    fn purge_removes_only_the_noisy_backlog(
+        budget in 1u32..5,
+        storm in collection::vec((any::<bool>(), 0u8..8), 1..80),
+    ) {
+        let mut q = FaultQueue::new();
+        q.set_tenant_shift(SHIFT);
+        q.set_budget(1, budget);
+        for (i, &(noisy, r)) in storm.iter().enumerate() {
+            let _ = q.try_report(taddr(u32::from(noisy), r), FaultKind::Migration, 0, i as u64);
+        }
+        let victim_before: Vec<FaultEntry> =
+            q.iter().filter(|e| owner(e) == 0).cloned().collect();
+        let noisy_before = q.iter().filter(|e| owner(e) == 1).count();
+        let purged = q.purge_tenant(1);
+        prop_assert_eq!(purged, noisy_before);
+        prop_assert!(q.iter().all(|e| owner(e) != 1), "noisy entries survived the purge");
+        let after: Vec<FaultEntry> = q.iter().cloned().collect();
+        prop_assert_eq!(after, victim_before, "purge disturbed the victim's backlog");
     }
 }

@@ -27,9 +27,10 @@ use crate::wire::{state, CampaignSpec, Event, Inject, PointResult, Request, Stat
 use gex::journal::{self, field_str, json_escape};
 use gex::workloads::suite;
 use gex::{
-    run_supervised, BudgetExceeded, CampaignJournal, CampaignManifest, CancelToken,
-    DeadlineDiagnostic, FailureKind, Gpu, GpuConfig, PagingMode, Residency, RunBudget, SimError,
-    SupervisePolicy, Workload,
+    pack_outcome, run_supervised, unpack_outcome, BudgetExceeded, CampaignJournal,
+    CampaignManifest, CancelToken, DeadlineDiagnostic, FailureKind, Gpu, GpuConfig, Interconnect,
+    PagingMode, PartitionPolicy, Residency, RunBudget, SimError, SupervisePolicy, TenantId,
+    TenantWorkload, Workload,
 };
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -65,10 +66,19 @@ pub struct ServerConfig {
     pub policy: SupervisePolicy,
     /// Per-tenant fault budget: once a tenant has accumulated this many
     /// failed points (panics, exhausted deadlines, fatal errors — not
-    /// cancellations), all of that tenant's campaigns are quarantined:
-    /// running points are cancelled, queued points are shed unrun, new
-    /// submits are rejected. Other tenants are unaffected.
+    /// cancellations) *or in-run fault storms (partitioned points whose
+    /// stream got quarantined inside a shared simulation)*, all of that
+    /// tenant's campaigns are quarantined: running points are cancelled,
+    /// queued points are shed unrun, new submits are rejected. Other
+    /// tenants are unaffected.
     pub tenant_fault_budget: u32,
+    /// In-run fault budget for partitioned points (fresh 64 KB fault
+    /// regions the tenant's stream may open inside one shared
+    /// simulation). Exhausting it under the `quarantine` policy locks the
+    /// stream out mid-run; the point still completes, but the storm
+    /// charges [`ServerConfig::tenant_fault_budget`]. Generous by default
+    /// so healthy workloads never trip it.
+    pub stream_fault_budget: u32,
     /// Socket read timeout: a connection idle (or wedged) this long is
     /// dropped so stuck clients can't pin handler threads forever.
     pub idle_timeout: Duration,
@@ -84,6 +94,7 @@ impl Default for ServerConfig {
             max_campaigns: 64,
             policy: SupervisePolicy::default(),
             tenant_fault_budget: 4,
+            stream_fault_budget: 64,
             idle_timeout: Duration::from_secs(30),
         }
     }
@@ -117,6 +128,9 @@ struct Campaign {
     keys: Vec<String>,
     /// Per-point workload/scheme resolution, index-aligned with `keys`.
     grid: Vec<(Arc<Workload>, gex::Scheme)>,
+    /// The background neighbor every point shares the GPU with when the
+    /// spec requests a partitioning policy.
+    background: Option<Arc<Workload>>,
     points: Vec<PointState>,
     digest: u64,
     journal: Option<Arc<CampaignJournal>>,
@@ -171,13 +185,25 @@ impl Campaign {
         }
     }
 
+    /// Decode a stored point value: partitioned campaigns journal
+    /// [`pack_outcome`]d values (victim cycles plus the in-run storm flag
+    /// in bit 63), so the raw value survives crash/resume while clients
+    /// only ever see plain cycles.
+    fn cycles_of(&self, stored: u64) -> u64 {
+        if self.spec.partition.is_some() {
+            unpack_outcome(stored).0
+        } else {
+            stored
+        }
+    }
+
     fn results(&self) -> Vec<PointResult> {
         self.keys
             .iter()
             .zip(&self.points)
             .map(|(key, p)| match p {
                 PointState::Done(cycles) => {
-                    PointResult::Done { key: key.clone(), cycles: *cycles }
+                    PointResult::Done { key: key.clone(), cycles: self.cycles_of(*cycles) }
                 }
                 PointState::Quarantined { kind, error } => PointResult::Quarantined {
                     key: key.clone(),
@@ -199,7 +225,9 @@ impl Campaign {
         for (key, p) in self.keys.iter().zip(&self.points) {
             match p {
                 PointState::Done(cycles) => {
-                    out.push(Event::Point { key: key.clone(), cycles: *cycles }.encode());
+                    out.push(
+                        Event::Point { key: key.clone(), cycles: self.cycles_of(*cycles) }.encode(),
+                    );
                 }
                 PointState::Quarantined { kind, error } => out.push(
                     Event::Quarantine {
@@ -233,6 +261,15 @@ struct Inner {
     shutdown: AtomicBool,
 }
 
+/// Simulator identity of the server's background neighbor on partitioned
+/// points. Client tenant names may not contain `/`, so this can never
+/// collide with a real tenant.
+const BACKGROUND_TENANT: &str = "serve/background";
+
+/// Benchmark the background neighbor runs (a steady, moderately faulting
+/// victim the tenant's stream has to coexist with).
+const BACKGROUND_WORKLOAD: &str = "histo";
+
 /// What one wave entry needs to simulate its point, self-contained so the
 /// dispatcher holds no lock while the pool runs.
 struct WavePoint {
@@ -243,6 +280,16 @@ struct WavePoint {
     sms: u32,
     seed: Option<u64>,
     inject: Option<Inject>,
+    /// Partitioning policy for shared-GPU points (from the spec); `None`
+    /// keeps the classic exclusive simulation.
+    partition: Option<PartitionPolicy>,
+    /// Owning tenant — becomes the stream's simulator [`TenantId`] on
+    /// partitioned points.
+    tenant: String,
+    /// The neighbor sharing the GPU on partitioned points.
+    background: Option<Arc<Workload>>,
+    /// In-run fault budget for the tenant's stream (fresh fault regions).
+    stream_budget: u32,
     token: CancelToken,
     journal: Option<Arc<CampaignJournal>>,
     key: String,
@@ -280,6 +327,9 @@ fn run_point(p: &WavePoint, budget: &RunBudget) -> Result<u64, SimError> {
         }
         None => {}
     }
+    if let Some(policy) = p.partition {
+        return run_point_partitioned(p, budget, policy);
+    }
     let mut gpu = Gpu::new(
         GpuConfig::kepler_k20().with_sms(p.sms),
         p.scheme,
@@ -294,6 +344,51 @@ fn run_point(p: &WavePoint, budget: &RunBudget) -> Result<u64, SimError> {
         j.record(&p.key, cycles);
     }
     Ok(cycles)
+}
+
+/// Partitioned point: the campaign's workload runs as a tenant stream —
+/// carrying the submitting tenant's identity down into the simulator —
+/// on a shared GPU next to the server's background neighbor, under the
+/// spec's [`PartitionPolicy`]. The journaled value is
+/// [`pack_outcome`]`(victim cycles, storm flag)`: bit 63 records that the
+/// tenant's stream blew its in-run fault budget and was quarantined
+/// inside the run, so the charge survives crash/resume byte-for-byte.
+fn run_point_partitioned(
+    p: &WavePoint,
+    budget: &RunBudget,
+    policy: PartitionPolicy,
+) -> Result<u64, SimError> {
+    let gpu = Gpu::new(
+        GpuConfig::kepler_k20().with_sms(p.sms),
+        p.scheme,
+        PagingMode::demand(Interconnect::nvlink()),
+    )
+    .budget(budget.clone().with_token(p.token.clone()));
+    let mut mine = TenantWorkload::new(
+        TenantId::new(p.tenant.clone()),
+        p.workload.trace.clone(),
+        p.workload.demand_residency(),
+    )
+    .fault_budget(p.stream_budget);
+    if let Some(seed) = p.seed {
+        mine = mine.inject(gex::InjectionPlan::light(seed));
+    }
+    let neighbor = p.background.as_ref().expect("partitioned points carry a background neighbor");
+    let tenants = [
+        mine,
+        TenantWorkload::new(
+            TenantId::new(BACKGROUND_TENANT),
+            neighbor.trace.clone(),
+            neighbor.demand_residency(),
+        ),
+    ];
+    let rep = gpu.try_run_multi(&tenants, policy)?;
+    let mine = &rep.tenants[0];
+    let packed = pack_outcome(mine.cycles, mine.quarantined);
+    if let Some(j) = &p.journal {
+        j.record(&p.key, packed);
+    }
+    Ok(packed)
 }
 
 /// A running server: bound address plus shutdown/join handles.
@@ -426,6 +521,13 @@ fn build_campaign(
         .iter()
         .flat_map(|w| spec.schemes.iter().map(move |s| (Arc::clone(w), *s)))
         .collect();
+    let background = match spec.partition {
+        Some(_) => match suite::by_name(BACKGROUND_WORKLOAD, spec.preset) {
+            Some(w) => Some(Arc::new(w)),
+            None => return Err(format!("no background workload at preset {:?}", spec.preset)),
+        },
+        None => None,
+    };
     let mut points = vec![PointState::Pending; keys.len()];
 
     let journal = match dir {
@@ -480,6 +582,7 @@ fn build_campaign(
             spec,
             keys,
             grid,
+            background,
             points,
             digest,
             journal,
@@ -503,8 +606,9 @@ fn recover(st: &mut State, dir: &PathBuf, tenant_fault_budget: u32) {
         };
         // Recount the tenant's real failures (shed/cancelled don't
         // count), so a tenant that was quarantined stays quarantined
-        // across the restart.
-        let faults: u32 = campaign
+        // across the restart. On partitioned campaigns, completed points
+        // whose journaled value carries the storm flag recharge too.
+        let failed: u32 = campaign
             .points
             .iter()
             .filter(|p| {
@@ -512,6 +616,16 @@ fn recover(st: &mut State, dir: &PathBuf, tenant_fault_budget: u32) {
                     if kind != "shed" && kind != "cancelled")
             })
             .count() as u32;
+        let storms: u32 = if campaign.spec.partition.is_some() {
+            campaign
+                .points
+                .iter()
+                .filter(|p| matches!(p, PointState::Done(v) if unpack_outcome(*v).1))
+                .count() as u32
+        } else {
+            0
+        };
+        let faults = failed + storms;
         if faults > 0 {
             *st.tenant_faults.entry(m.tenant.clone()).or_insert(0) += faults;
         }
@@ -662,6 +776,10 @@ fn collect_wave(st: &mut State, cfg: &ServerConfig) -> Vec<WavePoint> {
             sms: c.spec.sms,
             seed: c.spec.seed,
             inject: c.spec.inject,
+            partition: c.spec.partition,
+            tenant: c.tenant.clone(),
+            background: c.background.as_ref().map(Arc::clone),
+            stream_budget: cfg.stream_fault_budget,
             token: c.token.clone(),
             journal: c.journal.as_ref().map(Arc::clone),
             key: c.keys[job.index].clone(),
@@ -692,9 +810,29 @@ fn apply_outcome(
         let key = c.keys[*index].clone();
         let mut events = Vec::new();
         match outcome.values[slot] {
-            Some(cycles) => {
-                c.points[*index] = PointState::Done(cycles);
-                events.push(Event::Point { key, cycles }.encode());
+            Some(stored) => {
+                c.points[*index] = PointState::Done(stored);
+                // Partitioned points carry the in-run storm flag in bit
+                // 63: the point completed, but the tenant's stream blew
+                // its fault budget inside the shared run — that storm
+                // charges the tenant fault budget like a failed point.
+                let storm = c.spec.partition.is_some() && unpack_outcome(stored).1;
+                events.push(Event::Point { key, cycles: c.cycles_of(stored) }.encode());
+                if storm {
+                    let tenant = c.tenant.clone();
+                    let n = st.tenant_faults.entry(tenant.clone()).or_insert(0);
+                    *n += 1;
+                    if *n >= cfg.tenant_fault_budget
+                        && !st.quarantined_tenants.contains(&tenant)
+                        && !blown.contains(&tenant)
+                    {
+                        blown.push(tenant);
+                    }
+                    // Re-borrow: the entry above released `c`.
+                    let c = st.campaigns.get_mut(id).expect("campaign still present");
+                    notify(c, events);
+                    continue;
+                }
             }
             None => {
                 let (kind, error) = failed

@@ -33,7 +33,7 @@
 //! lines until the campaign reaches a terminal state.
 
 use gex::journal::{field_str, field_u64, json_escape};
-use gex::{Preset, Scheme};
+use gex::{PartitionPolicy, Preset, Scheme};
 use std::fmt;
 
 /// Deterministic chaos hook for a campaign: what the server's point
@@ -91,6 +91,13 @@ pub struct CampaignSpec {
     pub seed: Option<u64>,
     /// Optional poisoning of the whole campaign (test/chaos hook).
     pub inject: Option<Inject>,
+    /// Optional GPU partitioning policy: when set, every point runs as a
+    /// two-tenant shared-GPU simulation — the campaign's workload under
+    /// this tenant's [`gex::TenantId`] next to the server's background
+    /// neighbor — instead of owning the simulated GPU outright. In-run
+    /// fault storms that get the tenant's stream quarantined charge the
+    /// server-side tenant fault budget even though the point completes.
+    pub partition: Option<PartitionPolicy>,
 }
 
 fn preset_token(p: Preset) -> &'static str {
@@ -144,7 +151,16 @@ pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
 impl CampaignSpec {
     /// A minimal spec: weight 1, no chaos.
     pub fn new(preset: Preset, sms: u32, workloads: Vec<String>, schemes: Vec<Scheme>) -> Self {
-        CampaignSpec { preset, sms, weight: 1, workloads, schemes, seed: None, inject: None }
+        CampaignSpec {
+            preset,
+            sms,
+            weight: 1,
+            workloads,
+            schemes,
+            seed: None,
+            inject: None,
+            partition: None,
+        }
     }
 
     /// Canonical single-line encoding, stable across encode/parse round
@@ -169,6 +185,9 @@ impl CampaignSpec {
         }
         if let Some(inject) = self.inject {
             let _ = write!(s, ",\"inject\":\"{}\"", inject.token());
+        }
+        if let Some(partition) = self.partition {
+            let _ = write!(s, ",\"partition\":\"{}\"", partition.token());
         }
         s.push('}');
         s
@@ -198,6 +217,12 @@ impl CampaignSpec {
             Some(s) => Some(Inject::parse(&s)?),
             None => None,
         };
+        let partition = match field_str(line, "partition") {
+            Some(s) => Some(PartitionPolicy::parse(&s).ok_or_else(|| {
+                format!("unknown partition policy {s:?} (shared|static|quarantine)")
+            })?),
+            None => None,
+        };
         Ok(CampaignSpec {
             preset,
             sms,
@@ -206,6 +231,7 @@ impl CampaignSpec {
             schemes,
             seed: field_u64(line, "seed"),
             inject,
+            partition,
         })
     }
 
@@ -582,6 +608,7 @@ mod tests {
             schemes: vec![Scheme::Baseline, Scheme::OperandLog { bytes: 8192 }],
             seed: Some(7),
             inject: Some(Inject::Panic),
+            partition: Some(PartitionPolicy::Quarantine),
         }
     }
 
@@ -602,6 +629,22 @@ mod tests {
                 "lbm/Baseline",
                 "lbm/OperandLog { bytes: 8192 }"
             ]
+        );
+    }
+
+    #[test]
+    fn optional_spec_fields_stay_absent_from_old_lines() {
+        // A pre-partitioning spec line parses to `None`s and re-encodes
+        // byte-identically — old manifests keep their digests.
+        let line = "{\"preset\":\"Test\",\"sms\":2,\"weight\":1,\"workloads\":\"histo\",\"schemes\":\"Baseline\"}";
+        let s = CampaignSpec::parse(line).unwrap();
+        assert_eq!(s.seed, None);
+        assert_eq!(s.inject, None);
+        assert_eq!(s.partition, None);
+        assert_eq!(s.encode(), line);
+        assert!(
+            CampaignSpec::parse(&line.replace('}', ",\"partition\":\"exclusive\"}")).is_err(),
+            "unknown partition tokens must be rejected"
         );
     }
 

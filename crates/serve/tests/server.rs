@@ -178,6 +178,80 @@ fn a_poisoned_tenant_is_quarantined_while_the_healthy_one_completes() {
     handle.join();
 }
 
+/// A partitioned campaign runs every point as a two-tenant shared-GPU
+/// simulation under the submitting tenant's identity. Points whose stream
+/// storms (blows the in-run fault budget and gets quarantined inside the
+/// run) still complete — but the storm charges the server-side tenant
+/// fault budget, locking the tenant out.
+#[test]
+fn partitioned_points_share_the_gpu_and_in_run_storms_charge_the_tenant() {
+    use gex::{Gpu, GpuConfig, Interconnect, PartitionPolicy, TenantId, TenantWorkload};
+    let handle = server::start(ServerConfig {
+        batch: 1,
+        // `histo` opens ~3 fresh fault regions under the Test preset and
+        // stays under the stream budget; `lbm` opens ~20 and storms.
+        stream_fault_budget: 8,
+        tenant_fault_budget: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut c = fast_client(&handle.addr());
+    let mut s = spec(&["histo", "lbm"], &[Scheme::ReplayQueue]);
+    s.partition = Some(PartitionPolicy::Quarantine);
+    c.submit("alice", "shared", &s).expect("admit");
+    let done = c.wait("alice", "shared", Duration::from_millis(20)).expect("finish");
+    // The storm point *completes*: the campaign is done, not quarantined.
+    assert_eq!(done.state, "done");
+    assert_eq!(done.done, 2);
+
+    // Every reported cycle count reproduces a direct shared simulation of
+    // the tenant's stream next to the server's background neighbor.
+    let (_, points) = c.results("alice", "shared").expect("results");
+    let bg = suite::by_name("histo", Preset::Test).unwrap();
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else { panic!("unexpected outcome {p:?}") };
+        let wname = key.split_once('/').unwrap().0;
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let tenants = [
+            TenantWorkload::new(TenantId::new("alice"), w.trace.clone(), w.demand_residency())
+                .fault_budget(8),
+            TenantWorkload::new(
+                TenantId::new("serve/background"),
+                bg.trace.clone(),
+                bg.demand_residency(),
+            ),
+        ];
+        let rep = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2),
+            Scheme::ReplayQueue,
+            PagingMode::demand(Interconnect::nvlink()),
+        )
+        .try_run_multi(&tenants, PartitionPolicy::Quarantine)
+        .expect("shared run completes");
+        assert_eq!(
+            rep.tenants[0].cycles, *cycles,
+            "{key}: server must reproduce the shared simulation exactly (and report \
+             decoded cycles, not the packed journal value)"
+        );
+        assert_eq!(
+            rep.tenants[0].quarantined,
+            wname == "lbm",
+            "{key}: exactly the lbm stream must storm"
+        );
+    }
+
+    // The in-run storm consumed the tenant's whole fault budget even
+    // though no point failed.
+    match c.submit("alice", "again", &spec(&["histo"], &[Scheme::Baseline])) {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("quarantined"), "{m}"),
+        other => panic!("a stormy tenant must be locked out, got {other:?}"),
+    }
+    // An unrelated tenant is unaffected.
+    c.submit("bob", "fine", &spec(&["histo"], &[Scheme::Baseline])).expect("admit");
+    assert_eq!(c.wait("bob", "fine", Duration::from_millis(20)).expect("finish").state, "done");
+    handle.join();
+}
+
 #[test]
 fn cancel_drops_queued_points_and_is_terminal() {
     let handle = server::start(ServerConfig { batch: 1, ..ServerConfig::default() }).unwrap();

@@ -17,6 +17,10 @@ use crate::local_fault::LocalFaultState;
 use crate::paging::CpuHandler;
 use crate::report::GpuRunReport;
 use crate::residency::Residency;
+use crate::tenant::{
+    static_shares, PartitionPolicy, SharedRunReport, TenantRunReport, TenantWorkload,
+    TENANT_SHIFT,
+};
 use gex_isa::trace::{BlockTrace, KernelTrace};
 use gex_mem::phys::PhysAllocator;
 use gex_mem::system::{FaultMode, MemSystem};
@@ -63,7 +67,10 @@ struct SimArena {
     heap: NextEventHeap,
     wake: WakeQueue,
     notice_buf: Vec<FaultNotice>,
-    queue: VecDeque<Arc<BlockTrace>>,
+    /// Per-tenant dispatch queues (single-tenant runs use one).
+    queues: Vec<VecDeque<Arc<BlockTrace>>>,
+    /// Per-SM owning tenant index.
+    sm_owner: Vec<usize>,
 }
 
 thread_local! {
@@ -108,6 +115,7 @@ pub struct Gpu {
     budget: RunBudget,
     next_event: NextEventMode,
     use_arena: bool,
+    fault_budget: Option<u32>,
 }
 
 impl Gpu {
@@ -122,7 +130,20 @@ impl Gpu {
             budget: RunBudget::none(),
             next_event: NextEventMode::from_env(),
             use_arena: arena_default(),
+            fault_budget: None,
         }
+    }
+
+    /// Cap the run's fresh fault-queue admissions (the whole-run fault
+    /// budget: with no tenant windows configured every fault charges
+    /// tenant 0). Once exhausted, further faults are *denied* — the
+    /// faulting warps wedge and the run surfaces a watchdog error instead
+    /// of consuming unbounded handler service. The containment primitive
+    /// behind [`PartitionPolicy`](crate::tenant::PartitionPolicy)'s
+    /// quarantine modes.
+    pub fn fault_budget(mut self, budget: u32) -> Self {
+        self.fault_budget = Some(budget);
+        self
     }
 
     /// Override the runaway guard (the run aborts past this many cycles).
@@ -225,6 +246,163 @@ impl Gpu {
         ARENA.with(|slot| slot.replace(engine.into_arena()));
         result
     }
+
+    /// Execute several tenants' kernel streams concurrently under
+    /// `policy` (see [`crate::tenant`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *shared-engine* run aborts (watchdog, cycle cap, fatal
+    /// SM/memory error) — see [`Gpu::try_run_multi`]. Under
+    /// [`PartitionPolicy::Static`] a failed sub-run is reported as that
+    /// tenant's quarantine instead of panicking.
+    pub fn run_multi(
+        &self,
+        tenants: &[TenantWorkload],
+        policy: PartitionPolicy,
+    ) -> SharedRunReport {
+        match self.try_run_multi(tenants, policy) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute several tenants' kernel streams concurrently under
+    /// `policy`, returning a structured [`SimError`] if a shared-engine
+    /// run aborts.
+    pub fn try_run_multi(
+        &self,
+        tenants: &[TenantWorkload],
+        policy: PartitionPolicy,
+    ) -> Result<SharedRunReport, SimError> {
+        assert!(!tenants.is_empty(), "a multi-tenant run needs at least one tenant");
+        if policy == PartitionPolicy::Static {
+            return Ok(self.run_static(tenants));
+        }
+        let mut gpu = self.clone();
+        // Per-tenant budgets are set below; a whole-run budget would
+        // double-charge tenant 0.
+        gpu.fault_budget = None;
+        // The noisy neighbor's storm perturbs the *shared* CPU handler —
+        // the first tenant with a plan attaches it.
+        gpu.inject = tenants.iter().find_map(|t| t.inject.clone());
+        // Move every tenant after the first into its private address
+        // window; tenant 0 keeps its addresses (and its memoized trace).
+        let rebased: Vec<(KernelTrace, Residency)> = tenants
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, t)| {
+                let off = (i as u64) << TENANT_SHIFT;
+                (t.trace.rebased(off), t.residency.rebase(off))
+            })
+            .collect();
+        let streams: Vec<(&KernelTrace, &Residency)> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| match i {
+                0 => (&t.trace, &t.residency),
+                _ => {
+                    let (tr, r) = &rebased[i - 1];
+                    (tr, r)
+                }
+            })
+            .collect();
+        let arena = if gpu.use_arena {
+            ARENA.with(|slot| slot.take())
+        } else {
+            SimArena::default()
+        };
+        let mut engine = Engine::new_multi(&gpu, &streams, arena);
+        engine.mem.set_tenant_shift(TENANT_SHIFT);
+        if policy == PartitionPolicy::Quarantine {
+            for (i, t) in tenants.iter().enumerate() {
+                if let Some(b) = t.fault_budget {
+                    engine.mem.fault_queue.set_budget(i as u32, b);
+                }
+            }
+        }
+        let result = engine.run_loop().map(|end| SharedRunReport {
+            policy,
+            cycles: end,
+            tenants: tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let ctx = &engine.tenants[i];
+                    let (faulted_requests, denied_requests) =
+                        engine.mem.tenant_fault_stats(i as u32);
+                    let (tlb_hits, tlb_misses) = engine.mem.tenant_tlb_stats(i as u32);
+                    TenantRunReport {
+                        tenant: t.id.clone(),
+                        cycles: ctx.finished_at.unwrap_or(end),
+                        blocks: ctx.total,
+                        completed: ctx.completed,
+                        quarantined: ctx.quarantined,
+                        error: None,
+                        faulted_requests,
+                        denied_requests,
+                        tlb_hits,
+                        tlb_misses,
+                        solo: None,
+                    }
+                })
+                .collect(),
+        });
+        if gpu.use_arena {
+            ARENA.with(|slot| slot.replace(engine.into_arena()));
+        }
+        result
+    }
+
+    /// [`PartitionPolicy::Static`]: fixed SM slices, each tenant an
+    /// independent sub-simulation. A failed sub-run (e.g. the chaos
+    /// tenant wedging on its exhausted fault budget) quarantines that
+    /// tenant; every other tenant's report is untouched — and
+    /// byte-identical to running it alone at the same SM count.
+    fn run_static(&self, tenants: &[TenantWorkload]) -> SharedRunReport {
+        let shares = static_shares(self.cfg.num_sms(), tenants.len());
+        let mut out = Vec::with_capacity(tenants.len());
+        let mut end: Cycle = 0;
+        for (t, &share) in tenants.iter().zip(&shares) {
+            let mut gpu = self.clone();
+            gpu.cfg = gpu.cfg.with_sms(share);
+            gpu.inject = t.inject.clone();
+            gpu.fault_budget = t.fault_budget;
+            match gpu.try_run(&t.trace, &t.residency) {
+                Ok(r) => {
+                    end = end.max(r.cycles);
+                    out.push(TenantRunReport {
+                        tenant: t.id.clone(),
+                        cycles: r.cycles,
+                        blocks: r.blocks,
+                        completed: r.blocks,
+                        quarantined: false,
+                        error: None,
+                        faulted_requests: r.mem.faulted_requests,
+                        denied_requests: r.mem.denied_requests,
+                        tlb_hits: 0,
+                        tlb_misses: 0,
+                        solo: Some(Box::new(r)),
+                    });
+                }
+                Err(e) => out.push(TenantRunReport {
+                    tenant: t.id.clone(),
+                    cycles: 0,
+                    blocks: t.trace.blocks.len() as u64,
+                    completed: 0,
+                    quarantined: true,
+                    error: Some(e.to_string()),
+                    faulted_requests: 0,
+                    denied_requests: 0,
+                    tlb_hits: 0,
+                    tlb_misses: 0,
+                    solo: None,
+                }),
+            }
+        }
+        SharedRunReport { policy: PartitionPolicy::Static, cycles: end, tenants: out }
+    }
 }
 
 struct Engine {
@@ -236,8 +414,14 @@ struct Engine {
     local: Option<LocalFaultState>,
     block_cfg: Option<BlockSwitchConfig>,
     phys: PhysAllocator,
-    queue: VecDeque<Arc<BlockTrace>>,
-    occupancy: u32,
+    /// Per-tenant pending-block queues, indexed like `tenants`.
+    queues: Vec<VecDeque<Arc<BlockTrace>>>,
+    /// Owning tenant of each SM. An SM runs one tenant's kernel at a time
+    /// (its `KernelSetup` is the owner's); ownership moves only when the
+    /// SM is completely empty.
+    sm_owner: Vec<usize>,
+    /// Per-tenant scheduling state. Single-stream runs have exactly one.
+    tenants: Vec<TenantCtx>,
     total_blocks: u64,
     completed: u64,
     switches: u64,
@@ -264,6 +448,23 @@ struct Engine {
     notice_buf: Vec<FaultNotice>,
 }
 
+/// One tenant's scheduling state inside the engine.
+#[derive(Debug, Clone)]
+struct TenantCtx {
+    /// The tenant's kernel geometry (every SM it owns is configured with
+    /// this).
+    setup: KernelSetup,
+    /// Blocks the tenant launched.
+    total: u64,
+    /// Blocks completed so far.
+    completed: u64,
+    /// Cycle the last block completed.
+    finished_at: Option<Cycle>,
+    /// Locked out: budget denials were observed, its queue was cleared
+    /// and its pending faults purged. Resident blocks wedge in place.
+    quarantined: bool,
+}
+
 /// Heap source indices (see [`Engine::heap`]).
 const SRC_MEM: usize = 0;
 const SRC_CPU: usize = 1;
@@ -272,7 +473,20 @@ const SRC_SM: usize = 3;
 
 impl Engine {
     fn new(gpu: &Gpu, trace: &KernelTrace, residency: &Residency, arena: SimArena) -> Self {
+        Engine::new_multi(gpu, &[(trace, residency)], arena)
+    }
+
+    /// Build an engine over several concurrent kernel streams (tenants).
+    /// Streams must already live in disjoint address windows; single-stream
+    /// construction via [`Engine::new`] is the unchanged fast path.
+    fn new_multi(gpu: &Gpu, streams: &[(&KernelTrace, &Residency)], arena: SimArena) -> Self {
         let num_sms = gpu.cfg.num_sms();
+        assert!(!streams.is_empty(), "a run needs at least one kernel stream");
+        assert!(
+            streams.len() <= num_sms as usize,
+            "more tenants ({}) than SMs ({num_sms})",
+            streams.len()
+        );
         let (fault_mode, cpu, local, block_cfg) = match gpu.paging {
             PagingMode::AllResident => {
                 let mode = if gpu.scheme.preemptible() {
@@ -305,29 +519,59 @@ impl Engine {
         let mut mem = MemSystem::new(gpu.cfg.mem.clone(), fault_mode);
         match gpu.paging {
             PagingMode::AllResident => {
-                for &page in trace.touched_pages() {
-                    mem.page_table.set_range(page, 1, PageState::Present);
+                for (trace, _) in streams {
+                    for &page in trace.touched_pages() {
+                        mem.page_table.set_range(page, 1, PageState::Present);
+                    }
                 }
             }
-            PagingMode::Demand { .. } => residency.apply(&mut mem, 0),
+            PagingMode::Demand { .. } => {
+                for (_, residency) in streams {
+                    residency.apply(&mut mem, 0);
+                }
+            }
         }
-        let occupancy = gpu.cfg.sm.blocks_per_sm(
-            trace.warps_per_block,
-            trace.regs_per_thread,
-            trace.shared_bytes,
-        );
-        assert!(occupancy > 0, "kernel does not fit on the SM");
-        let setup = KernelSetup {
-            warps_per_block: trace.warps_per_block,
-            regs_per_thread: trace.regs_per_thread,
-            shared_bytes: trace.shared_bytes,
-            occupancy_blocks: occupancy,
-        };
+        if let Some(b) = gpu.fault_budget {
+            mem.fault_queue.set_budget(0, b);
+        }
+        let tenants: Vec<TenantCtx> = streams
+            .iter()
+            .map(|(trace, _)| {
+                let occupancy = gpu.cfg.sm.blocks_per_sm(
+                    trace.warps_per_block,
+                    trace.regs_per_thread,
+                    trace.shared_bytes,
+                );
+                assert!(occupancy > 0, "kernel does not fit on the SM");
+                TenantCtx {
+                    setup: KernelSetup {
+                        warps_per_block: trace.warps_per_block,
+                        regs_per_thread: trace.regs_per_thread,
+                        shared_bytes: trace.shared_bytes,
+                        occupancy_blocks: occupancy,
+                    },
+                    total: trace.blocks.len() as u64,
+                    completed: 0,
+                    finished_at: None,
+                    quarantined: false,
+                }
+            })
+            .collect();
         // Recycle the arena's state in place of building it fresh: every
         // component goes through its reset path, so a reused arena is
-        // observably identical to `SimArena::default()`.
-        let SimArena { mut sms, mut scheds, mut heap, mut wake, mut notice_buf, mut queue } =
-            arena;
+        // observably identical to `SimArena::default()`. The exhaustive
+        // destructure is deliberate — adding a field to `SimArena` (e.g.
+        // new per-tenant state) fails compilation here until its recycle
+        // path exists.
+        let SimArena {
+            mut sms,
+            mut scheds,
+            mut heap,
+            mut wake,
+            mut notice_buf,
+            mut queues,
+            mut sm_owner,
+        } = arena;
         sms.truncate(num_sms as usize);
         for (i, sm) in sms.iter_mut().enumerate() {
             sm.recycle(i as u32, gpu.cfg.sm.clone(), gpu.scheme);
@@ -335,8 +579,12 @@ impl Engine {
         for i in sms.len() as u32..num_sms {
             sms.push(Sm::new(i, gpu.cfg.sm.clone(), gpu.scheme));
         }
-        for sm in &mut sms {
-            sm.configure_kernel(setup);
+        // Initial SM ownership: round-robin over the tenants, each SM
+        // configured with its owner's kernel geometry.
+        sm_owner.clear();
+        sm_owner.extend((0..num_sms as usize).map(|i| i % streams.len()));
+        for (i, sm) in sms.iter_mut().enumerate() {
+            sm.configure_kernel(tenants[sm_owner[i]].setup);
         }
         scheds.truncate(num_sms as usize);
         for s in &mut scheds {
@@ -346,11 +594,17 @@ impl Engine {
         heap.reset(SRC_SM + 2 * num_sms as usize);
         wake.clear();
         notice_buf.clear();
-        queue.clear();
-        // The trace memoizes its Arc-wrapped blocks, so refilling the
-        // dispatch queue is `blocks` cheap Arc clones, not a deep copy of
+        for q in &mut queues {
+            q.clear();
+        }
+        queues.truncate(streams.len());
+        queues.resize_with(streams.len(), VecDeque::new);
+        // Each trace memoizes its Arc-wrapped blocks, so refilling the
+        // dispatch queues is `blocks` cheap Arc clones, not a deep copy of
         // every instruction vector.
-        queue.extend(trace.arc_blocks().iter().cloned());
+        for (q, (trace, _)) in queues.iter_mut().zip(streams) {
+            q.extend(trace.arc_blocks().iter().cloned());
+        }
         Engine {
             scheme_fault_mode: fault_mode,
             mem,
@@ -360,9 +614,10 @@ impl Engine {
             local,
             block_cfg,
             phys: PhysAllocator::new(gpu.cfg.mem.gpu_mem_bytes),
-            total_blocks: queue.len() as u64,
-            queue,
-            occupancy,
+            total_blocks: tenants.iter().map(|t| t.total).sum(),
+            queues,
+            sm_owner,
+            tenants,
             completed: 0,
             switches: 0,
             dispatch_rr: 0,
@@ -386,8 +641,14 @@ impl Engine {
             heap: self.heap,
             wake: self.wake,
             notice_buf: self.notice_buf,
-            queue: self.queue,
+            queues: self.queues,
+            sm_owner: self.sm_owner,
         }
+    }
+
+    /// Blocks still waiting for dispatch across all tenants.
+    fn pending_blocks(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
     }
 
     #[inline]
@@ -443,6 +704,58 @@ impl Engine {
     }
 
     fn run(&mut self, trace: &KernelTrace) -> Result<GpuRunReport, SimError> {
+        let now = self.run_loop()?;
+        let mut sm_stats = SmStats::default();
+        let mut warp_retired: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for sm in &self.sms {
+            sm_stats.merge(&sm.stats());
+            for (&key, &n) in sm.warp_retired() {
+                *warp_retired.entry(key).or_insert(0) += n;
+            }
+        }
+        Ok(GpuRunReport {
+            kernel: trace.name.clone(),
+            cycles: now,
+            sm: sm_stats,
+            mem: self.mem.stats(),
+            cpu: self.cpu.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            local: self.local.as_ref().map(|l| l.stats()).unwrap_or_default(),
+            blocks: self.total_blocks,
+            switches: self.switches,
+            resident_regions: self.mem.page_table.resident_regions().to_vec(),
+            warp_retired,
+            injection: self.cpu.as_ref().and_then(|c| c.injection_stats()),
+        })
+    }
+
+    /// Lock a misbehaving tenant out: clear its pending blocks, purge its
+    /// queued faults (the handler stops servicing its storm) and mark it
+    /// quarantined. Its resident blocks wedge on their denied faults; its
+    /// SMs stay captured until the run ends. Multi-tenant runs only — a
+    /// solo run over budget wedges and surfaces a watchdog error instead,
+    /// so supervision sees the failure.
+    fn react_to_denials(&mut self, now: Cycle, last_progress: &mut Cycle) {
+        for t in 0..self.tenants.len() {
+            if self.tenants[t].quarantined {
+                continue;
+            }
+            let (_, denied) = self.mem.tenant_fault_stats(t as u32);
+            if denied == 0 {
+                continue;
+            }
+            self.tenants[t].quarantined = true;
+            self.queues[t].clear();
+            self.mem.fault_queue.purge_tenant(t as u32);
+            // Quarantining is forward progress: the run now has strictly
+            // less outstanding work.
+            *last_progress = now;
+        }
+    }
+
+    /// The engine loop: tick every component until the launch finishes,
+    /// returning the final cycle. Shared verbatim by single-stream runs
+    /// (`run`) and multi-tenant runs (`Gpu::try_run_multi`).
+    fn run_loop(&mut self) -> Result<Cycle, SimError> {
         let mut now: Cycle = 0;
         // Forward-progress watchdog state: the cycle of the last commit,
         // fault resolution, block completion or block dispatch.
@@ -463,6 +776,9 @@ impl Engine {
             self.mem.tick(now);
             if let Some(e) = self.mem.take_error() {
                 return Err(e.into());
+            }
+            if self.tenants.len() > 1 && self.mem.stats().denied_requests > 0 {
+                self.react_to_denials(now, &mut last_progress);
             }
             if let Some(cpu) = &mut self.cpu {
                 for region in cpu.tick(now, &mut self.mem, &mut self.phys) {
@@ -512,16 +828,32 @@ impl Engine {
                 }
             }
             self.pump_switching(now);
-            let before_dispatch = self.queue.len();
-            self.dispatch_blocks();
-            if self.queue.len() != before_dispatch {
-                last_progress = now;
-            }
+            // Drain completions *before* dispatch so each completed block
+            // is attributed to the SM's owner at completion time — an SM
+            // only changes owner while empty, inside `dispatch_blocks`.
+            // (Draining mutates only completion counters, which dispatch
+            // never reads, so the order swap is behavior-neutral for
+            // single-stream runs.)
             let before_completed = self.completed;
-            for sm in &mut self.sms {
-                self.completed += sm.drain_completed();
+            for i in 0..self.sms.len() {
+                let done = self.sms[i].drain_completed();
+                if done > 0 {
+                    self.completed += done;
+                    let t = self.sm_owner[i];
+                    self.tenants[t].completed += done;
+                    if self.tenants[t].completed == self.tenants[t].total
+                        && self.tenants[t].finished_at.is_none()
+                    {
+                        self.tenants[t].finished_at = Some(now);
+                    }
+                }
             }
             if self.completed != before_completed {
+                last_progress = now;
+            }
+            let before_dispatch = self.pending_blocks();
+            self.dispatch_blocks();
+            if self.pending_blocks() != before_dispatch {
                 last_progress = now;
             }
             if push {
@@ -624,28 +956,7 @@ impl Engine {
                 });
             }
         }
-
-        let mut sm_stats = SmStats::default();
-        let mut warp_retired: BTreeMap<(u32, u32), u64> = BTreeMap::new();
-        for sm in &self.sms {
-            sm_stats.merge(&sm.stats());
-            for (&key, &n) in sm.warp_retired() {
-                *warp_retired.entry(key).or_insert(0) += n;
-            }
-        }
-        Ok(GpuRunReport {
-            kernel: trace.name.clone(),
-            cycles: now,
-            sm: sm_stats,
-            mem: self.mem.stats(),
-            cpu: self.cpu.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            local: self.local.as_ref().map(|l| l.stats()).unwrap_or_default(),
-            blocks: self.total_blocks,
-            switches: self.switches,
-            resident_regions: self.mem.page_table.resident_regions().to_vec(),
-            warp_retired,
-            injection: self.cpu.as_ref().and_then(|c| c.injection_stats()),
-        })
+        Ok(now)
     }
 
     fn handle_notices(&mut self, now: Cycle) {
@@ -665,7 +976,7 @@ impl Engine {
                 // looks long and there is something else to run.
                 if let Some(cfg) = self.block_cfg {
                     let sched = &self.scheds[i];
-                    let replacement_available = (!self.queue.is_empty()
+                    let replacement_available = (!self.queues[self.sm_owner[i]].is_empty()
                         && sched.extra_brought < cfg.max_extra_blocks)
                         || sched.has_restorable();
                     if n.queue_pos >= cfg.queue_pos_threshold
@@ -737,7 +1048,7 @@ impl Engine {
             // lasts.
             loop {
                 let used = self.sms[i].resident_blocks() + self.scheds[i].slots_in_transit();
-                if used >= self.occupancy {
+                if used >= self.tenants[self.sm_owner[i]].setup.occupancy_blocks {
                     break;
                 }
                 let Some(saved) = self.scheds[i].pop_restorable() else { break };
@@ -758,21 +1069,44 @@ impl Engine {
 
     fn dispatch_blocks(&mut self) {
         // Round-robin over SMs, one block per SM per pass, so no SM hoards
-        // the pending queue when slots churn (the global scheduler hands
-        // out blocks fairly).
+        // its pending queue when slots churn (the global scheduler hands
+        // out blocks fairly). Each SM draws from its owning tenant's
+        // queue; an empty, fully idle SM whose owner has no pending blocks
+        // is handed to the next tenant that does (work conservation under
+        // the shared policies — single-stream runs never reassign).
         let n = self.sms.len();
         loop {
-            if self.queue.is_empty() {
+            if self.pending_blocks() == 0 {
                 return;
             }
             let mut assigned_any = false;
             for k in 0..n {
-                if self.queue.is_empty() {
+                if self.pending_blocks() == 0 {
                     return;
                 }
                 let i = (self.dispatch_rr + k) % n;
+                let mut owner = self.sm_owner[i];
+                if self.queues[owner].is_empty() {
+                    // `configure_kernel` replaces the slot array, so
+                    // ownership only moves when the SM is completely
+                    // empty: no resident blocks, no context-switch state
+                    // in flight.
+                    let idle = self.tenants.len() > 1
+                        && self.sms[i].resident_blocks() == 0
+                        && self.scheds[i].quiescent();
+                    let next = if idle {
+                        (0..self.tenants.len()).find(|&t| !self.queues[t].is_empty())
+                    } else {
+                        None
+                    };
+                    let Some(t) = next else { continue };
+                    self.sm_owner[i] = t;
+                    self.sms[i].configure_kernel(self.tenants[t].setup);
+                    self.heap.mark_dirty(SRC_SM + i);
+                    owner = t;
+                }
                 let used = self.sms[i].resident_blocks() + self.scheds[i].slots_in_transit();
-                if used >= self.occupancy {
+                if used >= self.tenants[owner].setup.occupancy_blocks {
                     continue;
                 }
                 // Bringing a block while this SM holds switched-out context
@@ -785,7 +1119,7 @@ impl Engine {
                     }
                     self.scheds[i].extra_brought += 1;
                 }
-                let b = self.queue.pop_front().expect("checked non-empty");
+                let b = self.queues[owner].pop_front().expect("checked non-empty");
                 self.sms[i].assign_block(b);
                 self.heap.mark_dirty(SRC_SM + i);
                 assigned_any = true;
@@ -798,7 +1132,10 @@ impl Engine {
     }
 
     fn finished(&self) -> bool {
-        self.completed == self.total_blocks
+        // Every tenant either completed its launch or was quarantined
+        // (its remaining blocks will never run). Single-stream runs
+        // reduce to the old `completed == total_blocks`.
+        self.tenants.iter().all(|t| t.completed == t.total || t.quarantined)
     }
 
     /// The [`NextEventMode::Scan`] reference: a full linear scan over

@@ -28,6 +28,7 @@ pub mod local_fault;
 pub mod paging;
 pub mod report;
 pub mod residency;
+pub mod tenant;
 
 pub use block_switch::BlockSwitchConfig;
 pub use config::{set_default_max_cycles, GpuConfig, PagingMode};
@@ -39,3 +40,7 @@ pub use interconnect::{Interconnect, CYCLES_PER_US};
 pub use local_fault::LocalFaultConfig;
 pub use report::{geomean, GpuRunReport};
 pub use residency::Residency;
+pub use tenant::{
+    pack_outcome, unpack_outcome, PartitionPolicy, SharedRunReport, TenantId, TenantRunReport,
+    TenantWorkload, TENANT_SHIFT,
+};

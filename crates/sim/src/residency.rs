@@ -76,6 +76,21 @@ impl Residency {
         }
     }
 
+    /// A copy of this placement with every range offset by `offset` —
+    /// the residency counterpart of `KernelTrace::rebased`, used by
+    /// multi-tenant runs to move a tenant's buffers into its private
+    /// address window.
+    pub fn rebase(&self, offset: u64) -> Residency {
+        Residency {
+            placements: self
+                .placements
+                .iter()
+                .map(|p| Placement { addr: p.addr + offset, len: p.len, state: p.state })
+                .collect(),
+            lazy: self.lazy.iter().map(|&(a, l)| (a + offset, l)).collect(),
+        }
+    }
+
     /// Bytes that would need migration from the CPU (dirty placements).
     pub fn dirty_bytes(&self) -> u64 {
         self.placements
