@@ -10,6 +10,7 @@ use gex_bench::{sms_from_env, BenchArgs};
 fn main() {
     let args = BenchArgs::parse();
     args.apply_max_cycles();
+    args.apply_page_size();
     let preset = args.preset();
     let sms = sms_from_env();
     let mut healthy = true;

@@ -1,5 +1,7 @@
-//! Regenerate Figure 10: warp-disable and replay-queue performance
-//! normalized to the stall-on-fault baseline.
+//! Regenerate Figure LP: demand-paging cost and translation fault rate
+//! across the three page-size policies (small / transparent / hugeonly,
+//! Mosaic-style 2 MB large pages), plus the splinter-storm containment
+//! leg.
 //!
 //! Runs under sweep supervision: `--deadline N` budgets each point,
 //! `--resume` / `--journal PATH` make the campaign resumable, and failed
@@ -11,11 +13,11 @@ use gex_bench::{sms_from_env, BenchArgs};
 fn main() {
     let args = BenchArgs::parse();
     args.apply_max_cycles();
-    args.apply_page_size();
+    // No apply_page_size here: the figure sweeps all three policies
+    // itself, overriding the process default per point.
     let preset = args.preset();
     let sms = sms_from_env();
-    println!("{}", gex::experiments::table1());
-    let fig = gex::experiments::fig10_supervised(preset, sms, &args.sweep_options("fig10"));
+    let fig = gex::experiments::fig_lp_supervised(preset, sms, &args.sweep_options("figlp"));
     println!("{fig}");
     if !fig.quarantine.is_empty() {
         std::process::exit(2);

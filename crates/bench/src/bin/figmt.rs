@@ -12,6 +12,7 @@ use gex_bench::{sms_from_env, BenchArgs};
 fn main() {
     let args = BenchArgs::parse();
     args.apply_max_cycles();
+    args.apply_page_size();
     let preset = args.preset();
     let sms = sms_from_env();
     let fig = gex::experiments::fig_mt_supervised(preset, sms, &args.sweep_options("figmt"));

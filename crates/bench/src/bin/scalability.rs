@@ -11,6 +11,7 @@ use gex_bench::BenchArgs;
 fn main() {
     let args = BenchArgs::parse();
     args.apply_max_cycles();
+    args.apply_page_size();
     let preset = args.preset();
     let sweep = gex::experiments::scalability_supervised(preset, &[4, 8, 16, 32], &|panel| {
         args.sweep_options_panel("scalability", panel)

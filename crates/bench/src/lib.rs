@@ -53,6 +53,10 @@ pub struct BenchArgs {
     /// `--journal PATH` / `--journal=PATH`: campaign journal file
     /// (implies `--resume` semantics with an explicit path).
     pub journal: Option<String>,
+    /// `--pagesize P` / `--pagesize=P`: page-size policy
+    /// (`small` / `transparent` / `hugeonly`) applied as the process-wide
+    /// default, like the `GEX_PAGE_SIZE` environment variable.
+    pub pagesize: Option<String>,
 }
 
 impl BenchArgs {
@@ -96,6 +100,10 @@ impl BenchArgs {
                 out.journal = it.next();
             } else if let Some(v) = a.strip_prefix("--journal=") {
                 out.journal = Some(v.to_string());
+            } else if a == "--pagesize" {
+                out.pagesize = it.next();
+            } else if let Some(v) = a.strip_prefix("--pagesize=") {
+                out.pagesize = Some(v.to_string());
             } else if !a.starts_with('-') {
                 out.positional.push(a);
             }
@@ -135,6 +143,20 @@ impl BenchArgs {
     pub fn apply_max_cycles(&self) {
         if let Some(c) = self.max_cycles {
             gex::sim::config::set_default_max_cycles(c);
+        }
+    }
+
+    /// Apply `--pagesize` (if given and well-formed) as the process-wide
+    /// default page-size policy; unknown tokens are reported and ignored
+    /// so a typo degrades to the `Small` baseline instead of aborting.
+    pub fn apply_page_size(&self) {
+        if let Some(p) = &self.pagesize {
+            match gex::PageSizePolicy::parse(p) {
+                Some(policy) => gex::set_default_page_size(policy),
+                None => eprintln!(
+                    "warning: unknown --pagesize {p:?} (expected small/transparent/hugeonly)"
+                ),
+            }
         }
     }
 

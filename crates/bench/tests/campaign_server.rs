@@ -14,8 +14,8 @@
 
 use gex::workloads::suite;
 use gex::{
-    Gpu, GpuConfig, Interconnect, PagingMode, PartitionPolicy, Preset, Scheme, TenantId,
-    TenantWorkload,
+    Gpu, GpuConfig, Interconnect, PageSizePolicy, PagingMode, PartitionPolicy, Preset, Scheme,
+    TenantId, TenantWorkload,
 };
 use gex_serve::wire::Inject;
 use gex_serve::{CampaignSpec, Client, ClientConfig, ClientError, PointResult};
@@ -104,8 +104,19 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         vec![Scheme::Baseline, Scheme::ReplayQueue],
     );
     shared.partition = Some(PartitionPolicy::Quarantine);
+    // A fourth campaign opts into transparent 2 MB large pages via the
+    // spec's `pagesize` field; the policy must survive the journal and
+    // the kill — resumed points re-simulate under the same paging setup.
+    let mut paged = CampaignSpec::new(
+        Preset::Test,
+        2,
+        vec!["lbm".to_string()],
+        vec![Scheme::ReplayQueue],
+    );
+    paged.partition = Some(PartitionPolicy::Quarantine);
+    paged.pagesize = Some(PageSizePolicy::Transparent);
 
-    // Phase 1: submit all three campaigns, wait for partial progress,
+    // Phase 1: submit all four campaigns, wait for partial progress,
     // SIGKILL.
     let first = start_daemon(&dir);
     {
@@ -114,6 +125,7 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         assert_eq!(admitted.points, 12);
         c.submit("chaos", "bomb", &poisoned).expect("admit poisoned");
         c.submit("bob", "shared", &shared).expect("admit partitioned");
+        c.submit("dana", "paged", &paged).expect("admit large-page campaign");
 
         let deadline = Instant::now() + Duration::from_secs(120);
         loop {
@@ -201,6 +213,43 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         assert_eq!(
             reference.tenants[0].cycles, *cycles,
             "{key}: post-crash shared result must equal the direct shared simulation"
+        );
+    }
+
+    // The large-page campaign resumed with its page-size policy intact:
+    // the reported cycles equal a direct shared simulation under
+    // `PageSizePolicy::Transparent`.
+    let paged_done = c
+        .wait("dana", "paged", Duration::from_millis(25))
+        .expect("large-page campaign finishes after restart");
+    assert_eq!(paged_done.state, "done", "large-page campaign: {paged_done:?}");
+    assert_eq!(paged_done.done, 1);
+    let (_, points) = c.results("dana", "paged").expect("paged results");
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else {
+            panic!("large-page campaign must have no failed points: {p:?}")
+        };
+        let w = suite::by_name("lbm", Preset::Test).unwrap();
+        let tenants = [
+            TenantWorkload::new(TenantId::new("dana"), w.trace.clone(), w.demand_residency())
+                .fault_budget(64),
+            TenantWorkload::new(
+                TenantId::new("serve/background"),
+                bg.trace.clone(),
+                bg.demand_residency(),
+            ),
+        ];
+        let reference = Gpu::new(
+            GpuConfig::kepler_k20().with_sms(2).with_page_size(PageSizePolicy::Transparent),
+            Scheme::ReplayQueue,
+            PagingMode::demand(Interconnect::nvlink()),
+        )
+        .try_run_multi(&tenants, PartitionPolicy::Quarantine)
+        .expect("reference large-page shared run");
+        assert!(!reference.tenants[0].quarantined, "{key}: lbm must not storm");
+        assert_eq!(
+            reference.tenants[0].cycles, *cycles,
+            "{key}: post-crash large-page result must equal the direct simulation"
         );
     }
 

@@ -11,8 +11,50 @@
 //! ```
 
 use gex::experiments;
-use gex::workloads::Preset;
+use gex::workloads::{suite, Preset};
+use gex::{cache, Gpu, GpuConfig, InjectionPlan, Interconnect, PagingMode, Residency, Scheme};
+use std::fmt::Write as _;
 use std::path::Path;
+
+/// The schemes × paging × chaos grid pinned by
+/// `tests/golden/page_size_small.txt`: full `Debug` report dumps proving
+/// `PageSizePolicy::Small` reproduces the pre-large-page simulator
+/// byte-for-byte (see `crates/core/tests/page_size_equivalence.rs`).
+fn page_size_small_dump() -> String {
+    const SCHEMES: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::WdCommit,
+        Scheme::WdLastCheck,
+        Scheme::ReplayQueue,
+        Scheme::OperandLog { bytes: 16384 },
+    ];
+    let mut out = String::new();
+    for name in ["histo", "bfs"] {
+        let w = suite::by_name(name, Preset::Test).expect("known benchmark");
+        for scheme in SCHEMES {
+            for (leg, paging, seed) in [
+                ("resident", PagingMode::AllResident, None),
+                ("demand", PagingMode::demand(Interconnect::nvlink()), None),
+                ("demand+chaos7", PagingMode::demand(Interconnect::nvlink()), Some(7u64)),
+                ("demand+chaos42", PagingMode::demand(Interconnect::nvlink()), Some(42u64)),
+            ] {
+                let mut gpu = Gpu::new(GpuConfig::kepler_k20().with_sms(4), scheme, paging);
+                if let Some(seed) = seed {
+                    gpu = gpu.inject(InjectionPlan::chaos(seed));
+                }
+                let res = if matches!(paging, PagingMode::AllResident) {
+                    Residency::new()
+                } else {
+                    w.demand_residency()
+                };
+                let report = cache::run_cached(&gpu, &w, &res).expect("golden point runs");
+                writeln!(out, "== {name} {scheme:?} {leg} ==").unwrap();
+                writeln!(out, "{report:?}").unwrap();
+            }
+        }
+    }
+    out
+}
 
 fn main() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
@@ -20,11 +62,16 @@ fn main() {
 
     let fig10 = experiments::fig10(Preset::Test, 4).to_string();
     let fig11 = experiments::fig11(Preset::Test, 4).to_string();
+    let fig_lp = experiments::fig_lp(Preset::Test, 4).to_string();
 
     std::fs::write(dir.join("fig10_test_4sm.txt"), &fig10).expect("write fig10 golden");
     std::fs::write(dir.join("fig11_test_4sm.txt"), &fig11).expect("write fig11 golden");
+    std::fs::write(dir.join("fig_lp_test_4sm.txt"), &fig_lp).expect("write fig_lp golden");
+    std::fs::write(dir.join("page_size_small.txt"), page_size_small_dump())
+        .expect("write page-size golden");
 
     println!("wrote {}", dir.display());
     print!("{fig10}");
     print!("{fig11}");
+    print!("{fig_lp}");
 }

@@ -19,7 +19,7 @@ use crate::{
 };
 use gex_sim::{
     pack_outcome, unpack_outcome, BlockSwitchConfig, InjectionPlan, LocalFaultConfig,
-    PartitionPolicy, TenantId, TenantWorkload,
+    PageSizePolicy, PartitionPolicy, TenantId, TenantWorkload,
 };
 use gex_workloads::{suite, Preset, Workload};
 use std::fmt;
@@ -980,6 +980,206 @@ impl fmt::Display for FigMt {
         writeln!(
             f,
             "quarantine drains and locks out the noisy tenant once its fault budget is exhausted"
+        )
+    }
+}
+
+// ------------------------------------------------ Large pages (Figure LP)
+
+/// Bits of the journaled fault count in a Figure LP grid value: cycles
+/// live above [`LP_FAULT_BITS`], `faulted_requests` (clipped) below.
+const LP_FAULT_BITS: u32 = 20;
+
+/// Pack a grid point's `(cycles, faulted_requests)` into one journal
+/// value. Fault counts clip at `2^20 - 1`; Test-preset runs sit far
+/// below both limits.
+fn pack_lp(cycles: u64, faults: u64) -> u64 {
+    (cycles << LP_FAULT_BITS) | faults.min((1 << LP_FAULT_BITS) - 1)
+}
+
+/// Inverse of [`pack_lp`]: `(cycles, faulted_requests)`.
+fn unpack_lp(v: u64) -> (u64, u64) {
+    (v >> LP_FAULT_BITS, v & ((1 << LP_FAULT_BITS) - 1))
+}
+
+/// One scheme's row in the large-page figure: cycles and translation
+/// fault counts per page-size policy.
+#[derive(Debug, Clone)]
+pub struct FigLpRow {
+    /// Exception-scheme label.
+    pub scheme: String,
+    /// End-to-end cycles per policy, in [`FigLp::POLICIES`] order (`NaN`
+    /// over quarantined points).
+    pub cycles: Vec<f64>,
+    /// Requests that faulted at translation, per policy.
+    pub faults: Vec<f64>,
+}
+
+/// Figure LP: demand-paging cost across page-size policies (Mosaic-style
+/// transparent 2 MB pages), plus a splinter-storm containment leg.
+#[derive(Debug, Clone)]
+pub struct FigLp {
+    /// Per-scheme rows.
+    pub rows: Vec<FigLpRow>,
+    /// Victim slowdown of the splinter-storm leg: a chaos neighbor
+    /// splintering the victim's huge pages under `Transparent`,
+    /// normalized to the same two-tenant run under `Small` (`NaN` if
+    /// either leg was quarantined).
+    pub storm_slowdown: f64,
+    /// Whether the storm leg's noisy tenant ended the run quarantined
+    /// (its fault budget meters distinct regions, so the splinter storm's
+    /// re-faults alone must not lock it out).
+    pub storm_locked_out: bool,
+}
+
+impl FigLp {
+    /// Policy order of [`FigLpRow::cycles`] and [`FigLpRow::faults`].
+    pub const POLICIES: [PageSizePolicy; 3] =
+        [PageSizePolicy::Small, PageSizePolicy::Transparent, PageSizePolicy::HugeOnly];
+}
+
+/// One point of the Figure LP sweep.
+#[derive(Debug, Clone, Copy)]
+enum LpPoint {
+    /// Single-stream `(scheme, policy)` grid point.
+    Grid(Scheme, PageSizePolicy),
+    /// Two-tenant splinter-storm leg under `policy`.
+    Storm(PageSizePolicy),
+}
+
+/// Run the large-page sweep: `lbm` (the most fault-region-heavy
+/// workload) across the five schemes × the three page-size policies,
+/// plus the two splinter-storm legs. Panics if any point fails;
+/// [`fig_lp_supervised`] is the fault-tolerant form.
+pub fn fig_lp(preset: Preset, sms: u32) -> FigLp {
+    expect_healthy(fig_lp_supervised(preset, sms, &SweepOptions::default()))
+}
+
+/// [`fig_lp`] under sweep supervision. Grid points journal
+/// [`pack_lp`]-packed `(cycles, faulted_requests)` pairs; the storm legs
+/// journal [`pack_outcome`]-packed `(victim cycles, lockout)` like the
+/// multi-tenant figure.
+pub fn fig_lp_supervised(preset: Preset, sms: u32, opts: &SweepOptions) -> Supervised<FigLp> {
+    const SCHEMES: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::WdCommit,
+        Scheme::WdLastCheck,
+        Scheme::ReplayQueue,
+        Scheme::OperandLog { bytes: 8192 },
+    ];
+    let w = suite::by_name("lbm", preset).expect("lbm in suite");
+    let neighbor = suite::by_name("histo", preset).expect("histo in suite");
+    let (w, neighbor) = (&w, &neighbor);
+    let res = w.demand_residency();
+    let mut points: Vec<(String, LpPoint)> = SCHEMES
+        .iter()
+        .flat_map(|&s| {
+            FigLp::POLICIES
+                .iter()
+                .map(move |&p| (format!("{s:?}/{}", p.token()), LpPoint::Grid(s, p)))
+        })
+        .collect();
+    for p in [PageSizePolicy::Small, PageSizePolicy::Transparent] {
+        points.push((format!("storm/{}", p.token()), LpPoint::Storm(p)));
+    }
+    let keys: Vec<String> = points.iter().map(|(k, _)| k.clone()).collect();
+    let journal = campaign_journal(
+        opts,
+        &format!("figlp|{preset:?}|sms={sms}|{}+{}", w.name, neighbor.name),
+        &keys,
+    );
+    let cache_before = cache::stats();
+    let out = run_supervised(points, &opts.policy, journal.as_ref(), |point, budget| {
+        match point {
+            LpPoint::Grid(s, policy) => {
+                let gpu = Gpu::new(
+                    GpuConfig::kepler_k20().with_sms(sms).with_page_size(*policy),
+                    *s,
+                    PagingMode::demand(Interconnect::nvlink()),
+                )
+                .budget(budget.clone());
+                cache::run_cached(&gpu, w, &res)
+                    .map(|r| pack_lp(r.cycles, r.mem.faulted_requests))
+            }
+            LpPoint::Storm(policy) => {
+                // The chaos neighbor's write bursts and evictions splinter
+                // the victim's coalesced frames; quarantine must meter its
+                // budget on distinct regions, not splinter re-faults.
+                let gpu = Gpu::new(
+                    GpuConfig::kepler_k20().with_sms(sms).with_page_size(*policy),
+                    Scheme::ReplayQueue,
+                    PagingMode::demand(Interconnect::nvlink()),
+                )
+                .budget(budget.clone());
+                let tenants = [
+                    TenantWorkload::new(
+                        TenantId::new(w.name.clone()),
+                        w.trace.clone(),
+                        res.clone(),
+                    ),
+                    chaos_tenant(neighbor),
+                ];
+                gpu.try_run_multi(&tenants, PartitionPolicy::Quarantine)
+                    .map(|rep| pack_outcome(rep.tenants[0].cycles, rep.tenants[1].quarantined))
+            }
+        }
+    });
+    let n = FigLp::POLICIES.len();
+    let rows = SCHEMES
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut cycles = Vec::with_capacity(n);
+            let mut faults = Vec::with_capacity(n);
+            for j in 0..n {
+                let v = out.values[i * n + j].map(unpack_lp);
+                cycles.push(v.map_or(f64::NAN, |(c, _)| c as f64));
+                faults.push(v.map_or(f64::NAN, |(_, f)| f as f64));
+            }
+            FigLpRow { scheme: scheme_label(s), cycles, faults }
+        })
+        .collect();
+    let storm_small = out.values[SCHEMES.len() * n].map(|v| unpack_outcome(v).0);
+    let storm_trans = out.values[SCHEMES.len() * n + 1];
+    Supervised {
+        fig: FigLp {
+            rows,
+            storm_slowdown: ratio(storm_trans.map(|v| unpack_outcome(v).0), storm_small),
+            storm_locked_out: storm_trans.map(|v| unpack_outcome(v).1).unwrap_or(false),
+        },
+        quarantine: out.quarantine,
+        resumed: out.resumed,
+        simulated: out.simulated,
+        cache: cache::stats().since(&cache_before),
+    }
+}
+
+impl fmt::Display for FigLp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure LP: demand paging across page-size policies (2 MB large pages)")?;
+        writeln!(
+            f,
+            "{:<14} {:>10} {:>12} {:>10} {:>9} {:>11} {:>9}",
+            "scheme", "small", "transparent", "hugeonly", "flt-sm", "flt-trans", "flt-huge"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10.0} {:>12.0} {:>10.0} {:>9.0} {:>11.0} {:>9.0}",
+                r.scheme,
+                r.cycles[0],
+                r.cycles[1],
+                r.cycles[2],
+                r.faults[0],
+                r.faults[1],
+                r.faults[2]
+            )?;
+        }
+        writeln!(
+            f,
+            "splinter storm: victim slowdown {:.2}x (transparent vs small), chaos tenant {}",
+            self.storm_slowdown,
+            if self.storm_locked_out { "locked out" } else { "not locked out" }
         )
     }
 }

@@ -50,11 +50,11 @@ pub use gex_sm as sm;
 pub use gex_workloads as workloads;
 
 pub use gex_sim::{
-    geomean, pack_outcome, set_default_max_cycles, unpack_outcome, BlockSwitchConfig,
-    BudgetExceeded, CancelToken, DeadlineDiagnostic, Gpu, GpuConfig, GpuRunReport,
-    InjectionPlan, InjectionStats, Interconnect, LocalFaultConfig, PagingMode, PartitionPolicy,
-    Residency, RunBudget, SharedRunReport, SimError, TenantId, TenantRunReport, TenantWorkload,
-    WatchdogDiagnostic, TENANT_SHIFT,
+    default_page_size, geomean, pack_outcome, set_default_max_cycles, set_default_page_size,
+    unpack_outcome, BlockSwitchConfig, BudgetExceeded, CancelToken, DeadlineDiagnostic, Gpu,
+    GpuConfig, GpuRunReport, InjectionPlan, InjectionStats, Interconnect, LocalFaultConfig,
+    LpStats, PageSizePolicy, PagingMode, PartitionPolicy, Residency, RunBudget, SharedRunReport,
+    SimError, TenantId, TenantRunReport, TenantWorkload, WatchdogDiagnostic, TENANT_SHIFT,
 };
 pub use gex_sm::Scheme;
 pub use journal::{CampaignJournal, CampaignManifest};

@@ -31,3 +31,14 @@ fn fig11_render_is_byte_identical_to_golden() {
          intentional, regenerate with `cargo run --release --example golden_gen`"
     );
 }
+
+#[test]
+fn fig_lp_render_is_byte_identical_to_golden() {
+    let golden = include_str!("golden/fig_lp_test_4sm.txt");
+    assert_eq!(
+        experiments::fig_lp(Preset::Test, 4).to_string(),
+        golden,
+        "fig_lp render drifted from the committed golden; if the change is \
+         intentional, regenerate with `cargo run --release --example golden_gen`"
+    );
+}

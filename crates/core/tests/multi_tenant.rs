@@ -16,8 +16,8 @@
 
 use gex::workloads::{suite, Preset};
 use gex::{
-    Gpu, GpuConfig, InjectionPlan, Interconnect, PagingMode, PartitionPolicy, Scheme, TenantId,
-    TenantWorkload,
+    Gpu, GpuConfig, InjectionPlan, Interconnect, PageSizePolicy, PagingMode, PartitionPolicy,
+    Scheme, TenantId, TenantWorkload,
 };
 
 const SMS: u32 = 4;
@@ -97,6 +97,57 @@ fn static_partition_keeps_victims_byte_identical() {
         // The quiet neighbor finishes normally.
         let q = with_quiet.tenant(&TenantId::new("chaos")).unwrap();
         assert!(!q.quarantined && q.completed == q.blocks, "quiet neighbor failed ({scheme:?})");
+    }
+}
+
+/// Splinter-storm budget regression (ISSUE 9): under `HugeOnly` with a
+/// deliberately tiny GPU memory, eviction pressure from the neighbor
+/// splinters the victim's 2 MB huge pages over and over, and every
+/// splinter makes the victim re-fault regions its budget already paid
+/// for. Budgets meter *distinct regions*, not enqueues — so a victim
+/// whose budget covers its fault footprint exactly once (lbm under
+/// `HugeOnly` faults a single region: the first fault maps the whole
+/// frame) must sail through the storm with zero denials and no
+/// quarantine, while the re-faults show up as extra fault traffic
+/// against an unconstrained run. With per-enqueue charging this exact
+/// setup denies the victim's re-fault and locks it out.
+#[test]
+fn splinter_storm_refaults_never_exhaust_a_region_budget() {
+    let build = |mem_bytes: Option<u64>| {
+        let mut cfg =
+            GpuConfig::kepler_k20().with_sms(SMS).with_page_size(PageSizePolicy::HugeOnly);
+        if let Some(bytes) = mem_bytes {
+            cfg.mem.gpu_mem_bytes = bytes;
+        }
+        Gpu::new(cfg, Scheme::ReplayQueue, PagingMode::demand(Interconnect::nvlink()))
+    };
+    // The victim is the fault-heaviest workload (lbm) with a budget of
+    // exactly one region — its full distinct-region footprint here; the
+    // neighbor is the same workload, well-behaved.
+    let w = suite::by_name("lbm", Preset::Test).unwrap();
+    let budgeted_victim =
+        TenantWorkload::new(TenantId::new("victim"), w.trace.clone(), w.demand_residency())
+            .fault_budget(1);
+    let tenants = [budgeted_victim, quiet()];
+
+    let roomy = build(None).run_multi(&tenants, PartitionPolicy::Quarantine);
+    // One 2 MB frame for two tenants: every admission evicts (and
+    // splinters) the neighbor, so both sides re-fault constantly.
+    let tight = build(Some(2 * 1024 * 1024)).run_multi(&tenants, PartitionPolicy::Quarantine);
+
+    let vid = TenantId::new("victim");
+    let (rv, tv) = (roomy.tenant(&vid).unwrap(), tight.tenant(&vid).unwrap());
+    assert!(
+        tv.faulted_requests > rv.faulted_requests,
+        "memory pressure must splinter and re-fault the victim \
+         (tight {} vs roomy {} faulted requests)",
+        tv.faulted_requests,
+        rv.faulted_requests
+    );
+    for v in [rv, tv] {
+        assert!(!v.quarantined, "re-faults of charged regions must never quarantine the victim");
+        assert_eq!(v.denied_requests, 0, "re-faults of charged regions must be free");
+        assert_eq!(v.completed, v.blocks, "victim must finish through the splinter storm");
     }
 }
 

@@ -17,8 +17,8 @@
 use gex::sm::{NextEventMode, Scheme, SingleSmHarness};
 use gex::workloads::{suite, Preset};
 use gex::{
-    BlockSwitchConfig, Gpu, GpuConfig, InjectionPlan, Interconnect, LocalFaultConfig, PagingMode,
-    Residency, RunBudget,
+    BlockSwitchConfig, Gpu, GpuConfig, InjectionPlan, Interconnect, LocalFaultConfig,
+    PageSizePolicy, PagingMode, Residency, RunBudget,
 };
 use gex_testkit::prelude::*;
 
@@ -73,9 +73,14 @@ proptest! {
         ],
         flavor in 0u8..4,
         seed in 0u64..1_000,
+        page_size in prop_oneof![
+            Just(PageSizePolicy::Small),
+            Just(PageSizePolicy::Transparent),
+            Just(PageSizePolicy::HugeOnly),
+        ],
     ) {
         let w = suite::by_name(name, Preset::Test).expect("known benchmark");
-        let cfg = GpuConfig::kepler_k20().with_sms(sms);
+        let cfg = GpuConfig::kepler_k20().with_sms(sms).with_page_size(page_size);
         // Flavors walk the paging/handler space: fault-free, plain demand
         // paging, demand + block switching, demand + GPU-local handling
         // (which needs a preemptible scheme), so every heap source — SMs,

@@ -1,5 +1,7 @@
 //! Memory-system configuration (Table 1 of the paper).
 
+use crate::large::PageSizePolicy;
+
 /// Simulation time in SM clock cycles (the baseline runs at 1 GHz, so one
 /// cycle is one nanosecond).
 pub type Cycle = u64;
@@ -72,6 +74,15 @@ pub struct MemConfig {
     ///
     /// [`PhysAllocator`]: crate::phys::PhysAllocator
     pub gpu_mem_bytes: u64,
+    /// Page-size policy: [`PageSizePolicy::Small`] reproduces the 4 KB-only
+    /// simulator exactly; the other policies enable the 2 MB machinery in
+    /// [`crate::large`].
+    pub page_size: PageSizePolicy,
+    /// Whether the background coalescer runs under
+    /// [`PageSizePolicy::Transparent`]. With `false`, `Transparent` builds
+    /// the large-page structures but never promotes, degrading to `Small`
+    /// behaviour (the equivalence keystone exercises exactly this).
+    pub coalesce: bool,
 }
 
 impl MemConfig {
@@ -100,6 +111,8 @@ impl MemConfig {
             dram_latency: 200,
             dram_bytes_per_cycle: 256,
             gpu_mem_bytes: 4 * 1024 * 1024 * 1024,
+            page_size: crate::large::default_page_size(),
+            coalesce: true,
         }
     }
 

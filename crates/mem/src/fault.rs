@@ -10,7 +10,7 @@
 
 use crate::config::Cycle;
 use crate::page_table::region_of;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Why a region faulted — determines who can handle it and at what cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,8 +81,10 @@ impl FaultAdmission {
 /// the region address: `region >> tenant_shift`. With a shift configured
 /// ([`FaultQueue::set_tenant_shift`]) the queue keeps per-tenant
 /// charged/denied counters, and tenants given a finite budget
-/// ([`FaultQueue::set_budget`]) are charged one unit per *fresh enqueue*
-/// (merges and NACK re-enqueues are free — they add no new service work).
+/// ([`FaultQueue::set_budget`]) are charged one unit per *distinct region*
+/// on its first fresh enqueue (merges, NACK re-enqueues and re-faults of a
+/// previously charged region — eviction churn, splinter storms — are free:
+/// they add no new footprint).
 /// A tenant whose budget hits zero has further reports
 /// [`FaultAdmission::Denied`], which contains its fault storm without
 /// touching any other tenant's entries. With no shift configured every
@@ -104,6 +106,13 @@ pub struct FaultQueue {
     charged: BTreeMap<u32, u64>,
     /// Reports denied per tenant (budget exhausted).
     denied: BTreeMap<u32, u64>,
+    /// Regions that already paid their budget charge. A region re-faulting
+    /// after eviction — or a splintering storm re-faulting a demoted huge
+    /// page region by region — is *work the tenant already paid for*, so
+    /// it re-enqueues free and cannot be denied. Without this, a neighbor
+    /// splintering a tenant's 2 MB page would bill the victim once per
+    /// 4 KB re-fault and storm it straight into its own budget denial.
+    charged_regions: BTreeSet<u64>,
 }
 
 impl FaultQueue {
@@ -143,18 +152,23 @@ impl FaultQueue {
             return FaultAdmission::Merged(pos as u32);
         }
         // A fresh enqueue is the only thing that charges a budget: merges
-        // piggyback on service already paid for, and NACK re-enqueues
-        // re-submit an entry that was already charged.
+        // piggyback on service already paid for, NACK re-enqueues re-submit
+        // an entry that was already charged, and a region whose charge was
+        // already paid (re-faulting after eviction or a splinter storm)
+        // re-enqueues free — budgets meter distinct regions, not re-faults.
         if self.tenant_shift.is_some() || !self.budgets.is_empty() {
             let tenant = self.tenant_of(region);
-            if let Some(remaining) = self.budgets.get_mut(&tenant) {
-                if *remaining == 0 {
-                    *self.denied.entry(tenant).or_insert(0) += 1;
-                    return FaultAdmission::Denied;
+            if !self.charged_regions.contains(&region) {
+                if let Some(remaining) = self.budgets.get_mut(&tenant) {
+                    if *remaining == 0 {
+                        *self.denied.entry(tenant).or_insert(0) += 1;
+                        return FaultAdmission::Denied;
+                    }
+                    *remaining -= 1;
                 }
-                *remaining -= 1;
+                *self.charged.entry(tenant).or_insert(0) += 1;
+                self.charged_regions.insert(region);
             }
-            *self.charged.entry(tenant).or_insert(0) += 1;
         }
         self.queue.push_back(FaultEntry {
             region,
@@ -456,6 +470,30 @@ mod tests {
         let e = q.pop_nth_where(7, |_| true).unwrap();
         assert_eq!(e.region, REGION_BYTES);
         assert_eq!(q.in_service_count(), 2);
+    }
+
+    #[test]
+    fn refault_of_charged_region_is_free_and_admitted() {
+        let mut q = FaultQueue::new();
+        q.set_tenant_shift(20);
+        q.set_budget(0, 2);
+        // Charge the region once.
+        assert_eq!(q.try_report(0, FaultKind::Migration, 0, 1), FaultAdmission::Enqueued(0));
+        assert_eq!(q.charged(0), 1);
+        let e = q.pop().unwrap();
+        q.finish_service(e.region);
+        // Re-fault after eviction: admitted without a second charge.
+        assert_eq!(q.try_report(0, FaultKind::Migration, 0, 9), FaultAdmission::Enqueued(0));
+        assert_eq!(q.charged(0), 1);
+        assert_eq!(q.remaining_budget(0), Some(1));
+        // Even with the budget exhausted, a charged region is never denied.
+        assert_eq!(q.try_report(REGION_BYTES, FaultKind::Migration, 0, 10), FaultAdmission::Enqueued(1));
+        assert_eq!(q.remaining_budget(0), Some(0));
+        let e = q.remove(0).unwrap();
+        q.finish_service(e.region);
+        assert_eq!(q.try_report(0, FaultKind::Migration, 0, 20), FaultAdmission::Enqueued(1));
+        // A genuinely new region is still denied.
+        assert_eq!(q.try_report(7 * REGION_BYTES, FaultKind::Migration, 0, 21), FaultAdmission::Denied);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod config;
 pub mod dram;
 pub mod fault;
+pub mod large;
 pub mod mshr;
 pub mod page_table;
 pub mod phys;
@@ -35,5 +36,10 @@ pub mod wake;
 pub use config::{CacheConfig, Cycle, MemConfig, TlbConfig};
 pub use wake::WakeMemo;
 pub use fault::{FaultAdmission, FaultEntry, FaultKind, FaultQueue};
+pub use large::{
+    default_page_size, frame_of, set_default_page_size, LpStats, PageSizePolicy,
+    LARGE_PAGE_BYTES, REGIONS_PER_LARGE, SUBPAGES_PER_LARGE,
+};
 pub use page_table::{region_of, PageState, PageTable, REGION_BYTES, REGION_PAGES};
 pub use system::{AccessEvent, AccessKind, AccessToken, FaultMode, MemError, MemStats, MemSystem};
+pub use tlb::TlbSizeStats;

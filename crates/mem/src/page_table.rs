@@ -14,6 +14,7 @@
 //! * everything else is **invalid** — an access aborts the kernel.
 
 use crate::config::Cycle;
+use crate::large::{frame_of, SUBPAGES_PER_LARGE};
 use gex_isa::PAGE_BYTES;
 use std::collections::HashMap;
 use std::ops::Range;
@@ -73,6 +74,24 @@ pub struct PageTable {
     /// Regions in mapping order (oldest first) — the eviction order under
     /// memory oversubscription.
     region_order: Vec<u64>,
+    /// 2 MB leaf mappings, keyed by frame address ([`frame_of`]). A frame
+    /// here covers all 512 subpages as one translation; the subpages'
+    /// 4 KB entries are parked inside the mapping so splintering restores
+    /// them exactly. Empty under `PageSizePolicy::Small`.
+    large: HashMap<u64, LargeMapping>,
+    /// Frames promoted to 2 MB so far.
+    coalesces: u64,
+    /// Large mappings demoted back to 4 KB so far.
+    splinters: u64,
+}
+
+/// One live 2 MB mapping: when it was promoted plus the parked per-subpage
+/// map timestamps, so [`PageTable::splinter`] is an exact inverse of
+/// [`PageTable::try_coalesce`].
+#[derive(Debug, Clone)]
+struct LargeMapping {
+    mapped_at: Cycle,
+    sub_mapped_at: Vec<(u64, Cycle)>,
 }
 
 impl PageTable {
@@ -101,6 +120,9 @@ impl PageTable {
     /// Current state of the page containing `addr`.
     pub fn state(&self, addr: u64) -> PageState {
         let page = gex_isa::page_of(addr);
+        if !self.large.is_empty() && self.large.contains_key(&frame_of(page)) {
+            return PageState::Present;
+        }
         if let Some(&s) = self.pages.get(&page) {
             return s;
         }
@@ -153,6 +175,11 @@ impl PageTable {
     pub fn evict_oldest_region(&mut self, except: u64) -> Option<(u64, u32)> {
         let pos = self.region_order.iter().position(|&r| r != region_of(except))?;
         let victim = self.region_order.remove(pos);
+        // Eviction granularity stays 64 KB: a victim inside a 2 MB mapping
+        // splinters the mapping back to 4 KB entries first.
+        if !self.large.is_empty() {
+            self.splinter(frame_of(victim));
+        }
         let mut evicted = 0;
         for i in 0..REGION_PAGES {
             let page = victim + i * PAGE_BYTES;
@@ -177,9 +204,107 @@ impl PageTable {
         self.region_order.iter().filter(|&&r| (r >> shift) as u32 == tenant).count()
     }
 
-    /// Number of present pages.
+    /// Number of present pages (subpages under a 2 MB mapping included).
     pub fn present_pages(&self) -> usize {
         self.pages.values().filter(|&&s| s == PageState::Present).count()
+            + self.large.len() * SUBPAGES_PER_LARGE as usize
+    }
+
+    /// Promote the 2 MB frame at `frame` ([`frame_of`]-aligned) to one
+    /// large mapping if *all* 512 subpages are currently `Present`. The
+    /// subpages' 4 KB entries are parked inside the mapping; region-order
+    /// eviction accounting is untouched (fault and eviction granularity
+    /// stay 64 KB). Returns whether the promotion happened.
+    ///
+    /// The caller gates on the physical side
+    /// ([`crate::phys::PhysAllocator::frame_coalescible`]) — the page
+    /// table only checks residency.
+    pub fn try_coalesce(&mut self, frame: u64, now: Cycle) -> bool {
+        let frame = frame_of(frame);
+        if self.large.contains_key(&frame) {
+            return false;
+        }
+        let all_present = (0..SUBPAGES_PER_LARGE)
+            .all(|i| self.pages.get(&(frame + i * PAGE_BYTES)) == Some(&PageState::Present));
+        if !all_present {
+            return false;
+        }
+        let mut sub = Vec::with_capacity(SUBPAGES_PER_LARGE as usize);
+        for i in 0..SUBPAGES_PER_LARGE {
+            let page = frame + i * PAGE_BYTES;
+            self.pages.remove(&page);
+            sub.push((page, self.mapped_at.remove(&page).unwrap_or(now)));
+        }
+        self.large.insert(frame, LargeMapping { mapped_at: now, sub_mapped_at: sub });
+        self.coalesces += 1;
+        true
+    }
+
+    /// Demote the 2 MB mapping at `frame` back to its 512 4 KB entries,
+    /// restoring each subpage's state and map timestamp exactly as they
+    /// were before [`PageTable::try_coalesce`] (splinter ∘ coalesce =
+    /// identity). No-op if the frame is not large-mapped.
+    pub fn splinter(&mut self, frame: u64) -> bool {
+        let Some(mapping) = self.large.remove(&frame_of(frame)) else {
+            return false;
+        };
+        for (page, at) in mapping.sub_mapped_at {
+            self.pages.insert(page, PageState::Present);
+            self.mapped_at.insert(page, at);
+        }
+        self.splinters += 1;
+        true
+    }
+
+    /// True if `addr` is covered by a 2 MB mapping.
+    pub fn large_mapped(&self, addr: u64) -> bool {
+        !self.large.is_empty() && self.large.contains_key(&frame_of(addr))
+    }
+
+    /// True if every subpage of `addr`'s 2 MB frame translates (either via
+    /// one large mapping or 512 present 4 KB entries).
+    pub fn frame_fully_resident(&self, addr: u64) -> bool {
+        let frame = frame_of(addr);
+        if self.large.contains_key(&frame) {
+            return true;
+        }
+        (0..SUBPAGES_PER_LARGE)
+            .all(|i| self.pages.get(&(frame + i * PAGE_BYTES)) == Some(&PageState::Present))
+    }
+
+    /// Subpages of `addr`'s 2 MB frame that a `HugeOnly` fault would newly
+    /// map (everything not already present and not invalid).
+    pub fn frame_mappable_pages(&self, addr: u64) -> u64 {
+        let frame = frame_of(addr);
+        (0..SUBPAGES_PER_LARGE)
+            .filter(|i| {
+                !matches!(
+                    self.state(frame + i * PAGE_BYTES),
+                    PageState::Present | PageState::Invalid
+                )
+            })
+            .count() as u64
+    }
+
+    /// Frames promoted to 2 MB mappings so far.
+    pub fn coalesced_frames(&self) -> u64 {
+        self.coalesces
+    }
+
+    /// Large mappings splintered back to 4 KB so far.
+    pub fn splintered_frames(&self) -> u64 {
+        self.splinters
+    }
+
+    /// Live 2 MB mappings right now.
+    pub fn live_large_mappings(&self) -> usize {
+        self.large.len()
+    }
+
+    /// Promotion timestamp of the mapping covering `addr`, if any
+    /// (tests / stats).
+    pub fn large_mapped_at(&self, addr: u64) -> Option<Cycle> {
+        self.large.get(&frame_of(addr)).map(|m| m.mapped_at)
     }
 
     /// Pages of the 64 KB region containing `addr` that need a data
@@ -254,6 +379,70 @@ mod tests {
         assert_eq!(pt.state(0), PageState::CpuDirty, "evicted pages re-fault as migrations");
         assert!(pt.present(REGION_BYTES));
         assert_eq!(pt.resident_regions(), &[REGION_BYTES]);
+    }
+
+    #[test]
+    fn coalesce_requires_all_subpages_present() {
+        let mut pt = PageTable::new();
+        let frame_bytes = SUBPAGES_PER_LARGE * PAGE_BYTES;
+        pt.set_range(0, frame_bytes, PageState::CpuClean);
+        for r in 0..frame_bytes / REGION_BYTES {
+            if r == 5 {
+                continue; // leave one region unmapped
+            }
+            pt.map_region(r * REGION_BYTES, r);
+        }
+        assert!(!pt.try_coalesce(0, 100));
+        pt.map_region(5 * REGION_BYTES, 5);
+        assert!(pt.try_coalesce(0, 100));
+        assert!(pt.large_mapped(12345));
+        assert!(pt.present(7 * REGION_BYTES));
+        assert_eq!(pt.present_pages(), SUBPAGES_PER_LARGE as usize);
+        assert_eq!(pt.coalesced_frames(), 1);
+        // Second promote of the same frame is a no-op.
+        assert!(!pt.try_coalesce(0, 101));
+    }
+
+    #[test]
+    fn splinter_is_exact_inverse() {
+        let mut pt = PageTable::new();
+        let frame_bytes = SUBPAGES_PER_LARGE * PAGE_BYTES;
+        pt.set_range(0, frame_bytes, PageState::CpuClean);
+        for r in 0..frame_bytes / REGION_BYTES {
+            pt.map_region(r * REGION_BYTES, 10 + r);
+        }
+        let before = pt.clone();
+        assert!(pt.try_coalesce(0, 500));
+        assert!(pt.splinter(0));
+        assert!(!pt.large_mapped(0));
+        for r in 0..frame_bytes / REGION_BYTES {
+            for i in 0..REGION_PAGES {
+                let addr = r * REGION_BYTES + i * PAGE_BYTES;
+                assert_eq!(pt.state(addr), before.state(addr));
+            }
+        }
+        assert_eq!(pt.resident_regions(), before.resident_regions());
+        assert!(!pt.splinter(0), "double splinter is a no-op");
+    }
+
+    #[test]
+    fn eviction_splinters_large_mapping_first() {
+        let mut pt = PageTable::new();
+        let frame_bytes = SUBPAGES_PER_LARGE * PAGE_BYTES;
+        pt.set_range(0, frame_bytes, PageState::CpuClean);
+        for r in 0..frame_bytes / REGION_BYTES {
+            pt.map_region(r * REGION_BYTES, r);
+        }
+        assert!(pt.try_coalesce(0, 99));
+        // Evict the oldest region: the 2 MB mapping must splinter so the
+        // other 31 regions stay present as 4 KB pages.
+        let (victim, pages) = pt.evict_oldest_region(u64::MAX).unwrap();
+        assert_eq!(victim, 0);
+        assert_eq!(pages as u64, REGION_PAGES);
+        assert!(!pt.large_mapped(0));
+        assert_eq!(pt.splintered_frames(), 1);
+        assert_eq!(pt.state(0), PageState::CpuDirty);
+        assert!(pt.present(REGION_BYTES));
     }
 
     #[test]

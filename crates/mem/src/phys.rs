@@ -8,7 +8,9 @@
 //! provides the partitioning/accounting, while the handlers' latency models
 //! capture the cost of the synchronization.
 
+use crate::large::SUBPAGES_PER_LARGE;
 use gex_isa::PAGE_BYTES;
+use std::collections::BTreeMap;
 
 /// Who performed an allocation (for the paper's use-case-2 accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +35,29 @@ pub struct PhysAllocator {
     cpu_frames: u64,
     gpu_frames: u64,
     freed: u64,
+    /// Contiguity-conserving blocks, keyed by the 2 MB virtual frame they
+    /// back ([`crate::large::frame_of`]). Only large-page-policy runs
+    /// populate this ([`PhysAllocator::alloc_in_frame`]).
+    blocks: BTreeMap<u64, Block>,
+}
+
+/// One 2 MB-aligned physical block reserved for a single virtual frame
+/// (Mosaic's contiguity-conserving allocation): all of the frame's
+/// subpages land inside it, so promoting the frame to one large mapping
+/// needs no copying.
+#[derive(Debug, Clone)]
+struct Block {
+    /// First physical frame number; aligned to [`SUBPAGES_PER_LARGE`].
+    base: u64,
+    /// Frames carved out of the block so far (never decremented).
+    carved: u64,
+    /// Frames currently live (carved minus freed).
+    live: u64,
+    /// Owner of every carve so far; mixing owners breaks contiguity.
+    owner: AllocOwner,
+    /// Set when contiguity is lost: a carve spilled outside the block, a
+    /// partial free punched a hole, or owners mixed.
+    broken: bool,
 }
 
 impl PhysAllocator {
@@ -45,6 +70,7 @@ impl PhysAllocator {
             cpu_frames: 0,
             gpu_frames: 0,
             freed: 0,
+            blocks: BTreeMap::new(),
         }
     }
 
@@ -69,6 +95,83 @@ impl PhysAllocator {
         debug_assert!(self.in_use >= frames, "freeing more frames than in use");
         self.in_use -= frames;
         self.freed += frames;
+    }
+
+    /// Contiguity-conserving allocation (Mosaic, Section 4): carve `frames`
+    /// physical frames out of the 2 MB block reserved for virtual frame
+    /// `key` ([`crate::large::frame_of`] of the faulting address), creating
+    /// the block — 2 MB-aligned — on first touch. Once the block can no
+    /// longer satisfy a carve contiguously (full, freed-into, or touched by
+    /// a different owner) it is marked broken and the carve falls back to a
+    /// plain bump allocation; the frame then stays 4 KB-mapped forever
+    /// (until fully evicted, which resets the block).
+    ///
+    /// Capacity accounting is identical to [`PhysAllocator::alloc`]: only
+    /// carved frames count against the pool, so a run under
+    /// `PageSizePolicy::Small` and one under `Transparent` see the same
+    /// occupancy for the same resident set.
+    pub fn alloc_in_frame(&mut self, key: u64, frames: u64, owner: AllocOwner) -> Option<u64> {
+        if self.in_use + frames > self.total_frames {
+            return None;
+        }
+        if !self.blocks.contains_key(&key) {
+            let base = self.next_frame.next_multiple_of(SUBPAGES_PER_LARGE);
+            self.next_frame = base + SUBPAGES_PER_LARGE;
+            self.blocks.insert(key, Block { base, carved: 0, live: 0, owner, broken: false });
+        }
+        let block = self.blocks.get_mut(&key).expect("block just ensured");
+        if block.owner != owner {
+            block.broken = true;
+        }
+        let carve = if !block.broken && block.carved + frames <= SUBPAGES_PER_LARGE {
+            Some(block.base + block.carved)
+        } else {
+            // Contiguity lost: spill outside the block.
+            block.broken = true;
+            None
+        };
+        block.carved += frames;
+        block.live += frames;
+        let first = match carve {
+            Some(f) => f,
+            None => {
+                let f = self.next_frame;
+                self.next_frame += frames;
+                f
+            }
+        };
+        self.in_use += frames;
+        match owner {
+            AllocOwner::Cpu => self.cpu_frames += frames,
+            AllocOwner::Gpu => self.gpu_frames += frames,
+        }
+        Some(first)
+    }
+
+    /// [`PhysAllocator::free`] for frames carved via
+    /// [`PhysAllocator::alloc_in_frame`]: a partial free punches a hole
+    /// (the block is broken for coalescing purposes); freeing the last
+    /// live frame retires the block so a future re-fault starts a fresh
+    /// contiguous one.
+    pub fn free_in_frame(&mut self, key: u64, frames: u64) {
+        self.free(frames);
+        if let Some(block) = self.blocks.get_mut(&key) {
+            block.live = block.live.saturating_sub(frames);
+            if block.live == 0 {
+                self.blocks.remove(&key);
+            } else {
+                block.broken = true;
+            }
+        }
+    }
+
+    /// True if virtual frame `key`'s 512 subpages sit in one unbroken
+    /// physical block under a single owner — the physical-side gate for
+    /// coalescing it into a 2 MB mapping.
+    pub fn frame_coalescible(&self, key: u64) -> bool {
+        self.blocks.get(&key).is_some_and(|b| {
+            !b.broken && b.carved == SUBPAGES_PER_LARGE && b.live == SUBPAGES_PER_LARGE
+        })
     }
 
     /// Frames still available.
@@ -122,6 +225,62 @@ mod tests {
         assert_eq!(a.free_frames(), 1);
         assert!(a.alloc(1, AllocOwner::Gpu).is_some());
         assert_eq!(a.freed_frames(), 1);
+    }
+
+    #[test]
+    fn contiguous_carves_fill_one_block() {
+        let mut a = PhysAllocator::new(4096 * PAGE_BYTES);
+        let key = 0x40_0000;
+        let mut first = None;
+        for i in 0..32u64 {
+            let f = a.alloc_in_frame(key, 16, AllocOwner::Cpu).unwrap();
+            let base = *first.get_or_insert(f);
+            assert_eq!(f, base + i * 16, "carves stay contiguous");
+        }
+        assert!(a.frame_coalescible(key));
+        assert_eq!(a.cpu_frames(), 512);
+        // One more carve overflows the block and breaks it.
+        assert!(a.alloc_in_frame(key, 16, AllocOwner::Cpu).is_some());
+        assert!(!a.frame_coalescible(key));
+    }
+
+    #[test]
+    fn mixed_owner_breaks_contiguity() {
+        let mut a = PhysAllocator::new(4096 * PAGE_BYTES);
+        for _ in 0..31 {
+            a.alloc_in_frame(7, 16, AllocOwner::Cpu).unwrap();
+        }
+        a.alloc_in_frame(7, 16, AllocOwner::Gpu).unwrap();
+        assert!(!a.frame_coalescible(7));
+    }
+
+    #[test]
+    fn partial_free_breaks_full_free_resets() {
+        let mut a = PhysAllocator::new(4096 * PAGE_BYTES);
+        for _ in 0..32 {
+            a.alloc_in_frame(9, 16, AllocOwner::Cpu).unwrap();
+        }
+        assert!(a.frame_coalescible(9));
+        a.free_in_frame(9, 16);
+        assert!(!a.frame_coalescible(9));
+        for _ in 0..31 {
+            a.free_in_frame(9, 16);
+        }
+        // Fully evicted: a re-fault starts a fresh contiguous block.
+        for _ in 0..32 {
+            a.alloc_in_frame(9, 16, AllocOwner::Cpu).unwrap();
+        }
+        assert!(a.frame_coalescible(9));
+    }
+
+    #[test]
+    fn blocks_do_not_disturb_plain_alloc_accounting() {
+        let mut a = PhysAllocator::new(1024 * PAGE_BYTES);
+        a.alloc_in_frame(0, 16, AllocOwner::Cpu).unwrap();
+        assert_eq!(a.free_frames(), 1024 - 16);
+        assert!(a.alloc(1024 - 16, AllocOwner::Gpu).is_some());
+        assert_eq!(a.alloc(1, AllocOwner::Gpu), None);
+        assert_eq!(a.alloc_in_frame(0x20_0000, 1, AllocOwner::Cpu), None);
     }
 
     #[test]

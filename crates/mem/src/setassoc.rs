@@ -94,6 +94,22 @@ impl SetAssoc {
         false
     }
 
+    /// Invalidate every tag matching `pred`. Returns how many were dropped.
+    ///
+    /// Used for range shootdowns (e.g. purging all 4 KB entries covered by
+    /// a freshly coalesced 2 MB mapping) where the caller cannot enumerate
+    /// which of the candidate tags are actually cached.
+    pub fn invalidate_where(&mut self, pred: impl Fn(u64) -> bool) -> usize {
+        let mut dropped = 0;
+        for t in self.tags.iter_mut() {
+            if matches!(t, Some(v) if pred(*v)) {
+                *t = None;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Number of valid entries (for tests / stats).
     pub fn occupancy(&self) -> usize {
         self.tags.iter().filter(|t| t.is_some()).count()

@@ -27,10 +27,11 @@
 use crate::config::{Cycle, MemConfig};
 use crate::dram::Dram;
 use crate::fault::{FaultKind, FaultQueue};
+use crate::large::{frame_of, LpStats, PageSizePolicy, COALESCE_CYCLES, REGIONS_PER_LARGE};
 use crate::mshr::{MshrAlloc, MshrTable};
-use crate::page_table::{region_of, PageState, PageTable};
+use crate::page_table::{region_of, PageState, PageTable, REGION_BYTES};
 use crate::setassoc::SetAssoc;
-use crate::tlb::Tlb;
+use crate::tlb::{Tlb, TlbSizeStats};
 use gex_isa::{page_of, LINE_BYTES};
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
@@ -176,6 +177,11 @@ enum Ev {
     L2Resp { line: u64, sm: u32 },
     DramReady { line: u64 },
     LineDone(u32),
+    /// A background coalesce pass on this 2 MB frame settles. Fired only
+    /// under large-page policies; cancelled passes leave the event in the
+    /// heap (lazy invalidation — the handler revalidates against the
+    /// pending map) so the push-wake contract never loses a wake.
+    CoalesceDone(u64),
 }
 
 #[derive(Debug)]
@@ -233,6 +239,31 @@ fn page_tag(page: u64) -> u64 {
     page >> 12
 }
 
+/// Tag for the large TLB side: the 2 MB frame number.
+#[inline]
+fn frame_tag(addr: u64) -> u64 {
+    addr >> 21
+}
+
+/// Runtime state of the large-page machinery; present only when the
+/// configured [`PageSizePolicy`] uses large pages, so `Small` runs never
+/// touch any of it.
+#[derive(Debug)]
+struct LpState {
+    /// Whether the background coalescer may promote (Transparent with
+    /// coalescing on). `HugeOnly` promotes synchronously on the fault
+    /// path and ignores this.
+    coalesce_enabled: bool,
+    /// Frames with a coalesce pass in flight -> the pass's settle cycle.
+    /// Shootdowns cancel a pass by removing its entry; the settle event
+    /// revalidates against this map.
+    pending: BTreeMap<u64, Cycle>,
+    /// Faults that walked into a frame mid-pass, held until the pass
+    /// settles: frame -> (page, walk waiters).
+    held: HashMap<u64, Vec<(u64, Vec<u64>)>>,
+    stats: LpStats,
+}
+
 /// The memory hierarchy. See the [module docs](self).
 #[derive(Debug)]
 pub struct MemSystem {
@@ -271,6 +302,10 @@ pub struct MemSystem {
     tenant_accounting: bool,
     /// Per-tenant `(faulted_requests, denied_requests)`.
     tenant_fault_counts: BTreeMap<u32, (u64, u64)>,
+    /// Large-page machinery; `None` under [`PageSizePolicy::Small`], so
+    /// the 4 KB-only paths execute byte-identically to the pre-large-page
+    /// simulator.
+    lp: Option<LpState>,
     /// First fatal condition hit (the hierarchy stops making progress on
     /// the affected requests; the simulator must abort the run).
     error: Option<MemError>,
@@ -280,11 +315,25 @@ impl MemSystem {
     /// Build the hierarchy for `cfg` with the given fault behaviour.
     pub fn new(cfg: MemConfig, fault_mode: FaultMode) -> Self {
         let n = cfg.num_sms as usize;
+        let mut l1_tlb: Vec<Tlb> = (0..n).map(|_| Tlb::new(&cfg.l1_tlb)).collect();
+        let mut l2_tlb = Tlb::new(&cfg.l2_tlb);
+        let lp = cfg.page_size.uses_large_pages().then(|| {
+            for tlb in &mut l1_tlb {
+                tlb.enable_large(&cfg.l1_tlb);
+            }
+            l2_tlb.enable_large(&cfg.l2_tlb);
+            LpState {
+                coalesce_enabled: cfg.coalesce && cfg.page_size == PageSizePolicy::Transparent,
+                pending: BTreeMap::new(),
+                held: HashMap::new(),
+                stats: LpStats::default(),
+            }
+        });
         MemSystem {
             l1: (0..n).map(|_| Cache::new(&cfg.l1)).collect(),
             l2: Cache::new(&cfg.l2),
-            l1_tlb: (0..n).map(|_| Tlb::new(&cfg.l1_tlb)).collect(),
-            l2_tlb: Tlb::new(&cfg.l2_tlb),
+            l1_tlb,
+            l2_tlb,
             l2_tlb_mshr: MshrTable::new(cfg.l2_tlb.mshrs),
             walkers_active: 0,
             walk_queue: std::collections::VecDeque::new(),
@@ -305,6 +354,7 @@ impl MemSystem {
             tenant_accounting: false,
             tenant_fault_counts: BTreeMap::new(),
             error: None,
+            lp,
             fault_mode,
             cfg,
         }
@@ -400,7 +450,9 @@ impl MemSystem {
 
     /// True if no requests are in flight anywhere in the hierarchy.
     pub fn quiescent(&self) -> bool {
-        self.events.is_empty() && self.parked.is_empty()
+        self.events.is_empty()
+            && self.parked.is_empty()
+            && self.lp.as_ref().is_none_or(|lp| lp.held.is_empty())
     }
 
     /// Begin a warp access of `kind` touching the given unique cache lines,
@@ -507,7 +559,22 @@ impl MemSystem {
 
     /// Invalidate every TLB entry of the 64 KB region containing `addr`
     /// (the shootdown an eviction requires under memory oversubscription).
+    /// Under large-page policies this also drops any 2 MB entry covering
+    /// the region and cancels a coalesce pass in flight on its frame — the
+    /// eviction invalidated the pass's all-resident premise.
     pub fn shootdown_region(&mut self, addr: u64) {
+        if let Some(lp) = &mut self.lp {
+            let frame = frame_of(addr);
+            if lp.pending.remove(&frame).is_some() {
+                // Lazy cancellation: the settle event stays in the heap and
+                // revalidates, so held faults still drain when it fires.
+                lp.stats.cancelled += 1;
+            }
+            for tlb in &mut self.l1_tlb {
+                tlb.invalidate_large(frame_tag(addr));
+            }
+            self.l2_tlb.invalidate_large(frame_tag(addr));
+        }
         let base = region_of(addr);
         for i in 0..crate::page_table::REGION_PAGES {
             let tag = page_tag(base + i * 4096);
@@ -516,6 +583,148 @@ impl MemSystem {
             }
             self.l2_tlb.invalidate(tag);
         }
+    }
+
+    /// Notify the large-page machinery that a fault region was resolved:
+    /// if the region's 2 MB frame is now fully resident, physically
+    /// contiguous (`contiguous` — the caller asks the allocator) and not
+    /// already promoted or mid-pass, schedule a background coalesce pass
+    /// to settle [`COALESCE_CYCLES`] from now. No-op outside
+    /// `Transparent`-with-coalescing runs.
+    pub fn note_region_resolved(&mut self, region: u64, now: Cycle, contiguous: bool) {
+        let frame = frame_of(region);
+        let Some(lp) = &mut self.lp else {
+            return;
+        };
+        if !lp.coalesce_enabled
+            || !contiguous
+            || lp.pending.contains_key(&frame)
+            || self.page_table.large_mapped(frame)
+            || !self.page_table.frame_fully_resident(frame)
+        {
+            return;
+        }
+        let due = now + COALESCE_CYCLES;
+        lp.pending.insert(frame, due);
+        lp.stats.passes += 1;
+        self.schedule(due, Ev::CoalesceDone(frame));
+    }
+
+    /// A coalesce pass settles. If the pass is still the live one for its
+    /// frame, promote (the all-resident premise was guarded by
+    /// [`MemSystem::shootdown_region`] cancelling on eviction) and shoot
+    /// down the now-stale 4 KB entries. Either way, faults held on the
+    /// frame re-dispatch against the settled page table — held, never
+    /// dropped.
+    fn ev_coalesce_done(&mut self, t: Cycle, frame: u64) {
+        let Some(lp) = &mut self.lp else {
+            return;
+        };
+        match lp.pending.get(&frame).copied() {
+            Some(due) if due == t => {
+                lp.pending.remove(&frame);
+                if self.page_table.try_coalesce(frame, t) {
+                    if let Some(lp) = &mut self.lp {
+                        lp.stats.coalesced += 1;
+                    }
+                    for tlb in &mut self.l1_tlb {
+                        tlb.shootdown_frame(frame_tag(frame));
+                    }
+                    self.l2_tlb.shootdown_frame(frame_tag(frame));
+                }
+            }
+            Some(_) => {
+                // A newer pass owns the frame; this event is stale. Keep
+                // holding — the newer pass's settle event drains the queue.
+                return;
+            }
+            None => {
+                // Cancelled pass: nothing to promote, but held faults must
+                // still drain below.
+            }
+        }
+        let held = self
+            .lp
+            .as_mut()
+            .and_then(|lp| lp.held.remove(&frame))
+            .unwrap_or_default();
+        for (page, waiters) in held {
+            self.finish_walk(t, page, waiters);
+        }
+    }
+
+    /// Resolve the whole 2 MB frame containing `addr` — the `HugeOnly`
+    /// fault path, where one fault maps all 32 regions at once. Pending
+    /// queue entries for sibling regions are serviced by this same call.
+    /// Returns every region this resolved (for the handler's wake list).
+    /// With `promote` the frame is coalesced into one 2 MB mapping
+    /// immediately (the handler sets it when the allocation stayed
+    /// contiguous).
+    pub fn resolve_frame(&mut self, addr: u64, now: Cycle, promote: bool) -> Vec<u64> {
+        let frame = frame_of(addr);
+        let mut resolved = Vec::new();
+        for i in 0..REGIONS_PER_LARGE {
+            let region = frame + i * REGION_BYTES;
+            let was_pending = self.fault_queue.remove(region).is_some();
+            let was_parked = self.parked.contains_key(&region);
+            let mapped = self.resolve_region(region, now);
+            if mapped > 0 || was_pending || was_parked {
+                resolved.push(region);
+            }
+        }
+        if promote && self.page_table.try_coalesce(frame, now) {
+            if let Some(lp) = &mut self.lp {
+                lp.stats.coalesced += 1;
+            }
+            for tlb in &mut self.l1_tlb {
+                tlb.shootdown_frame(frame_tag(frame));
+            }
+            self.l2_tlb.shootdown_frame(frame_tag(frame));
+        }
+        resolved
+    }
+
+    /// Demote the 2 MB mapping covering `addr` back to 4 KB pages (a
+    /// write fault inside the large page, or a neighbor's pressure). The
+    /// subpages stay present — SMs are never stalled; their next accesses
+    /// simply re-walk and refill at 4 KB. Returns whether a mapping was
+    /// splintered.
+    pub fn splinter_frame(&mut self, addr: u64, _now: Cycle) -> bool {
+        let frame = frame_of(addr);
+        if !self.page_table.splinter(frame) {
+            return false;
+        }
+        if let Some(lp) = &mut self.lp {
+            lp.stats.splintered += 1;
+        }
+        for tlb in &mut self.l1_tlb {
+            tlb.shootdown_frame(frame_tag(frame));
+        }
+        self.l2_tlb.shootdown_frame(frame_tag(frame));
+        true
+    }
+
+    /// Large-page counters, combined with the page table's promote /
+    /// demote totals (which also count evictions' implicit splinters).
+    pub fn lp_stats(&self) -> LpStats {
+        let mut s = self.lp.as_ref().map(|lp| lp.stats).unwrap_or_default();
+        s.coalesced = self.page_table.coalesced_frames();
+        s.splintered = self.page_table.splintered_frames();
+        s
+    }
+
+    /// Per-size TLB counters summed over the L1 TLBs and the L2 TLB (all
+    /// zero under `PageSizePolicy::Small`).
+    pub fn tlb_size_stats(&self) -> TlbSizeStats {
+        let mut total = TlbSizeStats::default();
+        for tlb in self.l1_tlb.iter().chain(std::iter::once(&self.l2_tlb)) {
+            let s = tlb.size_stats();
+            total.small_hits += s.small_hits;
+            total.small_misses += s.small_misses;
+            total.large_hits += s.large_hits;
+            total.large_misses += s.large_misses;
+        }
+        total
     }
 
     /// Advance the hierarchy to cycle `now`, processing every event due at
@@ -542,6 +751,7 @@ impl MemSystem {
             Ev::L2Resp { line, sm } => self.ev_l2_resp(t, line, sm),
             Ev::DramReady { line } => self.ev_dram_ready(t, line),
             Ev::LineDone(r) => self.ev_line_done(t, r),
+            Ev::CoalesceDone(frame) => self.ev_coalesce_done(t, frame),
         }
     }
 
@@ -556,7 +766,12 @@ impl MemSystem {
         let sm = self.accesses[req.access as usize].sm;
         let page = page_of(req.line);
         let lat = self.cfg.l1_tlb.latency;
-        if self.l1_tlb[sm as usize].lookup(page_tag(page)) {
+        let hit = if self.lp.is_some() {
+            self.l1_tlb[sm as usize].lookup_dual(page_tag(page))
+        } else {
+            self.l1_tlb[sm as usize].lookup(page_tag(page))
+        };
+        if hit {
             self.schedule(t + lat, Ev::TransOk(r));
         } else {
             self.schedule(t + lat, Ev::L2TlbLookup(r));
@@ -571,8 +786,26 @@ impl MemSystem {
         }
         let sm = self.accesses[req.access as usize].sm;
         let page = page_of(req.line);
-        if self.l2_tlb.lookup(page_tag(page)) {
-            self.l1_tlb[sm as usize].fill(page_tag(page));
+        let hit = if self.lp.is_some() {
+            let hit = self.l2_tlb.lookup_dual(page_tag(page));
+            if hit {
+                // Propagate at matching size: a large L2 entry fills the
+                // L1's large side, a small one the 4 KB side.
+                if self.l2_tlb.has_large(frame_tag(page)) {
+                    self.l1_tlb[sm as usize].fill_large(frame_tag(page));
+                } else {
+                    self.l1_tlb[sm as usize].fill(page_tag(page));
+                }
+            }
+            hit
+        } else {
+            let hit = self.l2_tlb.lookup(page_tag(page));
+            if hit {
+                self.l1_tlb[sm as usize].fill(page_tag(page));
+            }
+            hit
+        };
+        if hit {
             self.schedule(t + self.cfg.l2_tlb.latency, Ev::TransOk(r));
             return;
         }
@@ -589,11 +822,32 @@ impl MemSystem {
         }
     }
 
+    /// Walk latency for `page`, aware of the leaf size: a walk that
+    /// terminates at a 2 MB leaf skips the last level (three levels
+    /// instead of four).
+    fn walk_latency_for(&self, page: u64) -> Cycle {
+        if self.lp.is_some() && self.page_table.large_mapped(page) {
+            self.cfg.walk_latency - self.cfg.walk_latency / 4
+        } else {
+            self.cfg.walk_latency
+        }
+    }
+
+    fn start_walk(&mut self, t: Cycle, page: u64) {
+        self.walkers_active += 1;
+        self.stats.walks += 1;
+        let lat = self.walk_latency_for(page);
+        if lat != self.cfg.walk_latency {
+            if let Some(lp) = &mut self.lp {
+                lp.stats.walks_large += 1;
+            }
+        }
+        self.schedule(t + lat, Ev::WalkDone(page));
+    }
+
     fn submit_walk(&mut self, t: Cycle, page: u64) {
         if self.walkers_active < self.cfg.num_walkers {
-            self.walkers_active += 1;
-            self.stats.walks += 1;
-            self.schedule(t + self.cfg.walk_latency, Ev::WalkDone(page));
+            self.start_walk(t, page);
         } else {
             self.walk_queue.push_back(page);
         }
@@ -602,15 +856,38 @@ impl MemSystem {
     fn ev_walk_done(&mut self, t: Cycle, page: u64) {
         self.walkers_active -= 1;
         if let Some(next) = self.walk_queue.pop_front() {
-            self.walkers_active += 1;
-            self.stats.walks += 1;
-            self.schedule(t + self.cfg.walk_latency, Ev::WalkDone(next));
+            self.start_walk(t, next);
         }
         let waiters = self.l2_tlb_mshr.complete(page);
+        // A fault under a pending coalesce pass is *held*, never dropped:
+        // the pass may be splintering state out from under the walk, so the
+        // dispatch is deferred to the pass's settle event and re-evaluated
+        // against the then-current page table.
+        if let Some(lp) = &mut self.lp {
+            let frame = frame_of(page);
+            if lp.pending.contains_key(&frame) && self.page_table.state(page) != PageState::Present
+            {
+                lp.stats.held_faults += 1;
+                lp.held.entry(frame).or_default().push((page, waiters));
+                return;
+            }
+        }
+        self.finish_walk(t, page, waiters);
+    }
+
+    /// Dispatch a completed walk on `page` to its waiters (the tail of
+    /// [`MemSystem::ev_walk_done`], also replayed when a held fault's
+    /// coalesce pass settles).
+    fn finish_walk(&mut self, t: Cycle, page: u64, waiters: Vec<u64>) {
         let state = self.page_table.state(page);
         match state {
             PageState::Present => {
-                self.l2_tlb.fill(page_tag(page));
+                let large = self.lp.is_some() && self.page_table.large_mapped(page);
+                if large {
+                    self.l2_tlb.fill_large(frame_tag(page));
+                } else {
+                    self.l2_tlb.fill(page_tag(page));
+                }
                 for w in waiters {
                     let r = w as u32;
                     if self.reqs[r as usize].dead {
@@ -618,7 +895,11 @@ impl MemSystem {
                         continue;
                     }
                     let sm = self.accesses[self.reqs[r as usize].access as usize].sm;
-                    self.l1_tlb[sm as usize].fill(page_tag(page));
+                    if large {
+                        self.l1_tlb[sm as usize].fill_large(frame_tag(page));
+                    } else {
+                        self.l1_tlb[sm as usize].fill(page_tag(page));
+                    }
                     self.schedule(t + 1, Ev::TransOk(r));
                 }
             }

@@ -283,6 +283,9 @@ struct WavePoint {
     /// Partitioning policy for shared-GPU points (from the spec); `None`
     /// keeps the classic exclusive simulation.
     partition: Option<PartitionPolicy>,
+    /// Page-size policy for the point's GPU (from the spec); `None`
+    /// keeps the simulator default (4 KB pages).
+    pagesize: Option<gex::PageSizePolicy>,
     /// Owning tenant — becomes the stream's simulator [`TenantId`] on
     /// partitioned points.
     tenant: String,
@@ -293,6 +296,16 @@ struct WavePoint {
     token: CancelToken,
     journal: Option<Arc<CampaignJournal>>,
     key: String,
+}
+
+/// The point's GPU configuration: the spec's SM count, plus its
+/// page-size policy when one was requested.
+fn point_config(p: &WavePoint) -> GpuConfig {
+    let cfg = GpuConfig::kepler_k20().with_sms(p.sms);
+    match p.pagesize {
+        Some(policy) => cfg.with_page_size(policy),
+        None => cfg,
+    }
 }
 
 fn cancelled_err() -> SimError {
@@ -330,12 +343,8 @@ fn run_point(p: &WavePoint, budget: &RunBudget) -> Result<u64, SimError> {
     if let Some(policy) = p.partition {
         return run_point_partitioned(p, budget, policy);
     }
-    let mut gpu = Gpu::new(
-        GpuConfig::kepler_k20().with_sms(p.sms),
-        p.scheme,
-        PagingMode::AllResident,
-    )
-    .budget(budget.clone().with_token(p.token.clone()));
+    let mut gpu = Gpu::new(point_config(p), p.scheme, PagingMode::AllResident)
+        .budget(budget.clone().with_token(p.token.clone()));
     if let Some(seed) = p.seed {
         gpu = gpu.inject(gex::InjectionPlan::light(seed));
     }
@@ -358,12 +367,8 @@ fn run_point_partitioned(
     budget: &RunBudget,
     policy: PartitionPolicy,
 ) -> Result<u64, SimError> {
-    let gpu = Gpu::new(
-        GpuConfig::kepler_k20().with_sms(p.sms),
-        p.scheme,
-        PagingMode::demand(Interconnect::nvlink()),
-    )
-    .budget(budget.clone().with_token(p.token.clone()));
+    let gpu = Gpu::new(point_config(p), p.scheme, PagingMode::demand(Interconnect::nvlink()))
+        .budget(budget.clone().with_token(p.token.clone()));
     let mut mine = TenantWorkload::new(
         TenantId::new(p.tenant.clone()),
         p.workload.trace.clone(),
@@ -777,6 +782,7 @@ fn collect_wave(st: &mut State, cfg: &ServerConfig) -> Vec<WavePoint> {
             seed: c.spec.seed,
             inject: c.spec.inject,
             partition: c.spec.partition,
+            pagesize: c.spec.pagesize,
             tenant: c.tenant.clone(),
             background: c.background.as_ref().map(Arc::clone),
             stream_budget: cfg.stream_fault_budget,

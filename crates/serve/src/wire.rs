@@ -33,7 +33,7 @@
 //! lines until the campaign reaches a terminal state.
 
 use gex::journal::{field_str, field_u64, json_escape};
-use gex::{PartitionPolicy, Preset, Scheme};
+use gex::{PageSizePolicy, PartitionPolicy, Preset, Scheme};
 use std::fmt;
 
 /// Deterministic chaos hook for a campaign: what the server's point
@@ -98,6 +98,12 @@ pub struct CampaignSpec {
     /// fault storms that get the tenant's stream quarantined charge the
     /// server-side tenant fault budget even though the point completes.
     pub partition: Option<PartitionPolicy>,
+    /// Optional page-size policy for the simulated GPU's demand paging
+    /// (`small` | `transparent` | `hugeonly`, see [`PageSizePolicy`]).
+    /// `None` leaves the server's default (4 KB pages) in place — old
+    /// spec lines parse and re-encode unchanged, so campaign digests
+    /// (and therefore crash/resume identity) are unaffected.
+    pub pagesize: Option<PageSizePolicy>,
 }
 
 fn preset_token(p: Preset) -> &'static str {
@@ -160,6 +166,7 @@ impl CampaignSpec {
             seed: None,
             inject: None,
             partition: None,
+            pagesize: None,
         }
     }
 
@@ -188,6 +195,9 @@ impl CampaignSpec {
         }
         if let Some(partition) = self.partition {
             let _ = write!(s, ",\"partition\":\"{}\"", partition.token());
+        }
+        if let Some(pagesize) = self.pagesize {
+            let _ = write!(s, ",\"pagesize\":\"{}\"", pagesize.token());
         }
         s.push('}');
         s
@@ -223,6 +233,12 @@ impl CampaignSpec {
             })?),
             None => None,
         };
+        let pagesize = match field_str(line, "pagesize") {
+            Some(s) => Some(PageSizePolicy::parse(&s).ok_or_else(|| {
+                format!("unknown page-size policy {s:?} (small|transparent|hugeonly)")
+            })?),
+            None => None,
+        };
         Ok(CampaignSpec {
             preset,
             sms,
@@ -232,6 +248,7 @@ impl CampaignSpec {
             seed: field_u64(line, "seed"),
             inject,
             partition,
+            pagesize,
         })
     }
 
@@ -609,6 +626,7 @@ mod tests {
             seed: Some(7),
             inject: Some(Inject::Panic),
             partition: Some(PartitionPolicy::Quarantine),
+            pagesize: Some(PageSizePolicy::Transparent),
         }
     }
 
@@ -641,10 +659,15 @@ mod tests {
         assert_eq!(s.seed, None);
         assert_eq!(s.inject, None);
         assert_eq!(s.partition, None);
+        assert_eq!(s.pagesize, None);
         assert_eq!(s.encode(), line);
         assert!(
             CampaignSpec::parse(&line.replace('}', ",\"partition\":\"exclusive\"}")).is_err(),
             "unknown partition tokens must be rejected"
+        );
+        assert!(
+            CampaignSpec::parse(&line.replace('}', ",\"pagesize\":\"giant\"}")).is_err(),
+            "unknown page-size tokens must be rejected"
         );
     }
 

@@ -3,7 +3,7 @@
 use crate::block_switch::BlockSwitchConfig;
 use crate::interconnect::Interconnect;
 use crate::local_fault::LocalFaultConfig;
-use gex_mem::{Cycle, MemConfig};
+use gex_mem::{Cycle, MemConfig, PageSizePolicy};
 use gex_sm::SmConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -75,6 +75,21 @@ impl GpuConfig {
     /// Override the forward-progress watchdog window.
     pub fn with_watchdog_cycles(mut self, c: Cycle) -> Self {
         self.watchdog_cycles = c;
+        self
+    }
+
+    /// Override the page-size policy (`Small` = the 4 KB-only baseline,
+    /// `Transparent` / `HugeOnly` = the 2 MB machinery).
+    pub fn with_page_size(mut self, p: PageSizePolicy) -> Self {
+        self.mem.page_size = p;
+        self
+    }
+
+    /// Enable or disable the background coalescer under
+    /// `PageSizePolicy::Transparent` (on by default; the equivalence
+    /// keystone turns it off to prove degradation to `Small`).
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.mem.coalesce = on;
         self
     }
 

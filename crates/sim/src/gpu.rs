@@ -502,7 +502,8 @@ impl Engine {
                 } else {
                     FaultMode::StallReplay
                 };
-                let mut cpu = CpuHandler::new(interconnect);
+                let mut cpu =
+                    CpuHandler::new(interconnect).with_page_size(gpu.cfg.mem.page_size);
                 if let Some(plan) = &gpu.inject {
                     cpu = cpu.with_injection(plan.clone());
                 }

@@ -21,7 +21,10 @@ use crate::inject::{InjectionPlan, InjectionStats, Injector};
 use crate::interconnect::{Interconnect, CYCLES_PER_US};
 use gex_mem::phys::{AllocOwner, PhysAllocator};
 use gex_mem::system::MemSystem;
-use gex_mem::{Cycle, FaultEntry, FaultKind, REGION_BYTES, REGION_PAGES};
+use gex_mem::{
+    frame_of, Cycle, FaultEntry, FaultKind, PageSizePolicy, LARGE_PAGE_BYTES, REGIONS_PER_LARGE,
+    REGION_BYTES, REGION_PAGES,
+};
 
 /// CPU work per fault (page pinning, allocation, page-table updates):
 /// the paper's ~2 us estimate (Section 5.4).
@@ -82,6 +85,11 @@ struct InFlight {
 pub struct CpuHandler {
     interconnect: Interconnect,
     handle_first_touch: bool,
+    /// Page-size policy: `Small` keeps every path below byte-identical to
+    /// the pre-large-page handler; `Transparent` nudges the background
+    /// coalescer after each resolution; `HugeOnly` maps whole 2 MB frames
+    /// per fault.
+    page_size: PageSizePolicy,
     /// Next cycle the serialized CPU stage is free.
     cpu_free: Cycle,
     /// Next cycle the link's data path is free.
@@ -99,6 +107,7 @@ impl CpuHandler {
         CpuHandler {
             interconnect,
             handle_first_touch: true,
+            page_size: PageSizePolicy::Small,
             cpu_free: 0,
             link_free: 0,
             in_flight: Vec::new(),
@@ -112,6 +121,12 @@ impl CpuHandler {
     /// CPU services only CPU-owned pages.
     pub fn without_first_touch(mut self) -> Self {
         self.handle_first_touch = false;
+        self
+    }
+
+    /// Service faults under `policy` (default [`PageSizePolicy::Small`]).
+    pub fn with_page_size(mut self, policy: PageSizePolicy) -> Self {
+        self.page_size = policy;
         self
     }
 
@@ -188,8 +203,13 @@ impl CpuHandler {
                 }
                 if f.entry.kind == FaultKind::Migration {
                     // The migrated region lands in GPU memory through the
-                    // same DRAM channel the SMs use.
-                    mem.dram_mut().bulk_transfer(now, REGION_BYTES);
+                    // same DRAM channel the SMs use. Under `HugeOnly` the
+                    // whole 2 MB frame comes across.
+                    let bytes = match self.page_size {
+                        PageSizePolicy::HugeOnly => LARGE_PAGE_BYTES,
+                        _ => REGION_BYTES,
+                    };
+                    mem.dram_mut().bulk_transfer(now, bytes);
                     if !f.dup {
                         self.stats.migrations += 1;
                     }
@@ -199,8 +219,36 @@ impl CpuHandler {
                 if !f.dup {
                     self.stats.latency_sum += now - f.entry.enqueued_at;
                 }
-                mem.resolve_region(f.entry.region, now);
-                resolved.push(f.entry.region);
+                match self.page_size {
+                    PageSizePolicy::Small => {
+                        mem.resolve_region(f.entry.region, now);
+                        resolved.push(f.entry.region);
+                    }
+                    PageSizePolicy::Transparent => {
+                        mem.resolve_region(f.entry.region, now);
+                        // Nudge the background coalescer: the physical
+                        // allocator says whether the frame's subpages sit
+                        // in one contiguous block.
+                        let contiguous = phys.frame_coalescible(frame_of(f.entry.region));
+                        mem.note_region_resolved(f.entry.region, now, contiguous);
+                        resolved.push(f.entry.region);
+                    }
+                    PageSizePolicy::HugeOnly => {
+                        // One fault maps the whole 2 MB frame; sibling
+                        // regions' queued faults resolve with it.
+                        let frame = frame_of(f.entry.region);
+                        let promote = phys.frame_coalescible(frame);
+                        let regions = mem.resolve_frame(frame, now, promote);
+                        if regions.is_empty() {
+                            // An injected duplicate of an already-resolved
+                            // frame: still broadcast the region so stalled
+                            // warps re-check, matching the `Small` path.
+                            resolved.push(f.entry.region);
+                        } else {
+                            resolved.extend(regions);
+                        }
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -234,22 +282,55 @@ impl CpuHandler {
             // in flight (mapped only at resolution), defer this fault until
             // one lands.
             let mut deferred = false;
-            while phys.alloc(REGION_PAGES, AllocOwner::Cpu).is_none() {
-                match mem.page_table.evict_oldest_region(entry.region) {
-                    Some((victim, pages)) => {
-                        mem.shootdown_region(victim);
-                        phys.free(pages as u64);
-                        // The victim's data writes back over the link and
-                        // costs the CPU another pass over its page tables.
-                        let occ = self.interconnect.region_transfer_cycles();
-                        self.link_free = self.link_free.max(admit) + occ;
-                        self.cpu_free = self.cpu_free.max(admit) + CPU_STAGE_CYCLES;
-                        self.stats.evictions += 1;
+            let need = match self.page_size {
+                // The whole 2 MB frame is backed up front — unless a live
+                // in-flight fault already covers the frame, in which case
+                // its resolution maps this region too.
+                PageSizePolicy::HugeOnly => {
+                    let frame = frame_of(entry.region);
+                    if self.in_flight.iter().any(|g| !g.dead && frame_of(g.entry.region) == frame)
+                    {
+                        0
+                    } else {
+                        mem.page_table.frame_mappable_pages(frame).max(1)
                     }
-                    None => {
-                        mem.fault_queue.push_front(entry.clone());
-                        deferred = true;
+                }
+                _ => REGION_PAGES,
+            };
+            // `need` is fixed for the whole backing loop: each turn either
+            // allocates it in full and breaks, evicts a victim to free
+            // room, or defers the fault.
+            if need > 0 {
+                loop {
+                    let got = match self.page_size {
+                        PageSizePolicy::Small => phys.alloc(need, AllocOwner::Cpu),
+                        // Contiguity-conserving: carve out of the 2 MB block
+                        // reserved for the faulting frame so the frame can
+                        // later coalesce without copying.
+                        _ => phys.alloc_in_frame(frame_of(entry.region), need, AllocOwner::Cpu),
+                    };
+                    if got.is_some() {
                         break;
+                    }
+                    match mem.page_table.evict_oldest_region(entry.region) {
+                        Some((victim, pages)) => {
+                            mem.shootdown_region(victim);
+                            match self.page_size {
+                                PageSizePolicy::Small => phys.free(pages as u64),
+                                _ => phys.free_in_frame(frame_of(victim), pages as u64),
+                            }
+                            // The victim's data writes back over the link and
+                            // costs the CPU another pass over its page tables.
+                            let occ = self.interconnect.region_transfer_cycles();
+                            self.link_free = self.link_free.max(admit) + occ;
+                            self.cpu_free = self.cpu_free.max(admit) + CPU_STAGE_CYCLES;
+                            self.stats.evictions += 1;
+                        }
+                        None => {
+                            mem.fault_queue.push_front(entry.clone());
+                            deferred = true;
+                            break;
+                        }
                     }
                 }
             }
@@ -263,7 +344,12 @@ impl CpuHandler {
             // jitter stretch the round trip.
             let mut occ = self.interconnect.signal_cycles;
             if entry.kind == FaultKind::Migration {
-                occ += self.interconnect.region_transfer_cycles();
+                // `HugeOnly` ships the frame's 32 regions in one go.
+                let regions = match self.page_size {
+                    PageSizePolicy::HugeOnly => REGIONS_PER_LARGE,
+                    _ => 1,
+                };
+                occ += self.interconnect.region_transfer_cycles() * regions;
             }
             let mut extra = 0;
             let mut dup = false;
