@@ -115,8 +115,19 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
     );
     paged.partition = Some(PartitionPolicy::Quarantine);
     paged.pagesize = Some(PageSizePolicy::Transparent);
+    // A fifth campaign opts into the intra-run parallel two-phase tick
+    // via the spec's `sm_threads` field. The knob is execution strategy,
+    // not simulation identity: the journal bytes — and therefore the
+    // crash/resume digest — must be exactly what a serial run produces.
+    let mut threaded = CampaignSpec::new(
+        Preset::Test,
+        4,
+        vec!["sad".to_string(), "spmv".to_string()],
+        vec![Scheme::WdLastCheck],
+    );
+    threaded.sm_threads = Some(2);
 
-    // Phase 1: submit all four campaigns, wait for partial progress,
+    // Phase 1: submit all five campaigns, wait for partial progress,
     // SIGKILL.
     let first = start_daemon(&dir);
     {
@@ -126,6 +137,7 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         c.submit("chaos", "bomb", &poisoned).expect("admit poisoned");
         c.submit("bob", "shared", &shared).expect("admit partitioned");
         c.submit("dana", "paged", &paged).expect("admit large-page campaign");
+        c.submit("erin", "smt", &threaded).expect("admit sm-threads campaign");
 
         let deadline = Instant::now() + Duration::from_secs(120);
         loop {
@@ -250,6 +262,28 @@ fn sigkill_mid_campaign_resumes_byte_identically_and_keeps_quarantine() {
         assert_eq!(
             reference.tenants[0].cycles, *cycles,
             "{key}: post-crash large-page result must equal the direct simulation"
+        );
+    }
+
+    // The sm_threads=2 campaign resumed with its thread count intact and
+    // reports cycles byte-identical to this process's serial reference —
+    // the journal digest is independent of the intra-run thread count.
+    let smt_done = c
+        .wait("erin", "smt", Duration::from_millis(25))
+        .expect("sm-threads campaign finishes after restart");
+    assert_eq!(smt_done.state, "done", "sm-threads campaign: {smt_done:?}");
+    assert_eq!(smt_done.done, 2);
+    let (_, points) = c.results("erin", "smt").expect("smt results");
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else {
+            panic!("sm-threads campaign must have no failed points: {p:?}")
+        };
+        let wname = key.split_once('/').unwrap().0;
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let reference = gex::run_workload(&w, Scheme::WdLastCheck, PagingMode::AllResident, 4);
+        assert_eq!(
+            reference.cycles, *cycles,
+            "{key}: a parallel-tick campaign must journal exactly the serial cycles"
         );
     }
 

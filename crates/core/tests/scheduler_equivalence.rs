@@ -78,9 +78,16 @@ proptest! {
             Just(PageSizePolicy::Transparent),
             Just(PageSizePolicy::HugeOnly),
         ],
+        sm_threads in prop_oneof![Just(1u32), Just(2), Just(4)],
     ) {
         let w = suite::by_name(name, Preset::Test).expect("known benchmark");
-        let cfg = GpuConfig::kepler_k20().with_sms(sms).with_page_size(page_size);
+        // The intra-run SM worker count rides along: every next-event mode
+        // must agree at every thread count (the sm_parallel keystone locks
+        // serial-vs-parallel identity; this locks it per scheduler too).
+        let cfg = GpuConfig::kepler_k20()
+            .with_sms(sms)
+            .with_page_size(page_size)
+            .with_sm_threads(sm_threads);
         // Flavors walk the paging/handler space: fault-free, plain demand
         // paging, demand + block switching, demand + GPU-local handling
         // (which needs a preemptible scheme), so every heap source — SMs,

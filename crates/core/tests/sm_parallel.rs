@@ -1,0 +1,252 @@
+//! Intra-run SM parallelism keystone: the two-phase tick (parallel
+//! compute + serial memory-commit barrier) is *bit-identical* to the
+//! serial reference at every thread count.
+//!
+//! `GpuConfig::with_sm_threads(1)` is the serial path — each SM's tick
+//! issues its global-memory accesses straight into the shared
+//! `MemSystem`, in SM-index order. Higher settings run the compute phase
+//! (fetch/issue/execute) on worker threads with per-SM outboxes, then
+//! commit the buffered accesses in strict SM-index order. Because the
+//! commit barrier replays the serial path's exact `start_access`
+//! sequence, every downstream artifact — MSHR slot/generation
+//! allocation, event sequence numbers, fault timelines, stats — is
+//! byte-for-byte the same, and these tests assert full
+//! [`gex::GpuRunReport`] / [`gex::SharedRunReport`] equality.
+//!
+//! The commit barrier's SM-index-order check is a release-mode `assert!`
+//! (not `debug_assert!`) precisely so this keystone exercises it when CI
+//! runs the suite with `--release`.
+
+use gex::sm::Scheme;
+use gex::workloads::{suite, Preset};
+use gex::{
+    cache, BlockSwitchConfig, Gpu, GpuConfig, InjectionPlan, Interconnect, LocalFaultConfig,
+    PageSizePolicy, PagingMode, PartitionPolicy, Residency, SimError, TenantId, TenantWorkload,
+};
+
+fn schemes() -> [Scheme; 5] {
+    [
+        Scheme::Baseline,
+        Scheme::WdCommit,
+        Scheme::WdLastCheck,
+        Scheme::ReplayQueue,
+        Scheme::operand_log_kib(16),
+    ]
+}
+
+/// Run one point serially (`sm_threads = 1`, fresh state) and in parallel
+/// (`sm_threads ∈ {2, 4}`, arena reuse on) and assert the whole outcome —
+/// report or error diagnostic — is byte-identical.
+fn assert_thread_counts_agree(gpu: Gpu, trace: &gex::isa::trace::KernelTrace, res: &Residency) {
+    let serial = gpu.clone().arena(false).try_run(trace, res);
+    for threads in [2u32, 4] {
+        let mut par = Gpu::new(
+            gpu.config().clone().with_sm_threads(threads),
+            gpu.scheme(),
+            gpu.paging(),
+        );
+        if let Some(plan) = gpu.injection() {
+            par = par.inject(plan.clone());
+        }
+        let parallel = par.try_run(trace, res);
+        match (&serial, &parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(s, p, "serial and {threads}-thread reports diverged");
+            }
+            _ => assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "serial and {threads}-thread outcomes diverged"
+            ),
+        }
+    }
+}
+
+/// All five exception schemes × paging flavors × page-size policies ×
+/// chaos seeds: serial and parallel runs are indistinguishable.
+#[test]
+fn serial_parallel_identity_across_schemes_and_paging() {
+    let pages = [PageSizePolicy::Small, PageSizePolicy::Transparent, PageSizePolicy::HugeOnly];
+    let names = ["histo", "sad", "spmv", "bfs", "stencil"];
+    for (si, scheme) in schemes().into_iter().enumerate() {
+        let w = suite::by_name(names[si], Preset::Test).expect("known benchmark");
+        for flavor in 0..3u8 {
+            let cfg = GpuConfig::kepler_k20()
+                .with_sms(8)
+                .with_page_size(pages[(si + flavor as usize) % pages.len()])
+                .with_sm_threads(1);
+            let paging = match flavor {
+                0 => PagingMode::AllResident,
+                1 => PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: None,
+                    local_handling: None,
+                },
+                _ => PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: Some(BlockSwitchConfig::default()),
+                    local_handling: None,
+                },
+            };
+            let mut gpu = Gpu::new(cfg, scheme, paging);
+            if flavor > 0 {
+                // A different chaos seed per scheme perturbs the fault
+                // timeline each point replays identically.
+                gpu = gpu.inject(InjectionPlan::chaos(7 + si as u64));
+            }
+            assert_thread_counts_agree(gpu, &w.trace, &w.demand_residency());
+        }
+    }
+}
+
+/// GPU-local fault handling (use case 2) exercises the local handler's
+/// claim path between SM ticks; it too must be thread-count invariant.
+#[test]
+fn serial_parallel_identity_with_local_handling() {
+    let w = suite::by_name("spmv", Preset::Test).expect("known benchmark");
+    let gpu = Gpu::new(
+        GpuConfig::kepler_k20().with_sms(8).with_sm_threads(1),
+        Scheme::ReplayQueue,
+        PagingMode::Demand {
+            interconnect: Interconnect::nvlink(),
+            block_switch: None,
+            local_handling: Some(LocalFaultConfig::default()),
+        },
+    )
+    .inject(InjectionPlan::chaos(13));
+    assert_thread_counts_agree(gpu, &w.trace, &w.outputs_lazy_residency());
+}
+
+/// Multi-tenant runs under every partitioning policy — including a noisy
+/// neighbor driving quarantine — are byte-identical at every intra-run
+/// thread count.
+#[test]
+fn multi_tenant_partitions_agree_across_thread_counts() {
+    let victim = suite::by_name("histo", Preset::Test).unwrap();
+    let noisy = suite::by_name("lbm", Preset::Test).unwrap();
+    let tenants = [
+        TenantWorkload::new(
+            TenantId::new("victim"),
+            victim.trace.clone(),
+            victim.demand_residency(),
+        ),
+        TenantWorkload::new(TenantId::new("noisy"), noisy.trace.clone(), noisy.demand_residency())
+            .inject(InjectionPlan::chaos(11))
+            .fault_budget(4),
+    ];
+    for policy in
+        [PartitionPolicy::Shared, PartitionPolicy::Quarantine, PartitionPolicy::Static]
+    {
+        let base = |threads: u32| {
+            Gpu::new(
+                GpuConfig::kepler_k20().with_sms(4).with_sm_threads(threads),
+                Scheme::ReplayQueue,
+                PagingMode::Demand {
+                    interconnect: Interconnect::nvlink(),
+                    block_switch: None,
+                    local_handling: None,
+                },
+            )
+        };
+        let serial = base(1).arena(false).try_run_multi(&tenants, policy);
+        for threads in [2u32, 4] {
+            let parallel = base(threads).try_run_multi(&tenants, policy);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "multi-tenant outcomes diverged at {threads} thread(s) under {policy}"
+            );
+        }
+    }
+}
+
+/// Error paths carry the same diagnostics: a wedge plan trips the
+/// watchdog at the same cycle with identical warp/fault snapshots
+/// regardless of thread count.
+#[test]
+fn watchdog_diagnostics_identical_across_thread_counts() {
+    let w = suite::by_name("histo", Preset::Test).unwrap();
+    let base = |threads: u32| {
+        Gpu::new(
+            GpuConfig::kepler_k20()
+                .with_sms(4)
+                .with_watchdog_cycles(200_000)
+                .with_sm_threads(threads),
+            Scheme::ReplayQueue,
+            PagingMode::Demand {
+                interconnect: Interconnect::nvlink(),
+                block_switch: None,
+                local_handling: None,
+            },
+        )
+        .inject(InjectionPlan::wedge(3))
+    };
+    let serial = base(1).try_run(&w.trace, &w.demand_residency());
+    let parallel = base(2).try_run(&w.trace, &w.demand_residency());
+    let (Err(s), Err(p)) = (&serial, &parallel) else {
+        panic!("a wedge plan must trip the watchdog");
+    };
+    assert_eq!(format!("{s:?}"), format!("{p:?}"));
+}
+
+/// The result cache treats `sm_threads` as an execution-strategy knob,
+/// not simulation identity: a point simulated at one thread count answers
+/// lookups at every other.
+#[test]
+fn cache_key_ignores_sm_threads() {
+    // sms = 7 gives this test a cache key no other test in this binary
+    // touches, so the hit/miss accounting below is race-free.
+    let w = suite::by_name("sad", Preset::Test).unwrap();
+    let res = w.demand_residency();
+    let gpu = |threads: u32| {
+        Gpu::new(
+            GpuConfig::kepler_k20().with_sms(7).with_sm_threads(threads),
+            Scheme::WdLastCheck,
+            PagingMode::AllResident,
+        )
+    };
+    let first = cache::run_cached(&gpu(1), &w, &res).expect("serial run succeeds");
+    let before = cache::stats();
+    let second = cache::run_cached(&gpu(4), &w, &res).expect("parallel lookup succeeds");
+    let delta = cache::stats().since(&before);
+    assert_eq!(delta.hits, 1, "a 4-thread lookup must hit the 1-thread entry: {delta}");
+    assert_eq!(delta.misses, 0, "{delta}");
+    assert_eq!(&*first, &*second);
+}
+
+/// More tenants than SMs is a typed, recoverable configuration error —
+/// never a panic — under every policy, because tenant lists arrive over
+/// the campaign wire.
+#[test]
+fn oversubscription_is_a_typed_error() {
+    let w = suite::by_name("histo", Preset::Test).unwrap();
+    let mk = |id: &str| {
+        TenantWorkload::new(TenantId::new(id), w.trace.clone(), w.demand_residency())
+    };
+    let tenants = [mk("a"), mk("b"), mk("c")];
+    let gpu = Gpu::new(
+        GpuConfig::kepler_k20().with_sms(2),
+        Scheme::ReplayQueue,
+        PagingMode::Demand {
+            interconnect: Interconnect::nvlink(),
+            block_switch: None,
+            local_handling: None,
+        },
+    );
+    for policy in
+        [PartitionPolicy::Shared, PartitionPolicy::Quarantine, PartitionPolicy::Static]
+    {
+        match gpu.try_run_multi(&tenants, policy) {
+            Err(SimError::Oversubscribed { tenants: t, sms }) => {
+                assert_eq!((t, sms), (3, 2), "under {policy}");
+            }
+            other => panic!("expected Oversubscribed under {policy}, got {other:?}"),
+        }
+    }
+    // A zero-SM GPU rejects single-stream runs the same way.
+    let none = Gpu::new(GpuConfig::kepler_k20().with_sms(0), Scheme::Baseline, PagingMode::AllResident);
+    match none.try_run(&w.trace, &w.demand_residency()) {
+        Err(SimError::Oversubscribed { tenants: 1, sms: 0 }) => {}
+        other => panic!("expected Oversubscribed, got {other:?}"),
+    }
+}

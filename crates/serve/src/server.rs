@@ -286,6 +286,10 @@ struct WavePoint {
     /// Page-size policy for the point's GPU (from the spec); `None`
     /// keeps the simulator default (4 KB pages).
     pagesize: Option<gex::PageSizePolicy>,
+    /// Intra-run SM worker count (from the spec); `None` defers to the
+    /// ambient default. Bit-identical results at every setting, so the
+    /// journal bytes are independent of it.
+    sm_threads: Option<u32>,
     /// Owning tenant — becomes the stream's simulator [`TenantId`] on
     /// partitioned points.
     tenant: String,
@@ -301,11 +305,14 @@ struct WavePoint {
 /// The point's GPU configuration: the spec's SM count, plus its
 /// page-size policy when one was requested.
 fn point_config(p: &WavePoint) -> GpuConfig {
-    let cfg = GpuConfig::kepler_k20().with_sms(p.sms);
-    match p.pagesize {
-        Some(policy) => cfg.with_page_size(policy),
-        None => cfg,
+    let mut cfg = GpuConfig::kepler_k20().with_sms(p.sms);
+    if let Some(policy) = p.pagesize {
+        cfg = cfg.with_page_size(policy);
     }
+    if let Some(n) = p.sm_threads {
+        cfg = cfg.with_sm_threads(n);
+    }
+    cfg
 }
 
 fn cancelled_err() -> SimError {
@@ -514,6 +521,21 @@ fn build_campaign(
     dir: Option<&PathBuf>,
 ) -> Result<(Campaign, Vec<usize>), String> {
     let digest = campaign_digest(id, &spec);
+    // Reject unschedulable GPU shapes up front with a clean wire error:
+    // these would otherwise surface as panics (or typed SimErrors that
+    // quarantine every point) deep inside the simulator pool. Manifests
+    // only persist after this validation passes, so `recover()` never
+    // sees a spec these checks would refuse.
+    if spec.sms == 0 {
+        return Err("spec needs at least one SM".to_string());
+    }
+    if spec.partition.is_some() && spec.sms < 2 {
+        return Err(format!(
+            "partitioned campaigns share the GPU with the server's background \
+             neighbor and need at least 2 SMs (got {})",
+            spec.sms
+        ));
+    }
     let mut resolved: Vec<Arc<Workload>> = Vec::with_capacity(spec.workloads.len());
     for name in &spec.workloads {
         match suite::by_name(name, spec.preset) {
@@ -783,6 +805,7 @@ fn collect_wave(st: &mut State, cfg: &ServerConfig) -> Vec<WavePoint> {
             inject: c.spec.inject,
             partition: c.spec.partition,
             pagesize: c.spec.pagesize,
+            sm_threads: c.spec.sm_threads,
             tenant: c.tenant.clone(),
             background: c.background.as_ref().map(Arc::clone),
             stream_budget: cfg.stream_fault_budget,

@@ -104,6 +104,13 @@ pub struct CampaignSpec {
     /// spec lines parse and re-encode unchanged, so campaign digests
     /// (and therefore crash/resume identity) are unaffected.
     pub pagesize: Option<PageSizePolicy>,
+    /// Optional intra-run SM worker count for each point's simulation
+    /// (see `GpuConfig::sm_threads`). Execution strategy, not simulation
+    /// identity: every setting produces bit-identical cycle counts, so
+    /// resuming a campaign at a different thread count reproduces the
+    /// same journal bytes. `None` (absent from old lines, byte-stable)
+    /// defers to the server's ambient default.
+    pub sm_threads: Option<u32>,
 }
 
 fn preset_token(p: Preset) -> &'static str {
@@ -167,6 +174,7 @@ impl CampaignSpec {
             inject: None,
             partition: None,
             pagesize: None,
+            sm_threads: None,
         }
     }
 
@@ -198,6 +206,9 @@ impl CampaignSpec {
         }
         if let Some(pagesize) = self.pagesize {
             let _ = write!(s, ",\"pagesize\":\"{}\"", pagesize.token());
+        }
+        if let Some(sm_threads) = self.sm_threads {
+            let _ = write!(s, ",\"sm_threads\":{sm_threads}");
         }
         s.push('}');
         s
@@ -249,6 +260,7 @@ impl CampaignSpec {
             inject,
             partition,
             pagesize,
+            sm_threads: field_u64(line, "sm_threads").map(|n| n as u32),
         })
     }
 
@@ -627,6 +639,7 @@ mod tests {
             inject: Some(Inject::Panic),
             partition: Some(PartitionPolicy::Quarantine),
             pagesize: Some(PageSizePolicy::Transparent),
+            sm_threads: Some(2),
         }
     }
 
@@ -660,6 +673,7 @@ mod tests {
         assert_eq!(s.inject, None);
         assert_eq!(s.partition, None);
         assert_eq!(s.pagesize, None);
+        assert_eq!(s.sm_threads, None);
         assert_eq!(s.encode(), line);
         assert!(
             CampaignSpec::parse(&line.replace('}', ",\"partition\":\"exclusive\"}")).is_err(),

@@ -252,6 +252,61 @@ fn partitioned_points_share_the_gpu_and_in_run_storms_charge_the_tenant() {
     handle.join();
 }
 
+/// Unschedulable GPU shapes — zero SMs, or a partitioned campaign on a
+/// single-SM GPU (no room for the background neighbor) — are rejected at
+/// admission with a clean wire error instead of panicking a simulator
+/// worker, and the submitting tenant is *not* quarantined by the reject.
+#[test]
+fn unschedulable_specs_are_rejected_cleanly() {
+    use gex::PartitionPolicy;
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut c = fast_client(&handle.addr());
+
+    let mut zero = spec(&["histo"], &[Scheme::Baseline]);
+    zero.sms = 0;
+    match c.submit("t", "no-sms", &zero) {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("at least one SM"), "{m}"),
+        other => panic!("a zero-SM spec must be rejected, got {other:?}"),
+    }
+
+    let mut tight = spec(&["histo"], &[Scheme::ReplayQueue]);
+    tight.sms = 1;
+    tight.partition = Some(PartitionPolicy::Quarantine);
+    match c.submit("t", "too-tight", &tight) {
+        Err(ClientError::Rejected(m)) => assert!(m.contains("at least 2 SMs"), "{m}"),
+        other => panic!("a 1-SM partitioned spec must be rejected, got {other:?}"),
+    }
+
+    // The rejects were admission control, not failures: the same tenant
+    // still submits and completes a healthy campaign.
+    c.submit("t", "fine", &spec(&["histo"], &[Scheme::Baseline])).expect("admit");
+    assert_eq!(c.wait("t", "fine", Duration::from_millis(20)).expect("finish").state, "done");
+    handle.join();
+}
+
+/// A spec carrying `sm_threads` runs the points with the parallel
+/// two-phase tick and reports exactly the cycles of a serial direct
+/// simulation — the wire knob changes execution strategy, never results.
+#[test]
+fn sm_threads_spec_reproduces_serial_results() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut c = fast_client(&handle.addr());
+    let mut s = spec(&["histo", "sad"], &[Scheme::WdLastCheck]);
+    s.sm_threads = Some(2);
+    c.submit("t", "par", &s).expect("admit");
+    let done = c.wait("t", "par", Duration::from_millis(20)).expect("finish");
+    assert_eq!(done.state, "done");
+    let (_, points) = c.results("t", "par").expect("results");
+    for p in &points {
+        let PointResult::Done { key, cycles } = p else { panic!("unexpected outcome {p:?}") };
+        let wname = key.split_once('/').unwrap().0;
+        let w = suite::by_name(wname, Preset::Test).unwrap();
+        let direct = gex::run_workload(&w, Scheme::WdLastCheck, PagingMode::AllResident, 2);
+        assert_eq!(direct.cycles, *cycles, "{key}: parallel tick must match serial cycles");
+    }
+    handle.join();
+}
+
 #[test]
 fn cancel_drops_queued_points_and_is_terminal() {
     let handle = server::start(ServerConfig { batch: 1, ..ServerConfig::default() }).unwrap();

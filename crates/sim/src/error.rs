@@ -143,6 +143,17 @@ pub enum SimError {
         /// Faults pending in the fill unit's queue.
         pending_faults: usize,
     },
+    /// The run asked for more concurrent kernel streams than the GPU has
+    /// SMs to host (each SM runs one tenant's kernel at a time), or for a
+    /// GPU with no SMs at all. A configuration error, not a simulation
+    /// failure — reachable from user-supplied campaign specs, so it must
+    /// reject cleanly instead of panicking.
+    Oversubscribed {
+        /// Concurrent kernel streams requested.
+        tenants: usize,
+        /// SMs configured.
+        sms: u32,
+    },
     /// The SM pipeline hit a fatal invariant violation.
     Sm(SmError),
     /// The memory system hit a fatal condition (e.g. a workload touching
@@ -164,6 +175,11 @@ impl std::fmt::Display for SimError {
                 f,
                 "{pending_faults} fault(s) pending but no handler configured: a \
                  non-preemptible scheme needs a CPU handler (demand paging) or full residency"
+            ),
+            SimError::Oversubscribed { tenants, sms } => write!(
+                f,
+                "cannot run {tenants} tenant(s) on {sms} SM(s): each tenant needs at \
+                 least one SM"
             ),
             SimError::Sm(e) => write!(f, "{e}"),
             SimError::Mem(e) => write!(f, "{e}"),
@@ -238,5 +254,7 @@ mod tests {
         assert!(s.contains("block 3 warp 1"), "{s}");
         let s = SimError::NoFaultHandler { pending_faults: 3 }.to_string();
         assert!(s.contains("no handler"), "{s}");
+        let s = SimError::Oversubscribed { tenants: 5, sms: 4 }.to_string();
+        assert!(s.contains("5 tenant(s) on 4 SM(s)"), "{s}");
     }
 }

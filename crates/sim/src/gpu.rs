@@ -71,6 +71,14 @@ struct SimArena {
     queues: Vec<VecDeque<Arc<BlockTrace>>>,
     /// Per-SM owning tenant index.
     sm_owner: Vec<usize>,
+    /// Per-SM participation flags for the two-phase parallel tick
+    /// (per-cycle scratch, rebuilt before each compute phase).
+    live: Vec<bool>,
+    /// Per-SM stall state captured before the compute phase (scratch).
+    was_stalled: Vec<bool>,
+    /// SMs that completed at least one block this cycle: the completion
+    /// drain walks only these instead of scanning every SM every cycle.
+    done_sms: Vec<usize>,
 }
 
 thread_local! {
@@ -232,6 +240,9 @@ impl Gpu {
         trace: &KernelTrace,
         residency: &Residency,
     ) -> Result<GpuRunReport, SimError> {
+        if self.cfg.num_sms() == 0 {
+            return Err(SimError::Oversubscribed { tenants: 1, sms: 0 });
+        }
         if !self.use_arena {
             let mut engine = Engine::new(self, trace, residency, SimArena::default());
             return engine.run(trace);
@@ -276,6 +287,17 @@ impl Gpu {
         policy: PartitionPolicy,
     ) -> Result<SharedRunReport, SimError> {
         assert!(!tenants.is_empty(), "a multi-tenant run needs at least one tenant");
+        // Each SM hosts one tenant's kernel at a time, so more tenants
+        // than SMs can never be scheduled. Checked before *any* policy
+        // branch (a static split would hand some tenant zero SMs) because
+        // the tenant list is user-supplied over the campaign wire — a
+        // typed reject, not a panic.
+        if tenants.len() > self.cfg.num_sms() as usize {
+            return Err(SimError::Oversubscribed {
+                tenants: tenants.len(),
+                sms: self.cfg.num_sms(),
+            });
+        }
         if policy == PartitionPolicy::Static {
             return Ok(self.run_static(tenants));
         }
@@ -446,6 +468,21 @@ struct Engine {
     wake: WakeQueue,
     /// Reused scratch for draining SM fault notices without allocating.
     notice_buf: Vec<FaultNotice>,
+    /// Worker threads for the SM compute phase, resolved once at
+    /// construction from [`GpuConfig::sm_threads`] (0 defers to the
+    /// ambient [`gex_exec::sm_threads`]). `<= 1` takes the serial
+    /// reference path in [`Engine::tick_sms`].
+    sm_workers: usize,
+    /// SMs currently stalled, maintained incrementally at every mutation
+    /// site (tick, region resolution, drain/save/restore, dispatch) so
+    /// the per-cycle `all_stalled` test is O(1) instead of an SM scan.
+    stalled: u32,
+    /// See [`SimArena::live`].
+    live: Vec<bool>,
+    /// See [`SimArena::was_stalled`].
+    was_stalled: Vec<bool>,
+    /// See [`SimArena::done_sms`].
+    done_sms: Vec<usize>,
 }
 
 /// One tenant's scheduling state inside the engine.
@@ -572,7 +609,13 @@ impl Engine {
             mut notice_buf,
             mut queues,
             mut sm_owner,
+            mut live,
+            mut was_stalled,
+            mut done_sms,
         } = arena;
+        live.clear();
+        was_stalled.clear();
+        done_sms.clear();
         sms.truncate(num_sms as usize);
         for (i, sm) in sms.iter_mut().enumerate() {
             sm.recycle(i as u32, gpu.cfg.sm.clone(), gpu.scheme);
@@ -606,6 +649,9 @@ impl Engine {
         for (q, (trace, _)) in queues.iter_mut().zip(streams) {
             q.extend(trace.arc_blocks().iter().cloned());
         }
+        // Seed the incremental stalled counter from actual SM state (a
+        // freshly configured SM with no resident blocks is stalled).
+        let stalled = sms.iter().filter(|s| s.is_stalled()).count() as u32;
         Engine {
             scheme_fault_mode: fault_mode,
             mem,
@@ -629,6 +675,14 @@ impl Engine {
             heap,
             wake,
             notice_buf,
+            sm_workers: match gpu.cfg.sm_threads {
+                0 => gex_exec::sm_threads(),
+                n => n as usize,
+            },
+            stalled,
+            live,
+            was_stalled,
+            done_sms,
         }
     }
 
@@ -644,6 +698,9 @@ impl Engine {
             notice_buf: self.notice_buf,
             queues: self.queues,
             sm_owner: self.sm_owner,
+            live: self.live,
+            was_stalled: self.was_stalled,
+            done_sms: self.done_sms,
         }
     }
 
@@ -658,8 +715,10 @@ impl Engine {
     }
 
     fn broadcast_resolved(&mut self, region: u64) {
-        for (i, sm) in self.sms.iter_mut().enumerate() {
-            sm.on_region_resolved(region);
+        for i in 0..self.sms.len() {
+            let was = self.sms[i].is_stalled();
+            self.sms[i].on_region_resolved(region);
+            self.note_sm_stall_change(i, was);
             self.heap.mark_dirty(SRC_SM + i);
         }
         let base = SRC_SM + self.sms.len();
@@ -667,6 +726,113 @@ impl Engine {
             sched.resolve_region(region);
             self.heap.mark_dirty(base + i);
         }
+    }
+
+    /// Fold one SM's stall transition into the incremental [`Engine::stalled`]
+    /// counter. `was` is the SM's `is_stalled()` captured immediately
+    /// before the mutation; called immediately after it.
+    fn note_sm_stall_change(&mut self, i: usize, was: bool) {
+        let now_stalled = self.sms[i].is_stalled();
+        if was != now_stalled {
+            if now_stalled {
+                self.stalled += 1;
+            } else {
+                self.stalled -= 1;
+            }
+        }
+    }
+
+    /// Tick every SM for one cycle — the tentpole's two-phase form.
+    ///
+    /// With `sm_workers <= 1` (or a single SM) this is the serial
+    /// reference path: each SM's [`Sm::tick`] issues its global-memory
+    /// accesses straight into the shared [`MemSystem`], in SM-index
+    /// order. With more workers the cycle splits into:
+    ///
+    /// 1. a serial *participation* pass that applies the stall-skip
+    ///    predicate and pre-deals each live SM's pending memory events
+    ///    into its private inbox (the only `&mut MemSystem` reads),
+    /// 2. a parallel *compute* phase — [`Sm::tick_compute`] runs
+    ///    fetch/issue/execute per SM with no memory-system access,
+    ///    buffering would-be `start_access` calls in a per-SM outbox,
+    /// 3. a serial *commit barrier* that drains outboxes in strict
+    ///    SM-index order, replaying the exact `start_access` sequence
+    ///    (and therefore slot/generation allocation, event seq numbers
+    ///    and stats) of the serial path.
+    ///
+    /// Within a cycle no SM reads state another SM's tick mutates (their
+    /// only shared-state writes are the buffered accesses), so the two
+    /// paths produce bit-identical simulations at every thread count.
+    fn tick_sms(&mut self, now: Cycle) -> Result<(), SimError> {
+        if self.sm_workers <= 1 || self.sms.len() <= 1 {
+            for i in 0..self.sms.len() {
+                // A stalled SM with no events to deliver cannot change
+                // state this cycle: every warp waits on an external
+                // resolution and its internal event heap is empty, so the
+                // whole tick (issue/fetch/drain) is skipped. `is_stalled`
+                // is O(1) — the active-warp count is kept incrementally.
+                let was = self.sms[i].is_stalled();
+                if was && !self.mem.has_pending_events(i as u32) {
+                    continue;
+                }
+                self.sms[i].tick(now, &mut self.mem);
+                self.heap.mark_dirty(SRC_SM + i);
+                self.note_sm_stall_change(i, was);
+                if self.sms[i].has_completions() {
+                    self.done_sms.push(i);
+                }
+                if let Some(e) = self.sms[i].take_error() {
+                    return Err(e.into());
+                }
+            }
+            return Ok(());
+        }
+        // Phase 1 (serial): participation + inbox pre-deal. Same skip
+        // predicate as the serial path; draining an SM's events up front
+        // is equivalent because nothing earlier in its own tick can
+        // schedule same-cycle deliveries.
+        self.live.clear();
+        self.was_stalled.clear();
+        for i in 0..self.sms.len() {
+            let was = self.sms[i].is_stalled();
+            let live = !was || self.mem.has_pending_events(i as u32);
+            self.was_stalled.push(was);
+            self.live.push(live);
+            if live {
+                self.sms[i].predeal_inbox(&mut self.mem);
+            }
+        }
+        // Phase 2 (parallel): compute against private state only.
+        let live = &self.live;
+        gex_exec::par_each_mut(&mut self.sms, self.sm_workers, |i, sm| {
+            if live[i] {
+                sm.tick_compute(now);
+            }
+        });
+        // Phase 3 (serial): the memory-commit barrier, strict SM-index
+        // order — the assert is deliberately release-mode (the keystones
+        // run --release) since ordering here is the determinism proof.
+        let mut prev: Option<usize> = None;
+        for i in 0..self.sms.len() {
+            if !self.live[i] {
+                continue;
+            }
+            assert!(
+                prev.is_none_or(|p| p < i),
+                "commit barrier visited SM {i} out of order (after {prev:?})"
+            );
+            prev = Some(i);
+            self.sms[i].commit_outbox(now, &mut self.mem);
+            self.heap.mark_dirty(SRC_SM + i);
+            self.note_sm_stall_change(i, self.was_stalled[i]);
+            if self.sms[i].has_completions() {
+                self.done_sms.push(i);
+            }
+            if let Some(e) = self.sms[i].take_error() {
+                return Err(e.into());
+            }
+        }
+        Ok(())
     }
 
     /// [`Engine::next_event_cycle`] via the lazy-invalidation heap. The
@@ -804,21 +970,7 @@ impl Engine {
                 last_progress = now;
             }
 
-            for i in 0..self.sms.len() {
-                // A stalled SM with no events to deliver cannot change
-                // state this cycle: every warp waits on an external
-                // resolution and its internal event heap is empty, so the
-                // whole tick (issue/fetch/drain) is skipped. `is_stalled`
-                // is O(1) — the active-warp count is kept incrementally.
-                if self.sms[i].is_stalled() && !self.mem.has_pending_events(i as u32) {
-                    continue;
-                }
-                self.sms[i].tick(now, &mut self.mem);
-                self.heap.mark_dirty(SRC_SM + i);
-                if let Some(e) = self.sms[i].take_error() {
-                    return Err(e.into());
-                }
-            }
+            self.tick_sms(now)?;
 
             self.handle_notices(now);
             if push {
@@ -835,8 +987,18 @@ impl Engine {
             // (Draining mutates only completion counters, which dispatch
             // never reads, so the order swap is behavior-neutral for
             // single-stream runs.)
+            // Only SMs `tick_sms` listed can hold fresh completions —
+            // blocks finish inside an SM tick, and nothing between the
+            // tick and this drain completes one — so the drain walks the
+            // dirty list instead of scanning every SM every cycle.
+            debug_assert!(
+                (0..self.sms.len())
+                    .all(|i| !self.sms[i].has_completions() || self.done_sms.contains(&i)),
+                "an SM completed a block without being listed for draining"
+            );
             let before_completed = self.completed;
-            for i in 0..self.sms.len() {
+            for k in 0..self.done_sms.len() {
+                let i = self.done_sms[k];
                 let done = self.sms[i].drain_completed();
                 if done > 0 {
                     self.completed += done;
@@ -849,6 +1011,7 @@ impl Engine {
                     }
                 }
             }
+            self.done_sms.clear();
             if self.completed != before_completed {
                 last_progress = now;
             }
@@ -891,7 +1054,15 @@ impl Engine {
 
             // Idle skip: when every SM waits on external events, jump to
             // the next one (fault resolutions are tens of microseconds).
-            let all_stalled = self.sms.iter().all(|s| s.is_stalled());
+            // The incrementally maintained counter replaces the former
+            // per-cycle `.iter().all(is_stalled)` scan; the debug
+            // cross-check pins it to the scan's answer.
+            debug_assert_eq!(
+                self.stalled as usize,
+                self.sms.iter().filter(|s| s.is_stalled()).count(),
+                "incremental stalled counter diverged from SM state at cycle {now}"
+            );
+            let all_stalled = self.stalled as usize == self.sms.len();
             if all_stalled {
                 let next = match self.next_event {
                     NextEventMode::Push => {
@@ -985,7 +1156,9 @@ impl Engine {
                         && !sched.draining.contains(&n.slot)
                         && self.sms[i].block_has_pending_fault(n.slot)
                     {
+                        let was = self.sms[i].is_stalled();
                         self.sms[i].begin_drain(n.slot);
+                        self.note_sm_stall_change(i, was);
                         self.heap.mark_dirty(SRC_SM + i);
                         self.scheds[i].draining.push(n.slot);
                     }
@@ -1007,7 +1180,9 @@ impl Engine {
                 .collect();
             for slot in drained {
                 self.scheds[i].draining.retain(|&s| s != slot);
+                let was = self.sms[i].is_stalled();
                 let saved = self.sms[i].take_block(slot);
+                self.note_sm_stall_change(i, was);
                 self.heap.mark_dirty(SRC_SM + i);
                 let done = if cfg.ideal {
                     now + 1
@@ -1043,7 +1218,9 @@ impl Engine {
                 self.heap.mark_dirty(SRC_SM + i);
             }
             for (_, saved) in ready {
+                let was = self.sms[i].is_stalled();
                 self.sms[i].restore_block(saved);
+                self.note_sm_stall_change(i, was);
             }
             // Start restores for resolved off-chip blocks while capacity
             // lasts.
@@ -1102,7 +1279,9 @@ impl Engine {
                     };
                     let Some(t) = next else { continue };
                     self.sm_owner[i] = t;
+                    let was = self.sms[i].is_stalled();
                     self.sms[i].configure_kernel(self.tenants[t].setup);
+                    self.note_sm_stall_change(i, was);
                     self.heap.mark_dirty(SRC_SM + i);
                     owner = t;
                 }
@@ -1121,7 +1300,9 @@ impl Engine {
                     self.scheds[i].extra_brought += 1;
                 }
                 let b = self.queues[owner].pop_front().expect("checked non-empty");
+                let was = self.sms[i].is_stalled();
                 self.sms[i].assign_block(b);
+                self.note_sm_stall_change(i, was);
                 self.heap.mark_dirty(SRC_SM + i);
                 assigned_any = true;
             }

@@ -41,5 +41,8 @@ pub use error::{SmError, SmStage};
 pub use event_heap::{NextEventHeap, NextEventMode, WakeQueue};
 pub use harness::{HarnessError, SingleSmHarness, SingleSmRun};
 pub use scheme::Scheme;
-pub use sm::{FaultNotice, KernelSetup, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpDiag, WarpState};
+pub use sm::{
+    FaultNotice, KernelSetup, PendingAccess, ProbeEvent, ProbeStage, SavedBlock, Sm, WarpDiag,
+    WarpState,
+};
 pub use stats::SmStats;

@@ -1,0 +1,255 @@
+//! Property tests for the two-phase tick's compute-phase outbox: the
+//! buffered access sequence is a pure function of the SM's pre-tick
+//! state — independent of how SMs are interleaved across workers — and a
+//! recycled SM's outbox machinery is indistinguishable from a fresh one.
+//!
+//! The engine's parallel compute phase hands each SM to an arbitrary
+//! worker, so SMs tick in a nondeterministic *real-time* order. What
+//! makes that safe is exactly what these properties pin down: within one
+//! cycle an SM's `tick_compute` touches no state outside itself, so every
+//! interleaving yields the same per-SM outbox, and the serial commit
+//! barrier then replays the same `start_access` sequence as the
+//! reference single-phase `tick`.
+
+use gex_isa::asm::Asm;
+use gex_isa::func::FuncSim;
+use gex_isa::kernel::{Dim3, KernelBuilder};
+use gex_isa::mem_image::MemImage;
+use gex_isa::reg::Reg;
+use gex_isa::trace::KernelTrace;
+use gex_mem::system::{FaultMode, MemSystem};
+use gex_mem::{MemConfig, PageState};
+use gex_sm::sm::KernelSetup;
+use gex_sm::{PendingAccess, Scheme, Sm, SmConfig, SmStats};
+use gex_testkit::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+const BUF: u64 = 0x10_0000;
+const BUF_LEN: u64 = 1 << 16;
+
+/// A randomized streaming kernel: dependent ALU chains between global
+/// loads/stores with recycled address registers, so warps keep several
+/// accesses in flight and every cycle's outbox holds real work.
+fn build_trace(ops: &[(u8, u32)], grid: u32, block: u32) -> KernelTrace {
+    let mut a = Asm::new();
+    let addr = Reg(8);
+    a.gtid(Reg(0));
+    a.shl_imm(addr, Reg(0), 2);
+    a.add(addr, addr, BUF);
+    for &(kind, stride) in ops {
+        match kind % 3 {
+            0 => {
+                a.mad(Reg(1), Reg(1), 3u64, 1u64);
+            }
+            1 => {
+                a.ld_global_u32(Reg(2), addr, 0);
+                a.add(addr, addr, stride as u64);
+                a.and(addr, addr, BUF_LEN - 4);
+                a.add(addr, addr, BUF);
+            }
+            _ => {
+                a.st_global_u32(addr, Reg(2), 0);
+                a.add(addr, addr, stride as u64);
+                a.and(addr, addr, BUF_LEN - 4);
+                a.add(addr, addr, BUF);
+            }
+        }
+    }
+    a.exit();
+    let k = KernelBuilder::new("outbox", a.assemble().unwrap())
+        .grid(Dim3::x(grid))
+        .block(Dim3::x(block))
+        .regs_per_thread(16)
+        .build()
+        .unwrap();
+    let mut mem = MemImage::new();
+    for i in 0..(BUF_LEN / 4) {
+        mem.write_u32(BUF + i * 4, i as u32);
+    }
+    FuncSim::new().run(&k, &mut mem).unwrap().trace
+}
+
+fn setup_of(t: &KernelTrace, cfg: &SmConfig) -> KernelSetup {
+    KernelSetup {
+        warps_per_block: t.warps_per_block,
+        regs_per_thread: t.regs_per_thread,
+        shared_bytes: t.shared_bytes,
+        occupancy_blocks: cfg.blocks_per_sm(t.warps_per_block, t.regs_per_thread, t.shared_bytes),
+    }
+}
+
+fn fresh_mem(t: &KernelTrace, n_sms: usize) -> MemSystem {
+    let mut mem =
+        MemSystem::new(MemConfig::kepler_k20().with_sms(n_sms as u32), FaultMode::SquashNotify);
+    for &page in t.touched_pages() {
+        mem.page_table.set_range(page, 1, PageState::Present);
+    }
+    mem
+}
+
+/// Deterministic Fisher-Yates from a seed: the per-cycle compute order a
+/// hostile scheduler might pick.
+fn shuffled(n: usize, seed: &mut u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (*seed >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Drive `n_sms` SMs through the two-phase tick until the launch drains,
+/// computing each cycle in the order `perm_seed` shuffles (0 = ascending)
+/// while committing in strict SM-index order, exactly like the engine.
+/// Returns every SM's concatenated outbox log, final stats, and the
+/// memory system's stats line.
+fn run_two_phase(
+    t: &KernelTrace,
+    sms: &mut [Sm],
+    perm_seed: u64,
+) -> (Vec<Vec<PendingAccess>>, Vec<SmStats>, String) {
+    let n = sms.len();
+    let mut mem = fresh_mem(t, n);
+    let mut pending: VecDeque<Arc<_>> = t.blocks.iter().cloned().map(Arc::new).collect();
+    let mut log: Vec<Vec<PendingAccess>> = vec![Vec::new(); n];
+    let mut now = 0u64;
+    let mut seed = perm_seed;
+    loop {
+        for sm in sms.iter_mut() {
+            while sm.free_slot().is_some() {
+                let Some(b) = pending.pop_front() else { break };
+                sm.assign_block(b);
+            }
+        }
+        mem.tick(now);
+        for sm in sms.iter_mut() {
+            sm.predeal_inbox(&mut mem);
+        }
+        let order = if perm_seed == 0 { (0..n).collect() } else { shuffled(n, &mut seed) };
+        for &i in &order {
+            sms[i].tick_compute(now);
+        }
+        for i in 0..n {
+            log[i].extend_from_slice(sms[i].outbox());
+            sms[i].commit_outbox(now, &mut mem);
+            sms[i].drain_completed();
+            for _ in sms[i].take_fault_notices() {}
+        }
+        if pending.is_empty() && sms.iter().all(|s| s.is_empty()) {
+            break;
+        }
+        now += 1;
+        assert!(now < 10_000_000, "two-phase run did not converge");
+    }
+    (log, sms.iter().map(|s| s.stats()).collect(), format!("{:?}", mem.stats()))
+}
+
+fn fresh_sms(t: &KernelTrace, n: usize, scheme: Scheme) -> Vec<Sm> {
+    let cfg = SmConfig::kepler_k20();
+    (0..n)
+        .map(|i| {
+            let mut sm = Sm::new(i as u32, cfg.clone(), scheme);
+            sm.configure_kernel(setup_of(t, &cfg));
+            sm
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Outbox contents are independent of the compute-phase interleaving:
+    /// ticking the SMs in any shuffled order buffers byte-identical
+    /// per-SM access sequences (and hence identical commits and stats).
+    #[test]
+    fn outbox_independent_of_compute_order(
+        ops in collection::vec((0u8..3, 1u32..512), 3..12),
+        grid in 2u32..6,
+        n_sms in 2usize..5,
+        perm_seed in 1u64..u64::MAX,
+        scheme in prop_oneof![
+            Just(Scheme::Baseline),
+            Just(Scheme::WdLastCheck),
+            Just(Scheme::ReplayQueue),
+            Just(Scheme::operand_log_kib(16)),
+        ],
+    ) {
+        let t = build_trace(&ops, grid, 64);
+        let mut a = fresh_sms(&t, n_sms, scheme);
+        let mut b = fresh_sms(&t, n_sms, scheme);
+        let (log_a, stats_a, mem_a) = run_two_phase(&t, &mut a, 0);
+        let (log_b, stats_b, mem_b) = run_two_phase(&t, &mut b, perm_seed);
+        prop_assert_eq!(log_a, log_b, "outbox logs diverged under a shuffled compute order");
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(mem_a, mem_b);
+    }
+
+    /// A recycled SM's outbox machinery is indistinguishable from a fresh
+    /// SM's: re-running the same launch on `recycle`d SMs reproduces the
+    /// outbox logs and stats byte for byte (the engine's arena reuse
+    /// depends on exactly this).
+    #[test]
+    fn recycled_outbox_matches_fresh(
+        ops in collection::vec((0u8..3, 1u32..512), 3..10),
+        grid in 2u32..5,
+        n_sms in 2usize..4,
+    ) {
+        let t = build_trace(&ops, grid, 64);
+        let scheme = Scheme::ReplayQueue;
+        let mut sms = fresh_sms(&t, n_sms, scheme);
+        let (log_fresh, stats_fresh, mem_fresh) = run_two_phase(&t, &mut sms, 0);
+        let cfg = SmConfig::kepler_k20();
+        for (i, sm) in sms.iter_mut().enumerate() {
+            sm.recycle(i as u32, cfg.clone(), scheme);
+            sm.configure_kernel(setup_of(&t, &cfg));
+        }
+        let (log_re, stats_re, mem_re) = run_two_phase(&t, &mut sms, 0);
+        prop_assert_eq!(log_fresh, log_re, "recycled outbox diverged from fresh");
+        prop_assert_eq!(stats_fresh, stats_re);
+        prop_assert_eq!(mem_fresh, mem_re);
+    }
+
+    /// The two-phase tick matches the reference single-phase `tick` on
+    /// the same launch: same final stats, same memory-system totals —
+    /// the SM-level core of the engine keystone's bit-identity claim.
+    #[test]
+    fn two_phase_matches_single_phase_tick(
+        ops in collection::vec((0u8..3, 1u32..512), 3..10),
+        grid in 2u32..5,
+        n_sms in 1usize..4,
+    ) {
+        let t = build_trace(&ops, grid, 64);
+        let scheme = Scheme::WdLastCheck;
+        let mut two = fresh_sms(&t, n_sms, scheme);
+        let (_, stats_two, mem_two) = run_two_phase(&t, &mut two, 0);
+
+        let mut one = fresh_sms(&t, n_sms, scheme);
+        let mut mem = fresh_mem(&t, n_sms);
+        let mut pending: VecDeque<Arc<_>> = t.blocks.iter().cloned().map(Arc::new).collect();
+        let mut now = 0u64;
+        loop {
+            for sm in one.iter_mut() {
+                while sm.free_slot().is_some() {
+                    let Some(b) = pending.pop_front() else { break };
+                    sm.assign_block(b);
+                }
+            }
+            mem.tick(now);
+            for sm in one.iter_mut() {
+                sm.tick(now, &mut mem);
+                sm.drain_completed();
+                for _ in sm.take_fault_notices() {}
+            }
+            if pending.is_empty() && one.iter().all(|s| s.is_empty()) {
+                break;
+            }
+            now += 1;
+            prop_assert!(now < 10_000_000, "single-phase run did not converge");
+        }
+        let stats_one: Vec<SmStats> = one.iter().map(|s| s.stats()).collect();
+        prop_assert_eq!(stats_two, stats_one, "two-phase stats diverged from single-phase");
+        prop_assert_eq!(mem_two, format!("{:?}", mem.stats()));
+    }
+}
